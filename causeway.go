@@ -1,0 +1,327 @@
+// Package causeway is a monitoring and characterization framework for
+// component-based distributed systems with global causality capture — a
+// from-scratch Go reproduction of Jun Li, "Monitoring and Characterization
+// of Component-Based Systems with Global Causality Capture" (ICDCS 2003).
+//
+// The framework instruments the stubs and skeletons an IDL compiler
+// (cmd/idlc) generates: four probes per invocation record causality,
+// timing-latency and per-thread CPU behaviour locally, and a constant-size
+// Function-Transportable Log (Function UUID + event sequence number)
+// tunnels through thread-specific storage and a hidden in-out wire
+// parameter across threads, processes and processors. An offline analyzer
+// reconstructs the Dynamic System Call Graph, computes overhead-compensated
+// end-to-end latency and self/descendent CPU propagation, and synthesizes
+// the CPU Consumption Summarization Graph.
+//
+// This facade assembles the per-process runtime (Process) and the offline
+// pipeline (Collect/Analyze/Report). The substrates live in internal/:
+// a CORBA-like ORB (internal/orb), a COM-like runtime with apartments
+// (internal/com), a CORBA↔COM bridge (internal/bridge), the IDL compiler
+// front and back ends (internal/idl, internal/idlgen), and the analysis
+// stack (internal/logdb, internal/analysis, internal/render).
+package causeway
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"causeway/internal/analysis"
+	"causeway/internal/collector"
+	"causeway/internal/cputime"
+	"causeway/internal/logdb"
+	"causeway/internal/online"
+	"causeway/internal/orb"
+	"causeway/internal/probe"
+	"causeway/internal/render"
+	"causeway/internal/topology"
+	"causeway/internal/transport"
+	"causeway/internal/vclock"
+)
+
+// Re-exported core types, so applications need only this package plus
+// their generated stubs.
+type (
+	// ORB is the CORBA-like runtime instance of one logical process.
+	ORB = orb.ORB
+	// Ref is a client-side object reference.
+	Ref = orb.Ref
+	// Directory is the naming service.
+	Directory = orb.Directory
+	// Binding names an object in a Directory.
+	Binding = orb.Binding
+	// Network is the in-process transport namespace shared by logical
+	// processes hosted in one binary.
+	Network = transport.InprocNetwork
+	// Record is one monitoring log record.
+	Record = probe.Record
+	// DSCG is the Dynamic System Call Graph.
+	DSCG = analysis.DSCG
+	// CCSG is the CPU Consumption Summarization Graph.
+	CCSG = analysis.CCSG
+	// Node is one DSCG invocation node.
+	Node = analysis.Node
+	// PolicyKind selects a server threading architecture.
+	PolicyKind = orb.PolicyKind
+)
+
+// Threading policies (re-exported).
+const (
+	ThreadPerRequest    = orb.ThreadPerRequest
+	ThreadPerConnection = orb.ThreadPerConnection
+	ThreadPool          = orb.ThreadPool
+)
+
+// NewNetwork creates an in-process transport namespace.
+func NewNetwork() *Network { return transport.NewInprocNetwork() }
+
+// NewDirectory creates a naming service.
+func NewDirectory() *Directory { return orb.NewDirectory() }
+
+// Aspect selects which behaviour dimension the probes monitor besides
+// causality (which is always captured). Latency and CPU are never armed
+// simultaneously (§2.1).
+type Aspect int
+
+// Monitoring aspects.
+const (
+	// MonitorCausality captures causality only.
+	MonitorCausality Aspect = iota
+	// MonitorLatency additionally records wall-clock probe windows.
+	MonitorLatency
+	// MonitorCPU additionally records per-thread CPU readings.
+	MonitorCPU
+)
+
+// ProcessConfig assembles one monitored logical process.
+type ProcessConfig struct {
+	// Name uniquely identifies the process in the deployment.
+	Name string
+	// ProcessorType classifies the hosting CPU (DC vectors aggregate per
+	// type); default "generic".
+	ProcessorType string
+	// Network is the shared in-process transport namespace; required for
+	// inproc endpoints.
+	Network *Network
+	// Instrumented deploys the instrumented wire format. All processes of
+	// a deployment must agree.
+	Instrumented bool
+	// Monitor selects the armed aspect.
+	Monitor Aspect
+	// LogPath, when set, streams records to this file (collect later with
+	// AnalyzeFiles); otherwise records buffer in memory.
+	LogPath string
+	// Policy selects the server threading architecture.
+	Policy PolicyKind
+	// DisableCollocation forces same-process calls through the full path.
+	DisableCollocation bool
+	// PinDispatch locks dispatches to OS threads so real per-thread CPU
+	// metering is meaningful; implied by Monitor == MonitorCPU.
+	PinDispatch bool
+	// Online, when set, receives this process's records live in addition
+	// to the persistent log — the §6 on-line management extension.
+	Online *OnlineMonitor
+}
+
+// Process is one monitored logical process: its ORB and its log.
+type Process struct {
+	ORB *ORB
+
+	proc   topology.Process
+	mem    *probe.MemorySink
+	file   *os.File
+	stream *probe.StreamSink
+}
+
+// NewProcess builds a monitored process.
+func NewProcess(cfg ProcessConfig) (*Process, error) {
+	if cfg.Name == "" {
+		return nil, errors.New("causeway: process needs a Name")
+	}
+	if cfg.ProcessorType == "" {
+		cfg.ProcessorType = "generic"
+	}
+	proc := topology.Process{
+		ID:        cfg.Name,
+		Processor: topology.Processor{ID: cfg.Name + "-cpu", Type: cfg.ProcessorType},
+	}
+	p := &Process{proc: proc}
+
+	var sink probe.Sink
+	if cfg.LogPath != "" {
+		f, err := os.Create(cfg.LogPath)
+		if err != nil {
+			return nil, fmt.Errorf("causeway: create log: %w", err)
+		}
+		p.file = f
+		p.stream = probe.NewStreamSink(f)
+		sink = p.stream
+	} else {
+		p.mem = &probe.MemorySink{}
+		sink = p.mem
+	}
+	if cfg.Online != nil {
+		sink = probe.TeeSink{sink, cfg.Online}
+	}
+
+	var aspects probe.Aspect
+	var meter cputime.Meter
+	switch cfg.Monitor {
+	case MonitorLatency:
+		aspects = probe.AspectLatency
+	case MonitorCPU:
+		aspects = probe.AspectCPU
+		meter = cputime.OSThreadMeter{}
+		cfg.PinDispatch = true
+	}
+
+	probes, err := probe.New(probe.Config{
+		Process: proc,
+		Aspects: aspects,
+		Clock:   vclock.System{},
+		Meter:   meter,
+		Sink:    sink,
+	})
+	if err != nil {
+		p.closeFile()
+		return nil, err
+	}
+	o, err := orb.New(orb.Config{
+		Process:            proc,
+		Probes:             probes,
+		Instrumented:       cfg.Instrumented,
+		Policy:             cfg.Policy,
+		Network:            cfg.Network,
+		DisableCollocation: cfg.DisableCollocation,
+		PinDispatch:        cfg.PinDispatch,
+	})
+	if err != nil {
+		p.closeFile()
+		return nil, err
+	}
+	p.ORB = o
+	return p, nil
+}
+
+// NewChain ends the calling thread's current causal chain, so its next
+// invocation begins a fresh Function UUID. Clients call it between
+// independent top-level transactions.
+func (p *Process) NewChain() { p.ORB.Probes().Tunnel().Clear() }
+
+// Records returns the in-memory records (nil when logging to a file).
+func (p *Process) Records() []Record {
+	if p.mem == nil {
+		return nil
+	}
+	return p.mem.Snapshot()
+}
+
+// Close shuts the ORB down and flushes the log file, if any.
+func (p *Process) Close() error {
+	p.ORB.Shutdown()
+	if p.stream != nil {
+		if err := p.stream.Err(); err != nil {
+			p.closeFile()
+			return err
+		}
+	}
+	return p.closeFile()
+}
+
+func (p *Process) closeFile() error {
+	if p.file == nil {
+		return nil
+	}
+	err := p.file.Close()
+	p.file = nil
+	return err
+}
+
+// Report is the outcome of offline characterization (§3): the DSCG, run
+// statistics, per-operation latency aggregation, and the CCSG.
+type Report struct {
+	Graph        *DSCG
+	Stats        logdb.Stats
+	LatencyStats []analysis.LatencyStat
+	CCSG         *CCSG
+	// Interactions is the component-interaction topology (§3.1), sorted by
+	// descending call count.
+	Interactions []analysis.Interaction
+}
+
+// Analyze collects records and performs the full offline pipeline.
+func Analyze(records ...[]Record) *Report {
+	db := logdb.NewStore()
+	for _, batch := range records {
+		db.Insert(batch...)
+	}
+	return analyzeStore(db)
+}
+
+// AnalyzeProcesses collects from live in-memory processes.
+func AnalyzeProcesses(procs ...*Process) *Report {
+	batches := make([][]Record, 0, len(procs))
+	for _, p := range procs {
+		batches = append(batches, p.Records())
+	}
+	return Analyze(batches...)
+}
+
+// AnalyzeFiles collects per-process log files matching glob.
+func AnalyzeFiles(glob string) (*Report, error) {
+	db := logdb.NewStore()
+	if _, err := collector.FromGlob(db, glob); err != nil {
+		return nil, err
+	}
+	return analyzeStore(db), nil
+}
+
+func analyzeStore(db *logdb.Store) *Report {
+	g := analysis.Reconstruct(db)
+	g.ComputeLatency()
+	g.ComputeCPU()
+	return &Report{
+		Graph:        g,
+		Stats:        db.ComputeStats(),
+		LatencyStats: g.LatencyStats(),
+		CCSG:         analysis.BuildCCSG(g),
+		Interactions: g.Interactions(),
+	}
+}
+
+// WriteDSCG renders the call graph as an indented text tree.
+func (r *Report) WriteDSCG(w io.Writer) error {
+	return render.DSCGText(w, r.Graph, -1, 0)
+}
+
+// WriteCCSGXML renders the CPU Consumption Summarization Graph as XML
+// (the Figure-6 format).
+func (r *Report) WriteCCSGXML(w io.Writer) error {
+	return render.CCSGXML(w, r.CCSG)
+}
+
+// WriteCCSGText renders a compact text CCSG.
+func (r *Report) WriteCCSGText(w io.Writer) error {
+	return render.CCSGText(w, r.CCSG)
+}
+
+// Online monitoring (the paper's §6 "on-line perspective for
+// application-level system management" future-work direction).
+type (
+	// OnlineMonitor incrementally reconstructs causality from a live
+	// record stream and fires callbacks as top-level invocations complete.
+	OnlineMonitor = online.Monitor
+	// OnlineConfig wires the online monitor's callbacks.
+	OnlineConfig = online.Config
+	// RootEvent describes one completed top-level invocation.
+	RootEvent = online.RootEvent
+)
+
+// NewOnlineMonitor builds a live causality monitor. Set it as
+// ProcessConfig.Online on every process of the deployment (one shared
+// monitor sees whole cross-process chains) and it fires OnRoot/OnSlow as
+// top-level invocations complete, while the persistent log still flows.
+func NewOnlineMonitor(cfg OnlineConfig) *OnlineMonitor {
+	return online.NewMonitor(cfg)
+}

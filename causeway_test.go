@@ -1,0 +1,249 @@
+package causeway
+
+import (
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"causeway/internal/benchgen/instrecho"
+)
+
+type upperServant struct{}
+
+func (upperServant) Echo(payload string) (string, error) { return strings.ToUpper(payload), nil }
+func (upperServant) Sum(values []int32) (int32, error) {
+	var s int32
+	for _, v := range values {
+		s += v
+	}
+	return s, nil
+}
+func (upperServant) Fire(string) error { return nil }
+
+func TestProcessLifecycleAndAnalyze(t *testing.T) {
+	net := NewNetwork()
+	server, err := NewProcess(ProcessConfig{
+		Name: "server", Network: net, Instrumented: true, Monitor: MonitorLatency,
+		ProcessorType: "x86",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+	if err := instrecho.RegisterEcho(server.ORB, "echo", "echo-comp", upperServant{}); err != nil {
+		t.Fatal(err)
+	}
+	ep, err := server.ORB.ListenInproc("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	client, err := NewProcess(ProcessConfig{Name: "client", Network: net, Instrumented: true, Monitor: MonitorLatency})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	stub := instrecho.NewEchoStub(client.ORB.RefTo(ep, "echo", "Echo", "echo-comp"))
+	for i := 0; i < 3; i++ {
+		if got, err := stub.Echo("hi"); err != nil || got != "HI" {
+			t.Fatalf("Echo = %q, %v", got, err)
+		}
+		client.NewChain()
+	}
+
+	rep := AnalyzeProcesses(client, server)
+	if rep.Stats.Calls != 3 || rep.Graph.Nodes() != 3 {
+		t.Fatalf("stats = %+v, nodes = %d", rep.Stats, rep.Graph.Nodes())
+	}
+	if len(rep.Graph.Anomalies) != 0 {
+		t.Fatalf("anomalies: %v", rep.Graph.Anomalies)
+	}
+	if len(rep.LatencyStats) != 1 || rep.LatencyStats[0].Count != 3 {
+		t.Fatalf("latency stats = %+v", rep.LatencyStats)
+	}
+	if rep.LatencyStats[0].Mean <= 0 {
+		t.Fatal("non-positive mean latency")
+	}
+
+	var dscg strings.Builder
+	if err := rep.WriteDSCG(&dscg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dscg.String(), "Echo::echo") {
+		t.Fatalf("DSCG text:\n%s", dscg.String())
+	}
+	var ccsg strings.Builder
+	if err := rep.WriteCCSGXML(&ccsg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ccsg.String(), "InvocationTimes") {
+		t.Fatal("CCSG XML missing fields")
+	}
+	if err := rep.WriteCCSGText(&ccsg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileLoggingAndAnalyzeFiles(t *testing.T) {
+	dir := t.TempDir()
+	net := NewNetwork()
+	server, err := NewProcess(ProcessConfig{
+		Name: "server", Network: net, Instrumented: true,
+		LogPath: filepath.Join(dir, "server.ftlog"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := instrecho.RegisterEcho(server.ORB, "echo", "c", upperServant{}); err != nil {
+		t.Fatal(err)
+	}
+	ep, err := server.ORB.ListenInproc("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := NewProcess(ProcessConfig{
+		Name: "client", Network: net, Instrumented: true,
+		LogPath: filepath.Join(dir, "client.ftlog"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stub := instrecho.NewEchoStub(client.ORB.RefTo(ep, "echo", "Echo", "c"))
+	if _, err := stub.Echo("x"); err != nil {
+		t.Fatal(err)
+	}
+	client.NewChain()
+	if client.Records() != nil {
+		t.Fatal("file-logged process returned in-memory records")
+	}
+	if err := client.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := server.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := AnalyzeFiles(filepath.Join(dir, "*.ftlog"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Graph.Nodes() != 1 || len(rep.Graph.Anomalies) != 0 {
+		t.Fatalf("nodes=%d anomalies=%v", rep.Graph.Nodes(), rep.Graph.Anomalies)
+	}
+}
+
+func TestMonitorCPUEndToEnd(t *testing.T) {
+	net := NewNetwork()
+	server, err := NewProcess(ProcessConfig{
+		Name: "server", Network: net, Instrumented: true, Monitor: MonitorCPU,
+		ProcessorType: "x86",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+	if err := instrecho.RegisterEcho(server.ORB, "echo", "c", burnServant{}); err != nil {
+		t.Fatal(err)
+	}
+	ep, err := server.ORB.ListenInproc("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := NewProcess(ProcessConfig{Name: "client", Network: net, Instrumented: true, Monitor: MonitorCPU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	stub := instrecho.NewEchoStub(client.ORB.RefTo(ep, "echo", "Echo", "c"))
+	if _, err := stub.Echo("spin"); err != nil {
+		t.Fatal(err)
+	}
+	client.NewChain()
+
+	rep := AnalyzeProcesses(client, server)
+	if rep.Graph.Nodes() != 1 {
+		t.Fatalf("nodes = %d", rep.Graph.Nodes())
+	}
+	n := rep.Graph.Trees[0].Roots[0]
+	if !n.HasCPU {
+		t.Skip("per-thread CPU not supported on this platform")
+	}
+	if n.SelfCPU <= 0 {
+		t.Fatalf("SelfCPU = %v, want > 0 for a spinning servant", n.SelfCPU)
+	}
+}
+
+// burnServant burns real CPU so MonitorCPU has something to observe.
+type burnServant struct{}
+
+func (burnServant) Echo(payload string) (string, error) {
+	deadline := time.Now().Add(30 * time.Millisecond)
+	x := 0
+	for time.Now().Before(deadline) {
+		x++
+	}
+	_ = x
+	return payload, nil
+}
+func (burnServant) Sum([]int32) (int32, error) { return 0, nil }
+func (burnServant) Fire(string) error          { return nil }
+
+func TestProcessConfigValidation(t *testing.T) {
+	if _, err := NewProcess(ProcessConfig{}); err == nil {
+		t.Fatal("nameless process accepted")
+	}
+	if _, err := NewProcess(ProcessConfig{Name: "x", LogPath: "/nonexistent-dir/y.ftlog"}); err == nil {
+		t.Fatal("bad log path accepted")
+	}
+}
+
+func TestOnlineMonitorViaFacade(t *testing.T) {
+	var mu sync.Mutex
+	var ops []string
+	monitor := NewOnlineMonitor(OnlineConfig{OnRoot: func(ev RootEvent) {
+		mu.Lock()
+		defer mu.Unlock()
+		ops = append(ops, ev.Root.Op.Operation)
+	}})
+	net := NewNetwork()
+	server, err := NewProcess(ProcessConfig{
+		Name: "server", Network: net, Instrumented: true, Online: monitor,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+	if err := instrecho.RegisterEcho(server.ORB, "echo", "c", upperServant{}); err != nil {
+		t.Fatal(err)
+	}
+	ep, err := server.ORB.ListenInproc("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := NewProcess(ProcessConfig{
+		Name: "client", Network: net, Instrumented: true, Online: monitor,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	stub := instrecho.NewEchoStub(client.ORB.RefTo(ep, "echo", "Echo", "c"))
+	if _, err := stub.Echo("live"); err != nil {
+		t.Fatal(err)
+	}
+	client.NewChain()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(ops) != 1 || ops[0] != "echo" {
+		t.Fatalf("online roots = %v", ops)
+	}
+	// The persistent log still captured everything.
+	if got := recordCount(client) + recordCount(server); got != 4 {
+		t.Fatalf("persistent records = %d, want 4", got)
+	}
+}
+
+func recordCount(p *Process) int { return len(p.Records()) }

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"causeway/internal/ftl"
+	"causeway/internal/logdb"
+	"causeway/internal/probe"
+	"causeway/internal/uuid"
+)
+
+func writeSampleLog(t *testing.T, dir string) string {
+	t.Helper()
+	chain := uuid.UUID{0: 1}
+	db := logdb.NewStore()
+	seq := uint64(0)
+	mk := func(ev ftl.Event, opname string) probe.Record {
+		seq++
+		return probe.Record{
+			Kind: probe.KindEvent, Process: "p1", ProcType: "x86", Thread: 2,
+			Chain: chain, Seq: seq, Event: ev, CPUArmed: true,
+			Op: probe.OpID{Component: "c", Interface: "I", Operation: opname, Object: "o"},
+		}
+	}
+	db.Insert(
+		mk(ftl.StubStart, "f"), mk(ftl.SkelStart, "f"),
+		mk(ftl.SkelEnd, "f"), mk(ftl.StubEnd, "f"),
+	)
+	path := filepath.Join(dir, "p1.ftlog")
+	if err := db.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(dir, "*.ftlog")
+}
+
+func TestAnalyzerStats(t *testing.T) {
+	glob := writeSampleLog(t, t.TempDir())
+	var out strings.Builder
+	if err := run([]string{"-stats", glob}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "1 calls") || !strings.Contains(got, "0 anomalies") {
+		t.Fatalf("output: %s", got)
+	}
+	if strings.Contains(got, "Dynamic System Call Graph") {
+		t.Fatal("-stats printed the graph")
+	}
+}
+
+func TestAnalyzerDSCGAndLatency(t *testing.T) {
+	glob := writeSampleLog(t, t.TempDir())
+	var out strings.Builder
+	if err := run([]string{"-latency", glob}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "I::f(o)") {
+		t.Fatalf("DSCG missing: %s", out.String())
+	}
+}
+
+func TestAnalyzerCCSGXML(t *testing.T) {
+	glob := writeSampleLog(t, t.TempDir())
+	var out strings.Builder
+	if err := run([]string{"-ccsgxml", glob}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "<CCSG>") {
+		t.Fatalf("no CCSG XML: %s", out.String())
+	}
+}
+
+func TestAnalyzerUsageErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err == nil {
+		t.Fatal("missing glob accepted")
+	}
+	if err := run([]string{"-bogusflag", "x"}, &out); err == nil {
+		t.Fatal("bogus flag accepted")
+	}
+}
+
+func TestAnalyzerTopology(t *testing.T) {
+	glob := writeSampleLog(t, t.TempDir())
+	var out strings.Builder
+	if err := run([]string{"-topology", glob}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "<client>") || !strings.Contains(out.String(), "calls=1") {
+		t.Fatalf("topology output:\n%s", out.String())
+	}
+}
+
+func TestAnalyzerSeqChart(t *testing.T) {
+	glob := writeSampleLog(t, t.TempDir())
+	var out strings.Builder
+	if err := run([]string{"-seqchart", glob}, &out); err != nil {
+		t.Fatal(err)
+	}
+	// Sample log has no wall data, so the chart is empty but the command
+	// succeeds; presence of the flag path is what is covered here.
+	_ = out
+}

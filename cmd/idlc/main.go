@@ -1,0 +1,65 @@
+// Command idlc is the IDL compiler: it reads an IDL file and emits Go
+// stub/skeleton source. The -instrument flag is the paper's back-end
+// compilation flag (§2.3): with it, the generated stubs and skeletons carry
+// the four monitoring probes and transport the FTL as a hidden in-out
+// parameter; without it, the output contains no monitoring code at all.
+//
+// Usage:
+//
+//	idlc -package pps -o pps_gen.go [-instrument] pipeline.idl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"causeway/internal/idl"
+	"causeway/internal/idlgen"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "idlc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("idlc", flag.ContinueOnError)
+	pkg := fs.String("package", "", "Go package name for the generated file (required)")
+	out := fs.String("o", "", "output file (default: stdout)")
+	instrument := fs.Bool("instrument", false, "generate instrumented stubs and skeletons (probes + hidden FTL parameter)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *pkg == "" {
+		return fmt.Errorf("-package is required")
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("exactly one input .idl file is required")
+	}
+	input := fs.Arg(0)
+	src, err := os.ReadFile(input)
+	if err != nil {
+		return err
+	}
+	spec, err := idl.Parse(string(src))
+	if err != nil {
+		return err
+	}
+	code, err := idlgen.Generate(spec, idlgen.Options{
+		Package:    *pkg,
+		Instrument: *instrument,
+		Source:     filepath.Base(input),
+	})
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		_, err = os.Stdout.Write(code)
+		return err
+	}
+	return os.WriteFile(*out, code, 0o644)
+}

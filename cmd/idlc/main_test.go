@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestIdlcGeneratesBothModes(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "svc.idl")
+	if err := os.WriteFile(src, []byte(`
+		interface Svc {
+			long ping(in long x);
+		};
+	`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	plain := filepath.Join(dir, "plain.go")
+	if err := run([]string{"-package", "svc", "-o", plain, src}); err != nil {
+		t.Fatal(err)
+	}
+	instr := filepath.Join(dir, "instr.go")
+	if err := run([]string{"-package", "svc", "-instrument", "-o", instr, src}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := os.ReadFile(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i, err := os.ReadFile(instr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(p), "probe") {
+		t.Fatal("plain output references probes")
+	}
+	if !strings.Contains(string(i), "StubStart") {
+		t.Fatal("instrumented output lacks probes")
+	}
+}
+
+func TestIdlcErrors(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.idl")
+	if err := os.WriteFile(bad, []byte("interface { broken"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := [][]string{
+		{},                                  // no package
+		{"-package", "p"},                   // no input
+		{"-package", "p", "a.idl", "b.idl"}, // two inputs
+		{"-package", "p", "missing.idl"},    // unreadable
+		{"-package", "p", bad},              // syntax error
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded", args)
+		}
+	}
+}

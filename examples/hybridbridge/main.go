@@ -1,0 +1,141 @@
+// Hybrid-bridge example — the paper's §2.3 CORBA/COM scenario: subsystems
+// built on dissimilar invocation infrastructures, bridged so the causal
+// chain propagates seamlessly across the boundary. One request flows
+//
+//	CORBA client → CORBA front servant → COM STA object → CORBA backend
+//
+// and the analyzer reconstructs a single three-hop chain spanning both
+// domains.
+//
+// Run:
+//
+//	go run ./examples/hybridbridge
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"causeway"
+	"causeway/internal/benchgen/instrecho"
+	"causeway/internal/bridge"
+	"causeway/internal/com"
+	"causeway/internal/probe"
+	"causeway/internal/topology"
+	"causeway/internal/transport"
+)
+
+// backend is the CORBA servant at the end of the chain.
+type backend struct{}
+
+func (backend) Echo(payload string) (string, error) { return strings.ToUpper(payload), nil }
+func (backend) Sum(values []int32) (int32, error)   { return 0, nil }
+func (backend) Fire(string) error                   { return nil }
+
+// front is the bridge-domain CORBA servant that forwards into COM.
+type front struct{ com *com.ObjectRef }
+
+func (f *front) Echo(payload string) (string, error) {
+	res, err := f.com.Call("transform", payload)
+	if err != nil {
+		return "", err
+	}
+	s, ok := res[0].(string)
+	if !ok {
+		return "", fmt.Errorf("unexpected COM result %T", res[0])
+	}
+	return s, nil
+}
+func (f *front) Sum(values []int32) (int32, error) { return 0, nil }
+func (f *front) Fire(string) error                 { return nil }
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "hybridbridge:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	net := transport.NewInprocNetwork()
+
+	// Pure-CORBA backend process.
+	backendProc, err := causeway.NewProcess(causeway.ProcessConfig{
+		Name: "backend", ProcessorType: "pa-risc", Network: net, Instrumented: true,
+	})
+	if err != nil {
+		return err
+	}
+	defer backendProc.Close()
+	if err := instrecho.RegisterEcho(backendProc.ORB, "be", "backend-comp", backend{}); err != nil {
+		return err
+	}
+	backendEp, err := backendProc.ORB.ListenInproc("backend")
+	if err != nil {
+		return err
+	}
+
+	// Hybrid bridge domain: one process hosting a CORBA endpoint and a COM
+	// runtime over one shared probe set — the FTL-aware bridge.
+	bridgeSink := &probe.MemorySink{}
+	dom, err := bridge.NewDomain(bridge.Config{
+		Process: topology.Process{ID: "bridge", Processor: topology.Processor{ID: "bridge-cpu", Type: "x86"}},
+		Sink:    bridgeSink, Network: net, Instrumented: true,
+	})
+	if err != nil {
+		return err
+	}
+	defer dom.Shutdown()
+
+	// COM side: an STA object that decorates the payload and calls the
+	// CORBA backend through a stub.
+	backendStub := instrecho.NewEchoStub(dom.ORB.RefTo(backendEp, "be", "Echo", "backend-comp"))
+	sta := dom.COM.NewSTA("ui-apartment")
+	comRef, err := dom.COM.Register("transformer", "ITransform", "com-comp", sta,
+		bridge.NewComServant(bridge.MethodTable{
+			"transform": func(args []any) ([]any, error) {
+				in, _ := args[0].(string)
+				out, err := backendStub.Echo("[com] " + in)
+				if err != nil {
+					return nil, err
+				}
+				return []any{out}, nil
+			},
+		}))
+	if err != nil {
+		return err
+	}
+
+	// CORBA side of the bridge domain.
+	if err := instrecho.RegisterEcho(dom.ORB, "fe", "front-comp", &front{com: comRef}); err != nil {
+		return err
+	}
+	frontEp, err := dom.ORB.ListenInproc("front")
+	if err != nil {
+		return err
+	}
+
+	// Client process.
+	client, err := causeway.NewProcess(causeway.ProcessConfig{
+		Name: "client", ProcessorType: "x86", Network: net, Instrumented: true,
+	})
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	stub := instrecho.NewEchoStub(client.ORB.RefTo(frontEp, "fe", "Echo", "front-comp"))
+
+	reply, err := stub.Echo("hello hybrid world")
+	if err != nil {
+		return err
+	}
+	fmt.Println("reply:", reply)
+	client.NewChain()
+
+	report := causeway.Analyze(client.Records(), backendProc.Records(), bridgeSink.Snapshot())
+	fmt.Printf("\n%d calls across %d processes, %d anomalies\n",
+		report.Stats.Calls, report.Stats.Processes, len(report.Graph.Anomalies))
+	fmt.Println("\nthe single causal chain spanning CORBA → COM → CORBA:")
+	return report.WriteDSCG(os.Stdout)
+}

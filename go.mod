@@ -1,0 +1,3 @@
+module causeway
+
+go 1.22

@@ -1,0 +1,410 @@
+// Package analysis is the paper's off-line characterization tool (§3): it
+// reconstructs system-wide causality from the collected monitoring data
+// into a Dynamic System Call Graph (DSCG), computes end-to-end timing
+// latency with probe-overhead compensation, propagates CPU consumption
+// along the caller/callee hierarchy, and synthesizes the CPU Consumption
+// Summarization Graph (CCSG).
+package analysis
+
+import (
+	"fmt"
+	"time"
+
+	"causeway/internal/ftl"
+	"causeway/internal/logdb"
+	"causeway/internal/probe"
+	"causeway/internal/uuid"
+)
+
+// Node is one function invocation in the DSCG: a component-object method
+// call, with the probe records that observed it and the metrics later
+// computed from them.
+type Node struct {
+	// Op identifies the invoked operation.
+	Op probe.OpID
+	// Chain is the causal chain the invocation's server side belongs to.
+	Chain uuid.UUID
+	// Oneway marks asynchronous invocations.
+	Oneway bool
+	// Collocated marks collocation-optimized invocations.
+	Collocated bool
+	// Children are the immediate child invocations in chronological order.
+	Children []*Node
+
+	// StubStart, SkelStart, SkelEnd, StubEnd are the probe records for the
+	// invocation. Oneway calls that were never dispatched may lack the
+	// skeleton pair; the stub pair is always present for stub-side nodes.
+	StubStart, SkelStart, SkelEnd, StubEnd *probe.Record
+
+	// Metrics, filled in by ComputeLatency / ComputeCPU.
+	Latency      time.Duration            // overhead-compensated end-to-end latency
+	RawLatency   time.Duration            // before overhead compensation
+	Overhead     time.Duration            // causality-capture overhead O_F
+	HasLatency   bool                     // latency fields are valid
+	SelfCPU      time.Duration            // exclusive CPU consumption SC_F
+	HasCPU       bool                     // SelfCPU is valid
+	DescCPU      map[string]time.Duration // DC_F per processor type
+	InclusiveCPU map[string]time.Duration // SC_F + DC_F per processor type
+}
+
+// ServerProcess returns the process that executed the invocation body.
+func (n *Node) ServerProcess() string {
+	if n.SkelStart != nil {
+		return n.SkelStart.Process
+	}
+	return ""
+}
+
+// ServerProcType returns the processor type that executed the body.
+func (n *Node) ServerProcType() string {
+	if n.SkelStart != nil {
+		return n.SkelStart.ProcType
+	}
+	return ""
+}
+
+// ClientProcess returns the process that issued the invocation.
+func (n *Node) ClientProcess() string {
+	if n.StubStart != nil {
+		return n.StubStart.Process
+	}
+	return ""
+}
+
+// ArgsSemantics returns the captured input-parameter rendering, when the
+// semantics aspect was armed (§2.1's application-semantics behaviour).
+func (n *Node) ArgsSemantics() string {
+	if n.SkelStart != nil {
+		return n.SkelStart.Semantics
+	}
+	return ""
+}
+
+// ResultSemantics returns the captured output-parameter or raised-
+// exception rendering, when the semantics aspect was armed.
+func (n *Node) ResultSemantics() string {
+	if n.SkelEnd != nil {
+		return n.SkelEnd.Semantics
+	}
+	return ""
+}
+
+// Count returns the number of invocations in the subtree rooted at n.
+func (n *Node) Count() int {
+	total := 1
+	for _, c := range n.Children {
+		total += c.Count()
+	}
+	return total
+}
+
+// Walk visits n and its descendants preorder.
+func (n *Node) Walk(fn func(*Node)) {
+	fn(n)
+	for _, c := range n.Children {
+		c.Walk(fn)
+	}
+}
+
+// Tree is one causal chain unfolded into its invocation tree. A chain may
+// have several roots: sibling top-level calls issued by the same client
+// thread (Table 1's sibling pattern).
+type Tree struct {
+	Chain uuid.UUID
+	Roots []*Node
+}
+
+// Anomaly records a log subsequence that matched none of the Figure-4
+// transition patterns; the analyzer "will indicate the failure and restart
+// from the next log record".
+type Anomaly struct {
+	Chain  uuid.UUID
+	Index  int // index into the chain's sorted event list
+	Reason string
+}
+
+// String renders the anomaly for reports.
+func (a Anomaly) String() string {
+	return fmt.Sprintf("chain %s event[%d]: %s", a.Chain.Short(), a.Index, a.Reason)
+}
+
+// DSCG is the Dynamic System Call Graph: the forest of causal-chain trees,
+// grouped (as the paper puts it, "a tree by grouping {Ti}") under an
+// implicit virtual root. Oneway child chains are stitched beneath their
+// forking stub-side node and do not appear as separate trees.
+type DSCG struct {
+	Trees     []*Tree
+	Anomalies []Anomaly
+	// stats cache
+	nodes int
+}
+
+// Nodes returns the total number of invocations in the graph.
+func (g *DSCG) Nodes() int { return g.nodes }
+
+// Walk visits every node of every tree preorder.
+func (g *DSCG) Walk(fn func(*Node)) {
+	for _, t := range g.Trees {
+		for _, r := range t.Roots {
+			r.Walk(fn)
+		}
+	}
+}
+
+// Reconstruct rebuilds the DSCG from a collected log store, implementing
+// the Figure-4 state machine. Chains beginning with a skel_start event are
+// oneway callee sides and are attached under their parent's forking node
+// via the recorded chain links; chains whose link is missing surface as
+// anomalous orphan trees.
+func Reconstruct(db *logdb.Store) *DSCG {
+	g := &DSCG{}
+	childTrees := make(map[uuid.UUID]*Tree) // oneway callee chains by chain id
+	var parentTrees []*Tree
+
+	for _, chain := range db.Chains() {
+		events := db.Events(chain)
+		if len(events) == 0 {
+			continue
+		}
+		p := &chainParser{chain: chain, events: events}
+		roots := p.parseChain()
+		g.Anomalies = append(g.Anomalies, p.anomalies...)
+		t := &Tree{Chain: chain, Roots: roots}
+		if events[0].Event == ftl.SkelStart {
+			childTrees[chain] = t
+		} else {
+			parentTrees = append(parentTrees, t)
+		}
+	}
+
+	// Stitch oneway child chains under their forking nodes.
+	stitched := make(map[uuid.UUID]bool)
+	var stitch func(n *Node)
+	stitch = func(n *Node) {
+		for _, c := range n.Children {
+			stitch(c)
+		}
+		if !n.Oneway || n.StubStart == nil {
+			return
+		}
+		childChain, ok := db.ChildChain(n.Chain, n.StubStart.Seq)
+		if !ok {
+			g.Anomalies = append(g.Anomalies, Anomaly{
+				Chain: n.Chain, Reason: fmt.Sprintf("oneway %s at seq %d has no chain link", n.Op.Operation, n.StubStart.Seq),
+			})
+			return
+		}
+		if stitched[childChain] {
+			// Already adopted (stitch re-visited an adopted subtree).
+			return
+		}
+		ct, ok := childTrees[childChain]
+		if !ok {
+			// The callee side may legitimately be missing if the process
+			// died before dispatch; note it and continue.
+			g.Anomalies = append(g.Anomalies, Anomaly{
+				Chain: childChain, Reason: "oneway callee chain has no events",
+			})
+			return
+		}
+		stitched[childChain] = true
+		// The child chain's first root is the callee side of this very
+		// call: adopt its skeleton records and children. Any further roots
+		// would be anomalous continuation; keep them as extra children.
+		for i, r := range ct.Roots {
+			if i == 0 && r.Op == n.Op && r.SkelStart != nil && r.StubStart == nil {
+				n.SkelStart, n.SkelEnd = r.SkelStart, r.SkelEnd
+				n.Children = append(n.Children, r.Children...)
+				// Recurse into adopted children for nested oneways.
+				for _, c := range r.Children {
+					stitch(c)
+				}
+				continue
+			}
+			n.Children = append(n.Children, r)
+			stitch(r)
+		}
+	}
+	for _, t := range parentTrees {
+		for _, r := range t.Roots {
+			stitch(r)
+		}
+	}
+	// Callee chains no parent claimed stay visible as orphan trees rather
+	// than being dropped. First let every unclaimed callee chain claim its
+	// own oneway descendants, then collect the ones still unclaimed, both
+	// in the deterministic db.Chains() order.
+	for _, chain := range db.Chains() {
+		if t, ok := childTrees[chain]; ok && !stitched[chain] {
+			for _, r := range t.Roots {
+				stitch(r)
+			}
+		}
+	}
+	for _, chain := range db.Chains() {
+		t, ok := childTrees[chain]
+		if !ok || stitched[chain] {
+			continue
+		}
+		g.Anomalies = append(g.Anomalies, Anomaly{Chain: chain, Reason: "callee chain never claimed by a parent link"})
+		parentTrees = append(parentTrees, t)
+	}
+
+	g.Trees = parentTrees
+	g.Walk(func(*Node) { g.nodes++ })
+	return g
+}
+
+// chainParser is the Figure-4 state machine, phrased as a recursive-descent
+// parse of one chain's seq-sorted event list. Each accepted transition is a
+// parsing decision ("in progress" in the paper's terms); any record pair
+// matching no transition yields an anomaly and a restart at the next record.
+type chainParser struct {
+	chain     uuid.UUID
+	events    []probe.Record
+	pos       int
+	anomalies []Anomaly
+}
+
+func (p *chainParser) peek() (probe.Record, bool) {
+	if p.pos >= len(p.events) {
+		return probe.Record{}, false
+	}
+	return p.events[p.pos], true
+}
+
+func (p *chainParser) fail(reason string) {
+	p.anomalies = append(p.anomalies, Anomaly{Chain: p.chain, Index: p.pos, Reason: reason})
+	p.pos++ // restart from the next log record
+}
+
+// parseChain parses the whole chain: either a oneway callee side (starts
+// with skel_start) or a sequence of sibling invocations.
+func (p *chainParser) parseChain() []*Node {
+	var roots []*Node
+	for {
+		r, ok := p.peek()
+		if !ok {
+			return roots
+		}
+		switch r.Event {
+		case ftl.StubStart:
+			if n := p.parseInvocation(); n != nil {
+				roots = append(roots, n)
+			}
+		case ftl.SkelStart:
+			if n := p.parseCalleeSide(); n != nil {
+				roots = append(roots, n)
+			}
+		default:
+			p.fail(fmt.Sprintf("chain cannot continue with %s(%s)", r.Event, r.Op.Operation))
+		}
+	}
+}
+
+// parseInvocation consumes one stub-side invocation:
+//
+//	sync F:   F.stub_start F.skel_start children* F.skel_end F.stub_end
+//	oneway F: F.stub_start F.stub_end            (callee side on child chain)
+func (p *chainParser) parseInvocation() *Node {
+	start := p.events[p.pos]
+	p.pos++
+	n := &Node{
+		Op:         start.Op,
+		Chain:      p.chain,
+		Oneway:     start.Oneway,
+		Collocated: start.Collocated,
+		StubStart:  &start,
+	}
+
+	r, ok := p.peek()
+	if !ok {
+		p.anomalies = append(p.anomalies, Anomaly{Chain: p.chain, Index: p.pos, Reason: fmt.Sprintf("chain ends after %s.stub_start", start.Op.Operation)})
+		return n
+	}
+
+	if n.Oneway {
+		// One-way function stub-side returns: stub_end follows directly.
+		if r.Event == ftl.StubEnd && r.Op == start.Op {
+			n.StubEnd = &p.events[p.pos]
+			p.pos++
+			return n
+		}
+		p.fail(fmt.Sprintf("oneway %s.stub_start followed by %s(%s), want stub_end", start.Op.Operation, r.Event, r.Op.Operation))
+		return n
+	}
+
+	// Synchronous: skeleton start must follow.
+	if r.Event != ftl.SkelStart || r.Op != start.Op {
+		p.fail(fmt.Sprintf("%s.stub_start followed by %s(%s), want skel_start", start.Op.Operation, r.Event, r.Op.Operation))
+		return n
+	}
+	n.SkelStart = &p.events[p.pos]
+	p.pos++
+
+	// Child function starts, or the function returns.
+	for {
+		r, ok = p.peek()
+		if !ok {
+			p.anomalies = append(p.anomalies, Anomaly{Chain: p.chain, Index: p.pos, Reason: fmt.Sprintf("chain ends inside %s body", start.Op.Operation)})
+			return n
+		}
+		switch {
+		case r.Event == ftl.StubStart:
+			// Child function starts.
+			if c := p.parseInvocation(); c != nil {
+				n.Children = append(n.Children, c)
+			}
+		case r.Event == ftl.SkelEnd && r.Op == start.Op:
+			n.SkelEnd = &p.events[p.pos]
+			p.pos++
+			// Stub end concludes the invocation.
+			r2, ok2 := p.peek()
+			if !ok2 || r2.Event != ftl.StubEnd || r2.Op != start.Op {
+				p.fail(fmt.Sprintf("%s.skel_end not followed by matching stub_end", start.Op.Operation))
+				return n
+			}
+			n.StubEnd = &p.events[p.pos]
+			p.pos++
+			return n
+		default:
+			p.fail(fmt.Sprintf("inside %s body: unexpected %s(%s)", start.Op.Operation, r.Event, r.Op.Operation))
+			return n
+		}
+	}
+}
+
+// parseCalleeSide consumes a oneway callee-side root:
+//
+//	F.skel_start children* F.skel_end
+func (p *chainParser) parseCalleeSide() *Node {
+	start := p.events[p.pos]
+	p.pos++
+	n := &Node{
+		Op:        start.Op,
+		Chain:     p.chain,
+		Oneway:    start.Oneway,
+		SkelStart: &start,
+	}
+	for {
+		r, ok := p.peek()
+		if !ok {
+			p.anomalies = append(p.anomalies, Anomaly{Chain: p.chain, Index: p.pos, Reason: fmt.Sprintf("callee chain ends inside %s body", start.Op.Operation)})
+			return n
+		}
+		switch {
+		case r.Event == ftl.StubStart:
+			if c := p.parseInvocation(); c != nil {
+				n.Children = append(n.Children, c)
+			}
+		case r.Event == ftl.SkelEnd && r.Op == start.Op:
+			// One-way function skel-side returns.
+			n.SkelEnd = &p.events[p.pos]
+			p.pos++
+			return n
+		default:
+			p.fail(fmt.Sprintf("inside oneway %s body: unexpected %s(%s)", start.Op.Operation, r.Event, r.Op.Operation))
+			return n
+		}
+	}
+}

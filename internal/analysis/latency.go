@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"sort"
+	"time"
+
+	"causeway/internal/probe"
+)
+
+// ComputeLatency annotates every node with end-to-end timing latency,
+// implementing §3.2:
+//
+//	L(F) = (P_{F,4,start} − P_{F,1,end}) − O_F   synchronous / oneway stub side
+//	L(F) = (P_{F,3,start} − P_{F,2,end}) − O_F   collocated / oneway skel side
+//
+// O_F is the causality-capture overhead: the probe-activation windows spent
+// inside F's measured span. The paper sums windows over "the total number
+// of child functions" with R(i)={1,2,3,4} for synchronous children and
+// {1,4} for oneway children; we take "total" to mean all descendants that
+// execute serially inside F's span (a oneway child contributes only its
+// stub-side windows — its callee runs on another thread and does not extend
+// F's span), plus, for a remote synchronous F, F's own skeleton-side
+// windows (probes 2 and 3), which also lie inside the P1–P4 span.
+// Collocated invocations fire degenerated probes whose two events share a
+// window, so each contributes its two distinct windows once.
+func (g *DSCG) ComputeLatency() {
+	g.Walk(func(n *Node) { computeLatency(n) })
+}
+
+func computeLatency(n *Node) {
+	var raw time.Duration
+	switch {
+	case n.Oneway:
+		// Skel-side latency is the primary metric: the callee's execution.
+		if !windowed(n.SkelStart) || !windowed(n.SkelEnd) {
+			return
+		}
+		raw = n.SkelEnd.WallStart.Sub(n.SkelStart.WallEnd)
+	case n.Collocated:
+		if !windowed(n.SkelStart) || !windowed(n.SkelEnd) {
+			return
+		}
+		raw = n.SkelEnd.WallStart.Sub(n.SkelStart.WallEnd)
+	default:
+		if !windowed(n.StubStart) || !windowed(n.StubEnd) {
+			return
+		}
+		raw = n.StubEnd.WallStart.Sub(n.StubStart.WallEnd)
+	}
+
+	overhead := time.Duration(0)
+	for _, c := range n.Children {
+		overhead += serialProbeCost(c)
+	}
+	if !n.Oneway && !n.Collocated {
+		// Remote synchronous: own skeleton-side windows lie in the span.
+		overhead += window(n.SkelStart) + window(n.SkelEnd)
+	}
+
+	n.RawLatency = raw
+	n.Overhead = overhead
+	n.Latency = raw - overhead
+	n.HasLatency = true
+}
+
+// serialProbeCost returns the probe-window time the invocation subtree
+// rooted at c contributes to its caller's span.
+func serialProbeCost(c *Node) time.Duration {
+	var cost time.Duration
+	switch {
+	case c.Oneway:
+		// R = {1,4}: only the stub-side windows run in the caller's thread.
+		return window(c.StubStart) + window(c.StubEnd)
+	case c.Collocated:
+		// Degenerated probes: the start pair shares one activation whose
+		// full extent is the second record's window (same WallStart, later
+		// WallEnd), and likewise for the end pair. Count each activation
+		// once, by its widest record.
+		cost = window(c.SkelStart) + window(c.StubEnd)
+	default:
+		// R = {1,2,3,4}.
+		cost = window(c.StubStart) + window(c.SkelStart) + window(c.SkelEnd) + window(c.StubEnd)
+	}
+	for _, cc := range c.Children {
+		cost += serialProbeCost(cc)
+	}
+	return cost
+}
+
+func windowed(r *probe.Record) bool {
+	return r != nil && r.LatencyArmed
+}
+
+func window(r *probe.Record) time.Duration {
+	if !windowed(r) {
+		return 0
+	}
+	return r.WallEnd.Sub(r.WallStart)
+}
+
+// LatencyStat aggregates latency over the invocations of one operation,
+// the "certain statistical format" §3.2 mentions alongside per-node DSCG
+// annotation.
+type LatencyStat struct {
+	Op    probe.OpID
+	Count int
+	Min   time.Duration
+	Max   time.Duration
+	Mean  time.Duration
+	Total time.Duration
+}
+
+// LatencyStats aggregates per-operation latency over the whole graph,
+// sorted by descending total latency (the usual hot-spot view).
+func (g *DSCG) LatencyStats() []LatencyStat {
+	byOp := make(map[probe.OpID]*LatencyStat)
+	g.Walk(func(n *Node) {
+		if !n.HasLatency {
+			return
+		}
+		s, ok := byOp[n.Op]
+		if !ok {
+			s = &LatencyStat{Op: n.Op, Min: n.Latency, Max: n.Latency}
+			byOp[n.Op] = s
+		}
+		s.Count++
+		s.Total += n.Latency
+		if n.Latency < s.Min {
+			s.Min = n.Latency
+		}
+		if n.Latency > s.Max {
+			s.Max = n.Latency
+		}
+	})
+	out := make([]LatencyStat, 0, len(byOp))
+	for _, s := range byOp {
+		s.Mean = s.Total / time.Duration(s.Count)
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return opLess(out[i].Op, out[j].Op)
+	})
+	return out
+}
+
+func opLess(a, b probe.OpID) bool {
+	if a.Interface != b.Interface {
+		return a.Interface < b.Interface
+	}
+	if a.Operation != b.Operation {
+		return a.Operation < b.Operation
+	}
+	return a.Object < b.Object
+}
+
+// ComputeLatencySubtree annotates latency metrics on root and all its
+// descendants without requiring a full DSCG — the online monitor uses it
+// on each completed top-level invocation.
+func ComputeLatencySubtree(root *Node) {
+	root.Walk(func(n *Node) { computeLatency(n) })
+}

@@ -1,0 +1,308 @@
+package analysis
+
+import (
+	"testing"
+	"time"
+
+	"causeway/internal/ftl"
+	"causeway/internal/logdb"
+	"causeway/internal/probe"
+	"causeway/internal/uuid"
+)
+
+// recBuilder hand-crafts probe records with exact timings so the §3.2
+// formulas can be verified against worked examples.
+type recBuilder struct {
+	chain uuid.UUID
+	seq   uint64
+	recs  []probe.Record
+}
+
+func (b *recBuilder) add(ev ftl.Event, opname string, thread uint64, procType string,
+	wallStartUS, wallEndUS int64, cpuStart, cpuEnd time.Duration) {
+	b.seq++
+	epoch := time.Unix(1000, 0)
+	b.recs = append(b.recs, probe.Record{
+		Kind: probe.KindEvent, Process: "p-" + procType, ProcType: procType,
+		Thread: thread, Chain: b.chain, Seq: b.seq, Event: ev,
+		Op:           probe.OpID{Component: "c", Interface: "I", Operation: opname, Object: "o" + opname},
+		LatencyArmed: true, CPUArmed: true,
+		WallStart: epoch.Add(time.Duration(wallStartUS) * time.Microsecond),
+		WallEnd:   epoch.Add(time.Duration(wallEndUS) * time.Microsecond),
+		CPUStart:  cpuStart, CPUEnd: cpuEnd,
+	})
+}
+
+// Worked example: F (server thread 2, pa-risc) calls G (server thread 3,
+// x86). Wall times in µs; CPU in ms.
+//
+//	F.stub_start  thr1 [0,1]    cpu 0→0
+//	F.skel_start  thr2 [10,11]  cpu 0→1
+//	G.stub_start  thr2 [20,21]  cpu 5→6
+//	G.skel_start  thr3 [30,31]  cpu 0→1
+//	G.skel_end    thr3 [40,41]  cpu 21→22
+//	G.stub_end    thr2 [50,51]  cpu 8→9
+//	F.skel_end    thr2 [60,61]  cpu 30→31
+//	F.stub_end    thr1 [70,71]  cpu 0→0
+func buildWorkedExample() *logdb.Store {
+	ms := func(n int64) time.Duration { return time.Duration(n) * time.Millisecond }
+	b := &recBuilder{chain: uuid.UUID{0: 1}}
+	b.add(ftl.StubStart, "F", 1, "x86", 0, 1, 0, 0)
+	b.add(ftl.SkelStart, "F", 2, "pa-risc", 10, 11, 0, ms(1))
+	b.add(ftl.StubStart, "G", 2, "pa-risc", 20, 21, ms(5), ms(6))
+	b.add(ftl.SkelStart, "G", 3, "x86", 30, 31, 0, ms(1))
+	b.add(ftl.SkelEnd, "G", 3, "x86", 40, 41, ms(21), ms(22))
+	b.add(ftl.StubEnd, "G", 2, "pa-risc", 50, 51, ms(8), ms(9))
+	b.add(ftl.SkelEnd, "F", 2, "pa-risc", 60, 61, ms(30), ms(31))
+	b.add(ftl.StubEnd, "F", 1, "x86", 70, 71, 0, 0)
+	db := logdb.NewStore()
+	db.Insert(b.recs...)
+	return db
+}
+
+func TestLatencyFormulaWorkedExample(t *testing.T) {
+	g := Reconstruct(buildWorkedExample())
+	if len(g.Anomalies) != 0 {
+		t.Fatalf("anomalies: %v", g.Anomalies)
+	}
+	g.ComputeLatency()
+	f := g.Trees[0].Roots[0]
+	gg := f.Children[0]
+
+	us := func(n int64) time.Duration { return time.Duration(n) * time.Microsecond }
+	// Raw L(F) = P4,start - P1,end = 70 - 1 = 69µs.
+	if f.RawLatency != us(69) {
+		t.Errorf("Raw L(F) = %v, want 69µs", f.RawLatency)
+	}
+	// O_F = G's four windows (4×1µs) + F's own probe-2/3 windows (2×1µs).
+	if f.Overhead != us(6) {
+		t.Errorf("O_F = %v, want 6µs", f.Overhead)
+	}
+	if f.Latency != us(63) {
+		t.Errorf("L(F) = %v, want 63µs", f.Latency)
+	}
+	// Raw L(G) = 50 - 21 = 29µs; O_G = own probe-2/3 windows = 2µs.
+	if gg.RawLatency != us(29) || gg.Overhead != us(2) || gg.Latency != us(27) {
+		t.Errorf("L(G): raw %v overhead %v latency %v", gg.RawLatency, gg.Overhead, gg.Latency)
+	}
+	if !f.HasLatency || !gg.HasLatency {
+		t.Error("HasLatency not set")
+	}
+}
+
+func TestCPUFormulaWorkedExample(t *testing.T) {
+	g := Reconstruct(buildWorkedExample())
+	g.ComputeCPU()
+	f := g.Trees[0].Roots[0]
+	gg := f.Children[0]
+
+	ms := func(n int64) time.Duration { return time.Duration(n) * time.Millisecond }
+	// SC_G = P3,start - P2,end = 21 - 1 = 20ms (no children).
+	if !gg.HasCPU || gg.SelfCPU != ms(20) {
+		t.Errorf("SC_G = %v (has=%v), want 20ms", gg.SelfCPU, gg.HasCPU)
+	}
+	// SC_F = (30 - 1) - (G stub span: 9 - 5) = 29 - 4 = 25ms.
+	if !f.HasCPU || f.SelfCPU != ms(25) {
+		t.Errorf("SC_F = %v (has=%v), want 25ms", f.SelfCPU, f.HasCPU)
+	}
+	// DC_F = SC_G + DC_G on G's processor type.
+	if got := f.DescCPU["x86"]; got != ms(20) {
+		t.Errorf("DC_F[x86] = %v, want 20ms", got)
+	}
+	if got := f.DescCPU["pa-risc"]; got != 0 {
+		t.Errorf("DC_F[pa-risc] = %v, want 0", got)
+	}
+	// Inclusive F = self on pa-risc + desc on x86.
+	if f.InclusiveCPU["pa-risc"] != ms(25) || f.InclusiveCPU["x86"] != ms(20) {
+		t.Errorf("inclusive F = %v", f.InclusiveCPU)
+	}
+	total := g.TotalCPU()
+	if total["pa-risc"] != ms(25) || total["x86"] != ms(20) {
+		t.Errorf("TotalCPU = %v", total)
+	}
+}
+
+func TestLatencyStatsAggregation(t *testing.T) {
+	g := Reconstruct(buildWorkedExample())
+	g.ComputeLatency()
+	stats := g.LatencyStats()
+	if len(stats) != 2 {
+		t.Fatalf("got %d stats", len(stats))
+	}
+	// Sorted by descending total: F (63µs) before G (27µs).
+	if stats[0].Op.Operation != "F" || stats[1].Op.Operation != "G" {
+		t.Fatalf("order: %s, %s", stats[0].Op.Operation, stats[1].Op.Operation)
+	}
+	if stats[0].Count != 1 || stats[0].Mean != stats[0].Total {
+		t.Errorf("F stat: %+v", stats[0])
+	}
+}
+
+// TestLatencyHarnessConsistency runs real probes over a virtual clock and
+// checks invariant I5 (compensated ≤ raw) and that the compensated latency
+// covers the simulated body time.
+func TestLatencyHarnessConsistency(t *testing.T) {
+	h := newHarness(t, probe.AspectLatency)
+	const body = 500 * time.Microsecond
+	h.callSync("F", func() {
+		h.clock.Advance(body)
+		h.callSync("G", func() { h.clock.Advance(body) })
+	})
+	g := h.reconstruct()
+	g.ComputeLatency()
+	f := g.Trees[0].Roots[0]
+	if !f.HasLatency {
+		t.Fatal("no latency computed")
+	}
+	if f.Latency > f.RawLatency {
+		t.Errorf("compensated %v > raw %v", f.Latency, f.RawLatency)
+	}
+	if f.Latency < 2*body {
+		t.Errorf("L(F) = %v, want >= %v", f.Latency, 2*body)
+	}
+	if f.Overhead <= 0 {
+		t.Error("overhead not measured")
+	}
+}
+
+// TestCPUHarnessInvariantI4: with the virtual meter, the root's inclusive
+// CPU equals the total charged anywhere in the run.
+func TestCPUHarnessInvariantI4(t *testing.T) {
+	h := newHarness(t, probe.AspectCPU)
+	h.callSync("F", func() {
+		h.meter.Charge(10 * time.Millisecond)
+		h.callSync("G", func() {
+			h.meter.Charge(7 * time.Millisecond)
+		})
+		h.callColloc("C", func() {
+			h.meter.Charge(3 * time.Millisecond)
+		})
+	})
+	g := h.reconstruct()
+	g.ComputeCPU()
+	if len(g.Anomalies) != 0 {
+		t.Fatalf("anomalies: %v", g.Anomalies)
+	}
+	f := g.Trees[0].Roots[0]
+	if f.SelfCPU != 10*time.Millisecond {
+		t.Errorf("SC_F = %v, want 10ms", f.SelfCPU)
+	}
+	if got := f.DescCPU["x86"]; got != 10*time.Millisecond {
+		t.Errorf("DC_F = %v, want 10ms", got)
+	}
+	total := g.TotalCPU()
+	if got, want := total["x86"], h.meter.Total(); got != want {
+		t.Errorf("TotalCPU = %v, meter total = %v", got, want)
+	}
+}
+
+// TestCollocatedChildCPUExcluded: a collocated child runs on the caller's
+// thread; its CPU must move from the parent's self to the child's self.
+func TestCollocatedChildCPUExcluded(t *testing.T) {
+	h := newHarness(t, probe.AspectCPU)
+	h.callSync("F", func() {
+		h.callColloc("C", func() {
+			h.meter.Charge(20 * time.Millisecond)
+		})
+	})
+	g := h.reconstruct()
+	g.ComputeCPU()
+	f := g.Trees[0].Roots[0]
+	c := f.Children[0]
+	if f.SelfCPU != 0 {
+		t.Errorf("SC_F = %v, want 0 (child's CPU must be excluded)", f.SelfCPU)
+	}
+	if c.SelfCPU != 20*time.Millisecond {
+		t.Errorf("SC_C = %v, want 20ms", c.SelfCPU)
+	}
+}
+
+func TestOnewayCPUAttributed(t *testing.T) {
+	h := newHarness(t, probe.AspectCPU)
+	var done <-chan struct{}
+	h.callSync("F", func() {
+		done = h.callOneway("A", func() {
+			h.meter.Charge(5 * time.Millisecond)
+		})
+	})
+	<-done
+	g := h.reconstruct()
+	g.ComputeCPU()
+	f := g.Trees[0].Roots[0]
+	a := f.Children[0]
+	if !a.HasCPU || a.SelfCPU != 5*time.Millisecond {
+		t.Errorf("SC_A = %v (has=%v), want 5ms", a.SelfCPU, a.HasCPU)
+	}
+	if got := f.DescCPU["x86"]; got != 5*time.Millisecond {
+		t.Errorf("DC_F = %v, want 5ms", got)
+	}
+}
+
+func TestCCSGMergesCallPaths(t *testing.T) {
+	h := newHarness(t, probe.AspectCPU)
+	for i := 0; i < 3; i++ {
+		h.callSync("F", func() {
+			h.meter.Charge(time.Millisecond)
+			h.callSync("G", func() { h.meter.Charge(2 * time.Millisecond) })
+		})
+	}
+	g := h.reconstruct()
+	g.ComputeCPU()
+	c := BuildCCSG(g)
+	if len(c.Roots) != 1 {
+		t.Fatalf("CCSG roots = %d, want 1 (three F calls merged)", len(c.Roots))
+	}
+	f := c.Roots[0]
+	if f.InvocationTimes != 3 || len(f.Instances) != 3 {
+		t.Fatalf("F InvocationTimes = %d, Instances = %d", f.InvocationTimes, len(f.Instances))
+	}
+	if f.SelfCPU != 3*time.Millisecond {
+		t.Errorf("merged SC_F = %v, want 3ms", f.SelfCPU)
+	}
+	if len(f.Children) != 1 || f.Children[0].InvocationTimes != 3 {
+		t.Fatalf("G merge wrong: %+v", f.Children)
+	}
+	if got := f.DescCPU["x86"]; got != 6*time.Millisecond {
+		t.Errorf("merged DC_F = %v, want 6ms", got)
+	}
+	if got := c.ProcessorTypes; len(got) != 1 || got[0] != "x86" {
+		t.Errorf("ProcessorTypes = %v", got)
+	}
+	if c.Nodes() != 2 {
+		t.Errorf("CCSG nodes = %d, want 2", c.Nodes())
+	}
+}
+
+func TestCCSGKeepsDistinctObjectsApart(t *testing.T) {
+	h := newHarness(t, 0)
+	// Same interface/op names but different objects must not merge.
+	call := func(object string) {
+		ctx := h.p.StubStart(probe.OpID{Component: "c", Interface: "I", Operation: "F", Object: object}, false)
+		wire := ctx.Wire
+		reply := make(chan ftl.FTL, 1)
+		go func() {
+			sctx := h.p.SkelStart(probe.OpID{Component: "c", Interface: "I", Operation: "F", Object: object}, wire, false)
+			reply <- h.p.SkelEnd(sctx)
+		}()
+		h.p.StubEnd(ctx, <-reply)
+	}
+	call("obj1")
+	call("obj2")
+	g := h.reconstruct()
+	c := BuildCCSG(g)
+	if len(c.Roots) != 2 {
+		t.Fatalf("distinct objects merged: %d roots", len(c.Roots))
+	}
+}
+
+func TestMetricsSkippedWithoutAspects(t *testing.T) {
+	h := newHarness(t, 0) // causality only
+	h.callSync("F", nil)
+	g := h.reconstruct()
+	g.ComputeLatency()
+	g.ComputeCPU()
+	f := g.Trees[0].Roots[0]
+	if f.HasLatency || f.HasCPU {
+		t.Fatal("metrics computed from disarmed records")
+	}
+}

@@ -1,0 +1,220 @@
+package analysis
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"causeway/internal/probe"
+)
+
+// callKind enumerates the invocation flavours the generator mixes.
+type callKind int
+
+const (
+	kindSync callKind = iota + 1
+	kindColloc
+	kindOneway
+)
+
+// genTree describes a randomly generated call tree.
+type genTree struct {
+	name     string
+	kind     callKind
+	children []*genTree
+}
+
+func (g *genTree) shape() string {
+	s := g.name
+	switch g.kind {
+	case kindOneway:
+		s += "!"
+	case kindColloc:
+		s += "*"
+	}
+	if len(g.children) == 0 {
+		return s
+	}
+	s += "("
+	for i, c := range g.children {
+		if i > 0 {
+			s += " "
+		}
+		s += c.shape()
+	}
+	return s + ")"
+}
+
+func (g *genTree) count() int {
+	n := 1
+	for _, c := range g.children {
+		n += c.count()
+	}
+	return n
+}
+
+// genRandomTree builds a random call tree of bounded depth and size.
+func genRandomTree(r *rand.Rand, depth int, counter *int) *genTree {
+	*counter++
+	t := &genTree{name: fmt.Sprintf("op%d", *counter)}
+	switch r.Intn(4) {
+	case 0:
+		t.kind = kindColloc
+	case 1:
+		t.kind = kindOneway
+	default:
+		t.kind = kindSync
+	}
+	if depth > 0 && *counter < 24 {
+		n := r.Intn(3)
+		for i := 0; i < n; i++ {
+			t.children = append(t.children, genRandomTree(r, depth-1, counter))
+		}
+	}
+	return t
+}
+
+// execute runs the generated tree through the real probe machinery. Each
+// oneway callee is awaited before execute returns so the run is quiescent
+// when the harness snapshots its logs; awaiting after the stub has returned
+// is a legal schedule, and the callee still runs on its own chain/thread.
+func (h *harness) execute(t *genTree, charge time.Duration) {
+	body := func() {
+		if charge > 0 {
+			h.meter.Charge(charge)
+		}
+		for _, c := range t.children {
+			h.execute(c, charge)
+		}
+	}
+	switch t.kind {
+	case kindColloc:
+		h.callColloc(t.name, body)
+	case kindOneway:
+		<-h.callOneway(t.name, body)
+	default:
+		h.callSync(t.name, body)
+	}
+}
+
+// TestPropertyReconstructionRoundTrip is invariant I2: for random call
+// trees, Reconstruct(Execute(tree)) is isomorphic to tree, with no
+// anomalies.
+func TestPropertyReconstructionRoundTrip(t *testing.T) {
+	fn := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		counter := 0
+		tree := genRandomTree(r, 4, &counter)
+		h := newHarness(t, 0)
+		h.execute(tree, 0)
+		g := h.reconstruct()
+		if len(g.Anomalies) != 0 {
+			t.Logf("seed %d anomalies: %v", seed, g.Anomalies)
+			return false
+		}
+		want := tree.shape()
+		got := graphShape(g)
+		if got != want {
+			t.Logf("seed %d: got %q want %q", seed, got, want)
+			return false
+		}
+		if g.Nodes() != tree.count() {
+			t.Logf("seed %d: %d nodes, want %d", seed, g.Nodes(), tree.count())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyCPUConservation is invariant I4 over random trees: total
+// inclusive CPU at the roots equals total charged CPU.
+func TestPropertyCPUConservation(t *testing.T) {
+	fn := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		counter := 0
+		tree := genRandomTree(r, 3, &counter)
+		h := newHarness(t, probe.AspectCPU)
+		h.execute(tree, time.Millisecond)
+		g := h.reconstruct()
+		g.ComputeCPU()
+		total := time.Duration(0)
+		for _, v := range g.TotalCPU() {
+			total += v
+		}
+		if total != h.meter.Total() {
+			t.Logf("seed %d: DSCG total %v, charged %v", seed, total, h.meter.Total())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertySeqGapFree is invariant I1: within any chain produced by a
+// random run, event sequence numbers are 1..n with no gaps.
+func TestPropertySeqGapFree(t *testing.T) {
+	fn := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		counter := 0
+		tree := genRandomTree(r, 4, &counter)
+		h := newHarness(t, 0)
+		h.execute(tree, 0)
+		h.p.Tunnel().Clear()
+		perChain := map[string][]uint64{}
+		for _, rec := range h.sink.Snapshot() {
+			if rec.Kind != probe.KindEvent {
+				continue
+			}
+			perChain[rec.Chain.String()] = append(perChain[rec.Chain.String()], rec.Seq)
+		}
+		for chain, seqs := range perChain {
+			seen := make(map[uint64]bool, len(seqs))
+			max := uint64(0)
+			for _, s := range seqs {
+				if seen[s] {
+					t.Logf("seed %d chain %s: duplicate seq %d", seed, chain, s)
+					return false
+				}
+				seen[s] = true
+				if s > max {
+					max = s
+				}
+			}
+			if max != uint64(len(seqs)) {
+				t.Logf("seed %d chain %s: max seq %d over %d events", seed, chain, max, len(seqs))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkFigure4Reconstruction(b *testing.B) {
+	// Pre-generate one moderate run, then measure pure reconstruction.
+	r := rand.New(rand.NewSource(7))
+	h := newHarnessB(b)
+	for i := 0; i < 50; i++ {
+		counter := 0
+		tree := genRandomTree(r, 4, &counter)
+		h.execute(tree, 0)
+		h.p.Tunnel().Clear()
+	}
+	db := newStoreFromSink(h)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := Reconstruct(db)
+		if g.Nodes() == 0 {
+			b.Fatal("empty graph")
+		}
+	}
+}

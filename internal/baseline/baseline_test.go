@@ -1,0 +1,260 @@
+package baseline
+
+import (
+	"testing"
+	"time"
+
+	"causeway/internal/analysis"
+	"causeway/internal/ftl"
+	"causeway/internal/logdb"
+	"causeway/internal/probe"
+	"causeway/internal/uuid"
+)
+
+// mkChain hand-builds a complete synchronous chain from a nested shape
+// description: each element is (op, depth).
+type callDesc struct {
+	op    string
+	depth int
+}
+
+func recordsForShape(chainSeed byte, shape []callDesc) []probe.Record {
+	chain := uuid.UUID{0: chainSeed}
+	var recs []probe.Record
+	seq := uint64(0)
+	emit := func(op string, ev ftl.Event) {
+		seq++
+		recs = append(recs, probe.Record{
+			Kind: probe.KindEvent, Process: "p1", Chain: chain, Seq: seq, Event: ev,
+			Op: probe.OpID{Component: "c", Interface: "I", Operation: op, Object: "o"},
+		})
+	}
+	// shape is a preorder list with depths; emit matching start/end pairs.
+	var walk func(i, depth int) int
+	walk = func(i, depth int) int {
+		for i < len(shape) && shape[i].depth == depth {
+			op := shape[i].op
+			emit(op, ftl.StubStart)
+			emit(op, ftl.SkelStart)
+			i = walk(i+1, depth+1)
+			emit(op, ftl.SkelEnd)
+			emit(op, ftl.StubEnd)
+		}
+		return i
+	}
+	walk(0, 0)
+	return recs
+}
+
+func dscgFor(t *testing.T, recs []probe.Record) *analysis.DSCG {
+	t.Helper()
+	db := logdb.NewStore()
+	db.Insert(recs...)
+	g := analysis.Reconstruct(db)
+	if len(g.Anomalies) != 0 {
+		t.Fatalf("anomalies: %v", g.Anomalies)
+	}
+	return g
+}
+
+// TestGprofBaselineLosesChains: two workloads with different call paths
+// but identical depth-1 arcs — gprof profiles are equal; DSCG call paths
+// differ. This is the §3.1 comparison ("unlike GPROF … that maintains the
+// relationship with call-depth of 1").
+func TestGprofBaselineLosesChains(t *testing.T) {
+	// Two workloads engineered to have identical depth-1 arc multisets but
+	// different complete call structures:
+	//   X: M(A(C) B)  and  M(B(C) A)
+	//   Y: M(A B)     and  M(B(C) A(C))
+	// Both have arcs {root→M ×2, M→A ×2, M→B ×2, A→C ×1, B→C ×1}.
+	shapeX := []callDesc{
+		{"M", 0}, {"A", 1}, {"C", 2}, {"B", 1},
+		{"M", 0}, {"B", 1}, {"C", 2}, {"A", 1},
+	}
+	shapeY := []callDesc{
+		{"M", 0}, {"A", 1}, {"B", 1},
+		{"M", 0}, {"B", 1}, {"C", 2}, {"A", 1}, {"C", 2},
+	}
+	gX := dscgFor(t, recordsForShape(3, shapeX))
+	gY := dscgFor(t, recordsForShape(4, shapeY))
+	profX := BuildGprofProfile(gX)
+	profY := BuildGprofProfile(gY)
+	if profX.Fingerprint() != profY.Fingerprint() {
+		t.Fatalf("expected identical gprof profiles:\nX:\n%s\nY:\n%s",
+			profX.Fingerprint(), profY.Fingerprint())
+	}
+	// Yet the complete structures — which the DSCG preserves — differ.
+	if equalStrings(TreeShapes(gX), TreeShapes(gY)) {
+		t.Fatalf("tree shapes unexpectedly equal: %v", TreeShapes(gX))
+	}
+	// Sanity: CallPaths exists and enumerates paths for hot-path reports.
+	if len(CallPaths(gX)) == 0 {
+		t.Fatal("no call paths")
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestOvationCannotCorrelate: two concurrent invocations of the same
+// operation from different client processes against one server, with
+// cross-process clock skew — the anchor log admits two complete matchings,
+// so the interceptor cannot tell which servant execution belonged to which
+// client. The causality-capturing records resolve it uniquely.
+func TestOvationCannotCorrelate(t *testing.T) {
+	at := func(ms int64) time.Time { return time.Unix(100, 0).Add(time.Duration(ms) * time.Millisecond) }
+	op := probe.OpID{Component: "c", Interface: "I", Operation: "work", Object: "o"}
+	chainA, chainB := uuid.UUID{0: 1}, uuid.UUID{0: 2}
+
+	mk := func(chain uuid.UUID, seq uint64, ev ftl.Event, proc string, thr uint64, ms int64) probe.Record {
+		return probe.Record{
+			Kind: probe.KindEvent, Process: proc, Thread: thr, Chain: chain,
+			Seq: seq, Event: ev, Op: op, LatencyArmed: true,
+			WallStart: at(ms), WallEnd: at(ms),
+		}
+	}
+	// Client A (process pa) and client B (process pb) overlap; the server
+	// (process ps) executes both with its own clock.
+	recs := []probe.Record{
+		mk(chainA, 1, ftl.StubStart, "pa", 1, 0),
+		mk(chainB, 1, ftl.StubStart, "pb", 2, 5),
+		mk(chainA, 2, ftl.SkelStart, "ps", 10, 50),
+		mk(chainB, 2, ftl.SkelStart, "ps", 11, 52),
+		mk(chainA, 3, ftl.SkelEnd, "ps", 10, 60),
+		mk(chainB, 3, ftl.SkelEnd, "ps", 11, 63),
+		mk(chainA, 4, ftl.StubEnd, "pa", 1, 100),
+		mk(chainB, 4, ftl.StubEnd, "pb", 2, 105),
+	}
+
+	log := OvationFromRecords(recs)
+	// With generous skew (clocks differ by up to a second), both servant
+	// executions fit inside both client windows: 2 matchings = ambiguous.
+	if got := MatchCalls(log, time.Second); got < 2 {
+		t.Fatalf("expected ambiguous matching, got %d", got)
+	}
+
+	// The full records with causality capture reconstruct uniquely.
+	db := logdb.NewStore()
+	db.Insert(recs...)
+	g := analysis.Reconstruct(db)
+	if len(g.Anomalies) != 0 || len(g.Trees) != 2 {
+		t.Fatalf("causality reconstruction: trees=%d anomalies=%v", len(g.Trees), g.Anomalies)
+	}
+}
+
+func TestOvationUnambiguousWhenSerial(t *testing.T) {
+	at := func(ms int64) time.Time { return time.Unix(100, 0).Add(time.Duration(ms) * time.Millisecond) }
+	op := probe.OpID{Operation: "work"}
+	log := OvationLog{
+		{Kind: ClientPre, Op: op, Process: "pa", Thread: 1, Time: at(0)},
+		{Kind: ServantPre, Op: op, Process: "pa", Thread: 5, Time: at(1)},
+		{Kind: ServantPost, Op: op, Process: "pa", Thread: 5, Time: at(2)},
+		{Kind: ClientPost, Op: op, Process: "pa", Thread: 1, Time: at(3)},
+	}
+	if got := MatchCalls(log, 0); got != 1 {
+		t.Fatalf("serial same-process call: %d matchings, want 1", got)
+	}
+}
+
+// TestTraceObjectGrowsLinearly is the §5 size comparison: the TO's wire
+// size is O(depth), the FTL's O(1).
+func TestTraceObjectGrowsLinearly(t *testing.T) {
+	to := &TraceObject{}
+	sizes := make([]int, 0, 3)
+	for _, depth := range []int{1, 10, 100} {
+		for len(to.Entries) < depth {
+			to.Append(TraceEntry{Component: "c", Interface: "I", Operation: "op", Process: "p", Event: ftl.StubStart})
+		}
+		sizes = append(sizes, to.WireSize())
+	}
+	if !(sizes[0] < sizes[1] && sizes[1] < sizes[2]) {
+		t.Fatalf("TO sizes not increasing: %v", sizes)
+	}
+	f := ftl.FTL{Chain: uuid.New()}
+	s1 := len(f.Encode(nil))
+	for i := 0; i < 100; i++ {
+		f.NextSeq()
+	}
+	if s2 := len(f.Encode(nil)); s2 != s1 {
+		t.Fatalf("FTL size changed: %d -> %d", s1, s2)
+	}
+}
+
+func TestTraceObjectRoundTrip(t *testing.T) {
+	to := &TraceObject{}
+	for i := 0; i < 5; i++ {
+		to.Append(TraceEntry{Component: "comp", Interface: "I", Operation: "op", Process: "p", Event: ftl.SkelStart})
+	}
+	enc := to.Encode(nil)
+	if len(enc) != to.WireSize() {
+		t.Fatalf("WireSize %d != encoded %d", to.WireSize(), len(enc))
+	}
+	dec, ok := DecodeTraceObject(enc)
+	if !ok || len(dec.Entries) != 5 || dec.Entries[0].Component != "comp" {
+		t.Fatalf("decode = %+v, %v", dec, ok)
+	}
+	if _, ok := DecodeTraceObject(enc[:len(enc)-2]); ok {
+		t.Fatal("truncated TO decoded")
+	}
+}
+
+// TestChainTransportCost quantifies the cumulative bytes a chain of depth
+// 10000 moves: quadratic for TO, linear for FTL.
+func TestChainTransportCost(t *testing.T) {
+	const depth = 10000
+	toBytes := SimulateChain(depth)
+	ftlBytes := SimulateChainFTL(depth)
+	if ftlBytes != depth*ftl.WireSize {
+		t.Fatalf("FTL bytes = %d", ftlBytes)
+	}
+	// TO must be dramatically worse (quadratic ~ depth^2 * entrySize / 2).
+	if toBytes < 100*ftlBytes {
+		t.Fatalf("TO bytes = %d, FTL bytes = %d; expected ≫", toBytes, ftlBytes)
+	}
+}
+
+func BenchmarkFTLvsTraceObject(b *testing.B) {
+	for _, depth := range []int{10, 100, 1000, 10000} {
+		b.Run(labelDepth("traceobject", depth), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				SimulateChain(depth)
+			}
+			b.ReportMetric(float64(SimulateChain(depth)), "wire-bytes/chain")
+		})
+		b.Run(labelDepth("ftl", depth), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				SimulateChainFTL(depth)
+			}
+			b.ReportMetric(float64(SimulateChainFTL(depth)), "wire-bytes/chain")
+		})
+	}
+}
+
+func labelDepth(name string, depth int) string {
+	return name + "/depth=" + itoa(depth)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,146 @@
+package baseline
+
+import (
+	"time"
+
+	"causeway/internal/ftl"
+	"causeway/internal/probe"
+)
+
+// AnchorKind is one of OVATION's four timing anchors: "client pre-invoke
+// and post-invoke, servant pre-invoke and post-invoke" (§5).
+type AnchorKind int
+
+// The four anchors.
+const (
+	ClientPre AnchorKind = iota + 1
+	ClientPost
+	ServantPre
+	ServantPost
+)
+
+// Anchor is one OVATION-style observation: which call anchor fired, where,
+// and when — with NO causality identifier. "The major difference to our
+// work is that it does not provide global causality capture."
+type Anchor struct {
+	Kind    AnchorKind
+	Op      probe.OpID
+	Process string
+	Thread  uint64
+	Time    time.Time
+}
+
+// OvationLog is the interceptor's output: a per-host sequence of anchors.
+type OvationLog []Anchor
+
+// OvationFromRecords simulates what an OVATION deployment would have
+// captured from the same run: it keeps the four anchors and their local
+// times and drops the chain id and event number.
+func OvationFromRecords(recs []probe.Record) OvationLog {
+	var log OvationLog
+	for _, r := range recs {
+		if r.Kind != probe.KindEvent {
+			continue
+		}
+		var kind AnchorKind
+		switch r.Event {
+		case ftl.StubStart:
+			kind = ClientPre
+		case ftl.StubEnd:
+			kind = ClientPost
+		case ftl.SkelStart:
+			kind = ServantPre
+		case ftl.SkelEnd:
+			kind = ServantPost
+		default:
+			continue
+		}
+		log = append(log, Anchor{
+			Kind: kind, Op: r.Op, Process: r.Process, Thread: r.Thread,
+			Time: r.WallStart,
+		})
+	}
+	return log
+}
+
+// clientSpan is a client-side pre/post pair; servantSpan likewise.
+type span struct {
+	op         probe.OpID
+	process    string
+	start, end time.Time
+}
+
+// MatchCalls attempts the correlation OVATION would need to relate client
+// and servant observations of the same invocation: match client spans to
+// servant spans of the same operation such that the servant span nests in
+// the client span within a clock-skew tolerance. It returns the number of
+// distinct complete matchings; a result > 1 means the log is ambiguous —
+// the interceptor "cannot determine how this particular invocation is
+// related to the rest of method invocations".
+func MatchCalls(log OvationLog, skew time.Duration) (matchings int) {
+	clients := pairSpans(log, ClientPre, ClientPost)
+	servants := pairSpans(log, ServantPre, ServantPost)
+	if len(clients) != len(servants) {
+		return 0
+	}
+	// Count perfect matchings in the compatibility bipartite graph by
+	// backtracking (logs under test are small).
+	used := make([]bool, len(servants))
+	var count func(i int) int
+	count = func(i int) int {
+		if i == len(clients) {
+			return 1
+		}
+		total := 0
+		for j := range servants {
+			if used[j] || !compatible(clients[i], servants[j], skew) {
+				continue
+			}
+			used[j] = true
+			total += count(i + 1)
+			used[j] = false
+		}
+		return total
+	}
+	return count(0)
+}
+
+func compatible(c, s span, skew time.Duration) bool {
+	if c.op != s.op {
+		return false
+	}
+	// Same-process spans compare directly; cross-process comparisons admit
+	// the skew tolerance in both directions.
+	tol := skew
+	if c.process == s.process {
+		tol = 0
+	}
+	return !s.start.Before(c.start.Add(-tol)) && !s.end.After(c.end.Add(tol))
+}
+
+func pairSpans(log OvationLog, pre, post AnchorKind) []span {
+	// Pair pre/post anchors per (op, process, thread) in order.
+	type key struct {
+		op      probe.OpID
+		process string
+		thread  uint64
+	}
+	open := map[key][]Anchor{}
+	var out []span
+	for _, a := range log {
+		k := key{a.Op, a.Process, a.Thread}
+		switch a.Kind {
+		case pre:
+			open[k] = append(open[k], a)
+		case post:
+			stack := open[k]
+			if len(stack) == 0 {
+				continue
+			}
+			start := stack[len(stack)-1]
+			open[k] = stack[:len(stack)-1]
+			out = append(out, span{op: a.Op, process: a.Process, start: start.Time, end: a.Time})
+		}
+	}
+	return out
+}

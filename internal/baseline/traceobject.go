@@ -1,0 +1,136 @@
+package baseline
+
+import (
+	"encoding/binary"
+
+	"causeway/internal/ftl"
+)
+
+// TraceEntry is one hop's worth of verbose trace information, as appended
+// by the Universal Delegator's Trace Object or BBN RSS's trace-record
+// parameter (§5).
+type TraceEntry struct {
+	Component string
+	Interface string
+	Operation string
+	Process   string
+	Event     ftl.Event
+}
+
+// TraceObject is the concatenating baseline: "the TO concatenates log info
+// during call progression and unavoidably introduces the barrier for the
+// call chains that exceed tens of thousands calls" (§5). Its wire size is
+// O(chain length), where the FTL's is O(1).
+type TraceObject struct {
+	Entries []TraceEntry
+}
+
+// Append records one hop. The whole object travels with the call, so every
+// subsequent hop pays for all previous ones.
+func (t *TraceObject) Append(e TraceEntry) {
+	t.Entries = append(t.Entries, e)
+}
+
+// Encode marshals the object as it would travel on the wire.
+func (t *TraceObject) Encode(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(t.Entries)))
+	for _, e := range t.Entries {
+		dst = appendStr(dst, e.Component)
+		dst = appendStr(dst, e.Interface)
+		dst = appendStr(dst, e.Operation)
+		dst = appendStr(dst, e.Process)
+		dst = append(dst, byte(e.Event))
+	}
+	return dst
+}
+
+// DecodeTraceObject parses an encoded trace object.
+func DecodeTraceObject(src []byte) (*TraceObject, bool) {
+	if len(src) < 4 {
+		return nil, false
+	}
+	n := binary.LittleEndian.Uint32(src)
+	src = src[4:]
+	t := &TraceObject{}
+	for i := uint32(0); i < n; i++ {
+		var e TraceEntry
+		var ok bool
+		if e.Component, src, ok = takeStr(src); !ok {
+			return nil, false
+		}
+		if e.Interface, src, ok = takeStr(src); !ok {
+			return nil, false
+		}
+		if e.Operation, src, ok = takeStr(src); !ok {
+			return nil, false
+		}
+		if e.Process, src, ok = takeStr(src); !ok {
+			return nil, false
+		}
+		if len(src) < 1 {
+			return nil, false
+		}
+		e.Event = ftl.Event(src[0])
+		src = src[1:]
+		t.Entries = append(t.Entries, e)
+	}
+	return t, true
+}
+
+// WireSize returns the encoded size without allocating.
+func (t *TraceObject) WireSize() int {
+	n := 4
+	for _, e := range t.Entries {
+		n += 4 + len(e.Component) + 4 + len(e.Interface) +
+			4 + len(e.Operation) + 4 + len(e.Process) + 1
+	}
+	return n
+}
+
+func appendStr(dst []byte, s string) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(s)))
+	return append(dst, s...)
+}
+
+func takeStr(src []byte) (string, []byte, bool) {
+	if len(src) < 4 {
+		return "", src, false
+	}
+	n := binary.LittleEndian.Uint32(src)
+	src = src[4:]
+	if uint32(len(src)) < n {
+		return "", src, false
+	}
+	return string(src[:n]), src[n:], true
+}
+
+// SimulateChain walks a synthetic chain of depth hops, propagating either
+// a TraceObject (concatenate per hop, re-encode per hop — what every hop's
+// marshaller must do) and returns the total bytes moved. Compare with
+// SimulateChainFTL.
+func SimulateChain(depth int) (totalBytes int) {
+	to := &TraceObject{}
+	buf := make([]byte, 0, 256)
+	for i := 0; i < depth; i++ {
+		to.Append(TraceEntry{
+			Component: "comp", Interface: "Iface", Operation: "op",
+			Process: "proc", Event: ftl.StubStart,
+		})
+		buf = to.Encode(buf[:0])
+		totalBytes += len(buf)
+	}
+	return totalBytes
+}
+
+// SimulateChainFTL is the FTL counterpart: a constant-size token updated
+// per hop.
+func SimulateChainFTL(depth int) (totalBytes int) {
+	f := ftl.FTL{}
+	buf := make([]byte, 0, ftl.WireSize)
+	for i := 0; i < depth; i++ {
+		f.NextSeq()
+		buf = f.Encode(buf[:0])
+		totalBytes += len(buf)
+	}
+	return totalBytes
+}

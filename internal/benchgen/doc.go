@@ -1,0 +1,6 @@
+// Package benchgen hosts the two compilations of idl/echo.idl used by the
+// probe-overhead experiments: plainecho (generated without -instrument)
+// and instrecho (generated with -instrument). Comparing calls through the
+// two measures exactly the cost the paper's instrumentation adds, since
+// both come from the same IDL source and differ only by the back-end flag.
+package benchgen

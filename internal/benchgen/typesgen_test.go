@@ -1,0 +1,390 @@
+package benchgen_test
+
+// Wire-format conformance tests: the typesgen package (generated from
+// idl/types.idl) exercises every IDL type kind, nested structs, nested
+// sequences, exceptions with members, and all three parameter directions
+// through the full instrumented ORB path.
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"causeway/internal/analysis"
+	"causeway/internal/benchgen/typesgen"
+	"causeway/internal/logdb"
+	"causeway/internal/orb"
+	"causeway/internal/probe"
+	"causeway/internal/topology"
+	"causeway/internal/transport"
+)
+
+// geometryServant implements typesgen.Geometry.
+type geometryServant struct {
+	discarded chan typesgen.Shape
+}
+
+func (g *geometryServant) Area(s typesgen.Shape) (float64, error) {
+	if len(s.Points) < 3 {
+		return 0, &typesgen.BadShape{Reason: "need at least 3 points", Code: 42}
+	}
+	// Shoelace formula.
+	var a float64
+	for i := range s.Points {
+		p, q := s.Points[i], s.Points[(i+1)%len(s.Points)]
+		a += p.X*q.Y - q.X*p.Y
+	}
+	return math.Abs(a) / 2, nil
+}
+
+func (g *geometryServant) Normalize(s typesgen.Shape) (typesgen.Shape, typesgen.Shape, int32, error) {
+	// Remove consecutive duplicate points; return (result, inout-updated,
+	// out count-removed).
+	var out []typesgen.Point
+	removed := int32(0)
+	for _, p := range s.Points {
+		if len(out) > 0 && out[len(out)-1] == p {
+			removed++
+			continue
+		}
+		out = append(out, p)
+	}
+	s.Points = out
+	return s, s, removed, nil
+}
+
+func (g *geometryServant) Tile(s typesgen.Shape, n uint16) ([]typesgen.Shape, error) {
+	tiles := make([]typesgen.Shape, n)
+	for i := range tiles {
+		tiles[i] = s
+		tiles[i].Name = s.Name + "-tile"
+	}
+	return tiles, nil
+}
+
+func (g *geometryServant) Probe_types(b bool, o byte, i16 int16, u16 uint16, i32 int32,
+	u32 uint32, i64 int64, f32 float32, f64 float64, str string) (bool, error) {
+	// Echo a checksum-ish decision so the client can verify all values
+	// crossed the wire intact.
+	ok := b && o == 0xAB && i16 == -123 && u16 == 456 && i32 == -789000 &&
+		u32 == 4000000000 && i64 == -5e15 && f32 == 1.5 && f64 == math.Pi &&
+		str == "héllo wörld"
+	return ok, nil
+}
+
+func (g *geometryServant) CycleMode(m typesgen.ColorMode) (typesgen.ColorMode, error) {
+	switch m {
+	case typesgen.ColorModeGRAY:
+		return typesgen.ColorModeRGB, nil
+	case typesgen.ColorModeRGB:
+		return typesgen.ColorModeCMYK, nil
+	default:
+		return typesgen.ColorModeGRAY, nil
+	}
+}
+
+func (g *geometryServant) Discard(s typesgen.Shape) error {
+	if g.discarded != nil {
+		g.discarded <- s
+	}
+	return nil
+}
+
+var _ typesgen.Geometry = (*geometryServant)(nil)
+
+func geometryFixture(t *testing.T) (*typesgen.GeometryStub, *geometryServant, func() *analysis.DSCG) {
+	t.Helper()
+	net := transport.NewInprocNetwork()
+	server, ssink := newORB(t, net, "server", true)
+	t.Cleanup(server.Shutdown)
+	servant := &geometryServant{discarded: make(chan typesgen.Shape, 4)}
+	if err := typesgen.RegisterGeometry(server, "geo", "geo-comp", servant); err != nil {
+		t.Fatal(err)
+	}
+	ep, err := server.ListenInproc("geo-" + t.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, csink := newORB(t, net, "client", true)
+	t.Cleanup(client.Shutdown)
+	stub := typesgen.NewGeometryStub(client.RefTo(ep, "geo", "Geometry", "geo-comp"))
+	reconstruct := func() *analysis.DSCG {
+		client.Probes().Tunnel().Clear()
+		db := logdb.NewStore()
+		db.Insert(ssink.Snapshot()...)
+		db.Insert(csink.Snapshot()...)
+		return analysis.Reconstruct(db)
+	}
+	return stub, servant, reconstruct
+}
+
+func sampleShape() typesgen.Shape {
+	return typesgen.Shape{
+		Name: "triangle",
+		Points: []typesgen.Point{
+			{X: 0, Y: 0}, {X: 4, Y: 0}, {X: 0, Y: 3},
+		},
+		Rings:  [][]int32{{1, 2, 3}, {}, {42}},
+		Closed: true,
+		Flags:  0x7F,
+	}
+}
+
+func TestNestedStructAndSequenceRoundTrip(t *testing.T) {
+	stub, _, reconstruct := geometryFixture(t)
+	area, err := stub.Area(sampleShape())
+	if err != nil || area != 6 {
+		t.Fatalf("Area = %v, %v", area, err)
+	}
+	if g := reconstruct(); len(g.Anomalies) != 0 {
+		t.Fatalf("anomalies: %v", g.Anomalies)
+	}
+}
+
+func TestExceptionWithMembers(t *testing.T) {
+	stub, _, _ := geometryFixture(t)
+	_, err := stub.Area(typesgen.Shape{Name: "degenerate"})
+	var bad *typesgen.BadShape
+	if !errors.As(err, &bad) {
+		t.Fatalf("err = %v", err)
+	}
+	if bad.Code != 42 || bad.Reason != "need at least 3 points" {
+		t.Fatalf("exception members lost: %+v", bad)
+	}
+}
+
+func TestInOutAndOutParameters(t *testing.T) {
+	stub, _, _ := geometryFixture(t)
+	in := sampleShape()
+	in.Points = append(in.Points, in.Points[2], in.Points[2]) // two dupes
+	ret, inout, removed, err := stub.Normalize(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 2 {
+		t.Fatalf("removed = %d, want 2 (two consecutive dupes)", removed)
+	}
+	if len(ret.Points) != 3 || !reflect.DeepEqual(ret, inout) {
+		t.Fatalf("ret %+v vs inout %+v", ret, inout)
+	}
+}
+
+func TestSequenceOfStructsResult(t *testing.T) {
+	stub, _, _ := geometryFixture(t)
+	tiles, err := stub.Tile(sampleShape(), 5)
+	if err != nil || len(tiles) != 5 {
+		t.Fatalf("Tile = %d tiles, %v", len(tiles), err)
+	}
+	for _, tl := range tiles {
+		if tl.Name != "triangle-tile" || len(tl.Rings) != 3 || tl.Rings[2][0] != 42 {
+			t.Fatalf("tile corrupted: %+v", tl)
+		}
+	}
+	if _, err := stub.Tile(sampleShape(), 0); err != nil {
+		t.Fatalf("zero tiles: %v", err)
+	}
+}
+
+func TestAllPrimitivesCrossTheWire(t *testing.T) {
+	stub, _, _ := geometryFixture(t)
+	ok, err := stub.Probe_types(true, 0xAB, -123, 456, -789000, 4000000000,
+		-5e15, 1.5, math.Pi, "héllo wörld")
+	if err != nil || !ok {
+		t.Fatalf("Probe_types = %v, %v (a primitive was corrupted in transit)", ok, err)
+	}
+}
+
+func TestOnewayCarriesStructs(t *testing.T) {
+	stub, servant, reconstruct := geometryFixture(t)
+	if err := stub.Discard(sampleShape()); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case s := <-servant.discarded:
+		if s.Name != "triangle" || len(s.Points) != 3 {
+			t.Fatalf("oneway payload corrupted: %+v", s)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("oneway never delivered")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if g := reconstruct(); g.Nodes() == 1 && len(g.Anomalies) == 0 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	g := reconstruct()
+	t.Fatalf("oneway chain incomplete: %d nodes, %v", g.Nodes(), g.Anomalies)
+}
+
+// TestPropertyShapeRoundTrip sends random shapes through Normalize and
+// checks the inout copy arrives byte-identical when nothing is removed.
+func TestPropertyShapeRoundTrip(t *testing.T) {
+	stub, _, _ := geometryFixture(t)
+	fn := func(name string, xs []float64, rings [][]int32, closed bool, flags byte) bool {
+		// Distinct consecutive points so nothing gets "normalized" away.
+		pts := make([]typesgen.Point, 0, len(xs))
+		for i, x := range xs {
+			pts = append(pts, typesgen.Point{X: x, Y: float64(i)})
+		}
+		in := typesgen.Shape{Name: name, Points: pts, Rings: rings, Closed: closed, Flags: flags}
+		_, inout, removed, err := stub.Normalize(in)
+		if err != nil || removed != 0 {
+			return false
+		}
+		if in.Points == nil {
+			in.Points = []typesgen.Point{}
+		}
+		if inout.Points == nil {
+			inout.Points = []typesgen.Point{}
+		}
+		// Rings of nil vs empty normalize on the wire; compare lengths and
+		// contents element-wise.
+		if len(inout.Rings) != len(in.Rings) {
+			return false
+		}
+		for i := range in.Rings {
+			if len(in.Rings[i]) != len(inout.Rings[i]) {
+				return false
+			}
+			for j := range in.Rings[i] {
+				if in.Rings[i][j] != inout.Rings[i][j] {
+					return false
+				}
+			}
+		}
+		return inout.Name == in.Name && inout.Closed == in.Closed &&
+			inout.Flags == in.Flags && len(inout.Points) == len(in.Points)
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// newORB is shared with benchgen_test.go (same package).
+var _ = orb.New
+
+// TestSemanticsCapture arms the application-semantics aspect and verifies
+// the input parameters, output parameters, and raised exceptions appear in
+// the reconstructed nodes (§2.1's fourth behaviour dimension).
+func TestSemanticsCapture(t *testing.T) {
+	net := transport.NewInprocNetwork()
+	sink := &probe.MemorySink{}
+	mk := func(name string) *orb.ORB {
+		probes, err := probe.New(probe.Config{
+			Process: topology.Process{ID: name, Processor: topology.Processor{ID: name, Type: "x86"}},
+			Aspects: probe.AspectSemantics,
+			Sink:    sink,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		o, err := orb.New(orb.Config{
+			Process:      topology.Process{ID: name, Processor: topology.Processor{ID: name, Type: "x86"}},
+			Probes:       probes,
+			Instrumented: true,
+			Network:      net,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return o
+	}
+	server := mk("server")
+	defer server.Shutdown()
+	servant := &geometryServant{}
+	if err := typesgen.RegisterGeometry(server, "geo", "geo-comp", servant); err != nil {
+		t.Fatal(err)
+	}
+	ep, err := server.ListenInproc("geo-sem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := mk("client")
+	defer client.Shutdown()
+	stub := typesgen.NewGeometryStub(client.RefTo(ep, "geo", "Geometry", "geo-comp"))
+
+	if _, err := stub.Area(sampleShape()); err != nil {
+		t.Fatal(err)
+	}
+	client.Probes().Tunnel().Clear()
+	if _, err := stub.Area(typesgen.Shape{Name: "bad"}); err == nil {
+		t.Fatal("expected BadShape")
+	}
+	client.Probes().Tunnel().Clear()
+
+	db := logdb.NewStore()
+	db.Insert(sink.Snapshot()...)
+	g := analysis.Reconstruct(db)
+	if len(g.Anomalies) != 0 || g.Nodes() != 2 {
+		t.Fatalf("nodes=%d anomalies=%v", g.Nodes(), g.Anomalies)
+	}
+	// Chain ordering is random (random UUIDs); select nodes by content.
+	var good, bad *analysis.Node
+	g.Walk(func(n *analysis.Node) {
+		if strings.Contains(n.ArgsSemantics(), "triangle") {
+			good = n
+		} else {
+			bad = n
+		}
+	})
+	if good == nil || !strings.Contains(good.ResultSemantics(), "out(ret=6") {
+		t.Fatalf("good-call semantics missing: %+v", good)
+	}
+	if bad == nil || !strings.Contains(bad.ResultSemantics(), "raised: BadShape") {
+		t.Fatalf("exception semantics missing: %+v", bad)
+	}
+}
+
+// TestSemanticsOffByDefault: without the aspect, no semantics leak into
+// the records (parameter values can be sensitive).
+func TestSemanticsOffByDefault(t *testing.T) {
+	stub, _, reconstruct := geometryFixture(t)
+	if _, err := stub.Area(sampleShape()); err != nil {
+		t.Fatal(err)
+	}
+	g := reconstruct()
+	n := g.Trees[0].Roots[0]
+	if n.ArgsSemantics() != "" || n.ResultSemantics() != "" {
+		t.Fatalf("semantics captured although disarmed: %q / %q",
+			n.ArgsSemantics(), n.ResultSemantics())
+	}
+}
+
+// TestEnumRoundTrip exercises the IDL enum mapping end to end: wire
+// marshalling as unsigned long, Go constants, String(), and Valid().
+func TestEnumRoundTrip(t *testing.T) {
+	stub, _, reconstruct := geometryFixture(t)
+	got, err := stub.CycleMode(typesgen.ColorModeGRAY)
+	if err != nil || got != typesgen.ColorModeRGB {
+		t.Fatalf("CycleMode(GRAY) = %v, %v", got, err)
+	}
+	got, err = stub.CycleMode(typesgen.ColorModeCMYK)
+	if err != nil || got != typesgen.ColorModeGRAY {
+		t.Fatalf("CycleMode(CMYK) = %v, %v", got, err)
+	}
+	if typesgen.ColorModeRGB.String() != "RGB" {
+		t.Fatalf("String = %q", typesgen.ColorModeRGB.String())
+	}
+	if !typesgen.ColorModeCMYK.Valid() || typesgen.ColorMode(99).Valid() {
+		t.Fatal("Valid() wrong")
+	}
+	if typesgen.ColorMode(99).String() != "ColorMode(99)" {
+		t.Fatalf("out-of-range String = %q", typesgen.ColorMode(99).String())
+	}
+	// Enum travels inside a struct field too.
+	s := sampleShape()
+	s.Mode = typesgen.ColorModeCMYK
+	_, inout, _, err := stub.Normalize(s)
+	if err != nil || inout.Mode != typesgen.ColorModeCMYK {
+		t.Fatalf("struct enum field = %v, %v", inout.Mode, err)
+	}
+	if g := reconstruct(); len(g.Anomalies) != 0 {
+		t.Fatalf("anomalies: %v", g.Anomalies)
+	}
+}

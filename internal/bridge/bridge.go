@@ -1,0 +1,125 @@
+// Package bridge connects the CORBA-like (orb) and COM-like (com) runtimes
+// so hybrid applications keep one seamless causality chain across the
+// domain boundary (§2.3):
+//
+//	"as long as the bi-directional CORBA-COM bridge is aware of the extra
+//	FTL data hidden in the instrumented calls, and delivers it from the
+//	caller's domain to the callee's domain, causality will seamlessly
+//	propagate across the boundary."
+//
+// FTL-awareness here is concrete: a bridge process hosts both runtime
+// endpoints over ONE probe.Probes instance, so the thread-specific storage
+// both instrumented call paths use is the same tunnel endpoint. A CORBA
+// skeleton annotates the dispatch thread with the incoming chain; the
+// forwarded COM call's stub-start probe picks the chain up from that very
+// TSS and carries it into the COM channel hook — and vice versa. The
+// helpers below adapt servant shapes between the two domains; the shared
+// Probes does the FTL delivery.
+package bridge
+
+import (
+	"errors"
+	"fmt"
+
+	"causeway/internal/com"
+	"causeway/internal/orb"
+	"causeway/internal/probe"
+	"causeway/internal/topology"
+	"causeway/internal/transport"
+	"causeway/internal/uuid"
+)
+
+// MethodTable maps COM method names to typed handlers; used to expose a
+// CORBA stub's operations to COM clients.
+type MethodTable map[string]func(args []any) ([]any, error)
+
+// tableServant adapts a MethodTable to com.Servant.
+type tableServant struct {
+	table MethodTable
+}
+
+var _ com.Servant = tableServant{}
+
+// NewComServant exposes a method table (typically closures over a CORBA
+// stub) as a COM servant: the COM→CORBA direction of the bridge.
+func NewComServant(table MethodTable) com.Servant {
+	return tableServant{table: table}
+}
+
+// Invoke implements com.Servant.
+func (s tableServant) Invoke(method string, args []any) ([]any, error) {
+	h, ok := s.table[method]
+	if !ok {
+		return nil, fmt.Errorf("bridge: no method %q", method)
+	}
+	return h(args)
+}
+
+// Domain is one process hosting both runtime endpoints over a shared probe
+// set: the bridge's beachhead in a hybrid deployment.
+type Domain struct {
+	// Probes is the single per-process probe set both runtimes share; this
+	// sharing IS the FTL delivery between domains.
+	Probes *probe.Probes
+	// ORB is the CORBA-side runtime endpoint.
+	ORB *orb.ORB
+	// COM is the COM-side runtime endpoint.
+	COM *com.Runtime
+}
+
+// Config assembles a bridge domain.
+type Config struct {
+	// Process identifies the bridge's logical process.
+	Process topology.Process
+	// Sink receives the domain's monitoring records.
+	Sink probe.Sink
+	// Network hosts the ORB's in-process endpoints.
+	Network *transport.InprocNetwork
+	// Instrumented arms both runtimes; both sides of a bridge must agree.
+	Instrumented bool
+	// Policy is the ORB threading policy (default thread-per-request).
+	Policy orb.PolicyKind
+	// Chains optionally fixes the UUID generator (tests).
+	Chains uuid.Generator
+}
+
+// NewDomain builds a hybrid process: one Probes, one ORB, one COM runtime.
+func NewDomain(cfg Config) (*Domain, error) {
+	if cfg.Sink == nil {
+		return nil, errors.New("bridge: config requires Sink")
+	}
+	p, err := probe.New(probe.Config{
+		Process: cfg.Process,
+		Sink:    cfg.Sink,
+		Chains:  cfg.Chains,
+	})
+	if err != nil {
+		return nil, err
+	}
+	o, err := orb.New(orb.Config{
+		Process:      cfg.Process,
+		Probes:       p,
+		Instrumented: cfg.Instrumented,
+		Policy:       cfg.Policy,
+		Network:      cfg.Network,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rt, err := com.NewRuntime(com.Config{
+		Probes:          p,
+		Instrumented:    cfg.Instrumented,
+		PreventMingling: true,
+	})
+	if err != nil {
+		o.Shutdown()
+		return nil, err
+	}
+	return &Domain{Probes: p, ORB: o, COM: rt}, nil
+}
+
+// Shutdown stops both runtime endpoints.
+func (d *Domain) Shutdown() {
+	d.ORB.Shutdown()
+	d.COM.Shutdown()
+}

@@ -1,0 +1,36 @@
+// Package busy provides calibrated CPU-burning work for the simulated
+// application components: the PPS servants and the benchmark workloads
+// consume real CPU with it, so wall-clock latency and per-thread CPU
+// measurements observe genuine work rather than sleeps (a sleeping thread
+// accrues no CPU and would make the §4 CPU experiments vacuous).
+package busy
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// sink defeats dead-code elimination of the spin loops.
+var sink atomic.Uint64
+
+// Spin burns CPU for approximately d of wall-clock time.
+func Spin(d time.Duration) {
+	deadline := time.Now().Add(d)
+	var acc uint64
+	for time.Now().Before(deadline) {
+		for i := 0; i < 4096; i++ {
+			acc = acc*6364136223846793005 + 1442695040888963407
+		}
+	}
+	sink.Add(acc)
+}
+
+// Iters runs a fixed number of arithmetic iterations — deterministic work
+// for benchmarks that must not depend on the clock.
+func Iters(n int) {
+	var acc uint64
+	for i := 0; i < n; i++ {
+		acc = acc*6364136223846793005 + 1442695040888963407
+	}
+	sink.Add(acc)
+}

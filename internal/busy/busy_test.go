@@ -1,0 +1,23 @@
+package busy
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSpinTakesRoughlyThatLong(t *testing.T) {
+	start := time.Now()
+	Spin(20 * time.Millisecond)
+	elapsed := time.Since(start)
+	if elapsed < 20*time.Millisecond {
+		t.Fatalf("Spin returned after %v", elapsed)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("Spin overshot wildly: %v", elapsed)
+	}
+}
+
+func TestItersReturns(t *testing.T) {
+	Iters(0)
+	Iters(1_000_000)
+}

@@ -1,0 +1,242 @@
+// Package cdr implements the wire encoding used between stubs and
+// skeletons — a compact CDR-like format (Common Data Representation is
+// CORBA's marshalling format; this one keeps CDR's primitive repertoire
+// and little-endian layout but drops alignment padding, which only matters
+// for zero-copy C mapping).
+//
+// Generated stubs marshal declared parameters with an Encoder; generated
+// skeletons unmarshal them with a Decoder. The instrumented variants
+// additionally append the FTL after the declared parameters — the "hidden
+// in-out parameter" of Figure 3 — using the same primitives.
+package cdr
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrShortBuffer reports a decode past the end of the message.
+var ErrShortBuffer = errors.New("cdr: short buffer")
+
+// Encoder builds a message body. The zero value is ready to use.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an encoder with capacity preallocated.
+func NewEncoder(capacity int) *Encoder {
+	return &Encoder{buf: make([]byte, 0, capacity)}
+}
+
+// Bytes returns the encoded message. The slice aliases the encoder's
+// buffer; callers must not retain it across further Put calls.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the current encoded length.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Reset clears the encoder for reuse.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// PutBool encodes a boolean as one octet.
+func (e *Encoder) PutBool(v bool) {
+	if v {
+		e.buf = append(e.buf, 1)
+	} else {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// PutOctet encodes a single byte.
+func (e *Encoder) PutOctet(v byte) { e.buf = append(e.buf, v) }
+
+// PutInt16 encodes a signed 16-bit integer.
+func (e *Encoder) PutInt16(v int16) { e.PutUint16(uint16(v)) }
+
+// PutUint16 encodes an unsigned 16-bit integer.
+func (e *Encoder) PutUint16(v uint16) {
+	e.buf = binary.LittleEndian.AppendUint16(e.buf, v)
+}
+
+// PutInt32 encodes a signed 32-bit integer (IDL long).
+func (e *Encoder) PutInt32(v int32) { e.PutUint32(uint32(v)) }
+
+// PutUint32 encodes an unsigned 32-bit integer (IDL unsigned long).
+func (e *Encoder) PutUint32(v uint32) {
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, v)
+}
+
+// PutInt64 encodes a signed 64-bit integer (IDL long long).
+func (e *Encoder) PutInt64(v int64) { e.PutUint64(uint64(v)) }
+
+// PutUint64 encodes an unsigned 64-bit integer.
+func (e *Encoder) PutUint64(v uint64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, v)
+}
+
+// PutFloat32 encodes an IDL float.
+func (e *Encoder) PutFloat32(v float32) { e.PutUint32(math.Float32bits(v)) }
+
+// PutFloat64 encodes an IDL double.
+func (e *Encoder) PutFloat64(v float64) { e.PutUint64(math.Float64bits(v)) }
+
+// PutString encodes a length-prefixed UTF-8 string.
+func (e *Encoder) PutString(s string) {
+	e.PutUint32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// PutBytes encodes a length-prefixed octet sequence.
+func (e *Encoder) PutBytes(b []byte) {
+	e.PutUint32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// PutSeqLen encodes a sequence length; generated code follows it with the
+// elements.
+func (e *Encoder) PutSeqLen(n int) { e.PutUint32(uint32(n)) }
+
+// PutRaw appends pre-encoded bytes without a length prefix (used for the
+// fixed-size hidden FTL parameter).
+func (e *Encoder) PutRaw(b []byte) { e.buf = append(e.buf, b...) }
+
+// Decoder reads a message body produced by Encoder. The first error sticks:
+// all subsequent reads return zero values, and Err reports it, so generated
+// code can decode a full parameter list and check once.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder wraps a message body.
+func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// Err returns the first decoding error, if any.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining returns the number of unread bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+// Finish verifies the whole message was consumed.
+func (d *Decoder) Finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.buf) {
+		return fmt.Errorf("cdr: %d trailing bytes", len(d.buf)-d.off)
+	}
+	return nil
+}
+
+func (d *Decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.off+n > len(d.buf) {
+		d.err = fmt.Errorf("%w: need %d bytes at offset %d of %d", ErrShortBuffer, n, d.off, len(d.buf))
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// Bool decodes a boolean octet.
+func (d *Decoder) Bool() bool {
+	b := d.take(1)
+	return b != nil && b[0] != 0
+}
+
+// Octet decodes a single byte.
+func (d *Decoder) Octet() byte {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// Int16 decodes a signed 16-bit integer.
+func (d *Decoder) Int16() int16 { return int16(d.Uint16()) }
+
+// Uint16 decodes an unsigned 16-bit integer.
+func (d *Decoder) Uint16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+// Int32 decodes an IDL long.
+func (d *Decoder) Int32() int32 { return int32(d.Uint32()) }
+
+// Uint32 decodes an IDL unsigned long.
+func (d *Decoder) Uint32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// Int64 decodes an IDL long long.
+func (d *Decoder) Int64() int64 { return int64(d.Uint64()) }
+
+// Uint64 decodes an unsigned 64-bit integer.
+func (d *Decoder) Uint64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// Float32 decodes an IDL float.
+func (d *Decoder) Float32() float32 { return math.Float32frombits(d.Uint32()) }
+
+// Float64 decodes an IDL double.
+func (d *Decoder) Float64() float64 { return math.Float64frombits(d.Uint64()) }
+
+// String decodes a length-prefixed string.
+func (d *Decoder) String() string {
+	n := d.Uint32()
+	if n > uint32(d.Remaining()) {
+		d.err = fmt.Errorf("%w: string length %d exceeds %d remaining", ErrShortBuffer, n, d.Remaining())
+		return ""
+	}
+	return string(d.take(int(n)))
+}
+
+// Bytes decodes a length-prefixed octet sequence, copying it out.
+func (d *Decoder) Bytes() []byte {
+	n := d.Uint32()
+	if n > uint32(d.Remaining()) {
+		d.err = fmt.Errorf("%w: bytes length %d exceeds %d remaining", ErrShortBuffer, n, d.Remaining())
+		return nil
+	}
+	src := d.take(int(n))
+	out := make([]byte, len(src))
+	copy(out, src)
+	return out
+}
+
+// SeqLen decodes a sequence length, bounding it by the remaining bytes so a
+// corrupt length cannot provoke a huge allocation in generated code.
+func (d *Decoder) SeqLen() int {
+	n := d.Uint32()
+	if d.err != nil {
+		return 0
+	}
+	if int(n) > d.Remaining() {
+		d.err = fmt.Errorf("%w: sequence length %d exceeds %d remaining bytes", ErrShortBuffer, n, d.Remaining())
+		return 0
+	}
+	return int(n)
+}
+
+// Raw reads n bytes without a length prefix (the fixed-size FTL parameter).
+func (d *Decoder) Raw(n int) []byte { return d.take(n) }

@@ -1,0 +1,157 @@
+package cdr
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestRoundTripAllPrimitives is invariant I6: every IDL-expressible
+// primitive survives marshal/unmarshal unchanged.
+func TestRoundTripAllPrimitives(t *testing.T) {
+	fn := func(b bool, o byte, i16 int16, u16 uint16, i32 int32, u32 uint32,
+		i64 int64, u64 uint64, f32 float32, f64 float64, s string, raw []byte) bool {
+		e := NewEncoder(64)
+		e.PutBool(b)
+		e.PutOctet(o)
+		e.PutInt16(i16)
+		e.PutUint16(u16)
+		e.PutInt32(i32)
+		e.PutUint32(u32)
+		e.PutInt64(i64)
+		e.PutUint64(u64)
+		e.PutFloat32(f32)
+		e.PutFloat64(f64)
+		e.PutString(s)
+		e.PutBytes(raw)
+
+		d := NewDecoder(e.Bytes())
+		ok := d.Bool() == b &&
+			d.Octet() == o &&
+			d.Int16() == i16 &&
+			d.Uint16() == u16 &&
+			d.Int32() == i32 &&
+			d.Uint32() == u32 &&
+			d.Int64() == i64 &&
+			d.Uint64() == u64
+		g32 := d.Float32()
+		g64 := d.Float64()
+		ok = ok && (g32 == f32 || (math.IsNaN(float64(f32)) && math.IsNaN(float64(g32))))
+		ok = ok && (g64 == f64 || (math.IsNaN(f64) && math.IsNaN(g64)))
+		ok = ok && d.String() == s
+		got := d.Bytes()
+		if len(got) != len(raw) {
+			return false
+		}
+		for i := range got {
+			if got[i] != raw[i] {
+				return false
+			}
+		}
+		return ok && d.Finish() == nil
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShortBufferSticks(t *testing.T) {
+	d := NewDecoder([]byte{1, 2})
+	_ = d.Uint64() // too short
+	if !errors.Is(d.Err(), ErrShortBuffer) {
+		t.Fatalf("Err = %v", d.Err())
+	}
+	// Subsequent reads are inert zero values.
+	if d.Uint32() != 0 || d.String() != "" || d.Bool() {
+		t.Fatal("reads after error returned data")
+	}
+	if d.Finish() == nil {
+		t.Fatal("Finish succeeded after error")
+	}
+}
+
+func TestCorruptStringLengthRejected(t *testing.T) {
+	e := NewEncoder(8)
+	e.PutUint32(0xFFFFFFF0) // absurd length
+	d := NewDecoder(e.Bytes())
+	if got := d.String(); got != "" || d.Err() == nil {
+		t.Fatalf("corrupt string decoded: %q, err=%v", got, d.Err())
+	}
+}
+
+func TestCorruptSeqLenRejected(t *testing.T) {
+	e := NewEncoder(8)
+	e.PutSeqLen(1 << 30)
+	d := NewDecoder(e.Bytes())
+	if n := d.SeqLen(); n != 0 || d.Err() == nil {
+		t.Fatalf("corrupt seq len accepted: %d", n)
+	}
+}
+
+func TestSeqRoundTrip(t *testing.T) {
+	e := NewEncoder(32)
+	vals := []int32{3, -1, 42}
+	e.PutSeqLen(len(vals))
+	for _, v := range vals {
+		e.PutInt32(v)
+	}
+	d := NewDecoder(e.Bytes())
+	n := d.SeqLen()
+	if n != len(vals) {
+		t.Fatalf("SeqLen = %d", n)
+	}
+	for i := 0; i < n; i++ {
+		if got := d.Int32(); got != vals[i] {
+			t.Fatalf("elem %d = %d", i, got)
+		}
+	}
+	if err := d.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrailingBytesDetected(t *testing.T) {
+	e := NewEncoder(8)
+	e.PutUint32(1)
+	e.PutOctet(9)
+	d := NewDecoder(e.Bytes())
+	d.Uint32()
+	if err := d.Finish(); err == nil {
+		t.Fatal("trailing byte not detected")
+	}
+}
+
+func TestRawAndReset(t *testing.T) {
+	e := NewEncoder(8)
+	e.PutRaw([]byte{1, 2, 3})
+	if e.Len() != 3 {
+		t.Fatalf("Len = %d", e.Len())
+	}
+	d := NewDecoder(e.Bytes())
+	raw := d.Raw(3)
+	if len(raw) != 3 || raw[2] != 3 {
+		t.Fatalf("Raw = %v", raw)
+	}
+	e.Reset()
+	if e.Len() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func BenchmarkEncodeDecodeSmallMessage(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEncoder(64)
+		e.PutInt32(42)
+		e.PutString("hello world")
+		e.PutFloat64(3.14)
+		d := NewDecoder(e.Bytes())
+		d.Int32()
+		_ = d.String()
+		d.Float64()
+		if d.Finish() != nil {
+			b.Fatal("decode failed")
+		}
+	}
+}

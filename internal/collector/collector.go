@@ -1,0 +1,68 @@
+// Package collector gathers the scattered per-process monitoring logs into
+// one logdb.Store, the step the paper performs "when the application ceases
+// to exist or reaches a quiescent state" (§3).
+//
+// No record transformation happens here: records are self-describing
+// (process, processor type, thread, chain, event, seq), so collection is a
+// pure merge — exactly why the paper needs no global clock.
+package collector
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"causeway/internal/logdb"
+	"causeway/internal/probe"
+)
+
+// FromSinks merges in-memory sinks (one per logical process) into db.
+func FromSinks(db *logdb.Store, sinks ...*probe.MemorySink) int {
+	n := 0
+	for _, s := range sinks {
+		recs := s.Snapshot()
+		db.Insert(recs...)
+		n += len(recs)
+	}
+	return n
+}
+
+// FromReaders merges gob record streams (e.g. per-process log files).
+func FromReaders(db *logdb.Store, readers ...io.Reader) (int, error) {
+	n := 0
+	for i, r := range readers {
+		recs, err := probe.ReadStream(r)
+		if err != nil {
+			return n, fmt.Errorf("collector: reader %d: %w", i, err)
+		}
+		db.Insert(recs...)
+		n += len(recs)
+	}
+	return n, nil
+}
+
+// FromGlob merges all log files matching pattern (e.g. "run1/*.ftlog").
+// Files are processed in sorted order for determinism.
+func FromGlob(db *logdb.Store, pattern string) (int, error) {
+	paths, err := filepath.Glob(pattern)
+	if err != nil {
+		return 0, fmt.Errorf("collector: glob %q: %w", pattern, err)
+	}
+	sort.Strings(paths)
+	n := 0
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return n, fmt.Errorf("collector: open %q: %w", p, err)
+		}
+		m, err := FromReaders(db, f)
+		f.Close()
+		n += m
+		if err != nil {
+			return n, fmt.Errorf("collector: %q: %w", p, err)
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,72 @@
+package collector
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"causeway/internal/ftl"
+	"causeway/internal/logdb"
+	"causeway/internal/probe"
+	"causeway/internal/uuid"
+)
+
+func rec(proc string, seq uint64) probe.Record {
+	return probe.Record{
+		Kind: probe.KindEvent, Process: proc, Chain: uuid.UUID{0: 1},
+		Seq: seq, Event: ftl.StubStart,
+	}
+}
+
+func TestFromSinks(t *testing.T) {
+	a, b := &probe.MemorySink{}, &probe.MemorySink{}
+	a.Append(rec("p1", 1))
+	a.Append(rec("p1", 2))
+	b.Append(rec("p2", 3))
+	db := logdb.NewStore()
+	if n := FromSinks(db, a, b); n != 3 {
+		t.Fatalf("collected %d", n)
+	}
+	if db.Len() != 3 {
+		t.Fatalf("db has %d", db.Len())
+	}
+}
+
+func TestFromReaders(t *testing.T) {
+	var buf bytes.Buffer
+	ss := probe.NewStreamSink(&buf)
+	ss.Append(rec("p1", 1))
+	ss.Append(rec("p1", 2))
+	db := logdb.NewStore()
+	n, err := FromReaders(db, &buf)
+	if err != nil || n != 2 {
+		t.Fatalf("FromReaders = %d, %v", n, err)
+	}
+	// A corrupt stream reports an error.
+	n2, err := FromReaders(db, bytes.NewReader([]byte("garbage stream")))
+	if err == nil {
+		t.Fatalf("corrupt stream accepted (%d records)", n2)
+	}
+}
+
+func TestFromGlob(t *testing.T) {
+	dir := t.TempDir()
+	for i, proc := range []string{"p1", "p2"} {
+		var buf bytes.Buffer
+		ss := probe.NewStreamSink(&buf)
+		ss.Append(rec(proc, uint64(i+1)))
+		path := filepath.Join(dir, proc+".ftlog")
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db := logdb.NewStore()
+	n, err := FromGlob(db, filepath.Join(dir, "*.ftlog"))
+	if err != nil || n != 2 {
+		t.Fatalf("FromGlob = %d, %v", n, err)
+	}
+	if n, err := FromGlob(logdb.NewStore(), filepath.Join(dir, "*.none")); err != nil || n != 0 {
+		t.Fatalf("empty glob = %d, %v", n, err)
+	}
+}

@@ -1,0 +1,126 @@
+package cputime
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func fixedID(id uint64) func() uint64 { return func() uint64 { return id } }
+
+func TestVirtualMeterChargeAndRead(t *testing.T) {
+	m := NewVirtualMeter(fixedID(1))
+	if got := m.ThreadCPU(); got != 0 {
+		t.Fatalf("fresh meter reads %v", got)
+	}
+	m.Charge(10 * time.Millisecond)
+	m.Charge(5 * time.Millisecond)
+	if got := m.ThreadCPU(); got != 15*time.Millisecond {
+		t.Fatalf("ThreadCPU = %v, want 15ms", got)
+	}
+}
+
+func TestVirtualMeterPerThreadIsolation(t *testing.T) {
+	var cur uint64 = 1
+	m := NewVirtualMeter(func() uint64 { return cur })
+	m.Charge(time.Second)
+	cur = 2
+	if got := m.ThreadCPU(); got != 0 {
+		t.Fatalf("thread 2 sees thread 1's charge: %v", got)
+	}
+	m.Charge(2 * time.Second)
+	if got := m.Total(); got != 3*time.Second {
+		t.Fatalf("Total = %v, want 3s", got)
+	}
+}
+
+func TestVirtualMeterChargeThread(t *testing.T) {
+	m := NewVirtualMeter(fixedID(9))
+	m.ChargeThread(9, 7*time.Millisecond)
+	if got := m.ThreadCPU(); got != 7*time.Millisecond {
+		t.Fatalf("ThreadCPU = %v", got)
+	}
+}
+
+func TestVirtualMeterConcurrent(t *testing.T) {
+	m := NewVirtualMeter(fixedID(3))
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				m.ChargeThread(uint64(j%4), time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Total(); got != 8*1000*time.Microsecond {
+		t.Fatalf("Total = %v, want 8ms", got)
+	}
+}
+
+func TestNoopMeter(t *testing.T) {
+	if got := (NoopMeter{}).ThreadCPU(); got != 0 {
+		t.Fatalf("NoopMeter reads %v", got)
+	}
+}
+
+// TestOSThreadMeterMeasuresSpin verifies that real per-thread accounting
+// observes CPU burned by a spin loop. Skipped where unsupported.
+func TestOSThreadMeterMeasuresSpin(t *testing.T) {
+	var m OSThreadMeter
+	if !m.Supported() {
+		t.Skip("RUSAGE_THREAD not supported on this platform")
+	}
+	m.Pin()
+	defer m.Unpin()
+	start := m.ThreadCPU()
+	deadline := time.Now().Add(50 * time.Millisecond)
+	x := 0
+	for time.Now().Before(deadline) {
+		for i := 0; i < 10000; i++ {
+			x += i * i
+		}
+	}
+	_ = x
+	got := m.ThreadCPU() - start
+	if got <= 0 {
+		t.Fatalf("spin burned %v per-thread CPU, want > 0", got)
+	}
+	if got > 2*time.Second {
+		t.Fatalf("implausible per-thread CPU: %v", got)
+	}
+}
+
+// TestOSThreadMeterIsolation checks that CPU burned on another OS thread is
+// not attributed to this one.
+func TestOSThreadMeterIsolation(t *testing.T) {
+	var m OSThreadMeter
+	if !m.Supported() {
+		t.Skip("RUSAGE_THREAD not supported on this platform")
+	}
+	m.Pin()
+	defer m.Unpin()
+	before := m.ThreadCPU()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var om OSThreadMeter
+		om.Pin()
+		defer om.Unpin()
+		deadline := time.Now().Add(50 * time.Millisecond)
+		x := 0
+		for time.Now().Before(deadline) {
+			x++
+		}
+		_ = x
+	}()
+	<-done
+	after := m.ThreadCPU()
+	// Our thread mostly blocked on the channel; it should have accrued far
+	// less than the spinner did.
+	if delta := after - before; delta > 40*time.Millisecond {
+		t.Fatalf("blocked thread accrued %v CPU", delta)
+	}
+}

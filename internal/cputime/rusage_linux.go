@@ -1,0 +1,60 @@
+//go:build linux
+
+package cputime
+
+import (
+	"runtime"
+	"syscall"
+	"time"
+)
+
+// rusageThread is the getrusage "who" selecting the calling OS thread.
+// syscall does not export it; the value is part of the Linux ABI.
+const rusageThread = 1
+
+// OSThreadMeter reads real per-thread CPU via getrusage(RUSAGE_THREAD).
+//
+// A goroutine must be pinned to its OS thread (runtime.LockOSThread) for
+// the lifetime of the measurement, otherwise the Go scheduler may migrate
+// it between readings and the difference is meaningless. Pin/Unpin manage
+// that; dispatch loops that enable CPU probing call Pin before serving and
+// Unpin after.
+type OSThreadMeter struct{}
+
+var _ Meter = OSThreadMeter{}
+
+// ThreadCPU implements Meter: user+system CPU of the calling OS thread.
+func (OSThreadMeter) ThreadCPU() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(rusageThread, &ru); err != nil {
+		return 0
+	}
+	return tvToDuration(ru.Utime) + tvToDuration(ru.Stime)
+}
+
+// Supported reports whether real per-thread CPU measurement works here.
+func (OSThreadMeter) Supported() bool {
+	var ru syscall.Rusage
+	return syscall.Getrusage(rusageThread, &ru) == nil
+}
+
+// Pin locks the calling goroutine to its OS thread for measurement.
+func (OSThreadMeter) Pin() { runtime.LockOSThread() }
+
+// Unpin releases the calling goroutine from its OS thread.
+func (OSThreadMeter) Unpin() { runtime.UnlockOSThread() }
+
+func tvToDuration(tv syscall.Timeval) time.Duration {
+	return time.Duration(tv.Sec)*time.Second + time.Duration(tv.Usec)*time.Microsecond
+}
+
+// ProcessCPU returns the cumulative user+system CPU of the whole process
+// (RUSAGE_SELF): the §4 experiments use deltas of it as the "manual truth"
+// for a run's total CPU consumption.
+func ProcessCPU() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return tvToDuration(ru.Utime) + tvToDuration(ru.Stime)
+}

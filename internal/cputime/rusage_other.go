@@ -1,0 +1,27 @@
+//go:build !linux
+
+package cputime
+
+import "time"
+
+// OSThreadMeter is unavailable on this platform; it reports zero CPU and
+// Supported() == false, mirroring the paper's note that per-thread CPU is
+// only available on some OS versions (HPUX 11 but not earlier).
+type OSThreadMeter struct{}
+
+var _ Meter = OSThreadMeter{}
+
+// ThreadCPU implements Meter; always zero on unsupported platforms.
+func (OSThreadMeter) ThreadCPU() time.Duration { return 0 }
+
+// Supported reports false: no per-thread CPU facility here.
+func (OSThreadMeter) Supported() bool { return false }
+
+// Pin is a no-op on unsupported platforms.
+func (OSThreadMeter) Pin() {}
+
+// Unpin is a no-op on unsupported platforms.
+func (OSThreadMeter) Unpin() {}
+
+// ProcessCPU is unavailable on this platform and reports zero.
+func ProcessCPU() time.Duration { return 0 }

@@ -1,0 +1,234 @@
+// Package ftl implements the Function-Transportable Log (FTL), the
+// constant-size token the paper's virtual tunnel propagates along every
+// end-to-end call chain (§2.1, Figure 3):
+//
+//	struct FunctionTxLogType {
+//	    UUID          global_function_id;
+//	    unsigned long event_seq_no;
+//	};
+//
+// The FTL travels stub→skeleton as a hidden in-out parameter on the wire,
+// and function-body→child-stub through thread-specific storage (package
+// gls). Probes only ever *update* the FTL — no log concatenation occurs as
+// the call progresses, which is what lets chains of unbounded depth be
+// traced (contrast with the Trace-Object baseline in internal/baseline).
+package ftl
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"causeway/internal/gls"
+	"causeway/internal/uuid"
+)
+
+// Event identifies which of the four tracing events a probe records
+// (paper §2.1: stub start, stub end, skeleton start, skeleton end).
+type Event uint8
+
+// The four tracing events. Values are part of the on-disk log format.
+const (
+	StubStart Event = iota + 1
+	SkelStart
+	SkelEnd
+	StubEnd
+)
+
+// String returns the paper's notation for the event (e.g. "stub_start").
+func (e Event) String() string {
+	switch e {
+	case StubStart:
+		return "stub_start"
+	case SkelStart:
+		return "skel_start"
+	case SkelEnd:
+		return "skel_end"
+	case StubEnd:
+		return "stub_end"
+	default:
+		return fmt.Sprintf("event(%d)", uint8(e))
+	}
+}
+
+// Valid reports whether e is one of the four defined tracing events.
+func (e Event) Valid() bool { return e >= StubStart && e <= StubEnd }
+
+// ProbeNumber returns the Figure-1 probe sequence number (1-4) that records
+// this event on the synchronous invocation path.
+func (e Event) ProbeNumber() int {
+	switch e {
+	case StubStart:
+		return 1
+	case SkelStart:
+		return 2
+	case SkelEnd:
+		return 3
+	case StubEnd:
+		return 4
+	default:
+		return 0
+	}
+}
+
+// FTL is the Function-Transportable Log: the global Function UUID naming
+// the causal chain, plus the event sequence number incremented at every
+// tracing event along the chain.
+type FTL struct {
+	Chain uuid.UUID
+	Seq   uint64
+}
+
+// WireSize is the encoded size of an FTL. It is a constant — independent of
+// call-chain depth — which is the property the paper's related-work section
+// contrasts against concatenating trace objects.
+const WireSize = uuid.Size + 8
+
+// NextSeq increments and returns the event sequence number. Each tracing
+// event along the chain calls NextSeq exactly once.
+func (f *FTL) NextSeq() uint64 {
+	f.Seq++
+	return f.Seq
+}
+
+// Encode appends the wire form of f to dst and returns the result.
+func (f FTL) Encode(dst []byte) []byte {
+	dst = append(dst, f.Chain[:]...)
+	var seq [8]byte
+	binary.BigEndian.PutUint64(seq[:], f.Seq)
+	return append(dst, seq[:]...)
+}
+
+// Decode parses an FTL from the front of src, returning the remainder.
+func Decode(src []byte) (FTL, []byte, error) {
+	if len(src) < WireSize {
+		return FTL{}, src, fmt.Errorf("ftl: short buffer: %d bytes, need %d", len(src), WireSize)
+	}
+	var f FTL
+	copy(f.Chain[:], src[:uuid.Size])
+	f.Seq = binary.BigEndian.Uint64(src[uuid.Size:WireSize])
+	return f, src[WireSize:], nil
+}
+
+// String renders the FTL for log lines.
+func (f FTL) String() string {
+	return fmt.Sprintf("%s#%d", f.Chain.Short(), f.Seq)
+}
+
+// ChainLink records the fork produced by an asynchronous (oneway) call:
+// "call dispatching spurs a fresh causality chain out of the callee thread
+// … The original chain is the parent chain and correspondingly the newly
+// created chain is its child. Such a parent/child chain relationship is
+// recorded in the stub start probes of the one-way function calls" (§2.2).
+type ChainLink struct {
+	Parent    uuid.UUID // chain issuing the oneway call
+	ParentSeq uint64    // seq of the oneway call's stub_start event in Parent
+	Child     uuid.UUID // fresh chain executing the callee
+}
+
+// Tunnel is the process-local end of the paper's virtual tunnel: it owns
+// the thread-specific storage that carries the FTL from a function
+// implementation body down to child-function stubs, and mints fresh chains
+// for top-level calls. A Tunnel is created per monitored process.
+type Tunnel struct {
+	store *gls.Store
+	gen   uuid.Generator
+}
+
+// NewTunnel returns a tunnel minting chain ids from gen (nil means random).
+func NewTunnel(gen uuid.Generator) *Tunnel {
+	if gen == nil {
+		gen = uuid.RandomGenerator{}
+	}
+	return &Tunnel{store: gls.NewStore(), gen: gen}
+}
+
+// Current returns the FTL annotated to the calling logical thread, if any.
+func (t *Tunnel) Current() (FTL, bool) {
+	v, ok := t.store.Get()
+	if !ok {
+		return FTL{}, false
+	}
+	f, ok := v.(FTL)
+	return f, ok
+}
+
+// CurrentOrBegin returns the calling thread's FTL, starting a fresh chain
+// (new Function UUID, seq 0) if none is annotated — the top-of-chain case
+// where a plain client thread issues its first component invocation.
+// The second result reports whether a fresh chain was begun.
+func (t *Tunnel) CurrentOrBegin() (FTL, bool) {
+	if f, ok := t.Current(); ok {
+		return f, false
+	}
+	return FTL{Chain: t.gen.NewUUID()}, true
+}
+
+// BeginChild mints the child chain for a oneway call and returns the link
+// record tying it to its parent.
+func (t *Tunnel) BeginChild(parent FTL) (FTL, ChainLink) {
+	child := FTL{Chain: t.gen.NewUUID()}
+	return child, ChainLink{Parent: parent.Chain, ParentSeq: parent.Seq, Child: child.Chain}
+}
+
+// Store annotates the calling logical thread with f (observation O2: a
+// dispatch thread is always refreshed with the served call's latest FTL).
+func (t *Tunnel) Store(f FTL) { t.store.Set(f) }
+
+// Clear removes the calling thread's annotation; dispatch loops call Clear
+// when a served call completes so pooled threads never hold stale FTLs.
+func (t *Tunnel) Clear() { t.store.Clear() }
+
+// Swap atomically replaces the calling thread's FTL annotation, returning
+// the previous one. STA-style schedulers that multiplex one thread across
+// logical calls use Swap to save/restore tunnel state around dispatch
+// (§2.2, the COM chain-mingling fix).
+func (t *Tunnel) Swap(f FTL) (FTL, bool) {
+	prev, had := t.store.Swap(f)
+	if !had {
+		return FTL{}, false
+	}
+	p, ok := prev.(FTL)
+	return p, ok && had
+}
+
+// Restore re-annotates the calling thread with a previously swapped-out
+// FTL; if had is false the annotation is cleared instead.
+func (t *Tunnel) Restore(f FTL, had bool) {
+	if had {
+		t.store.Set(f)
+	} else {
+		t.store.Clear()
+	}
+}
+
+// Annotated reports how many logical threads currently hold FTLs; leak
+// tests assert this returns to zero when a system quiesces.
+func (t *Tunnel) Annotated() int { return t.store.Len() }
+
+// The G-variants below take an explicit goroutine id so probe sites that
+// already resolved the calling thread's identity (an expensive
+// runtime.Stack parse) do not resolve it again.
+
+// CurrentG is Current for an explicit goroutine id.
+func (t *Tunnel) CurrentG(gid uint64) (FTL, bool) {
+	v, ok := t.store.GetG(gid)
+	if !ok {
+		return FTL{}, false
+	}
+	f, ok := v.(FTL)
+	return f, ok
+}
+
+// CurrentOrBeginG is CurrentOrBegin for an explicit goroutine id.
+func (t *Tunnel) CurrentOrBeginG(gid uint64) (FTL, bool) {
+	if f, ok := t.CurrentG(gid); ok {
+		return f, false
+	}
+	return FTL{Chain: t.gen.NewUUID()}, true
+}
+
+// StoreG is Store for an explicit goroutine id.
+func (t *Tunnel) StoreG(gid uint64, f FTL) { t.store.SetG(gid, f) }
+
+// ClearG is Clear for an explicit goroutine id.
+func (t *Tunnel) ClearG(gid uint64) { t.store.ClearG(gid) }

@@ -1,0 +1,140 @@
+// Package gls provides goroutine-local storage: the Go analog of the
+// thread-specific storage (TSS) the paper's virtual tunnel relies on.
+//
+// The tunnel transports the Function-Transportable Log from a function
+// implementation body down to its child function's stub "through a
+// thread-specific storage … completely transparent to user applications"
+// (paper §2.1, Figure 2). Go deliberately hides goroutine identity, so a
+// library-level analog must recover it from the runtime stack header; this
+// is the one non-idiomatic trick the transparent-tunnel property requires,
+// and it is confined to this package.
+//
+// Slots must be explicitly cleared (or the goroutine Released) when a
+// logical execution entity finishes; the ORB runtime does this on every
+// dispatch, realizing the paper's observation O2 (a pooled thread is always
+// refreshed with the latest FTL and never leaks a stale one).
+package gls
+
+import (
+	"runtime"
+	"sync"
+)
+
+// shardCount spreads goroutine slots over independently locked maps to keep
+// contention low when many dispatch goroutines run probes concurrently.
+const shardCount = 64
+
+type shard struct {
+	mu sync.RWMutex
+	m  map[uint64]any
+}
+
+// Store is a goroutine-keyed map. Each goroutine sees its own value.
+// The zero value is not usable; create Stores with NewStore.
+type Store struct {
+	shards [shardCount]shard
+}
+
+// NewStore returns an empty Store.
+func NewStore() *Store {
+	s := &Store{}
+	for i := range s.shards {
+		s.shards[i].m = make(map[uint64]any)
+	}
+	return s
+}
+
+// GoroutineID returns the runtime id of the calling goroutine.
+//
+// The id is parsed from the first line of the runtime stack trace
+// ("goroutine N [running]:"). This costs roughly a microsecond; probe sites
+// cache it per dispatch where possible.
+func GoroutineID() uint64 {
+	var buf [40]byte
+	n := runtime.Stack(buf[:], false)
+	// Header is "goroutine <id> [...": parse the digits in place.
+	const prefix = len("goroutine ")
+	if n <= prefix {
+		return 0
+	}
+	var id uint64
+	for _, c := range buf[prefix:n] {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id
+}
+
+func (s *Store) shardFor(gid uint64) *shard {
+	return &s.shards[gid%shardCount]
+}
+
+// Get returns the calling goroutine's value and whether one was set.
+func (s *Store) Get() (any, bool) {
+	return s.GetG(GoroutineID())
+}
+
+// GetG is Get for an explicit goroutine id (used by schedulers that manage
+// logical threads on behalf of other goroutines).
+func (s *Store) GetG(gid uint64) (any, bool) {
+	sh := s.shardFor(gid)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	v, ok := sh.m[gid]
+	return v, ok
+}
+
+// Set stores v for the calling goroutine.
+func (s *Store) Set(v any) {
+	s.SetG(GoroutineID(), v)
+}
+
+// SetG is Set for an explicit goroutine id.
+func (s *Store) SetG(gid uint64, v any) {
+	sh := s.shardFor(gid)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.m[gid] = v
+}
+
+// Clear removes the calling goroutine's value, if any.
+func (s *Store) Clear() {
+	s.ClearG(GoroutineID())
+}
+
+// ClearG is Clear for an explicit goroutine id.
+func (s *Store) ClearG(gid uint64) {
+	sh := s.shardFor(gid)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	delete(sh.m, gid)
+}
+
+// Swap stores v for the calling goroutine and returns the previous value.
+// Schedulers that multiplex one goroutine across logical calls (the COM STA
+// message loop) use Swap to save and restore tunnel state around dispatch,
+// which is exactly the paper's fix for causal chain mingling (§2.2).
+func (s *Store) Swap(v any) (prev any, had bool) {
+	gid := GoroutineID()
+	sh := s.shardFor(gid)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	prev, had = sh.m[gid]
+	sh.m[gid] = v
+	return prev, had
+}
+
+// Len reports how many goroutines currently hold values; useful in leak
+// tests asserting that dispatch paths always clear their slots.
+func (s *Store) Len() int {
+	total := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		total += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return total
+}

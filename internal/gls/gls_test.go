@@ -1,0 +1,126 @@
+package gls
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGoroutineIDStableAndDistinct(t *testing.T) {
+	id1 := GoroutineID()
+	id2 := GoroutineID()
+	if id1 == 0 {
+		t.Fatal("GoroutineID returned 0")
+	}
+	if id1 != id2 {
+		t.Fatalf("unstable id on same goroutine: %d then %d", id1, id2)
+	}
+	ch := make(chan uint64)
+	go func() { ch <- GoroutineID() }()
+	other := <-ch
+	if other == id1 {
+		t.Fatal("two goroutines share an id")
+	}
+}
+
+func TestSetGetClear(t *testing.T) {
+	s := NewStore()
+	if _, ok := s.Get(); ok {
+		t.Fatal("fresh store has a value")
+	}
+	s.Set("hello")
+	v, ok := s.Get()
+	if !ok || v != "hello" {
+		t.Fatalf("Get = %v, %v", v, ok)
+	}
+	s.Clear()
+	if _, ok := s.Get(); ok {
+		t.Fatal("value survived Clear")
+	}
+}
+
+func TestIsolationBetweenGoroutines(t *testing.T) {
+	s := NewStore()
+	const n = 32
+	var wg sync.WaitGroup
+	errs := make(chan string, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(me int) {
+			defer wg.Done()
+			s.Set(me)
+			for j := 0; j < 100; j++ {
+				v, ok := s.Get()
+				if !ok || v != me {
+					errs <- "goroutine saw foreign value"
+					return
+				}
+			}
+			s.Clear()
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	if got := s.Len(); got != 0 {
+		t.Fatalf("Len after all cleared = %d, want 0", got)
+	}
+}
+
+func TestSwapSaveRestore(t *testing.T) {
+	s := NewStore()
+	s.Set("outer")
+	prev, had := s.Swap("inner")
+	if !had || prev != "outer" {
+		t.Fatalf("Swap returned %v, %v", prev, had)
+	}
+	if v, _ := s.Get(); v != "inner" {
+		t.Fatalf("after swap Get = %v", v)
+	}
+	// Restore, as an STA loop would around dispatch.
+	s.Set(prev)
+	if v, _ := s.Get(); v != "outer" {
+		t.Fatalf("after restore Get = %v", v)
+	}
+	s.Clear()
+}
+
+func TestSwapOnEmpty(t *testing.T) {
+	s := NewStore()
+	prev, had := s.Swap(1)
+	if had || prev != nil {
+		t.Fatalf("Swap on empty = %v, %v", prev, had)
+	}
+	s.Clear()
+}
+
+func TestExplicitGidOps(t *testing.T) {
+	s := NewStore()
+	s.SetG(12345, "x")
+	if v, ok := s.GetG(12345); !ok || v != "x" {
+		t.Fatalf("GetG = %v, %v", v, ok)
+	}
+	if _, ok := s.Get(); ok {
+		t.Fatal("calling goroutine should have no value")
+	}
+	s.ClearG(12345)
+	if s.Len() != 0 {
+		t.Fatal("ClearG left residue")
+	}
+}
+
+func BenchmarkGoroutineID(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		GoroutineID()
+	}
+}
+
+func BenchmarkStoreGet(b *testing.B) {
+	s := NewStore()
+	s.Set(42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Get()
+	}
+}

@@ -1,0 +1,157 @@
+package idl
+
+import "fmt"
+
+// TypeKind classifies IDL types.
+type TypeKind int
+
+// Type kinds.
+const (
+	TVoid TypeKind = iota + 1
+	TBoolean
+	TOctet
+	TShort
+	TUShort
+	TLong
+	TULong
+	TLongLong
+	TFloat
+	TDouble
+	TString
+	TSequence // Elem holds the element type
+	TNamed    // Name refers to a struct
+)
+
+// Type is an IDL type expression.
+type Type struct {
+	Kind TypeKind
+	Elem *Type  // for TSequence
+	Name string // for TNamed
+}
+
+// String renders the IDL spelling of the type.
+func (t *Type) String() string {
+	switch t.Kind {
+	case TVoid:
+		return "void"
+	case TBoolean:
+		return "boolean"
+	case TOctet:
+		return "octet"
+	case TShort:
+		return "short"
+	case TUShort:
+		return "unsigned short"
+	case TLong:
+		return "long"
+	case TULong:
+		return "unsigned long"
+	case TLongLong:
+		return "long long"
+	case TFloat:
+		return "float"
+	case TDouble:
+		return "double"
+	case TString:
+		return "string"
+	case TSequence:
+		return fmt.Sprintf("sequence<%s>", t.Elem)
+	case TNamed:
+		return t.Name
+	default:
+		return fmt.Sprintf("type(%d)", int(t.Kind))
+	}
+}
+
+// ParamDir is a parameter passing direction.
+type ParamDir int
+
+// Parameter directions.
+const (
+	DirIn ParamDir = iota + 1
+	DirOut
+	DirInOut
+)
+
+// String renders the IDL direction keyword.
+func (d ParamDir) String() string {
+	switch d {
+	case DirIn:
+		return "in"
+	case DirOut:
+		return "out"
+	case DirInOut:
+		return "inout"
+	default:
+		return fmt.Sprintf("dir(%d)", int(d))
+	}
+}
+
+// Param is one operation parameter.
+type Param struct {
+	Dir  ParamDir
+	Type *Type
+	Name string
+}
+
+// Operation is one interface method.
+type Operation struct {
+	Name   string
+	Oneway bool
+	Ret    *Type
+	Params []Param
+	Raises []string // exception names
+	Line   int
+}
+
+// Member is one struct or exception field.
+type Member struct {
+	Type *Type
+	Name string
+}
+
+// Interface is one IDL interface.
+type Interface struct {
+	Name string
+	Ops  []Operation
+	Line int
+}
+
+// Struct is one IDL struct.
+type Struct struct {
+	Name    string
+	Members []Member
+	Line    int
+}
+
+// Exception is one IDL exception.
+type Exception struct {
+	Name    string
+	Members []Member
+	Line    int
+}
+
+// Enum is one IDL enumeration.
+type Enum struct {
+	Name    string
+	Members []string
+	Line    int
+}
+
+// Module is a named scope. The generator flattens modules into Go name
+// prefixes when they nest.
+type Module struct {
+	Name       string
+	Interfaces []Interface
+	Structs    []Struct
+	Exceptions []Exception
+	Enums      []Enum
+	Modules    []Module
+	Line       int
+}
+
+// Spec is a parsed IDL compilation unit: declarations at file scope plus
+// any modules.
+type Spec struct {
+	Module // anonymous file-scope "module"
+}

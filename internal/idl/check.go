@@ -1,0 +1,193 @@
+package idl
+
+import "fmt"
+
+// SemanticError reports a semantic violation found during Check.
+type SemanticError struct {
+	Line int
+	Msg  string
+}
+
+// Error implements error.
+func (e *SemanticError) Error() string {
+	return fmt.Sprintf("idl:%d: %s", e.Line, e.Msg)
+}
+
+// Symbols is the flattened symbol table of a checked spec: structs and
+// exceptions by their qualified (module-prefixed) names; the generator
+// consumes it.
+type Symbols struct {
+	Structs    map[string]*Struct
+	Exceptions map[string]*Exception
+	Enums      map[string]*Enum
+	Interfaces []*Interface
+	// Prefix maps each declaration to the module path prefix it was
+	// declared under (for Go name mangling of nested modules).
+	Prefix map[any]string
+}
+
+// Check validates a parsed spec: unique names, resolvable named types,
+// oneway restrictions (void return, in-params only, no raises), resolvable
+// raises clauses. It returns the symbol table on success.
+func Check(spec *Spec) (*Symbols, error) {
+	sym := &Symbols{
+		Structs:    make(map[string]*Struct),
+		Exceptions: make(map[string]*Exception),
+		Enums:      make(map[string]*Enum),
+		Prefix:     make(map[any]string),
+	}
+	if err := collect(&spec.Module, "", sym); err != nil {
+		return nil, err
+	}
+	// Resolve types and enforce operation rules.
+	for _, iface := range sym.Interfaces {
+		names := map[string]bool{}
+		for i := range iface.Ops {
+			op := &iface.Ops[i]
+			if names[op.Name] {
+				return nil, &SemanticError{Line: op.Line, Msg: fmt.Sprintf("interface %s: duplicate operation %q (IDL has no overloading)", iface.Name, op.Name)}
+			}
+			names[op.Name] = true
+			if err := resolveType(op.Ret, op.Line, sym); err != nil {
+				return nil, err
+			}
+			pnames := map[string]bool{}
+			for _, prm := range op.Params {
+				if pnames[prm.Name] {
+					return nil, &SemanticError{Line: op.Line, Msg: fmt.Sprintf("operation %s: duplicate parameter %q", op.Name, prm.Name)}
+				}
+				pnames[prm.Name] = true
+				if err := resolveType(prm.Type, op.Line, sym); err != nil {
+					return nil, err
+				}
+			}
+			if op.Oneway {
+				if op.Ret.Kind != TVoid {
+					return nil, &SemanticError{Line: op.Line, Msg: fmt.Sprintf("oneway operation %s must return void", op.Name)}
+				}
+				for _, prm := range op.Params {
+					if prm.Dir != DirIn {
+						return nil, &SemanticError{Line: op.Line, Msg: fmt.Sprintf("oneway operation %s: parameter %q must be 'in'", op.Name, prm.Name)}
+					}
+				}
+				if len(op.Raises) > 0 {
+					return nil, &SemanticError{Line: op.Line, Msg: fmt.Sprintf("oneway operation %s cannot raise exceptions", op.Name)}
+				}
+			}
+			for _, ex := range op.Raises {
+				if _, ok := sym.Exceptions[ex]; !ok {
+					return nil, &SemanticError{Line: op.Line, Msg: fmt.Sprintf("operation %s raises unknown exception %q", op.Name, ex)}
+				}
+			}
+		}
+	}
+	// Resolve struct and exception member types (including struct-in-struct).
+	for _, st := range sym.Structs {
+		for _, m := range st.Members {
+			if err := resolveType(m.Type, st.Line, sym); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, ex := range sym.Exceptions {
+		for _, m := range ex.Members {
+			if err := resolveType(m.Type, ex.Line, sym); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return sym, nil
+}
+
+func collect(m *Module, prefix string, sym *Symbols) error {
+	for i := range m.Structs {
+		st := &m.Structs[i]
+		if err := declare(sym, st.Name, st.Line); err != nil {
+			return err
+		}
+		sym.Structs[st.Name] = st
+		sym.Prefix[st] = prefix
+	}
+	for i := range m.Exceptions {
+		ex := &m.Exceptions[i]
+		if err := declare(sym, ex.Name, ex.Line); err != nil {
+			return err
+		}
+		sym.Exceptions[ex.Name] = ex
+		sym.Prefix[ex] = prefix
+	}
+	for i := range m.Enums {
+		en := &m.Enums[i]
+		if err := declare(sym, en.Name, en.Line); err != nil {
+			return err
+		}
+		if len(en.Members) == 0 {
+			return &SemanticError{Line: en.Line, Msg: fmt.Sprintf("enum %q has no members", en.Name)}
+		}
+		seen := map[string]bool{}
+		for _, mb := range en.Members {
+			if seen[mb] {
+				return &SemanticError{Line: en.Line, Msg: fmt.Sprintf("enum %q: duplicate member %q", en.Name, mb)}
+			}
+			seen[mb] = true
+		}
+		sym.Enums[en.Name] = en
+		sym.Prefix[en] = prefix
+	}
+	for i := range m.Interfaces {
+		iface := &m.Interfaces[i]
+		for _, seen := range sym.Interfaces {
+			if seen.Name == iface.Name {
+				return &SemanticError{Line: iface.Line, Msg: fmt.Sprintf("duplicate interface %q", iface.Name)}
+			}
+		}
+		if err := declare(sym, iface.Name, iface.Line); err != nil {
+			return err
+		}
+		sym.Interfaces = append(sym.Interfaces, iface)
+		sym.Prefix[iface] = prefix
+	}
+	for i := range m.Modules {
+		sub := &m.Modules[i]
+		subPrefix := prefix + sub.Name + "_"
+		if err := collect(sub, subPrefix, sym); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// declare enforces a single flat namespace for type names: the Go mapping
+// flattens modules, so cross-module collisions must be rejected here.
+func declare(sym *Symbols, name string, line int) error {
+	if _, dup := sym.Structs[name]; dup {
+		return &SemanticError{Line: line, Msg: fmt.Sprintf("duplicate type name %q", name)}
+	}
+	if _, dup := sym.Exceptions[name]; dup {
+		return &SemanticError{Line: line, Msg: fmt.Sprintf("duplicate type name %q", name)}
+	}
+	if _, dup := sym.Enums[name]; dup {
+		return &SemanticError{Line: line, Msg: fmt.Sprintf("duplicate type name %q", name)}
+	}
+	return nil
+}
+
+func resolveType(t *Type, line int, sym *Symbols) error {
+	switch t.Kind {
+	case TSequence:
+		return resolveType(t.Elem, line, sym)
+	case TNamed:
+		if _, ok := sym.Structs[t.Name]; ok {
+			return nil
+		}
+		if _, ok := sym.Enums[t.Name]; ok {
+			return nil
+		}
+		if _, isEx := sym.Exceptions[t.Name]; isEx {
+			return &SemanticError{Line: line, Msg: fmt.Sprintf("exception %q cannot be used as a data type", t.Name)}
+		}
+		return &SemanticError{Line: line, Msg: fmt.Sprintf("unknown type %q", t.Name)}
+	default:
+		return nil
+	}
+}

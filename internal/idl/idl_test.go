@@ -1,0 +1,247 @@
+package idl
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleIDL = `
+// Printing pipeline interfaces (Figure 3 style).
+module Example {
+    struct JobInfo {
+        long id;
+        string name;
+        sequence<octet> payload;
+    };
+
+    exception PrinterJam {
+        string location;
+    };
+
+    interface Foo {
+        void funcA(in long x);
+        string funcB(in float y);
+        long long big(in unsigned long a, in unsigned short b, inout double d, out boolean ok);
+        JobInfo submit(in JobInfo job, in sequence<long> pages) raises (PrinterJam);
+        oneway void poke(in string msg);
+    };
+};
+`
+
+func TestParseSample(t *testing.T) {
+	spec, err := Parse(sampleIDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Modules) != 1 || spec.Modules[0].Name != "Example" {
+		t.Fatalf("modules = %+v", spec.Modules)
+	}
+	m := spec.Modules[0]
+	if len(m.Interfaces) != 1 || m.Interfaces[0].Name != "Foo" {
+		t.Fatalf("interfaces = %+v", m.Interfaces)
+	}
+	ops := m.Interfaces[0].Ops
+	if len(ops) != 5 {
+		t.Fatalf("ops = %d", len(ops))
+	}
+	if ops[0].Name != "funcA" || ops[0].Ret.Kind != TVoid || len(ops[0].Params) != 1 {
+		t.Fatalf("funcA = %+v", ops[0])
+	}
+	if ops[2].Params[2].Dir != DirInOut || ops[2].Params[3].Dir != DirOut {
+		t.Fatalf("big params = %+v", ops[2].Params)
+	}
+	if ops[2].Ret.Kind != TLongLong {
+		t.Fatalf("big ret = %v", ops[2].Ret)
+	}
+	if len(ops[3].Raises) != 1 || ops[3].Raises[0] != "PrinterJam" {
+		t.Fatalf("raises = %v", ops[3].Raises)
+	}
+	if !ops[4].Oneway {
+		t.Fatal("poke not oneway")
+	}
+	if m.Structs[0].Members[2].Type.Kind != TSequence || m.Structs[0].Members[2].Type.Elem.Kind != TOctet {
+		t.Fatalf("payload type = %v", m.Structs[0].Members[2].Type)
+	}
+}
+
+func TestCheckSample(t *testing.T) {
+	spec, err := Parse(sampleIDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sym, err := Check(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sym.Structs["JobInfo"]; !ok {
+		t.Fatal("JobInfo not collected")
+	}
+	if _, ok := sym.Exceptions["PrinterJam"]; !ok {
+		t.Fatal("PrinterJam not collected")
+	}
+	if len(sym.Interfaces) != 1 {
+		t.Fatalf("interfaces = %d", len(sym.Interfaces))
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	spec, err := Parse(sampleIDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ty := spec.Modules[0].Structs[0].Members[2].Type
+	if got := ty.String(); got != "sequence<octet>" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := Lex("interface /* block\ncomment */ Foo // line\n{}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 5 { // interface Foo { } EOF
+		t.Fatalf("tokens = %v", toks)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := Lex("interface Foo { @ }"); err == nil {
+		t.Fatal("bad character accepted")
+	}
+	if _, err := Lex("/* never closed"); err == nil {
+		t.Fatal("unterminated comment accepted")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src, wantSub string
+	}{
+		{"interface {", "identifier"},
+		{"interface Foo { void f(in long); }", "identifier"},
+		{"interface Foo { void f(long x); }", "direction"},
+		{"interface Foo { void f() ", "';'"},
+		{"module M { interface I {} ", "end of file"},
+		{"interface Foo { void f(in void v); }", "void"},
+		{"interface Foo { unsigned float f(); }", "unsigned"},
+		{"struct S { long }", "identifier"},
+		{"}", "unexpected"},
+		{"banana", "declaration"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("Parse(%q) error %q does not mention %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	cases := []struct {
+		src, wantSub string
+	}{
+		{"interface I { void f(in Nope x); }", "unknown type"},
+		{"interface I { oneway long f(); }", "must return void"},
+		{"interface I { oneway void f(out long x); }", "must be 'in'"},
+		{"exception E { string m; }; interface I { oneway void f() raises (E); }", "cannot raise"},
+		{"interface I { void f() raises (Ghost); }", "unknown exception"},
+		{"interface I { void f(); void f(); }", "duplicate operation"},
+		{"interface I { void f(in long x, in long x); }", "duplicate parameter"},
+		{"struct S { long a; }; struct S { long b; };", "duplicate type"},
+		{"struct S { long a; }; exception S { long b; };", "duplicate type"},
+		{"interface I {}; interface I {};", "duplicate interface"},
+		{"exception E { string m; }; struct S { E e; };", "cannot be used as a data type"},
+		{"module A { struct S { long x; }; }; module B { struct S { long y; }; };", "duplicate type"},
+	}
+	for _, c := range cases {
+		spec, err := Parse(c.src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.src, err)
+			continue
+		}
+		_, err = Check(spec)
+		if err == nil {
+			t.Errorf("Check(%q) succeeded", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("Check(%q) error %q does not mention %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestNestedModulesPrefix(t *testing.T) {
+	spec, err := Parse("module A { module B { struct S { long x; }; interface I { void f(); }; }; };")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sym, err := Check(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sym.Structs["S"]
+	if got := sym.Prefix[st]; got != "A_B_" {
+		t.Fatalf("struct prefix = %q", got)
+	}
+	if got := sym.Prefix[sym.Interfaces[0]]; got != "A_B_" {
+		t.Fatalf("interface prefix = %q", got)
+	}
+}
+
+func TestErrorPositions(t *testing.T) {
+	_, err := Parse("interface Foo {\n  void f(bogus long x);\n}")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if se.Line != 2 {
+		t.Fatalf("error line = %d, want 2", se.Line)
+	}
+}
+
+func TestParseEnum(t *testing.T) {
+	spec, err := Parse("enum Color { RED, GREEN, BLUE }; interface I { Color get(in Color c); };")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Enums) != 1 || spec.Enums[0].Name != "Color" || len(spec.Enums[0].Members) != 3 {
+		t.Fatalf("enums = %+v", spec.Enums)
+	}
+	sym, err := Check(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sym.Enums["Color"]; !ok {
+		t.Fatal("enum not collected")
+	}
+}
+
+func TestEnumErrors(t *testing.T) {
+	cases := []struct{ src, wantSub string }{
+		{"enum E { A, A };", "duplicate member"},
+		{"enum E { A }; enum E { B };", "duplicate type"},
+		{"enum E { A }; struct E { long x; };", "duplicate type"},
+		{"enum E {};", "identifier"},
+	}
+	for _, c := range cases {
+		spec, err := Parse(c.src)
+		if err == nil {
+			_, err = Check(spec)
+		}
+		if err == nil {
+			t.Errorf("%q accepted", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%q: error %q does not mention %q", c.src, err, c.wantSub)
+		}
+	}
+}

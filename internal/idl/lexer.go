@@ -1,0 +1,170 @@
+// Package idl implements the interface-definition-language front end of
+// the monitoring framework's IDL compiler: lexer, parser, AST and semantic
+// checks for the CORBA-IDL subset the paper's examples use (modules,
+// interfaces with synchronous and oneway operations, in/out/inout
+// parameters, raises clauses, structs, exceptions, sequences, and the
+// primitive types).
+package idl
+
+import (
+	"fmt"
+	"unicode"
+)
+
+// TokenKind classifies lexical tokens.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota + 1
+	TokIdent
+	TokKeyword
+	TokLBrace // {
+	TokRBrace // }
+	TokLParen // (
+	TokRParen // )
+	TokLAngle // <
+	TokRAngle // >
+	TokSemi   // ;
+	TokComma  // ,
+	TokColon  // :
+)
+
+// Token is one lexical unit with its source position.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Line int
+	Col  int
+}
+
+// String renders the token for error messages.
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of file"
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+// keywords of the supported IDL subset. "unsigned" and "long" compose into
+// multi-word types in the parser.
+var keywords = map[string]bool{
+	"module": true, "interface": true, "struct": true, "exception": true,
+	"enum":   true,
+	"oneway": true, "raises": true, "in": true, "out": true, "inout": true,
+	"void": true, "boolean": true, "octet": true, "short": true,
+	"long": true, "unsigned": true, "float": true, "double": true,
+	"string": true, "sequence": true,
+}
+
+// SyntaxError reports a lexical or parse failure with position.
+type SyntaxError struct {
+	Line, Col int
+	Msg       string
+}
+
+// Error implements error.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("idl:%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// Lex tokenizes src, stripping // and /* */ comments.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line, col := 1, 1
+	i := 0
+	advance := func(n int) {
+		for j := 0; j < n; j++ {
+			if src[i+j] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+		}
+		i += n
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			advance(1)
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				advance(1)
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			startLine, startCol := line, col
+			advance(2)
+			closed := false
+			for i+1 < len(src) {
+				if src[i] == '*' && src[i+1] == '/' {
+					advance(2)
+					closed = true
+					break
+				}
+				advance(1)
+			}
+			if !closed {
+				return nil, &SyntaxError{Line: startLine, Col: startCol, Msg: "unterminated block comment"}
+			}
+		case isIdentStart(rune(c)):
+			startLine, startCol := line, col
+			j := i
+			for j < len(src) && isIdentPart(rune(src[j])) {
+				j++
+			}
+			text := src[i:j]
+			advance(j - i)
+			kind := TokIdent
+			if keywords[text] {
+				kind = TokKeyword
+			}
+			toks = append(toks, Token{Kind: kind, Text: text, Line: startLine, Col: startCol})
+		default:
+			kind, ok := punct(c)
+			if !ok {
+				return nil, &SyntaxError{Line: line, Col: col, Msg: fmt.Sprintf("unexpected character %q", c)}
+			}
+			toks = append(toks, Token{Kind: kind, Text: string(c), Line: line, Col: col})
+			advance(1)
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Line: line, Col: col})
+	return toks, nil
+}
+
+func punct(c byte) (TokenKind, bool) {
+	switch c {
+	case '{':
+		return TokLBrace, true
+	case '}':
+		return TokRBrace, true
+	case '(':
+		return TokLParen, true
+	case ')':
+		return TokRParen, true
+	case '<':
+		return TokLAngle, true
+	case '>':
+		return TokRAngle, true
+	case ';':
+		return TokSemi, true
+	case ',':
+		return TokComma, true
+	case ':':
+		return TokColon, true
+	default:
+		return 0, false
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

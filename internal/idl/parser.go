@@ -1,0 +1,390 @@
+package idl
+
+import "fmt"
+
+// Parse lexes and parses an IDL compilation unit.
+func Parse(src string) (*Spec, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	spec := &Spec{}
+	if err := p.parseModuleBody(&spec.Module, true); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errf(t Token, format string, args ...any) error {
+	return &SyntaxError{Line: t.Line, Col: t.Col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(kind TokenKind, what string) (Token, error) {
+	t := p.next()
+	if t.Kind != kind {
+		return t, p.errf(t, "expected %s, found %s", what, t)
+	}
+	return t, nil
+}
+
+func (p *parser) expectKeyword(kw string) (Token, error) {
+	t := p.next()
+	if t.Kind != TokKeyword || t.Text != kw {
+		return t, p.errf(t, "expected %q, found %s", kw, t)
+	}
+	return t, nil
+}
+
+func (p *parser) expectIdent() (Token, error) {
+	t := p.next()
+	if t.Kind != TokIdent {
+		return t, p.errf(t, "expected identifier, found %s", t)
+	}
+	return t, nil
+}
+
+// parseModuleBody parses declarations until '}' (or EOF at top level).
+func (p *parser) parseModuleBody(m *Module, topLevel bool) error {
+	for {
+		t := p.cur()
+		switch {
+		case t.Kind == TokEOF:
+			if !topLevel {
+				return p.errf(t, "unexpected end of file inside module %q", m.Name)
+			}
+			return nil
+		case t.Kind == TokRBrace:
+			if topLevel {
+				return p.errf(t, "unexpected %s at file scope", t)
+			}
+			return nil
+		case t.Kind == TokKeyword && t.Text == "module":
+			sub, err := p.parseModule()
+			if err != nil {
+				return err
+			}
+			m.Modules = append(m.Modules, *sub)
+		case t.Kind == TokKeyword && t.Text == "interface":
+			iface, err := p.parseInterface()
+			if err != nil {
+				return err
+			}
+			m.Interfaces = append(m.Interfaces, *iface)
+		case t.Kind == TokKeyword && t.Text == "struct":
+			st, err := p.parseStruct()
+			if err != nil {
+				return err
+			}
+			m.Structs = append(m.Structs, *st)
+		case t.Kind == TokKeyword && t.Text == "exception":
+			ex, err := p.parseException()
+			if err != nil {
+				return err
+			}
+			m.Exceptions = append(m.Exceptions, *ex)
+		case t.Kind == TokKeyword && t.Text == "enum":
+			en, err := p.parseEnum()
+			if err != nil {
+				return err
+			}
+			m.Enums = append(m.Enums, *en)
+		default:
+			return p.errf(t, "expected declaration, found %s", t)
+		}
+	}
+}
+
+func (p *parser) parseModule() (*Module, error) {
+	kw, err := p.expectKeyword("module")
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLBrace, "'{'"); err != nil {
+		return nil, err
+	}
+	m := &Module{Name: name.Text, Line: kw.Line}
+	if err := p.parseModuleBody(m, false); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRBrace, "'}'"); err != nil {
+		return nil, err
+	}
+	p.optionalSemi()
+	return m, nil
+}
+
+func (p *parser) optionalSemi() {
+	if p.cur().Kind == TokSemi {
+		p.pos++
+	}
+}
+
+func (p *parser) parseInterface() (*Interface, error) {
+	kw, err := p.expectKeyword("interface")
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLBrace, "'{'"); err != nil {
+		return nil, err
+	}
+	iface := &Interface{Name: name.Text, Line: kw.Line}
+	for p.cur().Kind != TokRBrace {
+		op, err := p.parseOperation()
+		if err != nil {
+			return nil, err
+		}
+		iface.Ops = append(iface.Ops, *op)
+	}
+	p.pos++ // consume '}'
+	p.optionalSemi()
+	return iface, nil
+}
+
+func (p *parser) parseOperation() (*Operation, error) {
+	op := &Operation{Line: p.cur().Line}
+	if p.cur().Kind == TokKeyword && p.cur().Text == "oneway" {
+		op.Oneway = true
+		p.pos++
+	}
+	ret, err := p.parseType(true)
+	if err != nil {
+		return nil, err
+	}
+	op.Ret = ret
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	op.Name = name.Text
+	if _, err := p.expect(TokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	for p.cur().Kind != TokRParen {
+		if len(op.Params) > 0 {
+			if _, err := p.expect(TokComma, "','"); err != nil {
+				return nil, err
+			}
+		}
+		param, err := p.parseParam()
+		if err != nil {
+			return nil, err
+		}
+		op.Params = append(op.Params, *param)
+	}
+	p.pos++ // consume ')'
+	if p.cur().Kind == TokKeyword && p.cur().Text == "raises" {
+		p.pos++
+		if _, err := p.expect(TokLParen, "'('"); err != nil {
+			return nil, err
+		}
+		for {
+			ex, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			op.Raises = append(op.Raises, ex.Text)
+			if p.cur().Kind != TokComma {
+				break
+			}
+			p.pos++
+		}
+		if _, err := p.expect(TokRParen, "')'"); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokSemi, "';'"); err != nil {
+		return nil, err
+	}
+	return op, nil
+}
+
+func (p *parser) parseParam() (*Param, error) {
+	t := p.next()
+	var dir ParamDir
+	switch {
+	case t.Kind == TokKeyword && t.Text == "in":
+		dir = DirIn
+	case t.Kind == TokKeyword && t.Text == "out":
+		dir = DirOut
+	case t.Kind == TokKeyword && t.Text == "inout":
+		dir = DirInOut
+	default:
+		return nil, p.errf(t, "expected parameter direction (in/out/inout), found %s", t)
+	}
+	ty, err := p.parseType(false)
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	return &Param{Dir: dir, Type: ty, Name: name.Text}, nil
+}
+
+func (p *parser) parseStruct() (*Struct, error) {
+	kw, err := p.expectKeyword("struct")
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	members, err := p.parseMemberBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &Struct{Name: name.Text, Members: members, Line: kw.Line}, nil
+}
+
+func (p *parser) parseException() (*Exception, error) {
+	kw, err := p.expectKeyword("exception")
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	members, err := p.parseMemberBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &Exception{Name: name.Text, Members: members, Line: kw.Line}, nil
+}
+
+func (p *parser) parseEnum() (*Enum, error) {
+	kw, err := p.expectKeyword("enum")
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLBrace, "'{'"); err != nil {
+		return nil, err
+	}
+	en := &Enum{Name: name.Text, Line: kw.Line}
+	for {
+		member, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		en.Members = append(en.Members, member.Text)
+		if p.cur().Kind != TokComma {
+			break
+		}
+		p.pos++
+	}
+	if _, err := p.expect(TokRBrace, "'}'"); err != nil {
+		return nil, err
+	}
+	p.optionalSemi()
+	return en, nil
+}
+
+func (p *parser) parseMemberBlock() ([]Member, error) {
+	if _, err := p.expect(TokLBrace, "'{'"); err != nil {
+		return nil, err
+	}
+	var members []Member
+	for p.cur().Kind != TokRBrace {
+		ty, err := p.parseType(false)
+		if err != nil {
+			return nil, err
+		}
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi, "';'"); err != nil {
+			return nil, err
+		}
+		members = append(members, Member{Type: ty, Name: name.Text})
+	}
+	p.pos++ // consume '}'
+	p.optionalSemi()
+	return members, nil
+}
+
+// parseType parses a type expression; void is accepted only when allowVoid.
+func (p *parser) parseType(allowVoid bool) (*Type, error) {
+	t := p.next()
+	if t.Kind == TokIdent {
+		return &Type{Kind: TNamed, Name: t.Text}, nil
+	}
+	if t.Kind != TokKeyword {
+		return nil, p.errf(t, "expected type, found %s", t)
+	}
+	switch t.Text {
+	case "void":
+		if !allowVoid {
+			return nil, p.errf(t, "void is only valid as a return type")
+		}
+		return &Type{Kind: TVoid}, nil
+	case "boolean":
+		return &Type{Kind: TBoolean}, nil
+	case "octet":
+		return &Type{Kind: TOctet}, nil
+	case "short":
+		return &Type{Kind: TShort}, nil
+	case "float":
+		return &Type{Kind: TFloat}, nil
+	case "double":
+		return &Type{Kind: TDouble}, nil
+	case "string":
+		return &Type{Kind: TString}, nil
+	case "long":
+		if p.cur().Kind == TokKeyword && p.cur().Text == "long" {
+			p.pos++
+			return &Type{Kind: TLongLong}, nil
+		}
+		return &Type{Kind: TLong}, nil
+	case "unsigned":
+		u := p.next()
+		if u.Kind != TokKeyword {
+			return nil, p.errf(u, "expected short or long after unsigned")
+		}
+		switch u.Text {
+		case "short":
+			return &Type{Kind: TUShort}, nil
+		case "long":
+			return &Type{Kind: TULong}, nil
+		default:
+			return nil, p.errf(u, "expected short or long after unsigned, found %q", u.Text)
+		}
+	case "sequence":
+		if _, err := p.expect(TokLAngle, "'<'"); err != nil {
+			return nil, err
+		}
+		elem, err := p.parseType(false)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRAngle, "'>'"); err != nil {
+			return nil, err
+		}
+		return &Type{Kind: TSequence, Elem: elem}, nil
+	default:
+		return nil, p.errf(t, "expected type, found %s", t)
+	}
+}

@@ -1,0 +1,186 @@
+package idlgen
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"causeway/internal/idl"
+)
+
+const sampleIDL = `
+module Example {
+    struct JobInfo {
+        long id;
+        string name;
+        sequence<octet> payload;
+        sequence<sequence<long>> matrix;
+    };
+
+    exception PrinterJam {
+        string location;
+        long tray;
+    };
+
+    interface Foo {
+        void funcA(in long x);
+        string funcB(in float y);
+        long long big(in unsigned long a, in unsigned short b, inout double d, out boolean ok);
+        JobInfo submit(in JobInfo job, in sequence<long> pages) raises (PrinterJam);
+        oneway void poke(in string msg);
+        void nop();
+    };
+};
+`
+
+func generate(t *testing.T, instrument bool) string {
+	t.Helper()
+	spec, err := idl.Parse(sampleIDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := Generate(spec, Options{Package: "genpkg", Instrument: instrument, Source: "sample.idl"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(code)
+}
+
+// TestGeneratedCodeParses ensures both modes emit syntactically valid,
+// gofmt-clean Go.
+func TestGeneratedCodeParses(t *testing.T) {
+	for _, instrument := range []bool{false, true} {
+		code := generate(t, instrument)
+		fset := token.NewFileSet()
+		if _, err := parser.ParseFile(fset, "gen.go", code, 0); err != nil {
+			t.Fatalf("instrument=%v: generated code does not parse: %v\n%s", instrument, err, code)
+		}
+	}
+}
+
+func TestGeneratedSymbols(t *testing.T) {
+	code := generate(t, true)
+	for _, want := range []string{
+		"type JobInfo struct",
+		"func MarshalJobInfo(",
+		"func UnmarshalJobInfo(",
+		"type PrinterJam struct",
+		"func (e *PrinterJam) Error() string",
+		"type Foo interface",
+		"type FooStub struct",
+		"func NewFooStub(",
+		"func DispatchFoo(",
+		"func RegisterFoo(",
+		"FuncA(x int32) error",
+		"FuncB(y float32) (string, error)",
+		"Big(a uint32, b uint16, d float64) (int64, float64, bool, error)",
+		"Submit(job JobInfo, pages []int32) (JobInfo, error)",
+		"Poke(msg string) error",
+	} {
+		if !strings.Contains(code, want) {
+			t.Errorf("generated code missing %q", want)
+		}
+	}
+}
+
+// TestInstrumentationFlagGovernsProbes: the plain output must contain no
+// monitoring references; the instrumented output must carry all four
+// probe calls and the hidden FTL handling.
+func TestInstrumentationFlagGovernsProbes(t *testing.T) {
+	plain := generate(t, false)
+	instr := generate(t, true)
+
+	for _, forbidden := range []string{"StubStart", "SkelStart", "AppendFTL", "TakeFTL", "probe.", "ftl."} {
+		if strings.Contains(plain, forbidden) {
+			t.Errorf("plain output contains %q", forbidden)
+		}
+	}
+	for _, required := range []string{
+		"StubStart", "StubEnd", "SkelStart", "SkelEnd",
+		"CollocStart", "CollocEnd", "AppendFTL", "TakeFTL",
+	} {
+		if !strings.Contains(instr, required) {
+			t.Errorf("instrumented output missing %q", required)
+		}
+	}
+}
+
+// TestFigure3HiddenParam: the instrumented skeleton strips the FTL before
+// decoding declared parameters and the stub appends it after them — the
+// in-out parameter insertion of Figure 3.
+func TestFigure3HiddenParam(t *testing.T) {
+	instr := generate(t, true)
+	if !strings.Contains(instr, "_body = orb.AppendFTL(_body, _sctx.Wire)") {
+		t.Error("stub does not append the hidden FTL parameter")
+	}
+	if !strings.Contains(instr, "_body, _f, _err = orb.TakeFTL(_body)") {
+		t.Error("skeleton does not strip the hidden FTL parameter")
+	}
+	if !strings.Contains(instr, "_rep.Body = orb.AppendFTL(_rep.Body, _rf)") {
+		t.Error("skeleton reply does not carry the FTL back")
+	}
+}
+
+func TestRaisesMapping(t *testing.T) {
+	instr := generate(t, true)
+	if !strings.Contains(instr, `case "PrinterJam":`) {
+		t.Error("stub lacks exception demarshal case")
+	}
+	if !strings.Contains(instr, `orb.UserExceptionReply("PrinterJam"`) {
+		t.Error("skeleton lacks exception reply")
+	}
+}
+
+func TestGenerateRejectsSemanticErrors(t *testing.T) {
+	spec, err := idl.Parse("interface I { void f(in Nope x); }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Generate(spec, Options{Package: "p"}); err == nil {
+		t.Fatal("semantic error not propagated")
+	}
+}
+
+func TestOnewayGeneratesPostPath(t *testing.T) {
+	instr := generate(t, true)
+	if !strings.Contains(instr, `_s.ref.Post("poke"`) {
+		t.Error("oneway stub does not Post")
+	}
+}
+
+func TestEnumGeneration(t *testing.T) {
+	spec, err := idl.Parse(`
+		enum Mode { OFF, SLOW, FAST };
+		struct Cfg { Mode m; sequence<Mode> history; };
+		interface Ctl { Mode bump(in Mode m, out Cfg c); };
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := Generate(spec, Options{Package: "p", Instrument: true, Source: "t.idl"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := string(raw)
+	for _, want := range []string{
+		"type Mode uint32",
+		"ModeOFF",
+		"Mode = 0",
+		"ModeFAST",
+		"Mode = 2",
+		"func (v Mode) String() string",
+		"func (v Mode) Valid() bool { return uint32(v) < 3 }",
+		"_enc.PutUint32(uint32(v.M))",
+		"v.M = Mode(_dec.Uint32())",
+		"Bump(m Mode) (Mode, Cfg, error)",
+	} {
+		if !strings.Contains(code, want) {
+			t.Errorf("generated enum code missing %q", want)
+		}
+	}
+	// Error paths return the enum conversion zero, not a struct literal.
+	if !strings.Contains(code, "return Mode(0), Cfg{},") {
+		t.Error("zero return for enum wrong")
+	}
+}

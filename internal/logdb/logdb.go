@@ -1,0 +1,202 @@
+// Package logdb is the relational-style store the monitoring data is
+// synthesized into after a run (§3: "the scattered logs are collected and
+// eventually synthesized into a relational database").
+//
+// The analyzer needs exactly the two queries the paper describes for DSCG
+// reconstruction — the set of unique Function UUIDs ever created, and the
+// events sharing a UUID sorted by ascending event number — plus link lookup
+// for oneway chain stitching and simple aggregate statistics. The store
+// indexes records at insertion so both queries are O(result).
+package logdb
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"causeway/internal/probe"
+	"causeway/internal/uuid"
+)
+
+// Store holds merged monitoring records from all processes of a run.
+// It is safe for concurrent insertion and querying.
+type Store struct {
+	mu       sync.RWMutex
+	events   map[uuid.UUID][]probe.Record // KindEvent rows by chain
+	links    []probe.Record               // KindLink rows
+	byParent map[chainSeq]uuid.UUID       // (parent chain, seq) -> child chain
+	total    int
+}
+
+type chainSeq struct {
+	chain uuid.UUID
+	seq   uint64
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{
+		events:   make(map[uuid.UUID][]probe.Record),
+		byParent: make(map[chainSeq]uuid.UUID),
+	}
+}
+
+// Insert adds records to the store.
+func (s *Store) Insert(recs ...probe.Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range recs {
+		s.total++
+		switch r.Kind {
+		case probe.KindEvent:
+			s.events[r.Chain] = append(s.events[r.Chain], r)
+		case probe.KindLink:
+			s.links = append(s.links, r)
+			s.byParent[chainSeq{r.LinkParent, r.LinkParentSeq}] = r.LinkChild
+		}
+	}
+}
+
+// Len reports the total number of inserted records (events + links).
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.total
+}
+
+// Chains is the paper's first reconstruction query: the set of unique
+// Function UUIDs ever created, in a deterministic (sorted) order.
+func (s *Store) Chains() []uuid.UUID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]uuid.UUID, 0, len(s.events))
+	for c := range s.events {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return uuid.Compare(out[i], out[j]) < 0 })
+	return out
+}
+
+// Events is the paper's second query: all event records sharing a UUID,
+// sorted by ascending event sequence number. The returned slice is a copy.
+func (s *Store) Events(chain uuid.UUID) []probe.Record {
+	s.mu.RLock()
+	rows := s.events[chain]
+	out := make([]probe.Record, len(rows))
+	copy(out, rows)
+	s.mu.RUnlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// ChildChain resolves the oneway link for the stub_start event at (parent
+// chain, seq), if one was recorded.
+func (s *Store) ChildChain(parent uuid.UUID, seq uint64) (uuid.UUID, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, ok := s.byParent[chainSeq{parent, seq}]
+	return c, ok
+}
+
+// Links returns all chain-link records.
+func (s *Store) Links() []probe.Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]probe.Record, len(s.links))
+	copy(out, s.links)
+	return out
+}
+
+// Stats summarizes the run, mirroring the scale figures the paper reports
+// for the commercial system (calls, unique methods/interfaces/components).
+type Stats struct {
+	Records    int // total event records
+	Links      int
+	Chains     int
+	Calls      int // stub_start + collocated-merged count approximation
+	Methods    int // unique (interface, operation) pairs
+	Interfaces int
+	Components int
+	Processes  int
+	Threads    int
+}
+
+// ComputeStats scans the store and aggregates run statistics.
+func (s *Store) ComputeStats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var st Stats
+	methods := map[string]bool{}
+	ifaces := map[string]bool{}
+	comps := map[string]bool{}
+	procs := map[string]bool{}
+	threads := map[string]bool{}
+	for _, rows := range s.events {
+		st.Chains++
+		for _, r := range rows {
+			st.Records++
+			if r.Event.ProbeNumber() == 1 {
+				st.Calls++
+			}
+			methods[r.Op.Interface+"::"+r.Op.Operation] = true
+			ifaces[r.Op.Interface] = true
+			comps[r.Op.Component] = true
+			procs[r.Process] = true
+			threads[fmt.Sprintf("%s/%d", r.Process, r.Thread)] = true
+		}
+	}
+	// A oneway call has stub_start on the parent chain only; its skeleton
+	// side starts with skel_start, so Calls from probe-1 events is exact.
+	st.Links = len(s.links)
+	st.Methods = len(methods)
+	st.Interfaces = len(ifaces)
+	st.Components = len(comps)
+	st.Processes = len(procs)
+	st.Threads = len(threads)
+	return st
+}
+
+// SaveFile persists the entire store as a gob record stream.
+func (s *Store) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("logdb: save: %w", err)
+	}
+	defer f.Close()
+	if err := s.WriteStream(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// WriteStream streams all records to w in insertion-independent but
+// deterministic order (links first, then events by chain and seq).
+func (s *Store) WriteStream(w io.Writer) error {
+	sink := probe.NewStreamSink(w)
+	for _, l := range s.Links() {
+		sink.Append(l)
+	}
+	for _, c := range s.Chains() {
+		for _, r := range s.Events(c) {
+			sink.Append(r)
+		}
+	}
+	return sink.Err()
+}
+
+// LoadFile reads a gob record stream file into the store.
+func (s *Store) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("logdb: load: %w", err)
+	}
+	defer f.Close()
+	recs, err := probe.ReadStream(f)
+	if err != nil {
+		return err
+	}
+	s.Insert(recs...)
+	return nil
+}

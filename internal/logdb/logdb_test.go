@@ -1,0 +1,139 @@
+package logdb
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"causeway/internal/ftl"
+	"causeway/internal/probe"
+	"causeway/internal/uuid"
+)
+
+func ev(chain uuid.UUID, seq uint64, e ftl.Event, op string) probe.Record {
+	return probe.Record{
+		Kind:    probe.KindEvent,
+		Process: "p1",
+		Chain:   chain,
+		Seq:     seq,
+		Event:   e,
+		Op:      probe.OpID{Component: "c", Interface: "I", Operation: op, Object: "o"},
+	}
+}
+
+func link(parent uuid.UUID, seq uint64, child uuid.UUID) probe.Record {
+	return probe.Record{Kind: probe.KindLink, LinkParent: parent, LinkParentSeq: seq, LinkChild: child}
+}
+
+func TestChainsAndEventsSorted(t *testing.T) {
+	s := NewStore()
+	g := &uuid.SequentialGenerator{Seed: 1}
+	c1, c2 := g.NewUUID(), g.NewUUID()
+	// Insert out of order to prove the query sorts by seq.
+	s.Insert(
+		ev(c2, 2, ftl.SkelStart, "G"),
+		ev(c1, 4, ftl.StubEnd, "F"),
+		ev(c1, 1, ftl.StubStart, "F"),
+		ev(c2, 1, ftl.StubStart, "G"),
+		ev(c1, 3, ftl.SkelEnd, "F"),
+		ev(c1, 2, ftl.SkelStart, "F"),
+	)
+	chains := s.Chains()
+	if len(chains) != 2 {
+		t.Fatalf("Chains = %v", chains)
+	}
+	if uuid.Compare(chains[0], chains[1]) >= 0 {
+		t.Fatal("Chains not sorted")
+	}
+	evs := s.Events(c1)
+	if len(evs) != 4 {
+		t.Fatalf("Events(c1) len = %d", len(evs))
+	}
+	for i, r := range evs {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("event %d seq = %d", i, r.Seq)
+		}
+	}
+	if got := s.Events(uuid.New()); len(got) != 0 {
+		t.Fatal("Events for unknown chain non-empty")
+	}
+}
+
+func TestChildChainLookup(t *testing.T) {
+	s := NewStore()
+	p, c := uuid.New(), uuid.New()
+	s.Insert(link(p, 5, c))
+	got, ok := s.ChildChain(p, 5)
+	if !ok || got != c {
+		t.Fatalf("ChildChain = %v, %v", got, ok)
+	}
+	if _, ok := s.ChildChain(p, 6); ok {
+		t.Fatal("found link at wrong seq")
+	}
+	if len(s.Links()) != 1 {
+		t.Fatal("Links() wrong length")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	s := NewStore()
+	c1, c2 := uuid.New(), uuid.New()
+	s.Insert(
+		ev(c1, 1, ftl.StubStart, "F"),
+		ev(c1, 2, ftl.SkelStart, "F"),
+		ev(c1, 3, ftl.SkelEnd, "F"),
+		ev(c1, 4, ftl.StubEnd, "F"),
+		ev(c2, 1, ftl.StubStart, "G"),
+		ev(c2, 2, ftl.StubEnd, "G"),
+		link(c2, 1, uuid.New()),
+	)
+	st := s.ComputeStats()
+	if st.Chains != 2 || st.Calls != 2 || st.Methods != 2 || st.Interfaces != 1 ||
+		st.Components != 1 || st.Records != 6 || st.Links != 1 {
+		t.Fatalf("Stats = %+v", st)
+	}
+}
+
+func TestWriteStreamLoadRoundTrip(t *testing.T) {
+	s := NewStore()
+	c := uuid.New()
+	s.Insert(
+		ev(c, 1, ftl.StubStart, "F"),
+		ev(c, 2, ftl.SkelStart, "F"),
+		link(c, 1, uuid.New()),
+	)
+	var buf bytes.Buffer
+	if err := s.WriteStream(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := probe.ReadStream(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewStore()
+	s2.Insert(recs...)
+	if s2.Len() != s.Len() {
+		t.Fatalf("round trip lost records: %d != %d", s2.Len(), s.Len())
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ftlog")
+	s := NewStore()
+	c := uuid.New()
+	s.Insert(ev(c, 1, ftl.StubStart, "F"), ev(c, 2, ftl.StubEnd, "F"))
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewStore()
+	if err := s2.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 2 {
+		t.Fatalf("loaded %d records", s2.Len())
+	}
+	if err := s2.LoadFile(filepath.Join(dir, "missing.ftlog")); err == nil {
+		t.Fatal("loading missing file succeeded")
+	}
+}

@@ -1,0 +1,250 @@
+// Package online applies the global causality capturing technique "from
+// the on-line perspective for application-level system management" — one
+// of the paper's §6 future-work directions, built here as an extension.
+//
+// Monitor is a probe.Sink: attach it (alone or via probe.TeeSink next to
+// the persistent log) and it incrementally runs the Figure-4 state machine
+// per chain *as records arrive*, tolerating cross-process arrival skew by
+// applying each chain's events strictly in sequence-number order and
+// buffering early arrivals. The moment a top-level invocation completes,
+// its subtree is delivered to the OnRoot callback with latency metrics
+// computed — the hook a management layer uses for live slow-call or
+// error-topology reactions, without waiting for the application to reach a
+// quiescent state as the offline analyzer does (§3).
+package online
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"causeway/internal/analysis"
+	"causeway/internal/ftl"
+	"causeway/internal/probe"
+	"causeway/internal/uuid"
+)
+
+// RootEvent describes one completed top-level invocation.
+type RootEvent struct {
+	// Root is the completed invocation subtree with latency annotated.
+	Root *analysis.Node
+	// Chain is the causal chain the root belongs to.
+	Chain uuid.UUID
+	// ParentChain is set for oneway callee sides whose fork link has been
+	// observed: the chain that issued the oneway call.
+	ParentChain uuid.UUID
+	// HasParent reports whether ParentChain is valid.
+	HasParent bool
+}
+
+// Config wires the monitor's callbacks. Callbacks run synchronously on the
+// probe's thread and must be fast; they may be invoked concurrently from
+// different application threads.
+type Config struct {
+	// OnRoot fires when a top-level invocation completes.
+	OnRoot func(RootEvent)
+	// OnSlow fires additionally when a completed root's compensated
+	// latency exceeds SlowThreshold (> 0).
+	OnSlow        func(RootEvent)
+	SlowThreshold time.Duration
+	// OnAnomaly fires when a chain's event stream violates the Figure-4
+	// transitions; the chain's state is reset and parsing resumes.
+	OnAnomaly func(analysis.Anomaly)
+}
+
+// Monitor incrementally reconstructs causality from a live record stream.
+type Monitor struct {
+	cfg Config
+
+	mu     sync.Mutex
+	chains map[uuid.UUID]*chainState
+	// links resolves callee chains to their parents (KindLink records).
+	links map[uuid.UUID]uuid.UUID // child chain -> parent chain
+}
+
+var _ probe.Sink = (*Monitor)(nil)
+
+// NewMonitor builds an online monitor.
+func NewMonitor(cfg Config) *Monitor {
+	return &Monitor{
+		cfg:    cfg,
+		chains: make(map[uuid.UUID]*chainState),
+		links:  make(map[uuid.UUID]uuid.UUID),
+	}
+}
+
+// chainState is one chain's incremental parse: events applied in seq
+// order, with early arrivals parked in pending.
+type chainState struct {
+	nextSeq uint64
+	pending map[uint64]probe.Record
+	stack   []*analysis.Node
+}
+
+// Append implements probe.Sink.
+func (m *Monitor) Append(r probe.Record) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch r.Kind {
+	case probe.KindLink:
+		m.links[r.LinkChild] = r.LinkParent
+	case probe.KindEvent:
+		cs, ok := m.chains[r.Chain]
+		if !ok {
+			cs = &chainState{nextSeq: 1, pending: make(map[uint64]probe.Record)}
+			m.chains[r.Chain] = cs
+		}
+		cs.pending[r.Seq] = r
+		for {
+			next, ok := cs.pending[cs.nextSeq]
+			if !ok {
+				return
+			}
+			delete(cs.pending, cs.nextSeq)
+			cs.nextSeq++
+			m.apply(cs, next)
+		}
+	}
+}
+
+func (m *Monitor) anomaly(r probe.Record, format string, args ...any) {
+	if m.cfg.OnAnomaly != nil {
+		m.cfg.OnAnomaly(analysis.Anomaly{
+			Chain:  r.Chain,
+			Index:  int(r.Seq),
+			Reason: fmt.Sprintf(format, args...),
+		})
+	}
+}
+
+// apply advances one chain's state machine by one event.
+func (m *Monitor) apply(cs *chainState, r probe.Record) {
+	rec := r // stable copy whose address the node keeps
+	top := func() *analysis.Node {
+		if len(cs.stack) == 0 {
+			return nil
+		}
+		return cs.stack[len(cs.stack)-1]
+	}
+	push := func(n *analysis.Node) {
+		if t := top(); t != nil {
+			t.Children = append(t.Children, n)
+		}
+		cs.stack = append(cs.stack, n)
+	}
+	pop := func() *analysis.Node {
+		n := cs.stack[len(cs.stack)-1]
+		cs.stack = cs.stack[:len(cs.stack)-1]
+		if len(cs.stack) == 0 {
+			m.complete(n, rec.Chain)
+		}
+		return n
+	}
+	reset := func(format string, args ...any) {
+		m.anomaly(rec, format, args...)
+		cs.stack = nil
+	}
+
+	switch rec.Event {
+	case ftl.StubStart:
+		push(&analysis.Node{
+			Op: rec.Op, Chain: rec.Chain,
+			Oneway: rec.Oneway, Collocated: rec.Collocated,
+			StubStart: &rec,
+		})
+	case ftl.SkelStart:
+		t := top()
+		switch {
+		case t == nil:
+			// Callee side of a oneway call: a root with no stub side.
+			push(&analysis.Node{Op: rec.Op, Chain: rec.Chain, Oneway: rec.Oneway, SkelStart: &rec})
+		case t.Op == rec.Op && t.SkelStart == nil && !t.Oneway:
+			t.SkelStart = &rec
+		default:
+			reset("unexpected skel_start(%s)", rec.Op.Operation)
+		}
+	case ftl.SkelEnd:
+		t := top()
+		switch {
+		case t == nil:
+			reset("skel_end(%s) with no open invocation", rec.Op.Operation)
+		case t.Op == rec.Op && t.SkelStart != nil && t.SkelEnd == nil:
+			t.SkelEnd = &rec
+			if t.StubStart == nil {
+				// Callee-side root finishes at skeleton end.
+				pop()
+			}
+		default:
+			reset("unexpected skel_end(%s)", rec.Op.Operation)
+		}
+	case ftl.StubEnd:
+		t := top()
+		switch {
+		case t == nil:
+			reset("stub_end(%s) with no open invocation", rec.Op.Operation)
+		case t.Op == rec.Op && t.StubEnd == nil && (t.Oneway || t.SkelEnd != nil || t.Collocated):
+			// Oneway stub sides close without a skeleton pair on this
+			// chain; synchronous calls must have closed their skeleton.
+			if !t.Oneway && t.SkelEnd == nil {
+				reset("stub_end(%s) before skel_end", rec.Op.Operation)
+				return
+			}
+			t.StubEnd = &rec
+			pop()
+		default:
+			reset("unexpected stub_end(%s)", rec.Op.Operation)
+		}
+	default:
+		reset("invalid event %v", rec.Event)
+	}
+}
+
+// complete fires the callbacks for a finished top-level invocation.
+func (m *Monitor) complete(root *analysis.Node, chain uuid.UUID) {
+	analysis.ComputeLatencySubtree(root)
+	ev := RootEvent{Root: root, Chain: chain}
+	if parent, ok := m.links[chain]; ok {
+		ev.ParentChain, ev.HasParent = parent, true
+	}
+	if m.cfg.OnRoot != nil {
+		m.cfg.OnRoot(ev)
+	}
+	if m.cfg.OnSlow != nil && m.cfg.SlowThreshold > 0 &&
+		root.HasLatency && root.Latency > m.cfg.SlowThreshold {
+		m.cfg.OnSlow(ev)
+	}
+}
+
+// OpenChains reports chains with incomplete state — in-flight invocations
+// or chains stalled by missing records. Management layers poll it to spot
+// hangs.
+func (m *Monitor) OpenChains() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	open := 0
+	for _, cs := range m.chains {
+		if len(cs.stack) > 0 || len(cs.pending) > 0 {
+			open++
+		}
+	}
+	return open
+}
+
+// Flush reports every still-open chain as an anomaly (e.g. at shutdown)
+// and clears all state.
+func (m *Monitor) Flush() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for chain, cs := range m.chains {
+		if len(cs.stack) > 0 || len(cs.pending) > 0 {
+			if m.cfg.OnAnomaly != nil {
+				m.cfg.OnAnomaly(analysis.Anomaly{
+					Chain:  chain,
+					Reason: fmt.Sprintf("chain open at flush: %d unfinished invocations, %d buffered events", len(cs.stack), len(cs.pending)),
+				})
+			}
+		}
+	}
+	m.chains = make(map[uuid.UUID]*chainState)
+	m.links = make(map[uuid.UUID]uuid.UUID)
+}

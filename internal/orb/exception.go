@@ -1,0 +1,130 @@
+package orb
+
+import (
+	"fmt"
+
+	"causeway/internal/cdr"
+	"causeway/internal/transport"
+)
+
+// UserException is the base carried form of an IDL `raises` exception: the
+// generated code maps concrete exception types to and from this envelope.
+type UserException struct {
+	// Name is the IDL exception name (e.g. "PrinterJam").
+	Name string
+	// Body is the CDR-encoded exception members.
+	Body []byte
+}
+
+// Error implements error.
+func (e *UserException) Error() string {
+	return fmt.Sprintf("user exception %s", e.Name)
+}
+
+// SystemException reports a runtime-level invocation failure.
+type SystemException struct {
+	// Code classifies the failure (e.g. "OBJECT_NOT_EXIST").
+	Code string
+	// Detail is human-readable context.
+	Detail string
+}
+
+// Error implements error.
+func (e *SystemException) Error() string {
+	return fmt.Sprintf("system exception %s: %s", e.Code, e.Detail)
+}
+
+// System exception codes.
+const (
+	// CodeObjectNotExist: the object key is not registered at the server.
+	CodeObjectNotExist = "OBJECT_NOT_EXIST"
+	// CodeBadOperation: the object exists but has no such operation.
+	CodeBadOperation = "BAD_OPERATION"
+	// CodeMarshal: the request or reply body failed to decode.
+	CodeMarshal = "MARSHAL"
+	// CodeTransport: the connection failed mid-call.
+	CodeTransport = "COMM_FAILURE"
+	// CodeShutdown: the ORB is shutting down.
+	CodeShutdown = "BAD_INV_ORDER"
+)
+
+// encodeUserException builds the reply body for a raised exception.
+func encodeUserException(name string, members []byte) []byte {
+	e := cdr.NewEncoder(8 + len(name) + len(members))
+	e.PutString(name)
+	e.PutBytes(members)
+	return e.Bytes()
+}
+
+// decodeUserException parses a user-exception reply body.
+func decodeUserException(body []byte) (*UserException, error) {
+	d := cdr.NewDecoder(body)
+	name := d.String()
+	members := d.Bytes()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return &UserException{Name: name, Body: members}, nil
+}
+
+// encodeSystemException builds the reply body for a system exception.
+func encodeSystemException(code, detail string) []byte {
+	e := cdr.NewEncoder(8 + len(code) + len(detail))
+	e.PutString(code)
+	e.PutString(detail)
+	return e.Bytes()
+}
+
+// decodeSystemException parses a system-exception reply body.
+func decodeSystemException(body []byte) *SystemException {
+	d := cdr.NewDecoder(body)
+	code := d.String()
+	detail := d.String()
+	if d.Err() != nil {
+		return &SystemException{Code: CodeMarshal, Detail: "undecodable system exception"}
+	}
+	return &SystemException{Code: code, Detail: detail}
+}
+
+// systemReply is a convenience for dispatch-side failures.
+func systemReply(code, detail string) transport.Reply {
+	return transport.Reply{Status: transport.StatusSystemException, Body: encodeSystemException(code, detail)}
+}
+
+// ReplyToError converts a non-OK reply to the corresponding Go error.
+func ReplyToError(rep transport.Reply) error {
+	switch rep.Status {
+	case transport.StatusOK:
+		return nil
+	case transport.StatusUserException:
+		ue, err := decodeUserException(rep.Body)
+		if err != nil {
+			return &SystemException{Code: CodeMarshal, Detail: "undecodable user exception"}
+		}
+		return ue
+	default:
+		return decodeSystemException(rep.Body)
+	}
+}
+
+// UserExceptionReply builds the reply for a raised exception; generated
+// skeletons call it.
+func UserExceptionReply(name string, members []byte) transport.Reply {
+	return transport.Reply{Status: transport.StatusUserException, Body: encodeUserException(name, members)}
+}
+
+// MarshalErrorReply reports a body that failed to decode.
+func MarshalErrorReply(err error) transport.Reply {
+	return systemReply(CodeMarshal, err.Error())
+}
+
+// BadOperationReply reports an unknown operation on a live object.
+func BadOperationReply(iface, op string) transport.Reply {
+	return systemReply(CodeBadOperation, fmt.Sprintf("interface %s has no operation %q", iface, op))
+}
+
+// BadServantReply reports a servant that does not implement the skeleton's
+// interface (a registration error).
+func BadServantReply(iface string) transport.Reply {
+	return systemReply(CodeBadOperation, fmt.Sprintf("servant does not implement %s", iface))
+}

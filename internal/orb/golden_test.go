@@ -1,0 +1,291 @@
+package orb
+
+// This file hand-writes the stub/skeleton pair for a small Calc interface —
+// the golden model the IDL compiler's generated code (package idlgen)
+// follows. Keeping a hand-written instance under test pins the probe
+// placement, hidden-FTL handling, exception mapping, and collocation fast
+// path independent of the generator.
+
+import (
+	"errors"
+	"fmt"
+
+	"causeway/internal/cdr"
+	"causeway/internal/ftl"
+	"causeway/internal/probe"
+	"causeway/internal/transport"
+)
+
+// CalcError is the IDL `exception CalcError { string reason; }`.
+type CalcError struct {
+	Reason string
+}
+
+// Error implements error.
+func (e *CalcError) Error() string { return fmt.Sprintf("CalcError: %s", e.Reason) }
+
+// Calc is the IDL interface:
+//
+//	interface Calc {
+//	    long add(in long x, in long y);
+//	    long divide(in long x, in long y) raises (CalcError);
+//	    oneway void notify(in string msg);
+//	};
+type Calc interface {
+	Add(x, y int32) (int32, error)
+	Divide(x, y int32) (int32, error)
+	Notify(msg string) error
+}
+
+// CalcStub is the client-side proxy.
+type CalcStub struct {
+	ref *Ref
+}
+
+// NewCalcStub wraps a reference.
+func NewCalcStub(ref *Ref) *CalcStub { return &CalcStub{ref: ref} }
+
+var _ Calc = (*CalcStub)(nil)
+
+// Add implements Calc over the wire.
+func (s *CalcStub) Add(x, y int32) (int32, error) {
+	if sv, ok := s.ref.LocalServant(); ok {
+		if impl, ok := sv.(Calc); ok {
+			o := s.ref.ORB()
+			if o.Instrumented() {
+				cctx := o.Probes().CollocStart(s.ref.OpID("add"))
+				defer o.Probes().CollocEnd(cctx)
+			}
+			return impl.Add(x, y)
+		}
+	}
+	o := s.ref.ORB()
+	e := cdr.NewEncoder(16)
+	e.PutInt32(x)
+	e.PutInt32(y)
+	body := e.Bytes()
+	var sctx probe.StubCtx
+	if o.Instrumented() {
+		sctx = o.Probes().StubStart(s.ref.OpID("add"), false)
+		body = AppendFTL(body, sctx.Wire)
+	}
+	rep, err := s.ref.Invoke("add", body)
+	if err != nil {
+		if o.Instrumented() {
+			o.Probes().StubEnd(sctx, sctx.Wire)
+		}
+		return 0, err
+	}
+	if o.Instrumented() {
+		var rf ftl.FTL
+		rep.Body, rf, err = TakeFTL(rep.Body)
+		if err != nil {
+			return 0, &SystemException{Code: CodeMarshal, Detail: err.Error()}
+		}
+		o.Probes().StubEnd(sctx, rf)
+	}
+	if err := ReplyToError(rep); err != nil {
+		return 0, err
+	}
+	d := cdr.NewDecoder(rep.Body)
+	res := d.Int32()
+	if err := d.Finish(); err != nil {
+		return 0, &SystemException{Code: CodeMarshal, Detail: err.Error()}
+	}
+	return res, nil
+}
+
+// Divide implements Calc over the wire, mapping the CalcError exception.
+func (s *CalcStub) Divide(x, y int32) (int32, error) {
+	if sv, ok := s.ref.LocalServant(); ok {
+		if impl, ok := sv.(Calc); ok {
+			o := s.ref.ORB()
+			if o.Instrumented() {
+				cctx := o.Probes().CollocStart(s.ref.OpID("divide"))
+				defer o.Probes().CollocEnd(cctx)
+			}
+			return impl.Divide(x, y)
+		}
+	}
+	o := s.ref.ORB()
+	e := cdr.NewEncoder(16)
+	e.PutInt32(x)
+	e.PutInt32(y)
+	body := e.Bytes()
+	var sctx probe.StubCtx
+	if o.Instrumented() {
+		sctx = o.Probes().StubStart(s.ref.OpID("divide"), false)
+		body = AppendFTL(body, sctx.Wire)
+	}
+	rep, err := s.ref.Invoke("divide", body)
+	if err != nil {
+		if o.Instrumented() {
+			o.Probes().StubEnd(sctx, sctx.Wire)
+		}
+		return 0, err
+	}
+	if o.Instrumented() {
+		var rf ftl.FTL
+		rep.Body, rf, err = TakeFTL(rep.Body)
+		if err != nil {
+			return 0, &SystemException{Code: CodeMarshal, Detail: err.Error()}
+		}
+		o.Probes().StubEnd(sctx, rf)
+	}
+	if err := ReplyToError(rep); err != nil {
+		var ue *UserException
+		if errors.As(err, &ue) && ue.Name == "CalcError" {
+			d := cdr.NewDecoder(ue.Body)
+			reason := d.String()
+			if derr := d.Finish(); derr != nil {
+				return 0, &SystemException{Code: CodeMarshal, Detail: derr.Error()}
+			}
+			return 0, &CalcError{Reason: reason}
+		}
+		return 0, err
+	}
+	d := cdr.NewDecoder(rep.Body)
+	res := d.Int32()
+	if err := d.Finish(); err != nil {
+		return 0, &SystemException{Code: CodeMarshal, Detail: err.Error()}
+	}
+	return res, nil
+}
+
+// Notify implements the oneway operation.
+func (s *CalcStub) Notify(msg string) error {
+	if sv, ok := s.ref.LocalServant(); ok {
+		if impl, ok := sv.(Calc); ok {
+			// A collocated oneway still executes asynchronously in its own
+			// logical thread with a forked chain.
+			o := s.ref.ORB()
+			if o.Instrumented() {
+				sctx := o.Probes().StubStart(s.ref.OpID("notify"), true)
+				wire := sctx.Wire
+				go func() {
+					skctx := o.Probes().SkelStart(s.ref.OpID("notify"), wire, true)
+					_ = impl.Notify(msg)
+					o.Probes().SkelEnd(skctx)
+					o.Probes().Tunnel().Clear()
+				}()
+				o.Probes().StubEnd(sctx, ftl.FTL{})
+				return nil
+			}
+			go func() { _ = impl.Notify(msg) }()
+			return nil
+		}
+	}
+	o := s.ref.ORB()
+	e := cdr.NewEncoder(16)
+	e.PutString(msg)
+	body := e.Bytes()
+	var sctx probe.StubCtx
+	if o.Instrumented() {
+		sctx = o.Probes().StubStart(s.ref.OpID("notify"), true)
+		body = AppendFTL(body, sctx.Wire)
+	}
+	err := s.ref.Post("notify", body)
+	if o.Instrumented() {
+		o.Probes().StubEnd(sctx, ftl.FTL{})
+	}
+	return err
+}
+
+// DispatchCalc is the server-side skeleton entry point.
+func DispatchCalc(o *ORB, servant any, component string, req transport.Request) transport.Reply {
+	impl, ok := servant.(Calc)
+	if !ok {
+		return BadServantReply("Calc")
+	}
+	body := req.Body
+	var f ftl.FTL
+	if o.Instrumented() {
+		var err error
+		body, f, err = TakeFTL(body)
+		if err != nil {
+			return MarshalErrorReply(err)
+		}
+	}
+	op := probe.OpID{Component: component, Interface: "Calc", Operation: req.Operation, Object: req.ObjectKey}
+
+	switch req.Operation {
+	case "add":
+		d := cdr.NewDecoder(body)
+		x := d.Int32()
+		y := d.Int32()
+		if err := d.Finish(); err != nil {
+			return MarshalErrorReply(err)
+		}
+		var sctx probe.SkelCtx
+		if o.Instrumented() {
+			sctx = o.Probes().SkelStart(op, f, false)
+		}
+		res, err := impl.Add(x, y)
+		var rep transport.Reply
+		if err != nil {
+			rep = systemReply(CodeBadOperation, err.Error())
+		} else {
+			e := cdr.NewEncoder(8)
+			e.PutInt32(res)
+			rep = transport.Reply{Status: transport.StatusOK, Body: e.Bytes()}
+		}
+		if o.Instrumented() {
+			rf := o.Probes().SkelEnd(sctx)
+			rep.Body = AppendFTL(rep.Body, rf)
+		}
+		return rep
+
+	case "divide":
+		d := cdr.NewDecoder(body)
+		x := d.Int32()
+		y := d.Int32()
+		if err := d.Finish(); err != nil {
+			return MarshalErrorReply(err)
+		}
+		var sctx probe.SkelCtx
+		if o.Instrumented() {
+			sctx = o.Probes().SkelStart(op, f, false)
+		}
+		res, err := impl.Divide(x, y)
+		var rep transport.Reply
+		switch {
+		case err == nil:
+			e := cdr.NewEncoder(8)
+			e.PutInt32(res)
+			rep = transport.Reply{Status: transport.StatusOK, Body: e.Bytes()}
+		default:
+			var ce *CalcError
+			if errors.As(err, &ce) {
+				e := cdr.NewEncoder(16)
+				e.PutString(ce.Reason)
+				rep = UserExceptionReply("CalcError", e.Bytes())
+			} else {
+				rep = systemReply(CodeBadOperation, err.Error())
+			}
+		}
+		if o.Instrumented() {
+			rf := o.Probes().SkelEnd(sctx)
+			rep.Body = AppendFTL(rep.Body, rf)
+		}
+		return rep
+
+	case "notify":
+		d := cdr.NewDecoder(body)
+		msg := d.String()
+		if err := d.Finish(); err != nil {
+			return MarshalErrorReply(err)
+		}
+		var sctx probe.SkelCtx
+		if o.Instrumented() {
+			sctx = o.Probes().SkelStart(op, f, true)
+		}
+		_ = impl.Notify(msg)
+		if o.Instrumented() {
+			o.Probes().SkelEnd(sctx)
+		}
+		return transport.Reply{Status: transport.StatusOK}
+
+	default:
+		return BadOperationReply("Calc", req.Operation)
+	}
+}

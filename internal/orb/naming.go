@@ -1,0 +1,59 @@
+package orb
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Binding is one named object: where it lives and what it is.
+type Binding struct {
+	Endpoint  string
+	Key       string
+	Interface string
+	Component string
+}
+
+// Directory is a simple naming service mapping logical names to object
+// bindings. In-binary multi-process configurations share one Directory;
+// cross-binary deployments would front it with an exported object (the
+// bootstrap problem every ORB solves out-of-band).
+type Directory struct {
+	mu       sync.RWMutex
+	bindings map[string]Binding
+}
+
+// NewDirectory returns an empty directory.
+func NewDirectory() *Directory {
+	return &Directory{bindings: make(map[string]Binding)}
+}
+
+// Bind registers name → binding, replacing any previous binding.
+func (d *Directory) Bind(name string, b Binding) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.bindings[name] = b
+}
+
+// Resolve looks a name up and materializes a Ref through o's transports.
+func (d *Directory) Resolve(o *ORB, name string) (*Ref, error) {
+	d.mu.RLock()
+	b, ok := d.bindings[name]
+	d.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("orb: name %q not bound", name)
+	}
+	return o.RefTo(b.Endpoint, b.Key, b.Interface, b.Component), nil
+}
+
+// Names returns all bound names, sorted.
+func (d *Directory) Names() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]string, 0, len(d.bindings))
+	for n := range d.bindings {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,152 @@
+package orb
+
+import (
+	"fmt"
+	"sync"
+
+	"causeway/internal/transport"
+)
+
+// PolicyKind selects the server threading architecture (§2.2; Schmidt's
+// taxonomy [18]): thread-per-request, thread-per-connection, or a thread
+// pool. All three satisfy observation O1 — a dispatch thread is dedicated
+// to its call until the call finishes — which is what keeps causality
+// propagation untangled.
+type PolicyKind int
+
+// The supported threading policies.
+const (
+	// ThreadPerRequest spawns a fresh dispatch thread per incoming call.
+	ThreadPerRequest PolicyKind = iota + 1
+	// ThreadPerConnection dedicates one dispatch thread per client
+	// connection, serving its calls serially.
+	ThreadPerConnection
+	// ThreadPool serves all calls from a fixed pool of dispatch threads.
+	ThreadPool
+)
+
+// String names the policy.
+func (k PolicyKind) String() string {
+	switch k {
+	case ThreadPerRequest:
+		return "thread-per-request"
+	case ThreadPerConnection:
+		return "thread-per-connection"
+	case ThreadPool:
+		return "thread-pool"
+	default:
+		return fmt.Sprintf("policy(%d)", int(k))
+	}
+}
+
+// policy schedules dispatch closures onto dispatch threads.
+type policy interface {
+	// dispatch runs fn on a dispatch thread chosen by the policy.
+	dispatch(conn transport.ConnID, fn func())
+	// shutdown stops accepting work and waits for in-flight dispatches.
+	shutdown()
+}
+
+// perRequestPolicy: one goroutine per call, reclaimed by the runtime when
+// the call finishes (the paper's "reclaimed by the underlying OS").
+type perRequestPolicy struct {
+	wg sync.WaitGroup
+}
+
+func (p *perRequestPolicy) dispatch(_ transport.ConnID, fn func()) {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		fn()
+	}()
+}
+
+func (p *perRequestPolicy) shutdown() { p.wg.Wait() }
+
+// perConnectionPolicy: a dedicated serial worker per connection. The worker
+// physically survives between calls (reclaimed by the ORB, not the OS) —
+// the situation observation O2 addresses: it may hold a stale FTL, but each
+// new call refreshes the annotation before user code runs.
+type perConnectionPolicy struct {
+	mu      sync.Mutex
+	queues  map[transport.ConnID]chan func()
+	wg      sync.WaitGroup
+	closed  bool
+	backlog int
+}
+
+func newPerConnectionPolicy(backlog int) *perConnectionPolicy {
+	return &perConnectionPolicy{queues: make(map[transport.ConnID]chan func()), backlog: backlog}
+}
+
+func (p *perConnectionPolicy) dispatch(conn transport.ConnID, fn func()) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	q, ok := p.queues[conn]
+	if !ok {
+		q = make(chan func(), p.backlog)
+		p.queues[conn] = q
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for f := range q {
+				f()
+			}
+		}()
+	}
+	p.mu.Unlock()
+	q <- fn
+}
+
+func (p *perConnectionPolicy) shutdown() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	for _, q := range p.queues {
+		close(q)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// poolPolicy: fixed worker pool consuming a shared queue. Workers survive
+// across calls and connections; O2 applies as above.
+type poolPolicy struct {
+	queue chan func()
+	wg    sync.WaitGroup
+	once  sync.Once
+}
+
+func newPoolPolicy(workers, backlog int) *poolPolicy {
+	p := &poolPolicy{queue: make(chan func(), backlog)}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for f := range p.queue {
+				f()
+			}
+		}()
+	}
+	return p
+}
+
+func (p *poolPolicy) dispatch(_ transport.ConnID, fn func()) {
+	defer func() {
+		// Dispatch after shutdown: the queue is closed; drop the call, as a
+		// real ORB drops requests arriving during shutdown.
+		_ = recover()
+	}()
+	p.queue <- fn
+}
+
+func (p *poolPolicy) shutdown() {
+	p.once.Do(func() { close(p.queue) })
+	p.wg.Wait()
+}

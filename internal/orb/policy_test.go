@@ -1,0 +1,137 @@
+package orb
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"causeway/internal/transport"
+)
+
+// TestPerConnectionPolicySerializesPerConnection: calls from one connection
+// run strictly serially; calls from different connections may overlap.
+func TestPerConnectionPolicySerializesPerConnection(t *testing.T) {
+	p := newPerConnectionPolicy(16)
+	defer p.shutdown()
+
+	var active atomic.Int32
+	var maxSameConn atomic.Int32
+	var wg sync.WaitGroup
+	const calls = 20
+	wg.Add(calls)
+	for i := 0; i < calls; i++ {
+		p.dispatch(transport.ConnID(1), func() {
+			defer wg.Done()
+			cur := active.Add(1)
+			if cur > maxSameConn.Load() {
+				maxSameConn.Store(cur)
+			}
+			time.Sleep(time.Millisecond)
+			active.Add(-1)
+		})
+	}
+	wg.Wait()
+	if got := maxSameConn.Load(); got != 1 {
+		t.Fatalf("connection 1 had %d concurrent dispatches, want 1", got)
+	}
+
+	// Two different connections can be concurrent.
+	var overlap atomic.Bool
+	var both sync.WaitGroup
+	both.Add(2)
+	start := make(chan struct{})
+	busyUntil := func() {
+		defer both.Done()
+		<-start
+		if active.Add(1) == 2 {
+			overlap.Store(true)
+		}
+		time.Sleep(5 * time.Millisecond)
+		active.Add(-1)
+	}
+	p.dispatch(transport.ConnID(2), busyUntil)
+	p.dispatch(transport.ConnID(3), busyUntil)
+	close(start)
+	both.Wait()
+	if !overlap.Load() {
+		t.Log("connections 2 and 3 never overlapped (legal but unexpected on this scheduler)")
+	}
+}
+
+// TestPoolPolicyBoundsConcurrency: a pool of 2 workers never runs more
+// than 2 dispatches at once.
+func TestPoolPolicyBoundsConcurrency(t *testing.T) {
+	p := newPoolPolicy(2, 64)
+	defer p.shutdown()
+	var active, peak atomic.Int32
+	var wg sync.WaitGroup
+	const calls = 12
+	wg.Add(calls)
+	for i := 0; i < calls; i++ {
+		p.dispatch(transport.ConnID(uint64(i)), func() {
+			defer wg.Done()
+			cur := active.Add(1)
+			for {
+				old := peak.Load()
+				if cur <= old || peak.CompareAndSwap(old, cur) {
+					break
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+			active.Add(-1)
+		})
+	}
+	wg.Wait()
+	if got := peak.Load(); got > 2 {
+		t.Fatalf("pool of 2 reached %d concurrent dispatches", got)
+	}
+}
+
+// TestPoolPolicyDropsAfterShutdown: dispatch after shutdown must not panic
+// and must not run the closure.
+func TestPoolPolicyDropsAfterShutdown(t *testing.T) {
+	p := newPoolPolicy(1, 4)
+	p.shutdown()
+	ran := false
+	p.dispatch(transport.ConnID(1), func() { ran = true })
+	time.Sleep(10 * time.Millisecond)
+	if ran {
+		t.Fatal("closure ran after shutdown")
+	}
+	p.shutdown() // idempotent
+}
+
+// TestPerRequestPolicyShutdownWaits: shutdown blocks for in-flight work.
+func TestPerRequestPolicyShutdownWaits(t *testing.T) {
+	p := &perRequestPolicy{}
+	done := atomic.Bool{}
+	p.dispatch(transport.ConnID(1), func() {
+		time.Sleep(20 * time.Millisecond)
+		done.Store(true)
+	})
+	p.shutdown()
+	if !done.Load() {
+		t.Fatal("shutdown returned before in-flight dispatch finished")
+	}
+}
+
+func TestPolicyKindString(t *testing.T) {
+	if ThreadPerRequest.String() != "thread-per-request" ||
+		ThreadPerConnection.String() != "thread-per-connection" ||
+		ThreadPool.String() != "thread-pool" ||
+		PolicyKind(9).String() != "policy(9)" {
+		t.Fatal("policy names wrong")
+	}
+}
+
+// TestUnknownPolicyRejected covers the config validation branch.
+func TestUnknownPolicyRejected(t *testing.T) {
+	env := newEnv()
+	defer env.shutdown()
+	o := env.orb(t, "p", false, ThreadPerRequest)
+	_ = o
+	if _, err := New(Config{Probes: o.Probes(), Policy: PolicyKind(42)}); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}

@@ -1,0 +1,127 @@
+package orb
+
+import (
+	"fmt"
+
+	"causeway/internal/ftl"
+	"causeway/internal/probe"
+	"causeway/internal/transport"
+)
+
+// Ref is a client-side object reference (the IOR analog): which endpoint
+// hosts the object, its key, and its interface. Generated stubs wrap a Ref.
+type Ref struct {
+	orb       *ORB
+	Endpoint  string
+	Key       string
+	Interface string
+	Component string
+}
+
+// RefTo builds a reference resolvable through this ORB's transports.
+func (o *ORB) RefTo(endpoint, key, iface, component string) *Ref {
+	return &Ref{orb: o, Endpoint: endpoint, Key: key, Interface: iface, Component: component}
+}
+
+// ORB returns the client-side ORB owning the reference.
+func (r *Ref) ORB() *ORB { return r.orb }
+
+// OpID builds the monitoring identity for an operation on this object.
+func (r *Ref) OpID(operation string) probe.OpID {
+	return probe.OpID{
+		Component: r.Component,
+		Interface: r.Interface,
+		Operation: operation,
+		Object:    r.Key,
+	}
+}
+
+// LocalServant resolves the collocated fast path: if the reference's target
+// lives in this very ORB instance (same logical process) and collocation
+// optimization is enabled, it returns the servant for direct invocation —
+// "the stub … locate[s] the object interface pointer directly and therefore
+// bypass[es] the skeleton" (§2.1). Generated stubs type-assert the result.
+func (r *Ref) LocalServant() (any, bool) {
+	if r.orb == nil || r.orb.cfg.DisableCollocation {
+		return nil, false
+	}
+	reg, ok := r.orb.lookup(r.Key)
+	if !ok {
+		return nil, false
+	}
+	// Same key registered here: only treat as collocated when the endpoint
+	// actually designates this process (one of our servers) — two logical
+	// processes in one binary may reuse keys.
+	if !r.orb.servesEndpoint(r.Endpoint) {
+		return nil, false
+	}
+	return reg.servant, true
+}
+
+// servesEndpoint reports whether this ORB instance listens on endpoint.
+func (o *ORB) servesEndpoint(endpoint string) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for _, s := range o.servers {
+		addr := s.Addr()
+		if addr == endpoint || "tcp://"+addr == endpoint {
+			return true
+		}
+	}
+	return false
+}
+
+// Invoke performs a synchronous request carrying a pre-marshalled body and
+// returns the raw reply. Generated stubs marshal parameters (and, when
+// instrumented, the hidden FTL) into body, then decode the reply body.
+func (r *Ref) Invoke(operation string, body []byte) (transport.Reply, error) {
+	c, err := r.orb.client(r.Endpoint)
+	if err != nil {
+		return transport.Reply{}, &SystemException{Code: CodeTransport, Detail: err.Error()}
+	}
+	rep, err := c.Call(transport.Request{
+		ObjectKey: r.Key,
+		Operation: operation,
+		Body:      body,
+	})
+	if err != nil {
+		return transport.Reply{}, &SystemException{Code: CodeTransport, Detail: err.Error()}
+	}
+	return rep, nil
+}
+
+// Post performs a oneway (asynchronous) request.
+func (r *Ref) Post(operation string, body []byte) error {
+	c, err := r.orb.client(r.Endpoint)
+	if err != nil {
+		return &SystemException{Code: CodeTransport, Detail: err.Error()}
+	}
+	if err := c.Post(transport.Request{
+		ObjectKey: r.Key,
+		Operation: operation,
+		Oneway:    true,
+		Body:      body,
+	}); err != nil {
+		return &SystemException{Code: CodeTransport, Detail: err.Error()}
+	}
+	return nil
+}
+
+// AppendFTL marshals the hidden in-out FTL parameter after the declared
+// parameters (Figure 3); instrumented generated stubs call it.
+func AppendFTL(body []byte, f ftl.FTL) []byte { return f.Encode(body) }
+
+// TakeFTL strips the trailing FTL from an instrumented body, returning the
+// declared-parameter prefix and the FTL. Instrumented skeletons and stubs
+// (for replies) call it.
+func TakeFTL(body []byte) ([]byte, ftl.FTL, error) {
+	if len(body) < ftl.WireSize {
+		return body, ftl.FTL{}, fmt.Errorf("orb: body too short for hidden FTL parameter (%d bytes)", len(body))
+	}
+	cut := len(body) - ftl.WireSize
+	f, _, err := ftl.Decode(body[cut:])
+	if err != nil {
+		return body, ftl.FTL{}, err
+	}
+	return body[:cut], f, nil
+}

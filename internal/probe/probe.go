@@ -1,0 +1,405 @@
+// Package probe implements the paper's four-point probe framework
+// (Figure 1) and the records it emits.
+//
+// Each remote invocation passes four probes: (1) the start of the stub
+// after the client invokes the function, (2) the beginning of the skeleton
+// when the request arrives, (3) the end of the skeleton when execution
+// concludes, and (4) the end of the stub when the response returns. Every
+// probe performs causality capture (FTL sequence update + event record);
+// latency and CPU aspects are armed separately and — per §2.1, to reduce
+// interference — never simultaneously.
+//
+// All behaviour is recorded locally by each probe "without coordination and
+// global clock synchronization": a Probes instance belongs to one logical
+// process, owns that process's clock, CPU meter, tunnel endpoint, and sink.
+package probe
+
+import (
+	"errors"
+	"time"
+
+	"causeway/internal/cputime"
+	"causeway/internal/ftl"
+	"causeway/internal/gls"
+	"causeway/internal/topology"
+	"causeway/internal/uuid"
+	"causeway/internal/vclock"
+)
+
+// Aspect selects which behaviour dimensions the probes monitor. Causality
+// capture is always performed and has no flag.
+type Aspect uint8
+
+// The monitorable aspects.
+const (
+	// AspectLatency arms wall-clock timestamping at each probe.
+	AspectLatency Aspect = 1 << iota
+	// AspectCPU arms per-thread CPU readings at each probe.
+	AspectCPU
+	// AspectSemantics arms application-semantics capture: input parameters
+	// at skeleton start, and output parameters or the thrown exception at
+	// skeleton end — the paper's fourth behaviour dimension ("primarily
+	// useful for application debugging and testing", §2.1). It may be
+	// combined with either timing aspect.
+	AspectSemantics
+)
+
+// ErrAspectConflict reports an attempt to arm latency and CPU probing
+// simultaneously, which the paper forbids to reduce interference.
+var ErrAspectConflict = errors.New("probe: latency and CPU aspects must not be armed simultaneously")
+
+// Config assembles a process's probe environment.
+type Config struct {
+	// Process identifies the logical process the probes run in.
+	Process topology.Process
+	// Aspects selects latency or CPU monitoring (causality is implicit).
+	Aspects Aspect
+	// Clock stamps probe windows; nil means the system clock.
+	Clock vclock.Clock
+	// Meter reads per-thread CPU; nil means no CPU readings.
+	Meter cputime.Meter
+	// Sink receives emitted records; required.
+	Sink Sink
+	// Chains mints Function UUIDs; nil means random.
+	Chains uuid.Generator
+}
+
+// Validate checks the configuration for the paper's constraints.
+func (c Config) Validate() error {
+	if c.Aspects&AspectLatency != 0 && c.Aspects&AspectCPU != 0 {
+		return ErrAspectConflict
+	}
+	if c.Sink == nil {
+		return errors.New("probe: config requires a Sink")
+	}
+	return nil
+}
+
+// RecordKind distinguishes log record flavours.
+type RecordKind uint8
+
+// Record kinds.
+const (
+	// KindEvent is a tracing-event record emitted by one probe activation.
+	KindEvent RecordKind = iota + 1
+	// KindLink records a oneway call's parent/child chain relationship.
+	KindLink
+)
+
+// OpID identifies the invoked operation: which component object's interface
+// method is being called.
+type OpID struct {
+	Component string // component (deployment unit) name
+	Interface string // IDL interface name
+	Operation string // method name
+	Object    string // object instance identifier
+}
+
+// Record is one monitoring log record. Event records carry the causality
+// fields always, wall-clock fields when AspectLatency was armed, and CPU
+// fields when AspectCPU was armed. Link records carry only the chain-link
+// fields. Records are self-describing so scattered per-process logs can be
+// merged by the collector with no further context.
+type Record struct {
+	Kind RecordKind
+
+	// Identity of the recording site.
+	Process    string // logical process ID
+	ProcType   string // processor type hosting the process
+	Thread     uint64 // logical thread (goroutine) id, unique per process
+	Op         OpID   // invoked operation
+	Oneway     bool   // asynchronous invocation
+	Collocated bool   // collocation-optimized invocation
+
+	// Which aspects were armed when the record was taken; tells the
+	// analyzer whether the wall/CPU fields below are meaningful.
+	LatencyArmed, CPUArmed bool
+
+	// Semantics holds captured application semantics when AspectSemantics
+	// was armed: the rendered input parameters on skel_start records, the
+	// rendered results or raised exception on skel_end records.
+	Semantics string
+
+	// Causality capture (KindEvent).
+	Chain uuid.UUID // Function UUID of the causal chain
+	Event ftl.Event // which tracing event
+	Seq   uint64    // event sequence number within the chain
+
+	// Latency aspect: the probe's own activation window.
+	WallStart, WallEnd time.Time
+
+	// CPU aspect: cumulative per-thread CPU at window edges.
+	CPUStart, CPUEnd time.Duration
+
+	// Chain link (KindLink).
+	LinkParent    uuid.UUID
+	LinkParentSeq uint64
+	LinkChild     uuid.UUID
+}
+
+// Sink receives records from probes. Implementations must be safe for
+// concurrent use; probes on different threads append without coordination.
+type Sink interface {
+	// Append stores one record.
+	Append(Record)
+}
+
+// Probes is the per-process probe set. Generated stubs and skeletons call
+// its methods at the four Figure-1 probe points.
+type Probes struct {
+	cfg    Config
+	clock  vclock.Clock
+	meter  cputime.Meter
+	tunnel *ftl.Tunnel
+}
+
+// New validates cfg and builds the process's probe set.
+func New(cfg Config) (*Probes, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Probes{cfg: cfg, clock: cfg.Clock, meter: cfg.Meter}
+	if p.clock == nil {
+		p.clock = vclock.System{}
+	}
+	if p.meter == nil {
+		p.meter = cputime.NoopMeter{}
+	}
+	p.tunnel = ftl.NewTunnel(cfg.Chains)
+	return p, nil
+}
+
+// Tunnel exposes the process's tunnel endpoint; runtime schedulers use it
+// to refresh/clear thread annotations (observation O2) and STA loops use
+// Swap/Restore around dispatch.
+func (p *Probes) Tunnel() *ftl.Tunnel { return p.tunnel }
+
+// Aspects reports the armed aspects.
+func (p *Probes) Aspects() Aspect { return p.cfg.Aspects }
+
+// Process reports the logical process the probes belong to.
+func (p *Probes) Process() topology.Process { return p.cfg.Process }
+
+// SemanticsArmed reports whether application-semantics capture is on;
+// generated skeletons consult it before rendering parameter values.
+func (p *Probes) SemanticsArmed() bool { return p.cfg.Aspects&AspectSemantics != 0 }
+
+// window captures a probe activation's start readings plus the calling
+// thread's identity. The wall/CPU readings are taken FIRST so every cost
+// the activation itself incurs — including the runtime.Stack parse that
+// resolves the thread identity, the dominant probe cost — falls inside the
+// recorded window and is therefore compensated by the latency analysis and
+// excluded from self-CPU.
+type window struct {
+	gid       uint64
+	wallStart time.Time
+	cpuStart  time.Duration
+}
+
+func (p *Probes) openWindow() window {
+	var w window
+	if p.cfg.Aspects&AspectLatency != 0 {
+		w.wallStart = p.clock.Now()
+	}
+	if p.cfg.Aspects&AspectCPU != 0 {
+		w.cpuStart = p.meter.ThreadCPU()
+	}
+	w.gid = gls.GoroutineID()
+	return w
+}
+
+// emit closes the activation window and appends the record. Everything a
+// probe does must happen before its emit call so the window covers it; the
+// only uncompensated cost is the sink append itself.
+func (p *Probes) emit(w window, op OpID, f ftl.FTL, ev ftl.Event, oneway, colloc bool) {
+	p.emitSem(w, op, f, ev, oneway, colloc, "")
+}
+
+func (p *Probes) emitSem(w window, op OpID, f ftl.FTL, ev ftl.Event, oneway, colloc bool, sem string) {
+	r := Record{
+		Semantics:  sem,
+		Kind:       KindEvent,
+		Process:    p.cfg.Process.ID,
+		ProcType:   p.cfg.Process.Processor.Type,
+		Thread:     w.gid,
+		Op:         op,
+		Oneway:     oneway,
+		Collocated: colloc,
+		Chain:      f.Chain,
+		Event:      ev,
+		Seq:        f.Seq,
+		WallStart:  w.wallStart,
+		CPUStart:   w.cpuStart,
+	}
+	if p.cfg.Aspects&AspectLatency != 0 {
+		r.LatencyArmed = true
+		r.WallEnd = p.clock.Now()
+	}
+	if p.cfg.Aspects&AspectCPU != 0 {
+		r.CPUArmed = true
+		r.CPUEnd = p.meter.ThreadCPU()
+	}
+	p.cfg.Sink.Append(r)
+}
+
+// StubCtx carries state from a stub-start probe to the matching stub-end.
+type StubCtx struct {
+	op     OpID
+	oneway bool
+	// Wire is the FTL to transport to the skeleton (the hidden in-out
+	// parameter of Figure 3). For oneway calls it is the fresh child chain.
+	Wire ftl.FTL
+	// parent is the caller-side FTL after the stub_start event (oneway
+	// calls keep numbering their parent chain through stub_end).
+	parent ftl.FTL
+	fresh  bool // chain was begun by this call (top-level)
+}
+
+// StubStart is probe 1: the start of the stub, after the client invoked the
+// function. It advances the caller's chain, emits stub_start, and returns
+// the context holding the FTL to put on the wire.
+func (p *Probes) StubStart(op OpID, oneway bool) StubCtx {
+	w := p.openWindow()
+	f, fresh := p.tunnel.CurrentOrBeginG(w.gid)
+	f.NextSeq()
+	ctx := StubCtx{op: op, oneway: oneway, parent: f, fresh: fresh}
+	var link ftl.ChainLink
+	if oneway {
+		// Fork the child chain; the link is recorded in the stub start
+		// probe per §2.2.
+		ctx.Wire, link = p.tunnel.BeginChild(f)
+	} else {
+		ctx.Wire = f
+	}
+	p.emit(w, op, f, ftl.StubStart, oneway, false)
+	if oneway {
+		p.emitLink(w.gid, link)
+	}
+	return ctx
+}
+
+// StubEnd is probe 4: the end of the stub, when the response is ready to
+// return to the client. For synchronous calls, reply is the FTL carried
+// back from the skeleton; for oneway calls it is ignored and the parent
+// chain continues. The caller thread's annotation is refreshed so an
+// immediately following sibling call continues the chain (Table 1).
+func (p *Probes) StubEnd(ctx StubCtx, reply ftl.FTL) {
+	w := p.openWindow()
+	f := reply
+	if ctx.oneway {
+		f = ctx.parent
+	}
+	f.NextSeq()
+	p.tunnel.StoreG(w.gid, f)
+	p.emit(w, ctx.op, f, ftl.StubEnd, ctx.oneway, false)
+}
+
+// SkelCtx carries state from a skeleton-start probe to the matching
+// skeleton-end on the dispatch thread.
+type SkelCtx struct {
+	op     OpID
+	oneway bool
+}
+
+// SkelStartSem is SkelStart with application semantics attached: sem is
+// the rendered input-parameter list the generated skeleton produced.
+func (p *Probes) SkelStartSem(op OpID, wire ftl.FTL, oneway bool, sem string) SkelCtx {
+	w := p.openWindow()
+	wire.NextSeq()
+	p.tunnel.StoreG(w.gid, wire)
+	p.emitSem(w, op, wire, ftl.SkelStart, oneway, false, sem)
+	return SkelCtx{op: op, oneway: oneway}
+}
+
+// SkelEndSem is SkelEnd with application semantics attached: sem renders
+// the output parameters or the raised exception.
+func (p *Probes) SkelEndSem(ctx SkelCtx, sem string) ftl.FTL {
+	w := p.openWindow()
+	f, ok := p.tunnel.CurrentG(w.gid)
+	if !ok {
+		f = ftl.FTL{}
+	}
+	f.NextSeq()
+	p.tunnel.ClearG(w.gid)
+	p.emitSem(w, ctx.op, f, ftl.SkelEnd, ctx.oneway, false, sem)
+	return f
+}
+
+// SkelStart is probe 2: the beginning of the skeleton when the invocation
+// request arrives. wire is the FTL unmarshalled from the hidden parameter.
+// The dispatch thread's annotation is set so child stubs inside the
+// function implementation pick the chain up from TSS (Figure 2).
+func (p *Probes) SkelStart(op OpID, wire ftl.FTL, oneway bool) SkelCtx {
+	w := p.openWindow()
+	wire.NextSeq()
+	p.tunnel.StoreG(w.gid, wire)
+	p.emit(w, op, wire, ftl.SkelStart, oneway, false)
+	return SkelCtx{op: op, oneway: oneway}
+}
+
+// SkelEnd is probe 3: the end of the skeleton when the function execution
+// concludes. It reads the chain back from TSS (children advanced it),
+// emits skel_end, clears the dispatch thread's annotation, and returns the
+// FTL to marshal into the reply (synchronous calls only; oneway replies
+// discard it).
+func (p *Probes) SkelEnd(ctx SkelCtx) ftl.FTL {
+	w := p.openWindow()
+	f, ok := p.tunnel.CurrentG(w.gid)
+	if !ok {
+		// The implementation (or a buggy scheduler) cleared the slot; the
+		// chain is broken and the analyzer will flag an abnormal
+		// transition. Emit with a nil chain rather than dropping silently.
+		f = ftl.FTL{}
+	}
+	f.NextSeq()
+	p.tunnel.ClearG(w.gid)
+	p.emit(w, ctx.op, f, ftl.SkelEnd, ctx.oneway, false)
+	return f
+}
+
+// CollocCtx carries state across a collocation-optimized call.
+type CollocCtx struct {
+	op OpID
+}
+
+// CollocStart handles a collocation-optimized invocation: "both stub start
+// and skeleton start probes are triggered before the execution falls into
+// the user-defined function implementation", degenerated into a single
+// probe activation (§2.2). The two events share one activation window.
+func (p *Probes) CollocStart(op OpID) CollocCtx {
+	w := p.openWindow()
+	f, _ := p.tunnel.CurrentOrBeginG(w.gid)
+	f.NextSeq()
+	p.emit(w, op, f, ftl.StubStart, false, true)
+	f.NextSeq()
+	p.tunnel.StoreG(w.gid, f)
+	p.emit(w, op, f, ftl.SkelStart, false, true)
+	return CollocCtx{op: op}
+}
+
+// CollocEnd emits the degenerated skeleton-end + stub-end pair at function
+// return and refreshes the caller's annotation for sibling calls.
+func (p *Probes) CollocEnd(ctx CollocCtx) {
+	w := p.openWindow()
+	f, ok := p.tunnel.CurrentG(w.gid)
+	if !ok {
+		f = ftl.FTL{}
+	}
+	f.NextSeq()
+	p.emit(w, ctx.op, f, ftl.SkelEnd, false, true)
+	f.NextSeq()
+	p.tunnel.StoreG(w.gid, f)
+	p.emit(w, ctx.op, f, ftl.StubEnd, false, true)
+}
+
+func (p *Probes) emitLink(gid uint64, link ftl.ChainLink) {
+	p.cfg.Sink.Append(Record{
+		Kind:          KindLink,
+		Process:       p.cfg.Process.ID,
+		ProcType:      p.cfg.Process.Processor.Type,
+		Thread:        gid,
+		LinkParent:    link.Parent,
+		LinkParentSeq: link.ParentSeq,
+		LinkChild:     link.Child,
+	})
+}

@@ -1,0 +1,131 @@
+package probe
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// MemorySink buffers records in memory. The zero value is ready to use.
+type MemorySink struct {
+	mu   sync.Mutex
+	recs []Record
+}
+
+var _ Sink = (*MemorySink)(nil)
+
+// Append implements Sink.
+func (s *MemorySink) Append(r Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.recs = append(s.recs, r)
+}
+
+// Snapshot returns a copy of the records accumulated so far.
+func (s *MemorySink) Snapshot() []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Record, len(s.recs))
+	copy(out, s.recs)
+	return out
+}
+
+// Len reports the number of buffered records.
+func (s *MemorySink) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.recs)
+}
+
+// Reset discards all buffered records.
+func (s *MemorySink) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.recs = nil
+}
+
+// StreamSink encodes records to an io.Writer as a gob stream — the
+// per-process on-disk log the collector later gathers (§3: "the scattered
+// logs are collected and eventually synthesized").
+type StreamSink struct {
+	mu  sync.Mutex
+	enc *gob.Encoder
+	err error
+}
+
+var _ Sink = (*StreamSink)(nil)
+
+// NewStreamSink wraps w in a record encoder.
+func NewStreamSink(w io.Writer) *StreamSink {
+	return &StreamSink{enc: gob.NewEncoder(w)}
+}
+
+// Append implements Sink. The first encoding error is retained and
+// subsequent appends become no-ops; Err exposes it.
+func (s *StreamSink) Append(r Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	s.err = s.enc.Encode(r)
+}
+
+// Err returns the first encoding error, if any.
+func (s *StreamSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// ReadStream decodes all records from a gob stream produced by StreamSink.
+func ReadStream(r io.Reader) ([]Record, error) {
+	dec := gob.NewDecoder(r)
+	var out []Record
+	for {
+		var rec Record
+		if err := dec.Decode(&rec); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return out, fmt.Errorf("probe: decode record %d: %w", len(out), err)
+		}
+		out = append(out, rec)
+	}
+}
+
+// TeeSink duplicates records to multiple sinks.
+type TeeSink []Sink
+
+var _ Sink = TeeSink(nil)
+
+// Append implements Sink.
+func (t TeeSink) Append(r Record) {
+	for _, s := range t {
+		s.Append(r)
+	}
+}
+
+// CountingSink counts records without storing them; used by overhead
+// benchmarks to isolate probe cost from sink cost.
+type CountingSink struct {
+	mu sync.Mutex
+	n  int
+}
+
+var _ Sink = (*CountingSink)(nil)
+
+// Append implements Sink.
+func (c *CountingSink) Append(Record) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// Count returns the number of appended records.
+func (c *CountingSink) Count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}

@@ -1,0 +1,57 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"causeway/internal/analysis"
+	"causeway/internal/ftl"
+	"causeway/internal/logdb"
+	"causeway/internal/probe"
+	"causeway/internal/uuid"
+)
+
+// TestDSCGTextShowsAnomalies: truncated chains surface in the rendering.
+func TestDSCGTextShowsAnomalies(t *testing.T) {
+	chain := uuid.UUID{0: 3}
+	db := logdb.NewStore()
+	db.Insert(
+		probe.Record{Kind: probe.KindEvent, Chain: chain, Seq: 1, Event: ftl.StubStart,
+			Op: probe.OpID{Interface: "I", Operation: "broken", Object: "o"}},
+	)
+	g := analysis.Reconstruct(db)
+	out := DSCGString(g)
+	if !strings.Contains(out, "anomalies: 1") || !strings.Contains(out, "!") {
+		t.Fatalf("anomaly not rendered:\n%s", out)
+	}
+}
+
+// TestCCSGXMLEmptyGraph renders a graph with no CPU data.
+func TestCCSGXMLEmptyGraph(t *testing.T) {
+	c := analysis.BuildCCSG(&analysis.DSCG{})
+	var b strings.Builder
+	if err := CCSGXML(&b, c); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "<CCSG>") {
+		t.Fatalf("empty CCSG XML:\n%s", b.String())
+	}
+}
+
+// TestOnewayAndCollocatedAnnotations appear in the text output.
+func TestOnewayAndCollocatedAnnotations(t *testing.T) {
+	chain := uuid.UUID{0: 4}
+	db := logdb.NewStore()
+	op := probe.OpID{Interface: "I", Operation: "c", Object: "o"}
+	db.Insert(
+		probe.Record{Kind: probe.KindEvent, Chain: chain, Seq: 1, Event: ftl.StubStart, Op: op, Collocated: true},
+		probe.Record{Kind: probe.KindEvent, Chain: chain, Seq: 2, Event: ftl.SkelStart, Op: op, Collocated: true},
+		probe.Record{Kind: probe.KindEvent, Chain: chain, Seq: 3, Event: ftl.SkelEnd, Op: op, Collocated: true},
+		probe.Record{Kind: probe.KindEvent, Chain: chain, Seq: 4, Event: ftl.StubEnd, Op: op, Collocated: true},
+	)
+	g := analysis.Reconstruct(db)
+	out := DSCGString(g)
+	if !strings.Contains(out, "collocated") {
+		t.Fatalf("collocated marker missing:\n%s", out)
+	}
+}

@@ -1,0 +1,175 @@
+package render
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+	"time"
+
+	"causeway/internal/analysis"
+	"causeway/internal/ftl"
+	"causeway/internal/logdb"
+	"causeway/internal/probe"
+	"causeway/internal/uuid"
+)
+
+func buildGraph(t *testing.T) *analysis.DSCG {
+	t.Helper()
+	chain := uuid.UUID{0: 1}
+	seq := uint64(0)
+	mk := func(ev ftl.Event, opname, object string) probe.Record {
+		seq++
+		return probe.Record{
+			Kind: probe.KindEvent, Process: "p1", ProcType: "x86", Thread: 2,
+			Chain: chain, Seq: seq, Event: ev, CPUArmed: true,
+			CPUStart: time.Duration(seq) * time.Millisecond,
+			CPUEnd:   time.Duration(seq) * time.Millisecond,
+			Op:       probe.OpID{Component: "comp", Interface: "Printer", Operation: opname, Object: object},
+		}
+	}
+	db := logdb.NewStore()
+	db.Insert(
+		mk(ftl.StubStart, "print", "obj1"),
+		mk(ftl.SkelStart, "print", "obj1"),
+		mk(ftl.StubStart, "render", "obj2"),
+		mk(ftl.SkelStart, "render", "obj2"),
+		mk(ftl.SkelEnd, "render", "obj2"),
+		mk(ftl.StubEnd, "render", "obj2"),
+		mk(ftl.SkelEnd, "print", "obj1"),
+		mk(ftl.StubEnd, "print", "obj1"),
+	)
+	g := analysis.Reconstruct(db)
+	if len(g.Anomalies) != 0 {
+		t.Fatalf("anomalies: %v", g.Anomalies)
+	}
+	g.ComputeCPU()
+	return g
+}
+
+func TestDSCGText(t *testing.T) {
+	g := buildGraph(t)
+	out := DSCGString(g)
+	for _, want := range []string{"chain", "Printer::print(obj1)", "Printer::render(obj2)", "on p1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Nesting: render is indented deeper than print.
+	printIdx := strings.Index(out, "Printer::print")
+	renderIdx := strings.Index(out, "Printer::render")
+	if printIdx < 0 || renderIdx < printIdx {
+		t.Error("nesting order wrong")
+	}
+}
+
+func TestDSCGTextDepthLimit(t *testing.T) {
+	g := buildGraph(t)
+	var b strings.Builder
+	if err := DSCGText(&b, g, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "render") {
+		t.Error("depth limit not applied")
+	}
+	if !strings.Contains(b.String(), "print") {
+		t.Error("depth-1 node missing")
+	}
+}
+
+func TestDSCGTextNodeLimit(t *testing.T) {
+	g := buildGraph(t)
+	var b strings.Builder
+	if err := DSCGText(&b, g, -1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "render") {
+		t.Error("node limit not applied")
+	}
+}
+
+func TestCCSGXMLWellFormedAndFaithful(t *testing.T) {
+	g := buildGraph(t)
+	c := analysis.BuildCCSG(g)
+	var b strings.Builder
+	if err := CCSGXML(&b, c); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"<CCSG>", "InvocationTimes", "SelfCPUConsumption",
+		`ObjectID="obj1"`, `Name="print"`, "IncludedFunctionInstances",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("XML missing %q", want)
+		}
+	}
+	// Must round-trip through the XML parser.
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("XML not well-formed: %v", err)
+		}
+	}
+}
+
+func TestSecMicroFormat(t *testing.T) {
+	sm := toSecMicro(3*time.Second + 250*time.Microsecond)
+	if sm.Second != 3 || sm.Microsecond != 250 {
+		t.Fatalf("toSecMicro = %+v", sm)
+	}
+	sm = toSecMicro(999 * time.Nanosecond) // sub-microsecond truncates
+	if sm.Second != 0 || sm.Microsecond != 0 {
+		t.Fatalf("toSecMicro sub-µs = %+v", sm)
+	}
+}
+
+func TestCCSGText(t *testing.T) {
+	g := buildGraph(t)
+	c := analysis.BuildCCSG(g)
+	var b strings.Builder
+	if err := CCSGText(&b, c); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "x1") || !strings.Contains(b.String(), "print") {
+		t.Errorf("CCSG text:\n%s", b.String())
+	}
+}
+
+func TestSequenceChart(t *testing.T) {
+	at := func(us int64) time.Time { return time.Unix(50, 0).Add(time.Duration(us) * time.Microsecond) }
+	op := probe.OpID{Interface: "I", Operation: "f", Object: "o"}
+	recs := []probe.Record{
+		{Kind: probe.KindEvent, Process: "pb", Thread: 9, Event: ftl.SkelStart,
+			Op: op, Chain: uuid.UUID{0: 2}, Seq: 2, LatencyArmed: true, WallStart: at(500), WallEnd: at(501)},
+		{Kind: probe.KindEvent, Process: "pa", Thread: 1, Event: ftl.StubStart,
+			Op: op, Chain: uuid.UUID{0: 2}, Seq: 1, LatencyArmed: true, WallStart: at(100), WallEnd: at(101)},
+		{Kind: probe.KindEvent, Process: "pa", Thread: 1, Event: ftl.StubEnd,
+			Op: op, Chain: uuid.UUID{0: 2}, Seq: 4, LatencyArmed: true, WallStart: at(900), WallEnd: at(901)},
+		// No wall data: must be skipped.
+		{Kind: probe.KindEvent, Process: "pa", Thread: 1, Event: ftl.SkelEnd, Op: op},
+	}
+	var b strings.Builder
+	if err := SequenceChart(&b, recs); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	paIdx := strings.Index(out, "process pa")
+	pbIdx := strings.Index(out, "process pb")
+	if paIdx < 0 || pbIdx < 0 || paIdx > pbIdx {
+		t.Fatalf("process sections wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "chain=") || !strings.Contains(out, "stub_start") {
+		t.Fatalf("chart missing fields:\n%s", out)
+	}
+	// Within pa, stub_start (t=100) precedes stub_end (t=900).
+	if strings.Index(out, "stub_start") > strings.Index(out, "stub_end") {
+		t.Fatalf("per-process time ordering wrong:\n%s", out)
+	}
+	if strings.Contains(out, "skel_end") {
+		t.Fatalf("record without wall data rendered:\n%s", out)
+	}
+}

@@ -1,0 +1,53 @@
+package render
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"causeway/internal/probe"
+)
+
+// SequenceChart writes the OVATION-style presentation the paper's related
+// work describes (§5): "Object method calls are presented in a sequence
+// chart with respect to time progressing, along with their corresponding
+// runtime execution entities (thread, process, and host)." Events are
+// grouped per process — local clocks are not comparable across processes,
+// which is precisely why OVATION cannot correlate them — and each line
+// additionally shows the causal chain id and event number this framework
+// captures and OVATION lacks.
+//
+// Records without wall-clock data (latency aspect disarmed) are skipped.
+func SequenceChart(w io.Writer, recs []probe.Record) error {
+	byProcess := make(map[string][]probe.Record)
+	for _, r := range recs {
+		if r.Kind != probe.KindEvent || !r.LatencyArmed {
+			continue
+		}
+		byProcess[r.Process] = append(byProcess[r.Process], r)
+	}
+	procs := make([]string, 0, len(byProcess))
+	for p := range byProcess {
+		procs = append(procs, p)
+	}
+	sort.Strings(procs)
+
+	for _, p := range procs {
+		rows := byProcess[p]
+		sort.SliceStable(rows, func(i, j int) bool { return rows[i].WallStart.Before(rows[j].WallStart) })
+		if _, err := fmt.Fprintf(w, "process %s (local clock)\n", p); err != nil {
+			return err
+		}
+		epoch := rows[0].WallStart
+		for _, r := range rows {
+			offset := r.WallStart.Sub(epoch).Round(time.Microsecond)
+			if _, err := fmt.Fprintf(w, "  +%-12v thr=%-6d %-10s %s::%s(%s)  chain=%s#%d\n",
+				offset, r.Thread, r.Event, r.Op.Interface, r.Op.Operation, r.Op.Object,
+				r.Chain.Short(), r.Seq); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+// Package topology models the deployment structure the paper's experiments
+// vary: processors (with a *type*, since inclusive CPU is reported as a
+// vector <C1..CM> over the M processor types in the application, §3.2),
+// processes hosted on processors, and logical threads within processes.
+//
+// The paper deploys across HPUX, Windows NT and VxWorks machines; here a
+// "process" is a logical process — an independent runtime instance with its
+// own probe sink and clock — whether it lives in its own address space or
+// shares one with others (the multi-"process" single-binary configurations
+// used by the experiments, connected over real TCP loopback).
+package topology
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Processor is a CPU the application is deployed on.
+type Processor struct {
+	// ID uniquely names the processor (e.g. "hpux-a").
+	ID string
+	// Type classifies the processor architecture (e.g. "pa-risc", "x86").
+	// Inclusive CPU consumption is summarized per Type.
+	Type string
+}
+
+// Process is one logical process of the distributed application.
+type Process struct {
+	// ID uniquely names the process within the application.
+	ID string
+	// Processor hosts the process.
+	Processor Processor
+}
+
+// String renders "process@processor(type)".
+func (p Process) String() string {
+	return fmt.Sprintf("%s@%s(%s)", p.ID, p.Processor.ID, p.Processor.Type)
+}
+
+// Deployment is the set of processes making up one application run.
+// It is safe for concurrent registration.
+type Deployment struct {
+	mu    sync.Mutex
+	procs map[string]Process
+}
+
+// NewDeployment returns an empty deployment.
+func NewDeployment() *Deployment {
+	return &Deployment{procs: make(map[string]Process)}
+}
+
+// Add registers a process; it is an error to reuse a process ID with a
+// different host processor.
+func (d *Deployment) Add(p Process) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if prev, ok := d.procs[p.ID]; ok && prev != p {
+		return fmt.Errorf("topology: process %q already registered as %v", p.ID, prev)
+	}
+	d.procs[p.ID] = p
+	return nil
+}
+
+// Lookup returns the process registered under id.
+func (d *Deployment) Lookup(id string) (Process, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	p, ok := d.procs[id]
+	return p, ok
+}
+
+// Processes returns all registered processes sorted by ID.
+func (d *Deployment) Processes() []Process {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]Process, 0, len(d.procs))
+	for _, p := range d.procs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ProcessorTypes returns the distinct processor types in the deployment,
+// sorted — the axis of the DC_F vector <C1..CM>.
+func (d *Deployment) ProcessorTypes() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	set := make(map[string]bool)
+	for _, p := range d.procs {
+		set[p.Processor.Type] = true
+	}
+	out := make([]string, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}

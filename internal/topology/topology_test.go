@@ -1,0 +1,75 @@
+package topology
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestAddLookup(t *testing.T) {
+	d := NewDeployment()
+	p := Process{ID: "p1", Processor: Processor{ID: "cpu0", Type: "x86"}}
+	if err := d.Add(p); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := d.Lookup("p1")
+	if !ok || got != p {
+		t.Fatalf("Lookup = %v, %v", got, ok)
+	}
+	if _, ok := d.Lookup("nope"); ok {
+		t.Fatal("Lookup found unregistered process")
+	}
+}
+
+func TestAddIdempotentButConflictRejected(t *testing.T) {
+	d := NewDeployment()
+	p := Process{ID: "p1", Processor: Processor{ID: "cpu0", Type: "x86"}}
+	if err := d.Add(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Add(p); err != nil {
+		t.Fatalf("re-adding identical process: %v", err)
+	}
+	q := p
+	q.Processor.Type = "pa-risc"
+	if err := d.Add(q); err == nil {
+		t.Fatal("conflicting re-registration accepted")
+	}
+}
+
+func TestProcessesSorted(t *testing.T) {
+	d := NewDeployment()
+	for _, id := range []string{"pc", "pa", "pb"} {
+		if err := d.Add(Process{ID: id, Processor: Processor{ID: "c", Type: "x86"}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := d.Processes()
+	if len(got) != 3 || got[0].ID != "pa" || got[1].ID != "pb" || got[2].ID != "pc" {
+		t.Fatalf("Processes = %v", got)
+	}
+}
+
+func TestProcessorTypes(t *testing.T) {
+	d := NewDeployment()
+	add := func(pid, ctype string) {
+		t.Helper()
+		if err := d.Add(Process{ID: pid, Processor: Processor{ID: pid + "-cpu", Type: ctype}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("p1", "x86")
+	add("p2", "pa-risc")
+	add("p3", "x86")
+	add("p4", "vxworks-ppc")
+	want := []string{"pa-risc", "vxworks-ppc", "x86"}
+	if got := d.ProcessorTypes(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("ProcessorTypes = %v, want %v", got, want)
+	}
+}
+
+func TestProcessString(t *testing.T) {
+	p := Process{ID: "srv", Processor: Processor{ID: "hpux-a", Type: "pa-risc"}}
+	if got := p.String(); got != "srv@hpux-a(pa-risc)" {
+		t.Fatalf("String = %q", got)
+	}
+}

@@ -1,0 +1,131 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// InprocNetwork is a namespace of in-process endpoints. Multiple logical
+// processes in one binary register servers by name; clients dial by name.
+// It models the paper's single-machine multi-process configurations without
+// kernel sockets, keeping experiment noise low.
+type InprocNetwork struct {
+	mu      sync.Mutex
+	servers map[string]*inprocServer
+	nextID  atomic.Uint64
+}
+
+// NewInprocNetwork returns an empty namespace.
+func NewInprocNetwork() *InprocNetwork {
+	return &InprocNetwork{servers: make(map[string]*inprocServer)}
+}
+
+// Listen registers a named endpoint.
+func (n *InprocNetwork) Listen(name string) (Server, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, exists := n.servers[name]; exists {
+		return nil, fmt.Errorf("transport: inproc endpoint %q already bound", name)
+	}
+	s := &inprocServer{net: n, name: name}
+	n.servers[name] = s
+	return s, nil
+}
+
+// Dial connects to a named endpoint.
+func (n *InprocNetwork) Dial(name string) (Client, error) {
+	n.mu.Lock()
+	s, ok := n.servers[name]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownEndpoint, name)
+	}
+	return &inprocClient{server: s, conn: ConnID(n.nextID.Add(1))}, nil
+}
+
+type inprocServer struct {
+	net  *InprocNetwork
+	name string
+
+	mu      sync.RWMutex
+	handler Handler
+	closed  bool
+}
+
+var _ Server = (*inprocServer)(nil)
+
+func (s *inprocServer) Serve(h Handler) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.handler != nil {
+		return fmt.Errorf("transport: inproc endpoint %q already serving", s.name)
+	}
+	s.handler = h
+	return nil
+}
+
+func (s *inprocServer) Addr() string { return "inproc://" + s.name }
+
+func (s *inprocServer) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.handler = nil
+	s.mu.Unlock()
+	s.net.mu.Lock()
+	delete(s.net.servers, s.name)
+	s.net.mu.Unlock()
+	return nil
+}
+
+func (s *inprocServer) deliver(conn ConnID, req Request, respond Responder) error {
+	s.mu.RLock()
+	h := s.handler
+	closed := s.closed
+	s.mu.RUnlock()
+	if closed || h == nil {
+		return ErrClosed
+	}
+	h(conn, req, respond)
+	return nil
+}
+
+type inprocClient struct {
+	server *inprocServer
+	conn   ConnID
+	nextID atomic.Uint64
+	closed atomic.Bool
+}
+
+var _ Client = (*inprocClient)(nil)
+
+func (c *inprocClient) Call(req Request) (Reply, error) {
+	if c.closed.Load() {
+		return Reply{}, ErrClosed
+	}
+	req.ID = c.nextID.Add(1)
+	req.Oneway = false
+	ch := make(chan Reply, 1)
+	err := c.server.deliver(c.conn, req, func(r Reply) { ch <- r })
+	if err != nil {
+		return Reply{}, err
+	}
+	return <-ch, nil
+}
+
+func (c *inprocClient) Post(req Request) error {
+	if c.closed.Load() {
+		return ErrClosed
+	}
+	req.ID = c.nextID.Add(1)
+	req.Oneway = true
+	return c.server.deliver(c.conn, req, func(Reply) {})
+}
+
+func (c *inprocClient) Close() error {
+	c.closed.Store(true)
+	return nil
+}

@@ -1,0 +1,423 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Frame layout: every message is a length-prefixed frame.
+//
+//	u32  frame length (excluding this prefix)
+//	u8   frame kind (request | reply)
+//	u64  request id
+//	-- request --          -- reply --
+//	u8   oneway            u8   status
+//	str  object key        bytes body
+//	str  operation
+//	bytes body
+//
+// Strings and byte fields are u32-length-prefixed.
+const (
+	frameRequest byte = 1
+	frameReply   byte = 2
+
+	// maxFrame bounds a frame to keep a corrupt length prefix from
+	// allocating unbounded memory.
+	maxFrame = 64 << 20
+)
+
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+func appendBytes(b, v []byte) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(v)))
+	return append(b, v...)
+}
+
+type frameReader struct {
+	buf []byte
+	off int
+}
+
+func (f *frameReader) u8() (byte, error) {
+	if f.off+1 > len(f.buf) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	v := f.buf[f.off]
+	f.off++
+	return v, nil
+}
+
+func (f *frameReader) u64() (uint64, error) {
+	if f.off+8 > len(f.buf) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	v := binary.LittleEndian.Uint64(f.buf[f.off:])
+	f.off += 8
+	return v, nil
+}
+
+func (f *frameReader) bytes() ([]byte, error) {
+	if f.off+4 > len(f.buf) {
+		return nil, io.ErrUnexpectedEOF
+	}
+	n := binary.LittleEndian.Uint32(f.buf[f.off:])
+	f.off += 4
+	if f.off+int(n) > len(f.buf) {
+		return nil, io.ErrUnexpectedEOF
+	}
+	v := f.buf[f.off : f.off+int(n)]
+	f.off += int(n)
+	return v, nil
+}
+
+func (f *frameReader) str() (string, error) {
+	b, err := f.bytes()
+	return string(b), err
+}
+
+func encodeRequest(req Request) []byte {
+	b := make([]byte, 0, 32+len(req.ObjectKey)+len(req.Operation)+len(req.Body))
+	b = append(b, frameRequest)
+	b = binary.LittleEndian.AppendUint64(b, req.ID)
+	if req.Oneway {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = appendString(b, req.ObjectKey)
+	b = appendString(b, req.Operation)
+	b = appendBytes(b, req.Body)
+	return b
+}
+
+func encodeReply(rep Reply) []byte {
+	b := make([]byte, 0, 16+len(rep.Body))
+	b = append(b, frameReply)
+	b = binary.LittleEndian.AppendUint64(b, rep.ID)
+	b = append(b, byte(rep.Status))
+	b = appendBytes(b, rep.Body)
+	return b
+}
+
+func decodeRequest(fr *frameReader) (Request, error) {
+	var req Request
+	var err error
+	if req.ID, err = fr.u64(); err != nil {
+		return req, err
+	}
+	ow, err := fr.u8()
+	if err != nil {
+		return req, err
+	}
+	req.Oneway = ow != 0
+	if req.ObjectKey, err = fr.str(); err != nil {
+		return req, err
+	}
+	if req.Operation, err = fr.str(); err != nil {
+		return req, err
+	}
+	body, err := fr.bytes()
+	if err != nil {
+		return req, err
+	}
+	req.Body = append([]byte(nil), body...)
+	return req, nil
+}
+
+func decodeReply(fr *frameReader) (Reply, error) {
+	var rep Reply
+	var err error
+	if rep.ID, err = fr.u64(); err != nil {
+		return rep, err
+	}
+	st, err := fr.u8()
+	if err != nil {
+		return rep, err
+	}
+	rep.Status = Status(st)
+	body, err := fr.bytes()
+	if err != nil {
+		return rep, err
+	}
+	rep.Body = append([]byte(nil), body...)
+	return rep, nil
+}
+
+// TCPServer serves requests over TCP. One read goroutine per connection
+// delivers requests to the handler; the handler's scheduling policy decides
+// which goroutine executes the dispatch.
+type TCPServer struct {
+	ln      net.Listener
+	mu      sync.Mutex
+	handler Handler
+	conns   map[net.Conn]struct{}
+	wg      sync.WaitGroup
+	closed  atomic.Bool
+	nextID  atomic.Uint64
+}
+
+var _ Server = (*TCPServer)(nil)
+
+// ListenTCP binds addr ("127.0.0.1:0" for an ephemeral port).
+func ListenTCP(addr string) (*TCPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	return &TCPServer{ln: ln, conns: make(map[net.Conn]struct{})}, nil
+}
+
+// Serve implements Server; it starts the accept loop and returns.
+func (s *TCPServer) Serve(h Handler) error {
+	s.mu.Lock()
+	if s.handler != nil {
+		s.mu.Unlock()
+		return errors.New("transport: already serving")
+	}
+	s.handler = h
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return nil
+}
+
+// Addr implements Server.
+func (s *TCPServer) Addr() string { return s.ln.Addr().String() }
+
+// Close implements Server: stops accepting, closes live connections, and
+// waits for per-connection goroutines to finish.
+func (s *TCPServer) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	err := s.ln.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *TCPServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed.Load() {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.connLoop(conn, ConnID(s.nextID.Add(1)))
+	}
+}
+
+func (s *TCPServer) connLoop(conn net.Conn, id ConnID) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	var writeMu sync.Mutex
+	for {
+		frame, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		fr := &frameReader{buf: frame}
+		kind, err := fr.u8()
+		if err != nil || kind != frameRequest {
+			return
+		}
+		req, err := decodeRequest(fr)
+		if err != nil {
+			return
+		}
+		respond := Responder(func(Reply) {})
+		if !req.Oneway {
+			reqID := req.ID
+			respond = func(rep Reply) {
+				rep.ID = reqID
+				writeMu.Lock()
+				defer writeMu.Unlock()
+				// A write error means the client went away; the reply is
+				// undeliverable and dropping it is the only option.
+				_ = writeFrame(conn, encodeReply(rep))
+			}
+		}
+		s.mu.Lock()
+		h := s.handler
+		s.mu.Unlock()
+		h(id, req, respond)
+	}
+}
+
+// TCPClient multiplexes synchronous calls over one TCP connection.
+type TCPClient struct {
+	conn    net.Conn
+	writeMu sync.Mutex
+	mu      sync.Mutex
+	pending map[uint64]chan Reply
+	nextID  atomic.Uint64
+	closed  atomic.Bool
+	readErr error
+	done    chan struct{}
+}
+
+var _ Client = (*TCPClient)(nil)
+
+// DialTCP connects to a TCPServer.
+func DialTCP(addr string) (*TCPClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	c := &TCPClient{
+		conn:    conn,
+		pending: make(map[uint64]chan Reply),
+		done:    make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *TCPClient) readLoop() {
+	defer close(c.done)
+	for {
+		frame, err := readFrame(c.conn)
+		if err != nil {
+			c.mu.Lock()
+			c.readErr = err
+			for id, ch := range c.pending {
+				close(ch)
+				delete(c.pending, id)
+			}
+			c.mu.Unlock()
+			return
+		}
+		fr := &frameReader{buf: frame}
+		kind, err := fr.u8()
+		if err != nil || kind != frameReply {
+			continue
+		}
+		rep, err := decodeReply(fr)
+		if err != nil {
+			continue
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[rep.ID]
+		if ok {
+			delete(c.pending, rep.ID)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- rep
+		}
+	}
+}
+
+// Call implements Client.
+func (c *TCPClient) Call(req Request) (Reply, error) {
+	if c.closed.Load() {
+		return Reply{}, ErrClosed
+	}
+	req.ID = c.nextID.Add(1)
+	req.Oneway = false
+	ch := make(chan Reply, 1)
+	c.mu.Lock()
+	if c.readErr != nil {
+		err := c.readErr
+		c.mu.Unlock()
+		return Reply{}, err
+	}
+	c.pending[req.ID] = ch
+	c.mu.Unlock()
+
+	c.writeMu.Lock()
+	err := writeFrame(c.conn, encodeRequest(req))
+	c.writeMu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, req.ID)
+		c.mu.Unlock()
+		return Reply{}, err
+	}
+	rep, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.readErr
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrClosed
+		}
+		return Reply{}, err
+	}
+	return rep, nil
+}
+
+// Post implements Client.
+func (c *TCPClient) Post(req Request) error {
+	if c.closed.Load() {
+		return ErrClosed
+	}
+	req.ID = c.nextID.Add(1)
+	req.Oneway = true
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	return writeFrame(c.conn, encodeRequest(req))
+}
+
+// Close implements Client.
+func (c *TCPClient) Close() error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	err := c.conn.Close()
+	<-c.done
+	return err
+}

@@ -1,0 +1,110 @@
+// Package transport moves request/reply messages between processes. It is
+// the private communication channel the instrumented stub and skeleton
+// share (Figure 2, solid lines): the FTL rides inside the request body the
+// stub marshals, so the transport itself needs no knowledge of monitoring —
+// exactly the property that lets the paper avoid modifying the runtime
+// infrastructure for FTL transportation.
+//
+// Two transports are provided: a framed TCP transport (cross-process, the
+// loopback analog of the paper's cross-machine deployments) and an
+// in-process transport (distinct logical processes sharing an address
+// space, used by the multi-"process" experiment configurations).
+package transport
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Status classifies a reply.
+type Status uint8
+
+// Reply statuses.
+const (
+	// StatusOK means the invocation completed and the body holds results.
+	StatusOK Status = iota + 1
+	// StatusUserException means the servant raised a declared exception;
+	// the body holds the marshalled exception.
+	StatusUserException
+	// StatusSystemException means the runtime failed the call (unknown
+	// object, bad operation, connection loss); the body holds a message.
+	StatusSystemException
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusUserException:
+		return "user-exception"
+	case StatusSystemException:
+		return "system-exception"
+	default:
+		return fmt.Sprintf("status(%d)", uint8(s))
+	}
+}
+
+// Request is one invocation message.
+type Request struct {
+	// ID correlates the reply on multiplexed connections. The transport
+	// assigns it; callers leave it zero.
+	ID uint64
+	// ObjectKey addresses the target object within the server process.
+	ObjectKey string
+	// Operation is the method name.
+	Operation string
+	// Oneway requests fire-and-forget semantics: no reply is sent.
+	Oneway bool
+	// Body is the CDR-encoded parameter list (plus the hidden FTL when the
+	// deployment is instrumented).
+	Body []byte
+}
+
+// Reply is one response message.
+type Reply struct {
+	ID     uint64
+	Status Status
+	Body   []byte
+}
+
+// Responder sends the reply for one request exactly once.
+type Responder func(Reply)
+
+// ConnID identifies a client connection within a server; threading
+// policies use it to serialize per-connection dispatch.
+type ConnID uint64
+
+// Handler processes one incoming request. Implementations decide their own
+// scheduling (the ORB's threading policy) and must eventually call respond
+// for non-oneway requests. respond is safe to call from any goroutine.
+type Handler func(conn ConnID, req Request, respond Responder)
+
+// Server accepts incoming requests and feeds them to a handler.
+type Server interface {
+	// Serve starts accepting; it does not block. The handler must be set
+	// exactly once before any client connects.
+	Serve(h Handler) error
+	// Addr returns the endpoint clients dial.
+	Addr() string
+	// Close stops the server and releases resources.
+	Close() error
+}
+
+// Client issues requests to one server endpoint.
+type Client interface {
+	// Call performs a synchronous request and waits for the reply.
+	Call(req Request) (Reply, error)
+	// Post sends a oneway request without waiting.
+	Post(req Request) error
+	// Close releases the connection.
+	Close() error
+}
+
+// Errors shared by transports.
+var (
+	// ErrClosed reports use of a closed client or server.
+	ErrClosed = errors.New("transport: closed")
+	// ErrUnknownEndpoint reports a dial to an unregistered in-process name.
+	ErrUnknownEndpoint = errors.New("transport: unknown endpoint")
+)

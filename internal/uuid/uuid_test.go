@@ -1,0 +1,133 @@
+package uuid
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewIsV4AndNonNil(t *testing.T) {
+	u := New()
+	if u.IsNil() {
+		t.Fatal("New returned nil UUID")
+	}
+	if got := u[6] >> 4; got != 4 {
+		t.Errorf("version nibble = %d, want 4", got)
+	}
+	if got := u[8] & 0xc0; got != 0x80 {
+		t.Errorf("variant bits = %#x, want 0x80", got)
+	}
+}
+
+func TestNewUnique(t *testing.T) {
+	seen := make(map[UUID]bool, 1000)
+	for i := 0; i < 1000; i++ {
+		u := New()
+		if seen[u] {
+			t.Fatalf("duplicate UUID after %d draws: %s", i, u)
+		}
+		seen[u] = true
+	}
+}
+
+func TestStringParseRoundTrip(t *testing.T) {
+	f := func(raw [16]byte) bool {
+		u := UUID(raw)
+		parsed, err := Parse(u.String())
+		return err == nil && parsed == u
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	bad := []string{
+		"",
+		"not-a-uuid",
+		"00000000-0000-0000-0000-00000000000",   // too short
+		"00000000-0000-0000-0000-0000000000000", // too long
+		"00000000x0000-0000-0000-000000000000",  // wrong separator
+		"gggggggg-0000-0000-0000-000000000000",  // non-hex
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	u := New()
+	b, err := u.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v UUID
+	if err := v.UnmarshalBinary(b); err != nil {
+		t.Fatal(err)
+	}
+	if v != u {
+		t.Fatalf("round trip mismatch: %s != %s", v, u)
+	}
+	if err := v.UnmarshalBinary(b[:5]); err == nil {
+		t.Error("UnmarshalBinary accepted short input")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	a := UUID{0: 1}
+	b := UUID{0: 2}
+	if Compare(a, b) != -1 || Compare(b, a) != 1 || Compare(a, a) != 0 {
+		t.Error("Compare ordering wrong")
+	}
+}
+
+func TestSequentialGeneratorOrdering(t *testing.T) {
+	g := &SequentialGenerator{Seed: 7}
+	prev := g.NewUUID()
+	for i := 0; i < 100; i++ {
+		next := g.NewUUID()
+		if Compare(prev, next) != -1 {
+			t.Fatalf("sequence not increasing at step %d: %s !< %s", i, prev, next)
+		}
+		prev = next
+	}
+}
+
+func TestSequentialGeneratorConcurrentUnique(t *testing.T) {
+	g := &SequentialGenerator{Seed: 1}
+	const workers, per = 8, 200
+	var mu sync.Mutex
+	seen := make(map[UUID]bool, workers*per)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]UUID, 0, per)
+			for i := 0; i < per; i++ {
+				local = append(local, g.NewUUID())
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, u := range local {
+				if seen[u] {
+					t.Errorf("duplicate %s", u)
+				}
+				seen[u] = true
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != workers*per {
+		t.Fatalf("got %d unique, want %d", len(seen), workers*per)
+	}
+}
+
+func TestShort(t *testing.T) {
+	u := New()
+	if got := u.Short(); len(got) != 8 || got != u.String()[:8] {
+		t.Errorf("Short() = %q", got)
+	}
+}

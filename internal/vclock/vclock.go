@@ -1,0 +1,74 @@
+// Package vclock supplies wall clocks to the probe framework.
+//
+// The paper's probes retrieve "local time stamps … once when the probe is
+// initiated and once when finished. No global time synchronization is
+// required" (§2.1). Each process owns a clock; nothing in the monitoring
+// pipeline compares timestamps across processes, only event sequence
+// numbers. Two implementations are provided: the system clock, and a
+// deterministic virtual clock for tests and reproducible experiments.
+package vclock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock yields local timestamps for one process.
+type Clock interface {
+	// Now returns the current local time.
+	Now() time.Time
+}
+
+// System is the real wall clock.
+type System struct{}
+
+var _ Clock = System{}
+
+// Now implements Clock using time.Now.
+func (System) Now() time.Time { return time.Now() }
+
+// Virtual is a manually advanced clock. It is safe for concurrent use.
+// Each call to Now returns a strictly later instant than the previous call
+// (by Tick), so event orderings that the real clock would give distinct
+// timestamps also get distinct virtual timestamps.
+type Virtual struct {
+	// Tick is the amount auto-added per Now call; defaults to 1µs when zero.
+	Tick time.Duration
+
+	mu  sync.Mutex
+	now time.Time
+}
+
+var _ Clock = (*Virtual)(nil)
+
+// NewVirtual returns a virtual clock starting at a fixed epoch.
+func NewVirtual() *Virtual {
+	return &Virtual{now: time.Unix(1_000_000_000, 0)}
+}
+
+// Now implements Clock; every call advances the clock by Tick.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	tick := v.Tick
+	if tick == 0 {
+		tick = time.Microsecond
+	}
+	v.now = v.now.Add(tick)
+	return v.now
+}
+
+// Advance moves the clock forward by d without returning a reading; used to
+// model elapsed work between probes.
+func (v *Virtual) Advance(d time.Duration) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.now = v.now.Add(d)
+}
+
+// Peek returns the current reading without advancing.
+func (v *Virtual) Peek() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}

@@ -1,0 +1,73 @@
+package vclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSystemClockAdvances(t *testing.T) {
+	c := System{}
+	a := c.Now()
+	b := c.Now()
+	if b.Before(a) {
+		t.Fatalf("system clock went backwards: %v then %v", a, b)
+	}
+}
+
+func TestVirtualMonotonic(t *testing.T) {
+	v := NewVirtual()
+	prev := v.Now()
+	for i := 0; i < 1000; i++ {
+		cur := v.Now()
+		if !cur.After(prev) {
+			t.Fatalf("virtual clock not strictly increasing at %d", i)
+		}
+		prev = cur
+	}
+}
+
+func TestVirtualAdvance(t *testing.T) {
+	v := NewVirtual()
+	start := v.Peek()
+	v.Advance(5 * time.Second)
+	if got := v.Peek().Sub(start); got != 5*time.Second {
+		t.Fatalf("Advance moved %v, want 5s", got)
+	}
+}
+
+func TestVirtualCustomTick(t *testing.T) {
+	v := NewVirtual()
+	v.Tick = time.Millisecond
+	a := v.Now()
+	b := v.Now()
+	if got := b.Sub(a); got != time.Millisecond {
+		t.Fatalf("tick = %v, want 1ms", got)
+	}
+}
+
+func TestVirtualConcurrentDistinct(t *testing.T) {
+	v := NewVirtual()
+	const n = 16
+	var mu sync.Mutex
+	seen := make(map[time.Time]bool, n*100)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				ts := v.Now()
+				mu.Lock()
+				if seen[ts] {
+					t.Error("duplicate virtual timestamp")
+					mu.Unlock()
+					return
+				}
+				seen[ts] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+}
