@@ -17,6 +17,7 @@ package causeway_test
 
 import (
 	"fmt"
+	"io"
 	"runtime"
 	"strings"
 	"testing"
@@ -37,6 +38,7 @@ import (
 	"causeway/internal/orb"
 	"causeway/internal/pps"
 	"causeway/internal/probe"
+	"causeway/internal/telemetry"
 	"causeway/internal/topology"
 	"causeway/internal/transport"
 	"causeway/internal/uuid"
@@ -608,6 +610,91 @@ func BenchmarkGprofVsDSCG(b *testing.B) {
 				b.Fatal("empty graph")
 			}
 		}
+	})
+}
+
+// ---------------------------------------------------------------- sink overhead
+
+// BenchmarkSinkOverhead measures the per-record cost each sink adds to the
+// probe hot path: the in-memory default, the pure counter, the buffered
+// file stream, and the telemetry shipper — both connected to a local
+// collection server and pointed at a dead port, where the bounded ring's
+// drop-oldest policy absorbs every record. The shipper's two cases bound
+// what ProcessConfig.ShipTo costs an application probe regardless of
+// collector health.
+func BenchmarkSinkOverhead(b *testing.B) {
+	rec := probe.Record{
+		Kind: probe.KindEvent, Process: "p", ProcType: "x86",
+		Chain: uuid.New(), Seq: 1, Event: ftl.StubStart,
+		Op: probe.OpID{Component: "comp", Interface: "I", Operation: "op", Object: "o"},
+	}
+	b.Run("memory", func(b *testing.B) {
+		sink := &probe.MemorySink{}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sink.Append(rec)
+		}
+	})
+	b.Run("counting", func(b *testing.B) {
+		sink := &probe.CountingSink{}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sink.Append(rec)
+		}
+	})
+	b.Run("stream-buffered", func(b *testing.B) {
+		sink := probe.NewStreamSink(io.Discard)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sink.Append(rec)
+		}
+		b.StopTimer()
+		if err := sink.Close(); err != nil {
+			b.Fatal(err)
+		}
+	})
+	b.Run("shipper-connected", func(b *testing.B) {
+		srv, err := telemetry.Listen("127.0.0.1:0", telemetry.ServerConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Close()
+		sink, err := telemetry.NewShipper(telemetry.ShipperConfig{
+			Addr:    srv.Addr(),
+			Process: topology.Process{ID: "p", Processor: topology.Processor{ID: "p", Type: "x86"}},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sink.Append(rec)
+		}
+		b.StopTimer()
+		if err := sink.Close(); err != nil {
+			b.Fatal(err)
+		}
+	})
+	b.Run("shipper-unreachable", func(b *testing.B) {
+		// No server: every record eventually falls to drop-oldest. This is
+		// the worst case a probe can ever see from shipping.
+		sink, err := telemetry.NewShipper(telemetry.ShipperConfig{
+			Addr:         "127.0.0.1:1",
+			Process:      topology.Process{ID: "p", Processor: topology.Processor{ID: "p", Type: "x86"}},
+			DrainTimeout: 10 * time.Millisecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sink.Append(rec)
+		}
+		b.StopTimer()
+		sink.Close()
 	})
 }
 

@@ -35,6 +35,7 @@ import (
 	"causeway/internal/orb"
 	"causeway/internal/probe"
 	"causeway/internal/render"
+	"causeway/internal/telemetry"
 	"causeway/internal/topology"
 	"causeway/internal/transport"
 	"causeway/internal/vclock"
@@ -122,16 +123,23 @@ type ProcessConfig struct {
 	// Online, when set, receives this process's records live in addition
 	// to the persistent log — the §6 on-line management extension.
 	Online *OnlineMonitor
+	// ShipTo, when set, streams this process's records live to a telemetry
+	// collection daemon (cmd/collectd) at this TCP address, in addition to
+	// the local log/memory sink. Shipping never blocks a probe: records
+	// buffer in a bounded ring and the oldest are dropped under
+	// backpressure (see internal/telemetry).
+	ShipTo string
 }
 
 // Process is one monitored logical process: its ORB and its log.
 type Process struct {
 	ORB *ORB
 
-	proc   topology.Process
-	mem    *probe.MemorySink
-	file   *os.File
-	stream *probe.StreamSink
+	proc    topology.Process
+	mem     *probe.MemorySink
+	file    *os.File
+	stream  *probe.StreamSink
+	shipper *telemetry.ShipperSink
 }
 
 // NewProcess builds a monitored process.
@@ -163,6 +171,15 @@ func NewProcess(cfg ProcessConfig) (*Process, error) {
 	}
 	if cfg.Online != nil {
 		sink = probe.TeeSink{sink, cfg.Online}
+	}
+	if cfg.ShipTo != "" {
+		sh, err := telemetry.NewShipper(telemetry.ShipperConfig{Addr: cfg.ShipTo, Process: proc})
+		if err != nil {
+			p.closeFile()
+			return nil, fmt.Errorf("causeway: shipper: %w", err)
+		}
+		p.shipper = sh
+		sink = probe.TeeSink{sink, sh}
 	}
 
 	var aspects probe.Aspect
@@ -217,11 +234,24 @@ func (p *Process) Records() []Record {
 	return p.mem.Snapshot()
 }
 
-// Close shuts the ORB down and flushes the log file, if any.
+// ShipperStats reports the record shipper's counters; the zero value when
+// the process does not ship.
+func (p *Process) ShipperStats() telemetry.ShipperStats {
+	if p.shipper == nil {
+		return telemetry.ShipperStats{}
+	}
+	return p.shipper.Stats()
+}
+
+// Close shuts the ORB down, drains the record shipper (bounded), and
+// flushes the log file, if any.
 func (p *Process) Close() error {
 	p.ORB.Shutdown()
+	if p.shipper != nil {
+		p.shipper.Close()
+	}
 	if p.stream != nil {
-		if err := p.stream.Err(); err != nil {
+		if err := p.stream.Close(); err != nil {
 			p.closeFile()
 			return err
 		}
@@ -248,6 +278,9 @@ type Report struct {
 	// Interactions is the component-interaction topology (§3.1), sorted by
 	// descending call count.
 	Interactions []analysis.Interaction
+	// Warnings counts collected log files whose tail record was torn by a
+	// crashed writer; their readable prefixes are still included.
+	Warnings int
 }
 
 // Analyze collects records and performs the full offline pipeline.
@@ -268,14 +301,23 @@ func AnalyzeProcesses(procs ...*Process) *Report {
 	return Analyze(batches...)
 }
 
-// AnalyzeFiles collects per-process log files matching glob.
+// AnalyzeFiles collects per-process log files matching glob. Files with
+// torn tail records (crashed writers) contribute their readable prefixes
+// and are counted in Report.Warnings.
 func AnalyzeFiles(glob string) (*Report, error) {
 	db := logdb.NewStore()
-	if _, err := collector.FromGlob(db, glob); err != nil {
+	_, warnings, err := collector.FromGlob(db, glob)
+	if err != nil {
 		return nil, err
 	}
-	return analyzeStore(db), nil
+	r := analyzeStore(db)
+	r.Warnings = warnings
+	return r, nil
 }
+
+// AnalyzeStore performs the offline pipeline over an already-merged store —
+// e.g. one a telemetry collection daemon (cmd/collectd) filled live.
+func AnalyzeStore(db *logdb.Store) *Report { return analyzeStore(db) }
 
 func analyzeStore(db *logdb.Store) *Report {
 	g := analysis.Reconstruct(db)
@@ -325,3 +367,7 @@ type (
 func NewOnlineMonitor(cfg OnlineConfig) *OnlineMonitor {
 	return online.NewMonitor(cfg)
 }
+
+// ShipperStats re-exports the telemetry shipper's self-observability
+// counters (see ProcessConfig.ShipTo and cmd/collectd).
+type ShipperStats = telemetry.ShipperStats

@@ -65,6 +65,9 @@ func run(args []string, w io.Writer) error {
 		time.Since(start).Round(time.Millisecond), st.Records, st.Calls, st.Chains,
 		st.Methods, st.Interfaces, st.Components, st.Processes, st.Threads,
 		len(report.Graph.Anomalies))
+	if report.Warnings > 0 {
+		fmt.Fprintf(w, "  ! %d log file(s) had torn tail records (crashed writers); readable prefixes were merged\n", report.Warnings)
+	}
 	for _, a := range report.Graph.Anomalies {
 		fmt.Fprintf(w, "  ! %s\n", a)
 	}
@@ -79,7 +82,7 @@ func run(args []string, w io.Writer) error {
 		return report.WriteCCSGText(w)
 	case *seqchart:
 		db := logdb.NewStore()
-		if _, err := collector.FromGlob(db, fs.Arg(0)); err != nil {
+		if _, _, err := collector.FromGlob(db, fs.Arg(0)); err != nil {
 			return err
 		}
 		var recs []probe.Record

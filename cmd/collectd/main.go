@@ -1,0 +1,194 @@
+// Command collectd is the live telemetry collection daemon: application
+// processes ship their probe records to it over TCP while they run
+// (ProcessConfig.ShipTo / telemetry.ShipperSink), and it feeds every
+// record into both an online causality monitor — printing completed roots,
+// slow calls, and anomalies as they happen — and a merged relational
+// store. On shutdown (SIGINT or -duration expiry) it drains, optionally
+// writes the merged store as a single .ftlog for the offline analyzer, and
+// prints the Dynamic System Call Graph.
+//
+// This lifts the paper's §3 restriction that collection happens "when the
+// application ceases to exist or reaches a quiescent state": the same
+// characterization pipeline now runs against live traffic from any number
+// of processes, and the post-drain artifacts are byte-compatible with
+// cmd/analyzer's inputs.
+//
+// Usage:
+//
+//	collectd [flags]
+//
+// Flags:
+//
+//	-listen addr    TCP listen address (default 127.0.0.1:4317; use :0 for ephemeral)
+//	-out path       write the merged record store to this .ftlog on shutdown
+//	-dscg N         print at most N DSCG nodes after drain (0 = all, -1 = skip)
+//	-slow dur       slow-call threshold for live flagging (default 100ms)
+//	-report dur     period of the records/s + open-chains report (default 5s)
+//	-duration dur   stop after this long (default 0 = run until SIGINT)
+//	-roots          print every completed root live (noisy; slow calls always print)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"causeway"
+	"causeway/internal/analysis"
+	"causeway/internal/logdb"
+	"causeway/internal/online"
+	"causeway/internal/probe"
+	"causeway/internal/render"
+	"causeway/internal/telemetry"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "collectd:", err)
+		os.Exit(1)
+	}
+}
+
+// syncWriter serializes the daemon's many printers (ingest callbacks run
+// on connection goroutines, the reporter on its own ticker).
+type syncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
+
+// run drives the daemon. stop, when non-nil, ends the run when closed —
+// the test's stand-in for SIGINT.
+func run(args []string, out io.Writer, stop <-chan struct{}) error {
+	fs := flag.NewFlagSet("collectd", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:4317", "TCP listen address")
+	outPath := fs.String("out", "", "write merged .ftlog here on shutdown")
+	dscgNodes := fs.Int("dscg", 40, "max DSCG nodes to print after drain (0 = all, -1 = skip)")
+	slow := fs.Duration("slow", 100*time.Millisecond, "slow-call threshold")
+	report := fs.Duration("report", 5*time.Second, "reporting period")
+	duration := fs.Duration("duration", 0, "stop after this long (0 = until SIGINT)")
+	roots := fs.Bool("roots", false, "print every completed root live")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("usage: collectd [flags]")
+	}
+	w := &syncWriter{w: out}
+
+	var rootCount, slowCount, anomalyCount atomic.Uint64
+	store := logdb.NewStore()
+	monitor := online.NewMonitor(online.Config{
+		OnRoot: func(ev online.RootEvent) {
+			rootCount.Add(1)
+			if *roots {
+				fmt.Fprintf(w, "live: root %s::%s chain=%s latency=%v\n",
+					ev.Root.Op.Interface, ev.Root.Op.Operation, ev.Chain.Short(),
+					ev.Root.Latency.Round(time.Microsecond))
+			}
+		},
+		OnSlow: func(ev online.RootEvent) {
+			slowCount.Add(1)
+			fmt.Fprintf(w, "live: SLOW %s::%s took %v (threshold %v)\n",
+				ev.Root.Op.Interface, ev.Root.Op.Operation,
+				ev.Root.Latency.Round(time.Microsecond), *slow)
+		},
+		SlowThreshold: *slow,
+		OnAnomaly: func(a analysis.Anomaly) {
+			anomalyCount.Add(1)
+			fmt.Fprintf(w, "live: ANOMALY %v\n", a)
+		},
+	})
+
+	srv, err := telemetry.Listen(*listen, telemetry.ServerConfig{
+		Store: store,
+		Sinks: []probe.Sink{monitor},
+		OnConnect: func(p telemetry.Peer) {
+			fmt.Fprintf(w, "collectd: process %q (%s) connected\n", p.Process, p.ProcType)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "collectd: listening on %s\n", srv.Addr())
+
+	// Periodic self-report: ingest rate and live-parse progress.
+	reporterDone := make(chan struct{})
+	reporterStop := make(chan struct{})
+	go func() {
+		defer close(reporterDone)
+		ticker := time.NewTicker(*report)
+		defer ticker.Stop()
+		var last uint64
+		lastT := time.Now()
+		for {
+			select {
+			case <-reporterStop:
+				return
+			case <-ticker.C:
+				st := srv.Stats()
+				now := time.Now()
+				rate := float64(st.Records-last) / now.Sub(lastT).Seconds()
+				last, lastT = st.Records, now
+				fmt.Fprintf(w, "collectd: %d records (%.0f/s), %d batches, %d peers, %d open chains, %d roots, %d slow, %d anomalies\n",
+					st.Records, rate, st.Batches, st.Peers, monitor.OpenChains(),
+					rootCount.Load(), slowCount.Load(), anomalyCount.Load())
+			}
+		}
+	}()
+
+	// Wait for SIGINT, the test's stop channel, or -duration expiry.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	defer signal.Stop(sig)
+	var expiry <-chan time.Time
+	if *duration > 0 {
+		timer := time.NewTimer(*duration)
+		defer timer.Stop()
+		expiry = timer.C
+	}
+	select {
+	case <-sig:
+		fmt.Fprintf(w, "collectd: interrupt, draining\n")
+	case <-expiry:
+		fmt.Fprintf(w, "collectd: duration elapsed, draining\n")
+	case <-stop: // nil outside tests: blocks forever, exactly the non-test behaviour
+		fmt.Fprintf(w, "collectd: stop requested, draining\n")
+	}
+
+	close(reporterStop)
+	<-reporterDone
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	monitor.Flush()
+
+	st := srv.Stats()
+	fmt.Fprintf(w, "collectd: drained %d records in %d batches from %d peer connection(s); %d roots, %d slow, %d anomalies\n",
+		st.Records, st.Batches, st.Peers, rootCount.Load(), slowCount.Load(), anomalyCount.Load())
+
+	if *outPath != "" {
+		if err := store.SaveFile(*outPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "collectd: merged log written to %s\n", *outPath)
+	}
+	if *dscgNodes >= 0 {
+		report := causeway.AnalyzeStore(store)
+		fmt.Fprintln(w, "\nDynamic System Call Graph:")
+		if err := render.DSCGText(w, report.Graph, -1, *dscgNodes); err != nil {
+			return err
+		}
+	}
+	return nil
+}

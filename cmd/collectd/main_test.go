@@ -1,0 +1,174 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"causeway"
+	"causeway/internal/probe"
+	"causeway/internal/telemetry"
+	"causeway/internal/topology"
+	"causeway/internal/uuid"
+)
+
+// lockedBuffer lets the test read collectd's output while the daemon's
+// goroutines are still writing it.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// listenAddr polls the daemon's banner for the bound address.
+func listenAddr(t *testing.T, out *lockedBuffer) string {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, line := range strings.Split(out.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, "collectd: listening on "); ok {
+				return rest
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("daemon never announced its address; output:\n%s", out.String())
+	return ""
+}
+
+func TestCollectdEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	merged := filepath.Join(dir, "merged.ftlog")
+	out := &lockedBuffer{}
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-listen", "127.0.0.1:0",
+			"-out", merged,
+			"-dscg", "0",
+			"-slow", "1ns", // everything is slow: exercises the live printer
+			"-report", "20ms",
+			"-roots",
+		}, out, stop)
+	}()
+	addr := listenAddr(t, out)
+
+	// Two shipping processes drive real probes at the daemon.
+	for i := 0; i < 2; i++ {
+		name := fmt.Sprintf("proc-%d", i)
+		sh, err := telemetry.NewShipper(telemetry.ShipperConfig{
+			Addr:          addr,
+			Process:       topology.Process{ID: name, Processor: topology.Processor{ID: name, Type: "x86"}},
+			FlushInterval: 2 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := probe.New(probe.Config{
+			Process: topology.Process{ID: name, Processor: topology.Processor{ID: name, Type: "x86"}},
+			Aspects: probe.AspectLatency,
+			Sink:    sh,
+			Chains:  &uuid.SequentialGenerator{Seed: uint64(i + 1)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		op := probe.OpID{Component: "comp", Interface: "Demo", Operation: "ping", Object: "o"}
+		for c := 0; c < 5; c++ {
+			ctx := p.StubStart(op, false)
+			sctx := p.SkelStart(op, ctx.Wire, false)
+			p.StubEnd(ctx, p.SkelEnd(sctx))
+			p.Tunnel().Clear()
+		}
+		if err := sh.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if st := sh.Stats(); st.Dropped != 0 {
+			t.Fatalf("%s dropped %d records", name, st.Dropped)
+		}
+	}
+
+	// Let at least one periodic report fire, then stop the daemon.
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	got := out.String()
+	for _, want := range []string{
+		`process "proc-0" (x86) connected`,
+		`process "proc-1" (x86) connected`,
+		"live: SLOW Demo::ping",
+		"live: root Demo::ping",
+		"collectd: stop requested, draining",
+		"drained 40 records", // 2 procs x 5 calls x 4 probe points
+		"merged log written to " + merged,
+		"Dynamic System Call Graph:",
+		"Demo::ping",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q;\n%s", want, got)
+		}
+	}
+	if !strings.Contains(got, "open chains") {
+		t.Errorf("no periodic report fired;\n%s", got)
+	}
+
+	// The merged log is a valid analyzer input equal to the live view.
+	report, err := causeway.AnalyzeFiles(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Stats.Records != 40 {
+		t.Fatalf("merged log has %d records, want 40", report.Stats.Records)
+	}
+	roots := 0
+	for _, tr := range report.Graph.Trees {
+		roots += len(tr.Roots)
+	}
+	if roots != 10 {
+		t.Fatalf("merged log reconstructs %d roots, want 10", roots)
+	}
+}
+
+func TestCollectdDuration(t *testing.T) {
+	out := &lockedBuffer{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-listen", "127.0.0.1:0", "-duration", "30ms", "-dscg", "-1"}, out, nil)
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon ignored -duration")
+	}
+	if got := out.String(); !strings.Contains(got, "duration elapsed") {
+		t.Fatalf("output:\n%s", got)
+	}
+}
+
+func TestCollectdRejectsArgs(t *testing.T) {
+	if err := run([]string{"positional"}, &bytes.Buffer{}, nil); err == nil {
+		t.Fatal("positional arguments accepted")
+	}
+}

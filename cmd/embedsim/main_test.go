@@ -16,7 +16,7 @@ func TestEmbedsimWritesLogs(t *testing.T) {
 		t.Fatal(err)
 	}
 	db := logdb.NewStore()
-	n, err := collector.FromGlob(db, filepath.Join(dir, "*.ftlog"))
+	n, _, err := collector.FromGlob(db, filepath.Join(dir, "*.ftlog"))
 	if err != nil || n == 0 {
 		t.Fatalf("collected %d, err %v", n, err)
 	}

@@ -19,7 +19,7 @@ func TestPpsimWritesAnalyzableLogs(t *testing.T) {
 		t.Fatalf("output: %s", out.String())
 	}
 	db := logdb.NewStore()
-	n, err := collector.FromGlob(db, filepath.Join(dir, "*.ftlog"))
+	n, _, err := collector.FromGlob(db, filepath.Join(dir, "*.ftlog"))
 	if err != nil || n == 0 {
 		t.Fatalf("collected %d records, err %v", n, err)
 	}

@@ -1,10 +1,18 @@
-// Live-monitoring example — the paper's §6 future-work direction ("apply
-// the global causality capturing technique from the on-line perspective
-// for application-level system management"), implemented as an extension:
-// an online monitor incrementally reconstructs causal chains as records
-// stream in, prints each completed top-level invocation immediately, and
-// flags slow calls against a threshold — no quiescent-state collection
-// step needed.
+// Live-monitoring example, networked edition — the paper's §6 future-work
+// direction ("apply the global causality capturing technique from the
+// on-line perspective for application-level system management") combined
+// with live telemetry shipping (internal/telemetry, cmd/collectd).
+//
+// One in-binary collection daemon listens on TCP loopback. Four monitored
+// ORB processes — one echo server and three clients — each ship their
+// probe records to it live (ProcessConfig.ShipTo) while also writing their
+// own per-process .ftlog. An online monitor rides the daemon's ingest path
+// and prints completed roots and slow calls as they happen, across process
+// boundaries, with no quiescent-state collection step.
+//
+// At the end the example proves the networked path is lossless: the DSCG
+// characterized from the daemon's live-merged store is identical to the
+// one the offline analyzer derives from the per-process log files.
 //
 // Run:
 //
@@ -12,13 +20,18 @@
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sync/atomic"
 	"time"
 
 	"causeway"
 	"causeway/internal/benchgen/instrecho"
+	"causeway/internal/logdb"
+	"causeway/internal/probe"
+	"causeway/internal/telemetry"
 )
 
 // variableServant answers echo calls, sometimes slowly.
@@ -48,26 +61,56 @@ func main() {
 }
 
 func run() error {
-	slowCount := 0
+	dir, err := os.MkdirTemp("", "livemonitor")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	// The collection daemon: an online monitor rides the ingest path, so
+	// slow calls surface while the application is still running.
+	var slowCount, rootCount atomic.Int64
 	monitor := causeway.NewOnlineMonitor(causeway.OnlineConfig{
 		OnRoot: func(ev causeway.RootEvent) {
+			rootCount.Add(1)
 			fmt.Printf("live: %s::%s completed on chain %s (latency %v)\n",
 				ev.Root.Op.Interface, ev.Root.Op.Operation, ev.Chain.Short(),
 				ev.Root.Latency.Round(time.Microsecond))
 		},
 		OnSlow: func(ev causeway.RootEvent) {
-			slowCount++
+			slowCount.Add(1)
 			fmt.Printf("live: SLOW CALL %s::%s took %v (threshold 10ms) — a management layer would react here\n",
 				ev.Root.Op.Interface, ev.Root.Op.Operation, ev.Root.Latency.Round(time.Microsecond))
 		},
 		SlowThreshold: 10 * time.Millisecond,
 	})
-
-	net := causeway.NewNetwork()
-	server, err := causeway.NewProcess(causeway.ProcessConfig{
-		Name: "server", Network: net, Instrumented: true,
-		Monitor: causeway.MonitorLatency, Online: monitor,
+	store := logdb.NewStore()
+	srv, err := telemetry.Listen("127.0.0.1:0", telemetry.ServerConfig{
+		Store: store,
+		Sinks: []probe.Sink{monitor},
+		OnConnect: func(p telemetry.Peer) {
+			fmt.Printf("collector: process %q (%s) connected\n", p.Process, p.ProcType)
+		},
 	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("collector: listening on %s\n\n", srv.Addr())
+
+	// Four monitored processes over real TCP loopback: one echo server and
+	// three clients, every one shipping its records to the collector live
+	// while also writing its own .ftlog.
+	newProc := func(name string) (*causeway.Process, error) {
+		return causeway.NewProcess(causeway.ProcessConfig{
+			Name:         name,
+			Instrumented: true,
+			Monitor:      causeway.MonitorLatency,
+			LogPath:      filepath.Join(dir, name+".ftlog"),
+			ShipTo:       srv.Addr(),
+		})
+	}
+	server, err := newProc("server")
 	if err != nil {
 		return err
 	}
@@ -75,27 +118,68 @@ func run() error {
 	if err := instrecho.RegisterEcho(server.ORB, "svc", "svc-comp", &variableServant{}); err != nil {
 		return err
 	}
-	ep, err := server.ORB.ListenInproc("svc")
+	ep, err := server.ORB.ListenTCP("127.0.0.1:0")
 	if err != nil {
 		return err
 	}
-	client, err := causeway.NewProcess(causeway.ProcessConfig{
-		Name: "client", Network: net, Instrumented: true,
-		Monitor: causeway.MonitorLatency, Online: monitor,
-	})
-	if err != nil {
-		return err
-	}
-	defer client.Close()
-	stub := instrecho.NewEchoStub(client.ORB.RefTo(ep, "svc", "Echo", "svc-comp"))
 
-	for i := 1; i <= 9; i++ {
-		if _, err := stub.Echo(fmt.Sprintf("req-%d", i)); err != nil {
+	const clients, callsPerClient = 3, 6
+	procs := []*causeway.Process{server}
+	for c := 1; c <= clients; c++ {
+		client, err := newProc(fmt.Sprintf("client-%d", c))
+		if err != nil {
 			return err
 		}
-		client.NewChain()
+		defer client.Close()
+		procs = append(procs, client)
+		stub := instrecho.NewEchoStub(client.ORB.RefTo(ep, "svc", "Echo", "svc-comp"))
+		for i := 1; i <= callsPerClient; i++ {
+			if _, err := stub.Echo(fmt.Sprintf("c%d-req-%d", c, i)); err != nil {
+				return err
+			}
+			client.NewChain()
+		}
 	}
-	fmt.Printf("\n%d of 9 calls flagged slow; open chains at shutdown: %d\n",
-		slowCount, monitor.OpenChains())
-	return nil
+
+	// Shut the processes down: each Close drains its shipper (bounded) and
+	// flushes its log file. Then stop the collector and flush the monitor.
+	for _, p := range procs {
+		stats := p.ShipperStats()
+		if err := p.Close(); err != nil {
+			return err
+		}
+		if stats.Dropped != 0 {
+			fmt.Printf("warning: a shipper dropped %d records under backpressure\n", stats.Dropped)
+		}
+	}
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	monitor.Flush()
+
+	fmt.Printf("\n%d roots completed live, %d of %d calls flagged slow; open chains at shutdown: %d\n",
+		rootCount.Load(), slowCount.Load(), clients*callsPerClient, monitor.OpenChains())
+
+	// Equivalence proof: the live-merged store characterizes identically to
+	// the per-process log files the offline analyzer was built for.
+	networked := causeway.AnalyzeStore(store)
+	offline, err := causeway.AnalyzeFiles(filepath.Join(dir, "*.ftlog"))
+	if err != nil {
+		return err
+	}
+	var nb, ob bytes.Buffer
+	if err := networked.WriteDSCG(&nb); err != nil {
+		return err
+	}
+	if err := offline.WriteDSCG(&ob); err != nil {
+		return err
+	}
+	if nb.String() != ob.String() {
+		return fmt.Errorf("networked DSCG differs from per-process-file DSCG")
+	}
+	fmt.Printf("\nnetworked collection is lossless: DSCG from the live store (%d records) == DSCG from %d per-process logs\n",
+		networked.Stats.Records, len(procs))
+	fmt.Println("\nDynamic System Call Graph (live-collected):")
+	_, err = os.Stdout.Write(nb.Bytes())
+	return err
 }

@@ -8,6 +8,7 @@
 package collector
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -30,39 +31,49 @@ func FromSinks(db *logdb.Store, sinks ...*probe.MemorySink) int {
 }
 
 // FromReaders merges gob record streams (e.g. per-process log files).
-func FromReaders(db *logdb.Store, readers ...io.Reader) (int, error) {
-	n := 0
+//
+// A stream with a torn tail record — the complete prefix a crashed writer
+// left behind — contributes its readable records, counts one warning, and
+// the merge continues with the remaining readers. Any harder decode
+// failure aborts. The paper's collection step runs post-mortem, so
+// surviving partial logs is exactly the crash-tolerance it needs.
+func FromReaders(db *logdb.Store, readers ...io.Reader) (n, warnings int, err error) {
 	for i, r := range readers {
 		recs, err := probe.ReadStream(r)
-		if err != nil {
-			return n, fmt.Errorf("collector: reader %d: %w", i, err)
-		}
 		db.Insert(recs...)
 		n += len(recs)
+		if err != nil {
+			if errors.Is(err, probe.ErrTruncated) {
+				warnings++
+				continue
+			}
+			return n, warnings, fmt.Errorf("collector: reader %d: %w", i, err)
+		}
 	}
-	return n, nil
+	return n, warnings, nil
 }
 
 // FromGlob merges all log files matching pattern (e.g. "run1/*.ftlog").
-// Files are processed in sorted order for determinism.
-func FromGlob(db *logdb.Store, pattern string) (int, error) {
+// Files are processed in sorted order for determinism. Truncated tails are
+// tolerated per FromReaders and reported through the warning count.
+func FromGlob(db *logdb.Store, pattern string) (n, warnings int, err error) {
 	paths, err := filepath.Glob(pattern)
 	if err != nil {
-		return 0, fmt.Errorf("collector: glob %q: %w", pattern, err)
+		return 0, 0, fmt.Errorf("collector: glob %q: %w", pattern, err)
 	}
 	sort.Strings(paths)
-	n := 0
 	for _, p := range paths {
 		f, err := os.Open(p)
 		if err != nil {
-			return n, fmt.Errorf("collector: open %q: %w", p, err)
+			return n, warnings, fmt.Errorf("collector: open %q: %w", p, err)
 		}
-		m, err := FromReaders(db, f)
+		m, w, err := FromReaders(db, f)
 		f.Close()
 		n += m
+		warnings += w
 		if err != nil {
-			return n, fmt.Errorf("collector: %q: %w", p, err)
+			return n, warnings, fmt.Errorf("collector: %q: %w", p, err)
 		}
 	}
-	return n, nil
+	return n, warnings, nil
 }

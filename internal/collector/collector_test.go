@@ -2,6 +2,7 @@ package collector
 
 import (
 	"bytes"
+	"encoding/gob"
 	"os"
 	"path/filepath"
 	"testing"
@@ -38,15 +39,53 @@ func TestFromReaders(t *testing.T) {
 	ss := probe.NewStreamSink(&buf)
 	ss.Append(rec("p1", 1))
 	ss.Append(rec("p1", 2))
-	db := logdb.NewStore()
-	n, err := FromReaders(db, &buf)
-	if err != nil || n != 2 {
-		t.Fatalf("FromReaders = %d, %v", n, err)
+	if err := ss.Close(); err != nil {
+		t.Fatal(err)
 	}
-	// A corrupt stream reports an error.
-	n2, err := FromReaders(db, bytes.NewReader([]byte("garbage stream")))
+	db := logdb.NewStore()
+	n, warn, err := FromReaders(db, &buf)
+	if err != nil || n != 2 || warn != 0 {
+		t.Fatalf("FromReaders = %d records, %d warnings, %v", n, warn, err)
+	}
+	// A corrupt (non-truncated) stream still reports a hard error: a gob
+	// stream of the wrong type is a type mismatch, not a torn tail.
+	var wrong bytes.Buffer
+	if err := gob.NewEncoder(&wrong).Encode(42); err != nil {
+		t.Fatal(err)
+	}
+	n2, _, err := FromReaders(db, &wrong)
 	if err == nil {
 		t.Fatalf("corrupt stream accepted (%d records)", n2)
+	}
+}
+
+func TestFromReadersToleratesTruncatedTail(t *testing.T) {
+	encode := func(proc string, count int) []byte {
+		var buf bytes.Buffer
+		ss := probe.NewStreamSink(&buf)
+		for i := 0; i < count; i++ {
+			ss.Append(rec(proc, uint64(i+1)))
+		}
+		if err := ss.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	crashed := encode("p1", 3)
+	crashed = crashed[:len(crashed)-2] // torn tail record
+	healthy := encode("p2", 2)
+
+	db := logdb.NewStore()
+	n, warn, err := FromReaders(db, bytes.NewReader(crashed), bytes.NewReader(healthy))
+	if err != nil {
+		t.Fatalf("merge aborted: %v", err)
+	}
+	if warn != 1 {
+		t.Fatalf("warnings = %d, want 1", warn)
+	}
+	// p1's two intact records plus all of p2's survive.
+	if n != 4 || db.Len() != 4 {
+		t.Fatalf("merged %d records (db %d), want 4", n, db.Len())
 	}
 }
 
@@ -56,17 +95,53 @@ func TestFromGlob(t *testing.T) {
 		var buf bytes.Buffer
 		ss := probe.NewStreamSink(&buf)
 		ss.Append(rec(proc, uint64(i+1)))
+		if err := ss.Close(); err != nil {
+			t.Fatal(err)
+		}
 		path := filepath.Join(dir, proc+".ftlog")
 		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
 			t.Fatal(err)
 		}
 	}
 	db := logdb.NewStore()
-	n, err := FromGlob(db, filepath.Join(dir, "*.ftlog"))
-	if err != nil || n != 2 {
-		t.Fatalf("FromGlob = %d, %v", n, err)
+	n, warn, err := FromGlob(db, filepath.Join(dir, "*.ftlog"))
+	if err != nil || n != 2 || warn != 0 {
+		t.Fatalf("FromGlob = %d, %d, %v", n, warn, err)
 	}
-	if n, err := FromGlob(logdb.NewStore(), filepath.Join(dir, "*.none")); err != nil || n != 0 {
+	if n, _, err := FromGlob(logdb.NewStore(), filepath.Join(dir, "*.none")); err != nil || n != 0 {
 		t.Fatalf("empty glob = %d, %v", n, err)
+	}
+}
+
+func TestFromGlobKeepsMergingPastCrashedFile(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, data []byte) {
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	ss := probe.NewStreamSink(&buf)
+	ss.Append(rec("p1", 1))
+	ss.Append(rec("p1", 2))
+	if err := ss.Close(); err != nil {
+		t.Fatal(err)
+	}
+	write("a-crashed.ftlog", buf.Bytes()[:buf.Len()-1])
+	buf.Reset()
+	ss = probe.NewStreamSink(&buf)
+	ss.Append(rec("p2", 1))
+	if err := ss.Close(); err != nil {
+		t.Fatal(err)
+	}
+	write("b-healthy.ftlog", buf.Bytes())
+
+	db := logdb.NewStore()
+	n, warn, err := FromGlob(db, filepath.Join(dir, "*.ftlog"))
+	if err != nil {
+		t.Fatalf("merge aborted: %v", err)
+	}
+	if n != 2 || warn != 1 {
+		t.Fatalf("merged %d records with %d warnings, want 2 records, 1 warning", n, warn)
 	}
 }

@@ -10,6 +10,7 @@
 package logdb
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -183,10 +184,12 @@ func (s *Store) WriteStream(w io.Writer) error {
 			sink.Append(r)
 		}
 	}
-	return sink.Err()
+	return sink.Close()
 }
 
-// LoadFile reads a gob record stream file into the store.
+// LoadFile reads a gob record stream file into the store. A file with a
+// torn tail record (crashed writer) loads its complete prefix and returns
+// nil; only hard decode failures are errors.
 func (s *Store) LoadFile(path string) error {
 	f, err := os.Open(path)
 	if err != nil {
@@ -194,7 +197,7 @@ func (s *Store) LoadFile(path string) error {
 	}
 	defer f.Close()
 	recs, err := probe.ReadStream(f)
-	if err != nil {
+	if err != nil && !errors.Is(err, probe.ErrTruncated) {
 		return err
 	}
 	s.Insert(recs...)

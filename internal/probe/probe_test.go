@@ -2,6 +2,7 @@ package probe
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -334,7 +335,7 @@ func TestStreamSinkRoundTrip(t *testing.T) {
 	ctx := p.CollocStart(op("F"))
 	p.CollocEnd(ctx)
 	p.Tunnel().Clear()
-	if err := ss.Err(); err != nil {
+	if err := ss.Close(); err != nil {
 		t.Fatal(err)
 	}
 	recs, err := ReadStream(&buf)
@@ -346,6 +347,32 @@ func TestStreamSinkRoundTrip(t *testing.T) {
 	}
 	if recs[0].Op.Operation != "F" || recs[0].Event != ftl.StubStart {
 		t.Fatalf("first record: %+v", recs[0])
+	}
+}
+
+func TestReadStreamToleratesTornTail(t *testing.T) {
+	var buf bytes.Buffer
+	ss := NewStreamSink(&buf)
+	for i := 0; i < 5; i++ {
+		ss.Append(Record{Kind: KindEvent, Process: "p", Seq: uint64(i + 1), Event: ftl.StubStart})
+	}
+	if err := ss.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	// Cut the stream mid-record, as a crashed writer would leave it.
+	torn := whole[:len(whole)-3]
+	recs, err := ReadStream(bytes.NewReader(torn))
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("torn tail error = %v, want ErrTruncated", err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("salvaged %d records from torn stream, want 4", len(recs))
+	}
+	// A cleanly-ended stream still reads without error or loss.
+	recs, err = ReadStream(bytes.NewReader(whole))
+	if err != nil || len(recs) != 5 {
+		t.Fatalf("clean stream = %d records, %v", len(recs), err)
 	}
 }
 

@@ -1,7 +1,9 @@
 package probe
 
 import (
+	"bufio"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -48,17 +50,24 @@ func (s *MemorySink) Reset() {
 // StreamSink encodes records to an io.Writer as a gob stream — the
 // per-process on-disk log the collector later gathers (§3: "the scattered
 // logs are collected and eventually synthesized").
+//
+// Writes pass through an internal bufio.Writer so the probe hot path pays
+// one in-memory gob encode rather than a syscall per record; callers must
+// Flush (or Close) before the underlying writer is read or closed, exactly
+// as with bufio itself.
 type StreamSink struct {
 	mu  sync.Mutex
+	bw  *bufio.Writer
 	enc *gob.Encoder
 	err error
 }
 
 var _ Sink = (*StreamSink)(nil)
 
-// NewStreamSink wraps w in a record encoder.
+// NewStreamSink wraps w in a buffered record encoder.
 func NewStreamSink(w io.Writer) *StreamSink {
-	return &StreamSink{enc: gob.NewEncoder(w)}
+	bw := bufio.NewWriter(w)
+	return &StreamSink{bw: bw, enc: gob.NewEncoder(bw)}
 }
 
 // Append implements Sink. The first encoding error is retained and
@@ -72,14 +81,39 @@ func (s *StreamSink) Append(r Record) {
 	s.err = s.enc.Encode(r)
 }
 
-// Err returns the first encoding error, if any.
+// Flush forces buffered bytes to the underlying writer and returns the
+// first error seen (encoding or flushing).
+func (s *StreamSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	s.err = s.bw.Flush()
+	return s.err
+}
+
+// Close flushes the sink. The underlying writer is NOT closed — the sink
+// does not own it.
+func (s *StreamSink) Close() error { return s.Flush() }
+
+// Err returns the first encoding or flush error, if any.
 func (s *StreamSink) Err() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.err
 }
 
+// ErrTruncated reports a record stream that ends mid-record — the signature
+// a crashed (or still-running) writer leaves behind. Readers that can
+// treat the complete prefix as a usable log match it with errors.Is.
+var ErrTruncated = errors.New("probe: record stream truncated mid-record")
+
 // ReadStream decodes all records from a gob stream produced by StreamSink.
+// A stream that ends cleanly between records returns a nil error; a stream
+// cut mid-record (a crashed writer's torn tail) returns the complete
+// records read so far together with an error wrapping ErrTruncated; any
+// other decode failure returns the records so far and the hard error.
 func ReadStream(r io.Reader) ([]Record, error) {
 	dec := gob.NewDecoder(r)
 	var out []Record
@@ -88,6 +122,9 @@ func ReadStream(r io.Reader) ([]Record, error) {
 		if err := dec.Decode(&rec); err != nil {
 			if err == io.EOF {
 				return out, nil
+			}
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				return out, fmt.Errorf("probe: record %d torn: %w", len(out), ErrTruncated)
 			}
 			return out, fmt.Errorf("probe: decode record %d: %w", len(out), err)
 		}

@@ -1,0 +1,176 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"causeway/internal/logdb"
+	"causeway/internal/probe"
+	"causeway/internal/transport"
+)
+
+// Peer is one shipping process as identified by its handshake.
+type Peer struct {
+	Process  string
+	ProcType string
+	Conn     transport.ConnID
+}
+
+// ServerConfig wires a collection server's outputs.
+type ServerConfig struct {
+	// Store, when set, receives every ingested record — the merged
+	// relational store the offline analyzer later reads.
+	Store *logdb.Store
+	// Sinks additionally receive every record in arrival order — e.g. an
+	// online.Monitor for live reconstruction. Sinks must be safe for
+	// concurrent use: batches from different connections are ingested
+	// concurrently (per-connection order is preserved).
+	Sinks []probe.Sink
+	// OnConnect, when set, fires after each successful handshake.
+	OnConnect func(Peer)
+}
+
+// ServerStats snapshots a collection server's counters.
+type ServerStats struct {
+	Records   uint64 // records ingested
+	Batches   uint64 // ship frames ingested
+	Peers     uint64 // successful handshakes (a reconnecting process counts again)
+	BadFrames uint64 // frames that failed to decode or arrived out of protocol
+}
+
+// Server accepts shipper connections and fans ingested records into the
+// configured store and sinks. It tolerates any number of concurrent
+// shippers and mid-stream disconnects: a vanished connection simply stops
+// producing frames, and the records it already delivered stand (the
+// analyzer flags the chains it tore as abnormal transitions).
+type Server struct {
+	cfg ServerConfig
+	srv *transport.TCPServer
+
+	mu    sync.Mutex
+	peers map[transport.ConnID]Peer
+
+	records   atomic.Uint64
+	batches   atomic.Uint64
+	handshook atomic.Uint64
+	badFrames atomic.Uint64
+}
+
+// Listen binds addr ("127.0.0.1:0" for an ephemeral port) and starts
+// serving shippers.
+func Listen(addr string, cfg ServerConfig) (*Server, error) {
+	t, err := transport.ListenTCP(addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: %w", err)
+	}
+	s := &Server{cfg: cfg, srv: t, peers: make(map[transport.ConnID]Peer)}
+	if err := t.Serve(s.handle); err != nil {
+		t.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.srv.Addr() }
+
+// Close stops accepting and tears down live connections. Records already
+// ingested remain in the store/sinks.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Stats snapshots the counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		Records:   s.records.Load(),
+		Batches:   s.batches.Load(),
+		Peers:     s.handshook.Load(),
+		BadFrames: s.badFrames.Load(),
+	}
+}
+
+// Peers lists every process that ever completed a handshake, sorted by
+// process then connection.
+func (s *Server) Peers() []Peer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Peer, 0, len(s.peers))
+	for _, p := range s.peers {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Process != out[j].Process {
+			return out[i].Process < out[j].Process
+		}
+		return out[i].Conn < out[j].Conn
+	})
+	return out
+}
+
+// handle processes one frame. The transport calls it synchronously from
+// the per-connection read loop, so one connection's frames are ingested in
+// arrival order — the property that preserves per-process record order
+// end to end.
+func (s *Server) handle(conn transport.ConnID, req transport.Request, respond transport.Responder) {
+	fail := func(msg string) {
+		s.badFrames.Add(1)
+		if !req.Oneway {
+			respond(transport.Reply{Status: transport.StatusSystemException, Body: []byte(msg)})
+		}
+	}
+	if req.ObjectKey != ObjectKey {
+		fail("telemetry: unknown object key " + req.ObjectKey)
+		return
+	}
+	switch req.Operation {
+	case opHello:
+		h, err := decodeHello(req.Body)
+		if err != nil {
+			fail(err.Error())
+			return
+		}
+		if h.Version != ProtocolVersion {
+			fail(fmt.Sprintf("telemetry: protocol version %d, want %d", h.Version, ProtocolVersion))
+			return
+		}
+		peer := Peer{Process: h.Process, ProcType: h.ProcType, Conn: conn}
+		s.mu.Lock()
+		s.peers[conn] = peer
+		s.mu.Unlock()
+		s.handshook.Add(1)
+		if s.cfg.OnConnect != nil {
+			s.cfg.OnConnect(peer)
+		}
+		respond(transport.Reply{Status: transport.StatusOK})
+	case opShip:
+		recs, err := decodeBatch(req.Body)
+		if err != nil {
+			fail(err.Error())
+			return
+		}
+		s.ingest(recs)
+		if !req.Oneway {
+			respond(transport.Reply{Status: transport.StatusOK})
+		}
+	case opFlush:
+		// Per-connection frames are handled in order, so replying here
+		// proves every prior ship frame from this peer was ingested.
+		respond(transport.Reply{Status: transport.StatusOK})
+	default:
+		fail("telemetry: unknown operation " + req.Operation)
+	}
+}
+
+func (s *Server) ingest(recs []probe.Record) {
+	s.batches.Add(1)
+	s.records.Add(uint64(len(recs)))
+	if s.cfg.Store != nil {
+		s.cfg.Store.Insert(recs...)
+	}
+	for _, sink := range s.cfg.Sinks {
+		for _, r := range recs {
+			sink.Append(r)
+		}
+	}
+}

@@ -1,0 +1,387 @@
+package telemetry
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"causeway/internal/probe"
+	"causeway/internal/topology"
+	"causeway/internal/transport"
+)
+
+// ShipperConfig assembles one process's record shipper.
+type ShipperConfig struct {
+	// Addr is the collection daemon's TCP address.
+	Addr string
+	// Process identifies the shipping process in the handshake.
+	Process topology.Process
+	// BufferSize bounds the ring buffer (records); default 8192.
+	BufferSize int
+	// BatchSize caps records per ship frame; default 256.
+	BatchSize int
+	// FlushInterval is the background flush period for partially filled
+	// batches; default 25ms.
+	FlushInterval time.Duration
+	// BackoffMin/BackoffMax bound the reconnect backoff (exponential with
+	// jitter); defaults 50ms and 5s.
+	BackoffMin time.Duration
+	BackoffMax time.Duration
+	// DrainTimeout bounds how long Close waits to deliver the remaining
+	// buffer; default 2s.
+	DrainTimeout time.Duration
+	// Dial overrides the transport dialer (tests); default transport.DialTCP.
+	Dial func(addr string) (transport.Client, error)
+}
+
+func (c *ShipperConfig) applyDefaults() error {
+	if c.Addr == "" {
+		return errors.New("telemetry: shipper needs an Addr")
+	}
+	if c.BufferSize <= 0 {
+		c.BufferSize = 8192
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 256
+	}
+	if c.BatchSize > c.BufferSize {
+		c.BatchSize = c.BufferSize
+	}
+	if c.FlushInterval <= 0 {
+		c.FlushInterval = 25 * time.Millisecond
+	}
+	if c.BackoffMin <= 0 {
+		c.BackoffMin = 50 * time.Millisecond
+	}
+	if c.BackoffMax < c.BackoffMin {
+		c.BackoffMax = 5 * time.Second
+	}
+	if c.BackoffMax < c.BackoffMin {
+		c.BackoffMax = c.BackoffMin
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 2 * time.Second
+	}
+	if c.Dial == nil {
+		c.Dial = func(addr string) (transport.Client, error) { return transport.DialTCP(addr) }
+	}
+	return nil
+}
+
+// ShipperStats is a point-in-time snapshot of a shipper's self-observed
+// counters.
+type ShipperStats struct {
+	Appended   uint64 // records offered to Append
+	Dropped    uint64 // records lost to the drop-oldest overflow policy (or appended after Close)
+	Shipped    uint64 // records acknowledged onto the wire
+	Batches    uint64 // ship frames sent
+	Bytes      uint64 // payload bytes sent (ship frames)
+	Connects   uint64 // successful handshakes, including the first
+	Reconnects uint64 // successful handshakes after the first
+	Connected  bool   // a session is currently established
+	Buffered   int    // records waiting in the ring
+}
+
+// ShipperSink is a probe.Sink that streams records to a telemetry Server
+// over TCP. The probe hot path (Append) is O(1) and never performs I/O,
+// blocks, or allocates beyond the ring slot: encoding, framing, connection
+// management, and reconnect with exponential backoff + jitter all happen
+// on one background goroutine.
+type ShipperSink struct {
+	cfg ShipperConfig
+
+	mu     sync.Mutex
+	ring   []probe.Record
+	head   int // index of oldest buffered record
+	count  int // buffered records
+	closed bool
+
+	wake chan struct{} // nudges the background loop; capacity 1
+	stop chan struct{}
+	done chan struct{}
+
+	appended  atomic.Uint64
+	dropped   atomic.Uint64
+	shipped   atomic.Uint64
+	batches   atomic.Uint64
+	bytes     atomic.Uint64
+	connects  atomic.Uint64
+	connected atomic.Bool
+}
+
+var _ probe.Sink = (*ShipperSink)(nil)
+
+// NewShipper starts a shipper. It returns immediately even when the server
+// is unreachable: records buffer (and eventually rotate out, oldest first)
+// until a connection is established.
+func NewShipper(cfg ShipperConfig) (*ShipperSink, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	s := &ShipperSink{
+		cfg:  cfg,
+		ring: make([]probe.Record, cfg.BufferSize),
+		wake: make(chan struct{}, 1),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go s.loop()
+	return s, nil
+}
+
+// Append implements probe.Sink. It is O(1) and never blocks: a full buffer
+// drops the oldest record to admit the new one.
+func (s *ShipperSink) Append(r probe.Record) {
+	s.appended.Add(1)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.dropped.Add(1)
+		return
+	}
+	if s.count == len(s.ring) {
+		// Drop-oldest: overwrite the head slot and advance.
+		s.ring[s.head] = r
+		s.head = (s.head + 1) % len(s.ring)
+		s.mu.Unlock()
+		s.dropped.Add(1)
+	} else {
+		s.ring[(s.head+s.count)%len(s.ring)] = r
+		s.count++
+		s.mu.Unlock()
+	}
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// take removes up to max records from the front of the ring.
+func (s *ShipperSink) take(max int) []probe.Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := s.count
+	if k > max {
+		k = max
+	}
+	if k == 0 {
+		return nil
+	}
+	out := make([]probe.Record, k)
+	for i := 0; i < k; i++ {
+		out[i] = s.ring[(s.head+i)%len(s.ring)]
+	}
+	s.head = (s.head + k) % len(s.ring)
+	s.count -= k
+	return out
+}
+
+func (s *ShipperSink) buffered() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// Stats snapshots the counters.
+func (s *ShipperSink) Stats() ShipperStats {
+	st := ShipperStats{
+		Appended:  s.appended.Load(),
+		Dropped:   s.dropped.Load(),
+		Shipped:   s.shipped.Load(),
+		Batches:   s.batches.Load(),
+		Bytes:     s.bytes.Load(),
+		Connects:  s.connects.Load(),
+		Connected: s.connected.Load(),
+		Buffered:  s.buffered(),
+	}
+	if st.Connects > 0 {
+		st.Reconnects = st.Connects - 1
+	}
+	return st
+}
+
+// Close drains the buffer (bounded by DrainTimeout), sends a flush barrier
+// so the server has ingested everything delivered, and stops the
+// background goroutine. Records that could not be delivered in time are
+// counted as dropped. Append after Close drops.
+func (s *ShipperSink) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.done
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.stop)
+	<-s.done
+	return nil
+}
+
+// connect dials and handshakes once; nil on failure.
+func (s *ShipperSink) connect() transport.Client {
+	client, err := s.cfg.Dial(s.cfg.Addr)
+	if err != nil {
+		return nil
+	}
+	hello, err := encodeHello(Hello{
+		Version:  ProtocolVersion,
+		Process:  s.cfg.Process.ID,
+		ProcType: s.cfg.Process.Processor.Type,
+	})
+	if err != nil {
+		client.Close()
+		return nil
+	}
+	rep, err := client.Call(transport.Request{ObjectKey: ObjectKey, Operation: opHello, Body: hello})
+	if err != nil || rep.Status != transport.StatusOK {
+		client.Close()
+		return nil
+	}
+	s.connects.Add(1)
+	s.connected.Store(true)
+	return client
+}
+
+// loop is the background encoder/sender: batch, ship, flush on a timer,
+// reconnect with exponential backoff + jitter, drain on stop.
+func (s *ShipperSink) loop() {
+	defer close(s.done)
+	var (
+		client  transport.Client
+		pending []probe.Record // taken from the ring, not yet acknowledged
+		backoff = s.cfg.BackoffMin
+	)
+	disconnect := func() {
+		if client != nil {
+			client.Close()
+			client = nil
+		}
+		s.connected.Store(false)
+	}
+	defer disconnect()
+
+	// ship sends pending plus everything buffered; false on send failure.
+	ship := func() bool {
+		for {
+			if pending == nil {
+				pending = s.take(s.cfg.BatchSize)
+			}
+			if len(pending) == 0 {
+				return true
+			}
+			payload, err := encodeBatch(pending)
+			if err != nil {
+				// Unencodable batch: nothing a retry can fix.
+				s.dropped.Add(uint64(len(pending)))
+				pending = nil
+				continue
+			}
+			if err := client.Post(transport.Request{ObjectKey: ObjectKey, Operation: opShip, Body: payload}); err != nil {
+				return false
+			}
+			s.shipped.Add(uint64(len(pending)))
+			s.batches.Add(1)
+			s.bytes.Add(uint64(len(payload)))
+			pending = nil
+		}
+	}
+
+	ticker := time.NewTicker(s.cfg.FlushInterval)
+	defer ticker.Stop()
+	for {
+		if client == nil {
+			if client = s.connect(); client == nil {
+				// Jittered exponential backoff, interruptible by stop.
+				d := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1))
+				backoff *= 2
+				if backoff > s.cfg.BackoffMax {
+					backoff = s.cfg.BackoffMax
+				}
+				select {
+				case <-s.stop:
+					s.drain(client, pending)
+					return
+				case <-time.After(d):
+				}
+				continue
+			}
+			backoff = s.cfg.BackoffMin
+		}
+		if !ship() {
+			disconnect()
+			continue
+		}
+		select {
+		case <-s.stop:
+			s.drain(client, pending)
+			return
+		case <-s.wake:
+		case <-ticker.C:
+		}
+	}
+}
+
+// drain makes a final bounded effort to deliver the remaining records and
+// confirm ingestion with a flush barrier.
+func (s *ShipperSink) drain(client transport.Client, pending []probe.Record) {
+	deadline := time.Now().Add(s.cfg.DrainTimeout)
+	defer func() {
+		if client != nil {
+			client.Close()
+		}
+		s.connected.Store(false)
+		// Whatever is still queued did not make it.
+		s.dropped.Add(uint64(len(pending)))
+		if left := s.buffered(); left > 0 {
+			s.take(left)
+			s.dropped.Add(uint64(left))
+		}
+	}()
+	if client == nil {
+		if client = s.connect(); client == nil {
+			return
+		}
+	}
+	for time.Now().Before(deadline) {
+		if pending == nil {
+			pending = s.take(s.cfg.BatchSize)
+		}
+		if len(pending) == 0 {
+			break
+		}
+		payload, err := encodeBatch(pending)
+		if err != nil {
+			s.dropped.Add(uint64(len(pending)))
+			pending = nil
+			continue
+		}
+		if err := client.Post(transport.Request{ObjectKey: ObjectKey, Operation: opShip, Body: payload}); err != nil {
+			return
+		}
+		s.shipped.Add(uint64(len(pending)))
+		s.batches.Add(1)
+		s.bytes.Add(uint64(len(payload)))
+		pending = nil
+	}
+	// Barrier: the sync reply proves the server handled every prior frame
+	// on this connection. A wedged server must not hang Close, so the wait
+	// is bounded by what remains of the drain budget.
+	remaining := time.Until(deadline)
+	if remaining <= 0 {
+		return
+	}
+	flushed := make(chan struct{})
+	go func() {
+		defer close(flushed)
+		_, _ = client.Call(transport.Request{ObjectKey: ObjectKey, Operation: opFlush})
+	}()
+	select {
+	case <-flushed:
+	case <-time.After(remaining):
+		client.Close() // unblocks the pending Call
+		<-flushed
+	}
+}

@@ -1,0 +1,102 @@
+// Package telemetry ships probe records off-box while the application
+// runs — the subsystem (S28) that lifts the paper's restriction that
+// analysis happens only "when the application ceases to exist or reaches a
+// quiescent state" (§3) beyond a single process: Fig.5-scale multi-process
+// deployments stream their scattered logs to one collection daemon
+// (cmd/collectd) which feeds both the relational store (offline analyzer)
+// and the online monitor (live slow-call / anomaly callbacks).
+//
+// # Transport and frame format
+//
+// Shipping rides the repo's own framed TCP transport (internal/transport):
+// every message is a length-prefixed transport frame whose Request carries
+// ObjectKey "causeway.telemetry" and one of three operations:
+//
+//	hello  (sync)   gob(Hello{Version, Process, ProcType}) — handshake;
+//	                the server learns the peer's identity from
+//	                internal/topology terms and replies StatusOK.
+//	ship   (oneway) gob([]probe.Record) — one batch of records, in
+//	                emission order.
+//	flush  (sync)   empty — a barrier; the reply proves every prior frame
+//	                on the connection was ingested (the transport reads
+//	                and dispatches per-connection frames sequentially).
+//
+// Because the server ingests each connection's frames in arrival order and
+// every record carries its chain's own sequence number, per-chain causal
+// order survives shipping; cross-connection interleaving is harmless — the
+// online monitor orders by (chain, seq) exactly as the offline analyzer
+// does.
+//
+// # Backpressure policy
+//
+// A probe must never block on monitoring I/O (§2.1's interference
+// argument, restated for the network). ShipperSink.Append is O(1): it
+// writes into a bounded ring buffer and returns. When the buffer is full —
+// stalled server, dead link, reconnect storm — the OLDEST buffered record
+// is dropped to admit the new one, and the drop is counted. Lost records
+// degrade the DSCG (the analyzer flags broken chains as abnormal
+// transitions, Figure 4) but never the application. Stats() exposes
+// appended/dropped/shipped/reconnect counters so the monitoring layer can
+// observe itself.
+package telemetry
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"causeway/internal/probe"
+)
+
+// ObjectKey routes telemetry frames within the shared transport namespace.
+const ObjectKey = "causeway.telemetry"
+
+// Operations of the shipping protocol.
+const (
+	opHello = "hello"
+	opShip  = "ship"
+	opFlush = "flush"
+)
+
+// ProtocolVersion is bumped on incompatible frame-format changes; the
+// server rejects handshakes from other versions.
+const ProtocolVersion = 1
+
+// Hello is the handshake payload: who is shipping.
+type Hello struct {
+	Version  int
+	Process  string // topology.Process.ID
+	ProcType string // topology.Processor.Type
+}
+
+func encodeHello(h Hello) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(h); err != nil {
+		return nil, fmt.Errorf("telemetry: encode hello: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeHello(b []byte) (Hello, error) {
+	var h Hello
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&h); err != nil {
+		return h, fmt.Errorf("telemetry: decode hello: %w", err)
+	}
+	return h, nil
+}
+
+func encodeBatch(recs []probe.Record) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(recs); err != nil {
+		return nil, fmt.Errorf("telemetry: encode batch: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeBatch(b []byte) ([]probe.Record, error) {
+	var recs []probe.Record
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&recs); err != nil {
+		return nil, fmt.Errorf("telemetry: decode batch: %w", err)
+	}
+	return recs, nil
+}
