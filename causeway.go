@@ -319,18 +319,34 @@ func AnalyzeFiles(glob string) (*Report, error) {
 // e.g. one a telemetry collection daemon (cmd/collectd) filled live.
 func AnalyzeStore(db *logdb.Store) *Report { return analyzeStore(db) }
 
-func analyzeStore(db *logdb.Store) *Report {
-	g := analysis.Reconstruct(db)
+// Source is any merged record store the offline pipeline can analyze.
+// *logdb.Store (in-memory relational store) and *tracestore.Store (the
+// sharded on-disk store cmd/collectd fills in -store mode) both satisfy
+// it.
+type Source interface {
+	analysis.Source
+	ComputeStats() logdb.Stats
+}
+
+// AnalyzeSource performs the offline pipeline over src, fanning the
+// Figure-4 reconstruction state machine over workers goroutines
+// (workers <= 0 picks GOMAXPROCS, 1 is strictly sequential). Chains are
+// independent until the final tree-grouping pass, so the result is
+// identical to the sequential path regardless of worker count.
+func AnalyzeSource(src Source, workers int) *Report {
+	g := analysis.ReconstructParallel(src, workers)
 	g.ComputeLatency()
 	g.ComputeCPU()
 	return &Report{
 		Graph:        g,
-		Stats:        db.ComputeStats(),
+		Stats:        src.ComputeStats(),
 		LatencyStats: g.LatencyStats(),
 		CCSG:         analysis.BuildCCSG(g),
 		Interactions: g.Interactions(),
 	}
 }
+
+func analyzeStore(db *logdb.Store) *Report { return AnalyzeSource(db, 1) }
 
 // WriteDSCG renders the call graph as an indented text tree.
 func (r *Report) WriteDSCG(w io.Writer) error {

@@ -15,6 +15,7 @@
 //	-ccsg       print the CCSG as text
 //	-ccsgxml    print the CCSG as XML (Figure 6 format)
 //	-stats      print run statistics only
+//	-workers N  fan DSCG reconstruction over N goroutines (0 = GOMAXPROCS)
 package main
 
 import (
@@ -48,6 +49,7 @@ func run(args []string, w io.Writer) error {
 	statsOnly := fs.Bool("stats", false, "print run statistics only")
 	seqchart := fs.Bool("seqchart", false, "print an OVATION-style per-process sequence chart (requires latency-aspect logs)")
 	topology := fs.Bool("topology", false, "print the component-interaction topology")
+	workers := fs.Int("workers", 1, "parallel DSCG reconstruction workers (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -56,10 +58,13 @@ func run(args []string, w io.Writer) error {
 	}
 
 	start := time.Now()
-	report, err := causeway.AnalyzeFiles(fs.Arg(0))
+	db := logdb.NewStore()
+	_, warnings, err := collector.FromGlob(db, fs.Arg(0))
 	if err != nil {
 		return err
 	}
+	report := causeway.AnalyzeSource(db, *workers)
+	report.Warnings = warnings
 	st := report.Stats
 	fmt.Fprintf(w, "analyzed in %v: %d records, %d calls, %d chains, %d methods / %d interfaces / %d components, %d processes, %d threads, %d anomalies\n",
 		time.Since(start).Round(time.Millisecond), st.Records, st.Calls, st.Chains,
@@ -81,10 +86,6 @@ func run(args []string, w io.Writer) error {
 	case *ccsg:
 		return report.WriteCCSGText(w)
 	case *seqchart:
-		db := logdb.NewStore()
-		if _, _, err := collector.FromGlob(db, fs.Arg(0)); err != nil {
-			return err
-		}
 		var recs []probe.Record
 		for _, c := range db.Chains() {
 			recs = append(recs, db.Events(c)...)

@@ -1,0 +1,310 @@
+// Command causectl queries a collected trace store without waiting for a
+// full offline analysis pass: list causal chains, inspect one chain's call
+// tree, rank interfaces by latency percentile, or export the store as a
+// merged .ftlog the offline analyzer (cmd/analyzer) accepts unchanged.
+//
+// It reads either a sharded on-disk trace store written by
+// `collectd -store DIR` or a glob of per-process .ftlog files.
+//
+// Usage:
+//
+//	causectl [-store dir | -logs glob] [-workers N] <command> [args]
+//
+// Commands:
+//
+//	chains [-iface substr] [-min dur] [-status all|complete|anomalous]
+//	        list root chains (slowest first)
+//	show <uuid-or-prefix>
+//	        one chain's call tree plus its per-interface latency breakdown
+//	top [-n N] [-by p50|p95|p99|max|total|calls]
+//	        rank interfaces by latency percentile (streaming digest)
+//	export <out.ftlog>
+//	        write the merged record stream for cmd/analyzer
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"causeway"
+	"causeway/internal/analysis"
+	"causeway/internal/collector"
+	"causeway/internal/logdb"
+	"causeway/internal/render"
+	"causeway/internal/tracestore"
+	"causeway/internal/uuid"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "causectl:", err)
+		os.Exit(1)
+	}
+}
+
+// source is the store view every subcommand works against: the analyzer
+// queries plus whole-store export.
+type source interface {
+	causeway.Source
+	WriteStream(w io.Writer) error
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("causectl", flag.ContinueOnError)
+	storeDir := fs.String("store", "", "sharded trace store directory (collectd -store)")
+	logsGlob := fs.String("logs", "", "glob of per-process .ftlog files")
+	workers := fs.Int("workers", 0, "parallel reconstruction workers (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*storeDir == "") == (*logsGlob == "") {
+		return fmt.Errorf("exactly one of -store or -logs is required")
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("usage: causectl [-store dir | -logs glob] <chains|show|top|export> [args]")
+	}
+
+	var src source
+	if *storeDir != "" {
+		ts, err := tracestore.Open(*storeDir, tracestore.Options{})
+		if err != nil {
+			return err
+		}
+		defer ts.Close()
+		src = ts
+	} else {
+		db := logdb.NewStore()
+		if _, warnings, err := collector.FromGlob(db, *logsGlob); err != nil {
+			return err
+		} else if warnings > 0 {
+			fmt.Fprintf(w, "causectl: %d log file(s) had torn tails; readable prefixes loaded\n", warnings)
+		}
+		src = db
+	}
+
+	cmd, rest := fs.Arg(0), fs.Args()[1:]
+	switch cmd {
+	case "chains":
+		return cmdChains(w, src, *workers, rest)
+	case "show":
+		return cmdShow(w, src, *workers, rest)
+	case "top":
+		return cmdTop(w, src, *workers, rest)
+	case "export":
+		return cmdExport(w, src, rest)
+	default:
+		return fmt.Errorf("unknown command %q (want chains, show, top, or export)", cmd)
+	}
+}
+
+// reconstruct builds the DSCG with latency/CPU metrics attached.
+func reconstruct(src source, workers int) *analysis.DSCG {
+	g := analysis.ReconstructParallel(src, workers)
+	g.ComputeLatency()
+	g.ComputeCPU()
+	return g
+}
+
+// rootOf returns a tree's first root node (every tree has at least one).
+func rootOf(t *analysis.Tree) *analysis.Node { return t.Roots[0] }
+
+// treeLatency is the summed latency of a tree's root invocations.
+func treeLatency(t *analysis.Tree) (time.Duration, bool) {
+	var total time.Duration
+	has := false
+	for _, r := range t.Roots {
+		if r.HasLatency {
+			total += r.Latency
+			has = true
+		}
+	}
+	return total, has
+}
+
+func cmdChains(w io.Writer, src source, workers int, args []string) error {
+	fs := flag.NewFlagSet("causectl chains", flag.ContinueOnError)
+	iface := fs.String("iface", "", "only chains whose root interface contains this substring")
+	minDur := fs.Duration("min", 0, "only chains at least this slow")
+	status := fs.String("status", "all", "all | complete | anomalous")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch *status {
+	case "all", "complete", "anomalous":
+	default:
+		return fmt.Errorf("bad -status %q (want all, complete, or anomalous)", *status)
+	}
+	g := reconstruct(src, workers)
+	anomalous := make(map[uuid.UUID]int)
+	for _, a := range g.Anomalies {
+		anomalous[a.Chain]++
+	}
+
+	type row struct {
+		tree    *analysis.Tree
+		latency time.Duration
+		timed   bool
+	}
+	var rows []row
+	for _, t := range g.Trees {
+		root := rootOf(t)
+		if *iface != "" && !strings.Contains(root.Op.Interface, *iface) {
+			continue
+		}
+		lat, timed := treeLatency(t)
+		if *minDur > 0 && (!timed || lat < *minDur) {
+			continue
+		}
+		bad := anomalous[t.Chain] > 0
+		if *status == "complete" && bad || *status == "anomalous" && !bad {
+			continue
+		}
+		rows = append(rows, row{tree: t, latency: lat, timed: timed})
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].latency > rows[j].latency })
+
+	fmt.Fprintf(w, "%-10s %-44s %7s %12s %s\n", "CHAIN", "ROOT", "NODES", "LATENCY", "STATUS")
+	for _, r := range rows {
+		root := rootOf(r.tree)
+		nodes := 0
+		for _, n := range r.tree.Roots {
+			nodes += n.Count()
+		}
+		lat := "-"
+		if r.timed {
+			lat = r.latency.Round(time.Microsecond).String()
+		}
+		st := "complete"
+		if n := anomalous[r.tree.Chain]; n > 0 {
+			st = fmt.Sprintf("anomalous(%d)", n)
+		}
+		fmt.Fprintf(w, "%-10s %-44s %7d %12s %s\n",
+			r.tree.Chain.Short(), root.Op.Interface+"::"+root.Op.Operation, nodes, lat, st)
+	}
+	fmt.Fprintf(w, "%d chain(s)\n", len(rows))
+	return nil
+}
+
+func cmdShow(w io.Writer, src source, workers int, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: causectl show <chain-uuid-or-prefix>")
+	}
+	want := strings.ToLower(args[0])
+	g := reconstruct(src, workers)
+	var match *analysis.Tree
+	for _, t := range g.Trees {
+		id := t.Chain.String()
+		if id == want || strings.HasPrefix(id, want) {
+			if match != nil {
+				return fmt.Errorf("prefix %q is ambiguous (%s and %s)", want, match.Chain, t.Chain)
+			}
+			match = t
+		}
+	}
+	if match == nil {
+		return fmt.Errorf("no chain matches %q", want)
+	}
+
+	sub := &analysis.DSCG{Trees: []*analysis.Tree{match}}
+	for _, a := range g.Anomalies {
+		if a.Chain == match.Chain {
+			sub.Anomalies = append(sub.Anomalies, a)
+		}
+	}
+	if err := render.DSCGText(w, sub, -1, 0); err != nil {
+		return err
+	}
+
+	stats := analysis.InterfaceStats(sub, 1)
+	timed := false
+	for _, s := range stats {
+		if s.Latency.Count() > 0 {
+			timed = true
+			break
+		}
+	}
+	if timed {
+		fmt.Fprintf(w, "\nper-interface latency within this chain:\n")
+		sort.SliceStable(stats, func(i, j int) bool { return stats[i].Total > stats[j].Total })
+		for _, s := range stats {
+			fmt.Fprintf(w, "  %-40s calls=%-5d total=%-12v max=%v\n",
+				s.Interface, s.Calls, s.Total, s.Max)
+		}
+	}
+	return nil
+}
+
+func cmdTop(w io.Writer, src source, workers int, args []string) error {
+	fs := flag.NewFlagSet("causectl top", flag.ContinueOnError)
+	n := fs.Int("n", 10, "rows to print (0 = all)")
+	by := fs.String("by", "p95", "rank key: p50 | p95 | p99 | max | total | calls")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	key := func(s *analysis.InterfaceStat) float64 { return float64(s.P95()) }
+	switch *by {
+	case "p50":
+		key = func(s *analysis.InterfaceStat) float64 { return float64(s.P50()) }
+	case "p95":
+	case "p99":
+		key = func(s *analysis.InterfaceStat) float64 { return float64(s.P99()) }
+	case "max":
+		key = func(s *analysis.InterfaceStat) float64 { return float64(s.Max) }
+	case "total":
+		key = func(s *analysis.InterfaceStat) float64 { return float64(s.Total) }
+	case "calls":
+		key = func(s *analysis.InterfaceStat) float64 { return float64(s.Calls) }
+	default:
+		return fmt.Errorf("bad -by %q (want p50, p95, p99, max, total, or calls)", *by)
+	}
+
+	g := reconstruct(src, workers)
+	stats := analysis.InterfaceStats(g, workers)
+	sort.SliceStable(stats, func(i, j int) bool { return key(&stats[i]) > key(&stats[j]) })
+	if *n > 0 && len(stats) > *n {
+		stats = stats[:*n]
+	}
+	fmt.Fprintf(w, "%-40s %7s %10s %10s %10s %12s %12s\n",
+		"INTERFACE", "CALLS", "P50", "P95", "P99", "MAX", "TOTAL")
+	for i := range stats {
+		s := &stats[i]
+		p50, p95, p99 := "-", "-", "-"
+		if s.Latency.Count() > 0 {
+			p50 = s.P50().Round(time.Microsecond).String()
+			p95 = s.P95().Round(time.Microsecond).String()
+			p99 = s.P99().Round(time.Microsecond).String()
+		}
+		maxs, totals := "-", "-"
+		if s.Max > 0 || s.Latency.Count() > 0 {
+			maxs = s.Max.Round(time.Microsecond).String()
+			totals = s.Total.Round(time.Microsecond).String()
+		}
+		fmt.Fprintf(w, "%-40s %7d %10s %10s %10s %12s %12s\n",
+			s.Interface, s.Calls, p50, p95, p99, maxs, totals)
+	}
+	return nil
+}
+
+func cmdExport(w io.Writer, src source, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: causectl export <out.ftlog>")
+	}
+	f, err := os.Create(args[0])
+	if err != nil {
+		return fmt.Errorf("export: %w", err)
+	}
+	if err := src.WriteStream(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "exported merged record stream to %s\n", args[0])
+	return nil
+}

@@ -1,0 +1,182 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"causeway"
+	"causeway/internal/probe"
+	"causeway/internal/tracestore"
+	"causeway/internal/workload"
+)
+
+// fixture builds one synthetic run three ways: per-process .ftlog files
+// (the offline analyzer's native input), a populated trace store
+// directory, and the expected DSCG from the original logs.
+type fixture struct {
+	logGlob  string
+	storeDir string
+	wantDSCG string
+}
+
+func buildFixture(t *testing.T) fixture {
+	t.Helper()
+	sys, err := workload.Generate(workload.Config{
+		Calls: 250, Threads: 4, Processes: 3,
+		Components: 8, Interfaces: 6, Methods: 15,
+		OnewayPermille: 150, Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	logDir := t.TempDir()
+	for proc, sink := range sys.Sinks {
+		f, err := os.Create(filepath.Join(logDir, proc+".ftlog"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream := probe.NewStreamSink(f)
+		for _, r := range sink.Snapshot() {
+			stream.Append(r)
+		}
+		if err := stream.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	storeDir := filepath.Join(t.TempDir(), "store")
+	ts, err := tracestore.Open(storeDir, tracestore.Options{Shards: 4, SegmentMaxBytes: 16384})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sink := range sys.Sinks {
+		ts.Insert(sink.Snapshot()...)
+	}
+	if err := ts.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	glob := filepath.Join(logDir, "*.ftlog")
+	report, err := causeway.AnalyzeFiles(glob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := report.WriteDSCG(&want); err != nil {
+		t.Fatal(err)
+	}
+	return fixture{logGlob: glob, storeDir: storeDir, wantDSCG: want.String()}
+}
+
+// TestExportFeedsAnalyzer is the acceptance path: `causectl export` on a
+// trace store produces a merged .ftlog whose analysis is byte-identical
+// to analyzing the original per-process logs.
+func TestExportFeedsAnalyzer(t *testing.T) {
+	fx := buildFixture(t)
+	out := filepath.Join(t.TempDir(), "merged.ftlog")
+	var buf bytes.Buffer
+	if err := run([]string{"-store", fx.storeDir, "export", out}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "exported merged record stream") {
+		t.Fatalf("export output: %q", buf.String())
+	}
+	report, err := causeway.AnalyzeFiles(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := report.WriteDSCG(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != fx.wantDSCG {
+		t.Fatal("DSCG from exported store diverges from per-process-log DSCG")
+	}
+}
+
+func TestChainsListAndFilter(t *testing.T) {
+	fx := buildFixture(t)
+	var all bytes.Buffer
+	if err := run([]string{"-store", fx.storeDir, "chains"}, &all); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(all.String(), "CHAIN") || !strings.Contains(all.String(), "chain(s)") {
+		t.Fatalf("chains output: %q", all.String())
+	}
+	// A filter by a nonexistent interface matches nothing.
+	var none bytes.Buffer
+	if err := run([]string{"-store", fx.storeDir, "chains", "-iface", "NoSuchInterface"}, &none); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(none.String(), "0 chain(s)") {
+		t.Fatalf("filtered chains output: %q", none.String())
+	}
+	// -logs mode answers the same query from raw per-process logs.
+	var viaLogs bytes.Buffer
+	if err := run([]string{"-logs", fx.logGlob, "chains"}, &viaLogs); err != nil {
+		t.Fatal(err)
+	}
+	if viaLogs.String() != all.String() {
+		t.Fatal("chains listing differs between -store and -logs over the same run")
+	}
+}
+
+func TestShowChain(t *testing.T) {
+	fx := buildFixture(t)
+	var chains bytes.Buffer
+	if err := run([]string{"-store", fx.storeDir, "chains"}, &chains); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(chains.String()), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("not enough chains to pick one: %q", chains.String())
+	}
+	prefix := strings.Fields(lines[1])[0] // first data row's short chain id
+	var show bytes.Buffer
+	if err := run([]string{"-store", fx.storeDir, "show", prefix}, &show); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(show.String(), "chain "+prefix) {
+		t.Fatalf("show output lacks chain header: %q", show.String())
+	}
+	if err := run([]string{"-store", fx.storeDir, "show", "ffffffffffff"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("show with unknown chain succeeded")
+	}
+}
+
+func TestTopInterfaces(t *testing.T) {
+	fx := buildFixture(t)
+	var top bytes.Buffer
+	if err := run([]string{"-store", fx.storeDir, "-workers", "4", "top", "-n", "5", "-by", "p99"}, &top); err != nil {
+		t.Fatal(err)
+	}
+	out := top.String()
+	if !strings.Contains(out, "INTERFACE") || !strings.Contains(out, "P99") {
+		t.Fatalf("top output: %q", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) < 2 {
+		t.Fatalf("top printed no rows: %q", out)
+	}
+	if err := run([]string{"-store", fx.storeDir, "top", "-by", "bogus"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("top with bad -by succeeded")
+	}
+}
+
+func TestArgumentValidation(t *testing.T) {
+	if err := run([]string{"chains"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("missing -store/-logs accepted")
+	}
+	if err := run([]string{"-store", "x", "-logs", "y", "chains"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("both -store and -logs accepted")
+	}
+	if err := run([]string{"-logs", "nope*.ftlog"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("missing command accepted")
+	}
+}

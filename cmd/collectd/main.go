@@ -20,8 +20,14 @@
 // Flags:
 //
 //	-listen addr    TCP listen address (default 127.0.0.1:4317; use :0 for ephemeral)
+//	-store dir      merge into a sharded on-disk trace store at this directory
+//	                (internal/tracestore; query later with causectl) instead of
+//	                the in-memory relational store
+//	-retain dur     with -store: every report tick, drop completed chains whose
+//	                newest event is older than this and compact (0 = keep all)
 //	-out path       write the merged record store to this .ftlog on shutdown
 //	-dscg N         print at most N DSCG nodes after drain (0 = all, -1 = skip)
+//	-workers N      parallel DSCG reconstruction workers post-drain (0 = GOMAXPROCS)
 //	-slow dur       slow-call threshold for live flagging (default 100ms)
 //	-report dur     period of the records/s + open-chains report (default 5s)
 //	-duration dur   stop after this long (default 0 = run until SIGINT)
@@ -45,7 +51,17 @@ import (
 	"causeway/internal/probe"
 	"causeway/internal/render"
 	"causeway/internal/telemetry"
+	"causeway/internal/tracestore"
 )
+
+// mergedStore is what both backends — logdb.Store in memory, and
+// tracestore.Store on disk — offer the daemon: live insertion, the
+// analyzer's queries, and .ftlog export.
+type mergedStore interface {
+	telemetry.RecordStore
+	causeway.Source
+	SaveFile(path string) error
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout, nil); err != nil {
@@ -72,8 +88,11 @@ func (s *syncWriter) Write(p []byte) (int, error) {
 func run(args []string, out io.Writer, stop <-chan struct{}) error {
 	fs := flag.NewFlagSet("collectd", flag.ContinueOnError)
 	listen := fs.String("listen", "127.0.0.1:4317", "TCP listen address")
+	storeDir := fs.String("store", "", "merge into an on-disk trace store at this directory")
+	retain := fs.Duration("retain", 0, "with -store: drop completed chains older than this each report tick (0 = keep all)")
 	outPath := fs.String("out", "", "write merged .ftlog here on shutdown")
 	dscgNodes := fs.Int("dscg", 40, "max DSCG nodes to print after drain (0 = all, -1 = skip)")
+	workers := fs.Int("workers", 1, "parallel DSCG reconstruction workers post-drain (0 = GOMAXPROCS)")
 	slow := fs.Duration("slow", 100*time.Millisecond, "slow-call threshold")
 	report := fs.Duration("report", 5*time.Second, "reporting period")
 	duration := fs.Duration("duration", 0, "stop after this long (0 = until SIGINT)")
@@ -87,7 +106,19 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 	w := &syncWriter{w: out}
 
 	var rootCount, slowCount, anomalyCount atomic.Uint64
-	store := logdb.NewStore()
+	var store mergedStore
+	var disk *tracestore.Store
+	if *storeDir != "" {
+		var err error
+		disk, err = tracestore.Open(*storeDir, tracestore.Options{})
+		if err != nil {
+			return err
+		}
+		defer disk.Close()
+		store = disk
+	} else {
+		store = logdb.NewStore()
+	}
 	monitor := online.NewMonitor(online.Config{
 		OnRoot: func(ev online.RootEvent) {
 			rootCount.Add(1)
@@ -143,6 +174,13 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 				fmt.Fprintf(w, "collectd: %d records (%.0f/s), %d batches, %d peers, %d open chains, %d roots, %d slow, %d anomalies\n",
 					st.Records, rate, st.Batches, st.Peers, monitor.OpenChains(),
 					rootCount.Load(), slowCount.Load(), anomalyCount.Load())
+				if disk != nil && *retain > 0 {
+					if n, err := disk.Sweep(*retain); err != nil {
+						fmt.Fprintf(w, "collectd: sweep: %v\n", err)
+					} else if n > 0 {
+						fmt.Fprintf(w, "collectd: sweep dropped %d completed chain(s) older than %v\n", n, *retain)
+					}
+				}
 			}
 		}
 	}()
@@ -176,6 +214,26 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 	st := srv.Stats()
 	fmt.Fprintf(w, "collectd: drained %d records in %d batches from %d peer connection(s); %d roots, %d slow, %d anomalies\n",
 		st.Records, st.Batches, st.Peers, rootCount.Load(), slowCount.Load(), anomalyCount.Load())
+	for _, a := range srv.PeerAccounting() {
+		line := fmt.Sprintf("collectd:   peer %s (%s): ingested %d records in %d batches",
+			a.Peer.Process, a.Peer.ProcType, a.Records, a.Batches)
+		if a.Reported {
+			line += fmt.Sprintf("; shipper appended=%d shipped=%d dropped=%d",
+				a.Shipper.Appended, a.Shipper.Shipped, a.Shipper.Dropped)
+		} else {
+			line += "; no shipper report (connection lost before drain)"
+		}
+		fmt.Fprintln(w, line)
+	}
+	if disk != nil {
+		if err := disk.Flush(); err != nil {
+			fmt.Fprintf(w, "collectd: store flush: %v\n", err)
+		}
+		for _, warn := range disk.Warnings() {
+			fmt.Fprintf(w, "collectd: store warning: %s\n", warn)
+		}
+		fmt.Fprintf(w, "collectd: trace store at %s holds %d records\n", *storeDir, disk.Len())
+	}
 
 	if *outPath != "" {
 		if err := store.SaveFile(*outPath); err != nil {
@@ -184,7 +242,7 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 		fmt.Fprintf(w, "collectd: merged log written to %s\n", *outPath)
 	}
 	if *dscgNodes >= 0 {
-		report := causeway.AnalyzeStore(store)
+		report := causeway.AnalyzeSource(store, *workers)
 		fmt.Fprintln(w, "\nDynamic System Call Graph:")
 		if err := render.DSCGText(w, report.Graph, -1, *dscgNodes); err != nil {
 			return err

@@ -13,6 +13,7 @@ import (
 	"causeway/internal/probe"
 	"causeway/internal/telemetry"
 	"causeway/internal/topology"
+	"causeway/internal/tracestore"
 	"causeway/internal/uuid"
 )
 
@@ -145,6 +146,87 @@ func TestCollectdEndToEnd(t *testing.T) {
 	}
 	if roots != 10 {
 		t.Fatalf("merged log reconstructs %d roots, want 10", roots)
+	}
+}
+
+// TestCollectdStoreMode runs the daemon against an on-disk trace store and
+// checks the new drain artifacts: per-peer shipper accounting, the store
+// summary line, and that the directory is queryable afterwards.
+func TestCollectdStoreMode(t *testing.T) {
+	storeDir := filepath.Join(t.TempDir(), "trace")
+	out := &lockedBuffer{}
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-listen", "127.0.0.1:0",
+			"-store", storeDir,
+			"-retain", "1h", // sweeps run but nothing is old enough to drop
+			"-dscg", "0",
+			"-workers", "4",
+			"-report", "20ms",
+		}, out, stop)
+	}()
+	addr := listenAddr(t, out)
+
+	proc := topology.Process{ID: "disk-proc", Processor: topology.Processor{ID: "disk-proc", Type: "x86"}}
+	sh, err := telemetry.NewShipper(telemetry.ShipperConfig{
+		Addr: addr, Process: proc, FlushInterval: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := probe.New(probe.Config{
+		Process: proc,
+		Aspects: probe.AspectLatency,
+		Sink:    sh,
+		Chains:  &uuid.SequentialGenerator{Seed: 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := probe.OpID{Component: "comp", Interface: "Disk", Operation: "put", Object: "o"}
+	for c := 0; c < 6; c++ {
+		ctx := p.StubStart(op, false)
+		sctx := p.SkelStart(op, ctx.Wire, false)
+		p.StubEnd(ctx, p.SkelEnd(sctx))
+		p.Tunnel().Clear()
+	}
+	if err := sh.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	got := out.String()
+	for _, want := range []string{
+		"drained 24 records", // 6 calls x 4 probe points
+		"peer disk-proc (x86): ingested 24 records",
+		"shipper appended=24 shipped=24 dropped=0",
+		"trace store at " + storeDir + " holds 24 records",
+		"Dynamic System Call Graph:",
+		"Disk::put",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q;\n%s", want, got)
+		}
+	}
+
+	// The directory the daemon left behind reopens as a valid store.
+	ts, err := tracestore.Open(storeDir, tracestore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+	if ts.Len() != 24 {
+		t.Fatalf("reopened store holds %d records, want 24", ts.Len())
+	}
+	if chains := ts.Chains(); len(chains) != 6 {
+		t.Fatalf("reopened store holds %d chains, want 6", len(chains))
 	}
 }
 

@@ -151,26 +151,77 @@ func (g *DSCG) Walk(fn func(*Node)) {
 	}
 }
 
+// Source is the store view reconstruction needs: the paper's two queries
+// (unique Function UUIDs, seq-sorted events of one chain) plus oneway link
+// resolution. *logdb.Store and *tracestore.Store both satisfy it.
+type Source interface {
+	// Chains returns the set of unique Function UUIDs in deterministic
+	// (sorted) order.
+	Chains() []uuid.UUID
+	// Events returns the chain's event records sorted by ascending seq.
+	Events(chain uuid.UUID) []probe.Record
+	// ChildChain resolves the oneway link recorded at (parent, seq).
+	ChildChain(parent uuid.UUID, seq uint64) (uuid.UUID, bool)
+}
+
 // Reconstruct rebuilds the DSCG from a collected log store, implementing
 // the Figure-4 state machine. Chains beginning with a skel_start event are
 // oneway callee sides and are attached under their parent's forking node
 // via the recorded chain links; chains whose link is missing surface as
 // anomalous orphan trees.
-func Reconstruct(db *logdb.Store) *DSCG {
+func Reconstruct(db *logdb.Store) *DSCG { return ReconstructFrom(db) }
+
+// ReconstructFrom is Reconstruct over any Source.
+func ReconstructFrom(db Source) *DSCG {
+	chains := db.Chains()
+	parsed := make([]parsedChain, len(chains))
+	for i, chain := range chains {
+		parsed[i] = parseOneChain(chain, db.Events(chain))
+	}
+	return assemble(db, chains, parsed)
+}
+
+// parsedChain is the per-chain output of the Figure-4 state machine: the
+// embarrassingly parallel half of reconstruction. Chains are keyed by a
+// constant-size Function UUID and parsed independently, so any number of
+// workers can run parseOneChain concurrently with no coordination.
+type parsedChain struct {
+	roots      []*Node
+	anomalies  []Anomaly
+	calleeSide bool // chain begins with skel_start (oneway callee)
+	empty      bool
+}
+
+func parseOneChain(chain uuid.UUID, events []probe.Record) parsedChain {
+	if len(events) == 0 {
+		return parsedChain{empty: true}
+	}
+	p := &chainParser{chain: chain, events: events}
+	roots := p.parseChain()
+	return parsedChain{
+		roots:      roots,
+		anomalies:  p.anomalies,
+		calleeSide: events[0].Event == ftl.SkelStart,
+	}
+}
+
+// assemble runs the sequential tail of reconstruction: grouping parsed
+// chains into trees and stitching oneway callee chains under their forking
+// nodes. Iteration follows the deterministic chains order, so the result is
+// identical no matter how the parse phase was scheduled.
+func assemble(db Source, chains []uuid.UUID, parsed []parsedChain) *DSCG {
 	g := &DSCG{}
 	childTrees := make(map[uuid.UUID]*Tree) // oneway callee chains by chain id
 	var parentTrees []*Tree
 
-	for _, chain := range db.Chains() {
-		events := db.Events(chain)
-		if len(events) == 0 {
+	for i, chain := range chains {
+		p := parsed[i]
+		if p.empty {
 			continue
 		}
-		p := &chainParser{chain: chain, events: events}
-		roots := p.parseChain()
 		g.Anomalies = append(g.Anomalies, p.anomalies...)
-		t := &Tree{Chain: chain, Roots: roots}
-		if events[0].Event == ftl.SkelStart {
+		t := &Tree{Chain: chain, Roots: p.roots}
+		if p.calleeSide {
 			childTrees[chain] = t
 		} else {
 			parentTrees = append(parentTrees, t)
@@ -233,15 +284,15 @@ func Reconstruct(db *logdb.Store) *DSCG {
 	// Callee chains no parent claimed stay visible as orphan trees rather
 	// than being dropped. First let every unclaimed callee chain claim its
 	// own oneway descendants, then collect the ones still unclaimed, both
-	// in the deterministic db.Chains() order.
-	for _, chain := range db.Chains() {
+	// in the deterministic chains order.
+	for _, chain := range chains {
 		if t, ok := childTrees[chain]; ok && !stitched[chain] {
 			for _, r := range t.Roots {
 				stitch(r)
 			}
 		}
 	}
-	for _, chain := range db.Chains() {
+	for _, chain := range chains {
 		t, ok := childTrees[chain]
 		if !ok || stitched[chain] {
 			continue

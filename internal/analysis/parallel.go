@@ -1,0 +1,51 @@
+package analysis
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ReconstructParallel is ReconstructFrom with the Figure-4 state machine
+// fanned out over a worker pool. Chains are keyed by a constant-size
+// Function UUID and their event lists are disjoint, so the parse phase is
+// embarrassingly parallel; only the (cheap) tree grouping and oneway
+// stitching tail runs sequentially. The result — trees, node order,
+// anomaly order — is identical to the sequential path: workers write their
+// output into the chain's own slot and assembly walks the deterministic
+// chains order.
+//
+// workers <= 0 selects GOMAXPROCS; workers == 1 is exactly the sequential
+// path. The Source must tolerate concurrent Events calls (both stores do:
+// logdb locks the whole map, tracestore locks per shard).
+func ReconstructParallel(db Source, workers int) *DSCG {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	chains := db.Chains()
+	if workers == 1 || len(chains) < 2 {
+		return ReconstructFrom(db)
+	}
+	if workers > len(chains) {
+		workers = len(chains)
+	}
+
+	parsed := make([]parsedChain, len(chains))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(chains) {
+					return
+				}
+				parsed[i] = parseOneChain(chains[i], db.Events(chains[i]))
+			}
+		}()
+	}
+	wg.Wait()
+	return assemble(db, chains, parsed)
+}

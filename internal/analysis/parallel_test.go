@@ -1,0 +1,154 @@
+package analysis_test
+
+import (
+	"bytes"
+	"testing"
+
+	"causeway/internal/analysis"
+	"causeway/internal/logdb"
+	"causeway/internal/render"
+	"causeway/internal/tracestore"
+	"causeway/internal/workload"
+)
+
+// renderAll captures the byte-exact characterization output: DSCG text
+// tree plus CCSG XML. Equivalence below is asserted on these bytes, not
+// on graph summaries, so any ordering or stitching divergence fails.
+func renderAll(t *testing.T, g *analysis.DSCG) string {
+	t.Helper()
+	g.ComputeLatency()
+	g.ComputeCPU()
+	var buf bytes.Buffer
+	if err := render.DSCGText(&buf, g, -1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := render.CCSGXML(&buf, analysis.BuildCCSG(g)); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func synthStore(t *testing.T) *logdb.Store {
+	t.Helper()
+	sys, err := workload.Generate(workload.Config{
+		Calls: 600, Threads: 8, Processes: 4,
+		Components: 12, Interfaces: 10, Methods: 30,
+		OnewayPermille: 150, Seed: 23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys.Store()
+}
+
+// TestReconstructParallelMatchesSequential asserts the worker pool
+// changes nothing about the output at any width.
+func TestReconstructParallelMatchesSequential(t *testing.T) {
+	db := synthStore(t)
+	want := renderAll(t, analysis.Reconstruct(db))
+	for _, workers := range []int{0, 1, 2, 3, 8, 64} {
+		got := renderAll(t, analysis.ReconstructParallel(db, workers))
+		if got != want {
+			t.Fatalf("workers=%d: output diverges from sequential reconstruction", workers)
+		}
+	}
+}
+
+// TestReconstructFromTracestoreMatchesLogdb asserts the Source
+// abstraction is airtight: the same records through the sharded on-disk
+// store characterize byte-identically to the in-memory store.
+func TestReconstructFromTracestoreMatchesLogdb(t *testing.T) {
+	sys, err := workload.Generate(workload.Config{
+		Calls: 400, Threads: 4, Processes: 3,
+		Components: 8, Interfaces: 6, Methods: 18,
+		OnewayPermille: 200, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := sys.Store()
+	ts, err := tracestore.Open(t.TempDir(), tracestore.Options{Shards: 8, SegmentMaxBytes: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+	for _, sink := range sys.Sinks {
+		ts.Insert(sink.Snapshot()...)
+	}
+	want := renderAll(t, analysis.Reconstruct(db))
+	if got := renderAll(t, analysis.ReconstructParallel(ts, 4)); got != want {
+		t.Fatal("tracestore-backed parallel reconstruction diverges from logdb sequential")
+	}
+	if got := renderAll(t, analysis.ReconstructFrom(ts)); got != want {
+		t.Fatal("tracestore-backed sequential reconstruction diverges from logdb")
+	}
+}
+
+// TestInterfaceStatsParallelMerge asserts the digest merge path gives the
+// same percentiles as single-threaded aggregation.
+func TestInterfaceStatsParallelMerge(t *testing.T) {
+	db := synthStore(t)
+	g := analysis.Reconstruct(db)
+	g.ComputeLatency()
+	seq := analysis.InterfaceStats(g, 1)
+	par := analysis.InterfaceStats(g, 8)
+	if len(seq) != len(par) {
+		t.Fatalf("stat count: sequential %d parallel %d", len(seq), len(par))
+	}
+	for i := range seq {
+		s, p := &seq[i], &par[i]
+		if s.Interface != p.Interface || s.Calls != p.Calls || s.Total != p.Total ||
+			s.Max != p.Max || s.SelfCPU != p.SelfCPU {
+			t.Fatalf("stat %s diverges: %+v vs %+v", s.Interface, s, p)
+		}
+		if s.P50() != p.P50() || s.P95() != p.P95() || s.P99() != p.P99() {
+			t.Fatalf("percentiles for %s diverge: (%v,%v,%v) vs (%v,%v,%v)",
+				s.Interface, s.P50(), s.P95(), s.P99(), p.P50(), p.P95(), p.P99())
+		}
+	}
+}
+
+// benchDB is built once and shared by the Reconstruct benchmarks; the
+// acceptance bar is a ≥10k-chain store.
+var benchDB *logdb.Store
+
+func reconstructBenchStore(b *testing.B) *logdb.Store {
+	b.Helper()
+	if benchDB == nil {
+		sys, err := workload.Generate(workload.Config{
+			Calls: 30000, Threads: 16, Processes: 4,
+			Components: 24, Interfaces: 20, Methods: 80,
+			MaxDepth: 2, MaxFanout: 1, OnewayPermille: 100, Seed: 99,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchDB = sys.Store()
+		if n := len(benchDB.Chains()); n < 10000 {
+			b.Fatalf("bench store has %d chains, want >= 10000", n)
+		}
+	}
+	return benchDB
+}
+
+func BenchmarkReconstructSequential(b *testing.B) {
+	db := reconstructBenchStore(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := analysis.Reconstruct(db)
+		if g.Nodes() == 0 {
+			b.Fatal("empty graph")
+		}
+	}
+}
+
+func BenchmarkReconstructParallel(b *testing.B) {
+	db := reconstructBenchStore(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := analysis.ReconstructParallel(db, 8)
+		if g.Nodes() == 0 {
+			b.Fatal("empty graph")
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package analysis
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Digest is a streaming quantile estimator over durations: a fixed array
+// of exponentially growing buckets (~5% relative width), stdlib-only,
+// constant memory, and mergeable — per-worker digests from parallel
+// reconstruction combine by adding counts. Quantile estimates carry the
+// bucket's relative error (≤ ~5%), which is ample for p50/p95/p99 hot-spot
+// ranking. The zero value is ready to use.
+type Digest struct {
+	counts [digestBuckets]uint64
+	total  uint64
+}
+
+const (
+	// digestBuckets spans 1ns..~290s at 5% growth; larger values clamp to
+	// the last bucket.
+	digestBuckets = 540
+	digestGamma   = 1.05
+)
+
+var digestLogGamma = math.Log(digestGamma)
+
+// digestBucket maps a duration to its bucket index.
+func digestBucket(v time.Duration) int {
+	if v <= 1 {
+		return 0
+	}
+	i := int(math.Log(float64(v))/digestLogGamma) + 1
+	if i >= digestBuckets {
+		i = digestBuckets - 1
+	}
+	return i
+}
+
+// digestValue returns the representative duration of bucket i (its upper
+// bound, so quantiles never under-report).
+func digestValue(i int) time.Duration {
+	if i == 0 {
+		return 1
+	}
+	return time.Duration(math.Exp(float64(i) * digestLogGamma))
+}
+
+// Add records one observation.
+func (d *Digest) Add(v time.Duration) {
+	d.counts[digestBucket(v)]++
+	d.total++
+}
+
+// Merge folds o into d.
+func (d *Digest) Merge(o *Digest) {
+	for i, c := range o.counts {
+		d.counts[i] += c
+	}
+	d.total += o.total
+}
+
+// Count reports the number of observations.
+func (d *Digest) Count() uint64 { return d.total }
+
+// Quantile estimates the q-quantile (q in [0,1]); 0 with no observations.
+func (d *Digest) Quantile(q float64) time.Duration {
+	if d.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(d.total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range d.counts {
+		seen += c
+		if seen >= rank {
+			return digestValue(i)
+		}
+	}
+	return digestValue(digestBuckets - 1)
+}
+
+// InterfaceStat aggregates behaviour per IDL interface across the whole
+// graph: call counts, latency percentiles from the streaming digest, and
+// CPU totals. This is the query behind `causectl top`.
+type InterfaceStat struct {
+	Interface string
+	Calls     int           // invocations of the interface's methods
+	Latency   *Digest       // end-to-end latency digest (latency-armed nodes)
+	Total     time.Duration // summed compensated latency
+	Max       time.Duration
+	SelfCPU   time.Duration // summed exclusive CPU (CPU-armed nodes)
+}
+
+// P50, P95, P99 are the digest's percentile estimates.
+func (s *InterfaceStat) P50() time.Duration { return s.Latency.Quantile(0.50) }
+func (s *InterfaceStat) P95() time.Duration { return s.Latency.Quantile(0.95) }
+func (s *InterfaceStat) P99() time.Duration { return s.Latency.Quantile(0.99) }
+
+// InterfaceStats aggregates per-interface stats over a graph whose latency
+// (and optionally CPU) metrics were computed, sorted by interface name.
+// workers > 1 fans the per-tree aggregation out and merges the digests —
+// the merge path parallel reconstruction relies on.
+func InterfaceStats(g *DSCG, workers int) []InterfaceStat {
+	if workers <= 1 || len(g.Trees) < 2 {
+		agg := newIfaceAgg()
+		for _, t := range g.Trees {
+			for _, r := range t.Roots {
+				agg.addTree(r)
+			}
+		}
+		return agg.finish()
+	}
+	if workers > len(g.Trees) {
+		workers = len(g.Trees)
+	}
+	aggs := make([]*ifaceAgg, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			agg := newIfaceAgg()
+			for i := w; i < len(g.Trees); i += workers {
+				for _, r := range g.Trees[i].Roots {
+					agg.addTree(r)
+				}
+			}
+			aggs[w] = agg
+		}(w)
+	}
+	wg.Wait()
+	merged := aggs[0]
+	for _, a := range aggs[1:] {
+		merged.merge(a)
+	}
+	return merged.finish()
+}
+
+// ifaceAgg is one worker's partial per-interface aggregation.
+type ifaceAgg struct {
+	byIface map[string]*InterfaceStat
+}
+
+func newIfaceAgg() *ifaceAgg {
+	return &ifaceAgg{byIface: make(map[string]*InterfaceStat)}
+}
+
+func (a *ifaceAgg) stat(iface string) *InterfaceStat {
+	s, ok := a.byIface[iface]
+	if !ok {
+		s = &InterfaceStat{Interface: iface, Latency: &Digest{}}
+		a.byIface[iface] = s
+	}
+	return s
+}
+
+func (a *ifaceAgg) addTree(root *Node) {
+	root.Walk(func(n *Node) { a.addNode(n) })
+}
+
+func (a *ifaceAgg) addNode(n *Node) {
+	s := a.stat(n.Op.Interface)
+	s.Calls++
+	if n.HasLatency {
+		s.Latency.Add(n.Latency)
+		s.Total += n.Latency
+		if n.Latency > s.Max {
+			s.Max = n.Latency
+		}
+	}
+	if n.HasCPU {
+		s.SelfCPU += n.SelfCPU
+	}
+}
+
+func (a *ifaceAgg) merge(o *ifaceAgg) {
+	for iface, os := range o.byIface {
+		s := a.stat(iface)
+		s.Calls += os.Calls
+		s.Latency.Merge(os.Latency)
+		s.Total += os.Total
+		if os.Max > s.Max {
+			s.Max = os.Max
+		}
+		s.SelfCPU += os.SelfCPU
+	}
+}
+
+func (a *ifaceAgg) finish() []InterfaceStat {
+	out := make([]InterfaceStat, 0, len(a.byIface))
+	for _, s := range a.byIface {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Interface < out[j].Interface })
+	return out
+}

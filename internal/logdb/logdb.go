@@ -25,10 +25,19 @@ import (
 // It is safe for concurrent insertion and querying.
 type Store struct {
 	mu       sync.RWMutex
-	events   map[uuid.UUID][]probe.Record // KindEvent rows by chain
-	links    []probe.Record               // KindLink rows
-	byParent map[chainSeq]uuid.UUID       // (parent chain, seq) -> child chain
+	events   map[uuid.UUID]*chainRows // KindEvent rows by chain
+	links    []probe.Record           // KindLink rows
+	byParent map[chainSeq]uuid.UUID   // (parent chain, seq) -> child chain
 	total    int
+}
+
+// chainRows holds one chain's event records. Insertion only appends and
+// marks the chain dirty; the rows are sorted by seq lazily, at most once
+// per insertion burst, so repeated analyzer queries over a settled store
+// are O(result) instead of O(result·log result) each.
+type chainRows struct {
+	recs  []probe.Record
+	dirty bool
 }
 
 type chainSeq struct {
@@ -39,7 +48,7 @@ type chainSeq struct {
 // NewStore returns an empty store.
 func NewStore() *Store {
 	return &Store{
-		events:   make(map[uuid.UUID][]probe.Record),
+		events:   make(map[uuid.UUID]*chainRows),
 		byParent: make(map[chainSeq]uuid.UUID),
 	}
 }
@@ -52,7 +61,18 @@ func (s *Store) Insert(recs ...probe.Record) {
 		s.total++
 		switch r.Kind {
 		case probe.KindEvent:
-			s.events[r.Chain] = append(s.events[r.Chain], r)
+			rows, ok := s.events[r.Chain]
+			if !ok {
+				rows = &chainRows{}
+				s.events[r.Chain] = rows
+			}
+			// A record appended in seq order keeps sorted rows sorted; only
+			// true out-of-order arrival (cross-connection interleaving,
+			// merged logs) marks the chain dirty.
+			if !rows.dirty && len(rows.recs) > 0 && r.Seq < rows.recs[len(rows.recs)-1].Seq {
+				rows.dirty = true
+			}
+			rows.recs = append(rows.recs, r)
 		case probe.KindLink:
 			s.links = append(s.links, r)
 			s.byParent[chainSeq{r.LinkParent, r.LinkParentSeq}] = r.LinkChild
@@ -82,13 +102,32 @@ func (s *Store) Chains() []uuid.UUID {
 
 // Events is the paper's second query: all event records sharing a UUID,
 // sorted by ascending event sequence number. The returned slice is a copy.
+// The sort happens lazily, once per insertion burst: a clean chain is pure
+// copy-out, so repeated queries over a settled store are O(result).
 func (s *Store) Events(chain uuid.UUID) []probe.Record {
 	s.mu.RLock()
 	rows := s.events[chain]
-	out := make([]probe.Record, len(rows))
-	copy(out, rows)
+	if rows == nil {
+		s.mu.RUnlock()
+		return nil
+	}
+	if rows.dirty {
+		// Upgrade to the write lock and re-check: another query may have
+		// sorted the chain while we waited.
+		s.mu.RUnlock()
+		s.mu.Lock()
+		if rows.dirty {
+			sort.SliceStable(rows.recs, func(i, j int) bool { return rows.recs[i].Seq < rows.recs[j].Seq })
+			rows.dirty = false
+		}
+		out := make([]probe.Record, len(rows.recs))
+		copy(out, rows.recs)
+		s.mu.Unlock()
+		return out
+	}
+	out := make([]probe.Record, len(rows.recs))
+	copy(out, rows.recs)
 	s.mu.RUnlock()
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
 	return out
 }
 
@@ -136,7 +175,7 @@ func (s *Store) ComputeStats() Stats {
 	threads := map[string]bool{}
 	for _, rows := range s.events {
 		st.Chains++
-		for _, r := range rows {
+		for _, r := range rows.recs {
 			st.Records++
 			if r.Event.ProbeNumber() == 1 {
 				st.Calls++

@@ -137,3 +137,43 @@ func TestSaveLoadFile(t *testing.T) {
 		t.Fatal("loading missing file succeeded")
 	}
 }
+
+func TestEventsLazySort(t *testing.T) {
+	s := NewStore()
+	c := uuid.New()
+	// Out-of-order insert marks the chain dirty; the first query sorts it
+	// in place and clears the flag, so later queries are pure copy-out.
+	s.Insert(ev(c, 2, ftl.SkelStart, "F"), ev(c, 1, ftl.StubStart, "F"))
+	if !s.events[c].dirty {
+		t.Fatal("out-of-order insert did not mark the chain dirty")
+	}
+	if got := s.Events(c); got[0].Seq != 1 || got[1].Seq != 2 {
+		t.Fatalf("Events not sorted: %v", got)
+	}
+	if s.events[c].dirty {
+		t.Fatal("query did not clear the dirty flag")
+	}
+	// In-order append onto a sorted chain must stay clean: the hot path of
+	// live ingest (per-connection order preserved) never pays a sort.
+	s.Insert(ev(c, 3, ftl.SkelEnd, "F"), ev(c, 4, ftl.StubEnd, "F"))
+	if s.events[c].dirty {
+		t.Fatal("in-order append marked the chain dirty")
+	}
+	if got := s.Events(c); len(got) != 4 || got[3].Seq != 4 {
+		t.Fatalf("Events after append: %v", got)
+	}
+	// A late out-of-order record re-dirties and re-sorts exactly once.
+	s.Insert(ev(c, 0, ftl.StubStart, "Z"))
+	if !s.events[c].dirty {
+		t.Fatal("late out-of-order record did not re-dirty the chain")
+	}
+	if got := s.Events(c); got[0].Seq != 0 {
+		t.Fatalf("re-sort failed: %v", got)
+	}
+	// The returned slice is a copy: mutating it must not corrupt the store.
+	got := s.Events(c)
+	got[0].Seq = 99
+	if s.Events(c)[0].Seq == 99 {
+		t.Fatal("Events returned the store's own slice")
+	}
+}

@@ -6,7 +6,6 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"causeway/internal/logdb"
 	"causeway/internal/probe"
 	"causeway/internal/transport"
 )
@@ -18,11 +17,18 @@ type Peer struct {
 	Conn     transport.ConnID
 }
 
+// RecordStore is the merged destination ingested records land in. Both
+// *logdb.Store (in-memory, offline analysis) and *tracestore.Store
+// (sharded on-disk, long-running collection) satisfy it.
+type RecordStore interface {
+	Insert(recs ...probe.Record)
+}
+
 // ServerConfig wires a collection server's outputs.
 type ServerConfig struct {
 	// Store, when set, receives every ingested record — the merged
 	// relational store the offline analyzer later reads.
-	Store *logdb.Store
+	Store RecordStore
 	// Sinks additionally receive every record in arrival order — e.g. an
 	// online.Monitor for live reconstruction. Sinks must be safe for
 	// concurrent use: batches from different connections are ingested
@@ -50,12 +56,26 @@ type Server struct {
 	srv *transport.TCPServer
 
 	mu    sync.Mutex
-	peers map[transport.ConnID]Peer
+	peers map[transport.ConnID]*PeerAccount
 
 	records   atomic.Uint64
 	batches   atomic.Uint64
 	handshook atomic.Uint64
 	badFrames atomic.Uint64
+}
+
+// PeerAccount is one connection's ledger: what the server ingested from
+// it, and — once the peer's closing stats frame arrives — what the
+// shipper says it emitted, dropped, and shipped. Comparing the two sides
+// (Records vs Shipped) bounds in-flight loss; Dropped quantifies ring
+// overflow back at the source.
+type PeerAccount struct {
+	Peer    Peer
+	Records uint64 // records the server ingested from this connection
+	Batches uint64 // ship frames ingested from this connection
+	// Shipper-reported closing counters (valid when Reported).
+	Reported bool
+	Shipper  ShipperFinal
 }
 
 // Listen binds addr ("127.0.0.1:0" for an ephemeral port) and starts
@@ -65,7 +85,7 @@ func Listen(addr string, cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: %w", err)
 	}
-	s := &Server{cfg: cfg, srv: t, peers: make(map[transport.ConnID]Peer)}
+	s := &Server{cfg: cfg, srv: t, peers: make(map[transport.ConnID]*PeerAccount)}
 	if err := t.Serve(s.handle); err != nil {
 		t.Close()
 		return nil, err
@@ -93,17 +113,28 @@ func (s *Server) Stats() ServerStats {
 // Peers lists every process that ever completed a handshake, sorted by
 // process then connection.
 func (s *Server) Peers() []Peer {
+	accts := s.PeerAccounting()
+	out := make([]Peer, len(accts))
+	for i, a := range accts {
+		out[i] = a.Peer
+	}
+	return out
+}
+
+// PeerAccounting snapshots every handshaken connection's ledger, sorted
+// by process then connection.
+func (s *Server) PeerAccounting() []PeerAccount {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make([]Peer, 0, len(s.peers))
+	out := make([]PeerAccount, 0, len(s.peers))
 	for _, p := range s.peers {
-		out = append(out, p)
+		out = append(out, *p)
 	}
 	sort.Slice(out, func(i, j int) bool {
-		if out[i].Process != out[j].Process {
-			return out[i].Process < out[j].Process
+		if out[i].Peer.Process != out[j].Peer.Process {
+			return out[i].Peer.Process < out[j].Peer.Process
 		}
-		return out[i].Conn < out[j].Conn
+		return out[i].Peer.Conn < out[j].Peer.Conn
 	})
 	return out
 }
@@ -136,7 +167,7 @@ func (s *Server) handle(conn transport.ConnID, req transport.Request, respond tr
 		}
 		peer := Peer{Process: h.Process, ProcType: h.ProcType, Conn: conn}
 		s.mu.Lock()
-		s.peers[conn] = peer
+		s.peers[conn] = &PeerAccount{Peer: peer}
 		s.mu.Unlock()
 		s.handshook.Add(1)
 		if s.cfg.OnConnect != nil {
@@ -149,7 +180,22 @@ func (s *Server) handle(conn transport.ConnID, req transport.Request, respond tr
 			fail(err.Error())
 			return
 		}
-		s.ingest(recs)
+		s.ingest(conn, recs)
+		if !req.Oneway {
+			respond(transport.Reply{Status: transport.StatusOK})
+		}
+	case opStats:
+		f, err := decodeFinal(req.Body)
+		if err != nil {
+			fail(err.Error())
+			return
+		}
+		s.mu.Lock()
+		if acct, ok := s.peers[conn]; ok {
+			acct.Reported = true
+			acct.Shipper = f
+		}
+		s.mu.Unlock()
 		if !req.Oneway {
 			respond(transport.Reply{Status: transport.StatusOK})
 		}
@@ -162,9 +208,15 @@ func (s *Server) handle(conn transport.ConnID, req transport.Request, respond tr
 	}
 }
 
-func (s *Server) ingest(recs []probe.Record) {
+func (s *Server) ingest(conn transport.ConnID, recs []probe.Record) {
 	s.batches.Add(1)
 	s.records.Add(uint64(len(recs)))
+	s.mu.Lock()
+	if acct, ok := s.peers[conn]; ok {
+		acct.Batches++
+		acct.Records += uint64(len(recs))
+	}
+	s.mu.Unlock()
 	if s.cfg.Store != nil {
 		s.cfg.Store.Insert(recs...)
 	}

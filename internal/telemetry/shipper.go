@@ -366,6 +366,18 @@ func (s *ShipperSink) drain(client transport.Client, pending []probe.Record) {
 		s.bytes.Add(uint64(len(payload)))
 		pending = nil
 	}
+	// Closing account: everything still queued at this point is about to
+	// be dropped by the deferred cleanup, so fold it in now — the frame
+	// must carry the numbers as they will stand after Close returns.
+	final := ShipperFinal{
+		Appended: s.appended.Load(),
+		Dropped:  s.dropped.Load() + uint64(len(pending)) + uint64(s.buffered()),
+		Shipped:  s.shipped.Load(),
+	}
+	if payload, err := encodeFinal(final); err == nil {
+		// Oneway like ship frames; the flush barrier below confirms it.
+		_ = client.Post(transport.Request{ObjectKey: ObjectKey, Operation: opStats, Body: payload})
+	}
 	// Barrier: the sync reply proves the server handled every prior frame
 	// on this connection. A wedged server must not hang Close, so the wait
 	// is bounded by what remains of the drain budget.

@@ -10,13 +10,16 @@
 //
 // Shipping rides the repo's own framed TCP transport (internal/transport):
 // every message is a length-prefixed transport frame whose Request carries
-// ObjectKey "causeway.telemetry" and one of three operations:
+// ObjectKey "causeway.telemetry" and one of four operations:
 //
 //	hello  (sync)   gob(Hello{Version, Process, ProcType}) — handshake;
 //	                the server learns the peer's identity from
 //	                internal/topology terms and replies StatusOK.
 //	ship   (oneway) gob([]probe.Record) — one batch of records, in
 //	                emission order.
+//	stats  (oneway) gob(ShipperFinal) — the shipper's closing account of
+//	                itself (appended/dropped/shipped), sent once during
+//	                drain so the collection side can report per-peer loss.
 //	flush  (sync)   empty — a barrier; the reply proves every prior frame
 //	                on the connection was ingested (the transport reads
 //	                and dispatches per-connection frames sequentially).
@@ -56,6 +59,7 @@ const (
 	opHello = "hello"
 	opShip  = "ship"
 	opFlush = "flush"
+	opStats = "stats"
 )
 
 // ProtocolVersion is bumped on incompatible frame-format changes; the
@@ -83,6 +87,33 @@ func decodeHello(b []byte) (Hello, error) {
 		return h, fmt.Errorf("telemetry: decode hello: %w", err)
 	}
 	return h, nil
+}
+
+// ShipperFinal is a shipper's own closing account of itself, sent on the
+// oneway stats frame just before the final flush barrier. It lets the
+// collection side report, per peer, how many records the process emitted,
+// how many its ring dropped, and how many reached the wire — numbers only
+// the shipper knows (the server sees arrivals, not losses).
+type ShipperFinal struct {
+	Appended uint64
+	Dropped  uint64
+	Shipped  uint64
+}
+
+func encodeFinal(f ShipperFinal) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(f); err != nil {
+		return nil, fmt.Errorf("telemetry: encode stats: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeFinal(b []byte) (ShipperFinal, error) {
+	var f ShipperFinal
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&f); err != nil {
+		return f, fmt.Errorf("telemetry: decode stats: %w", err)
+	}
+	return f, nil
 }
 
 func encodeBatch(recs []probe.Record) ([]byte, error) {

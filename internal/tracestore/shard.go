@@ -1,0 +1,578 @@
+package tracestore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"causeway/internal/ftl"
+	"causeway/internal/probe"
+	"causeway/internal/uuid"
+)
+
+// recLoc locates one event record on disk: which segment, and where its
+// payload lies within it. 28 bytes per record in RAM versus the full
+// probe.Record that logdb keeps resident — that ratio is what lets a store
+// hold runs larger than memory.
+type recLoc struct {
+	seq  uint64
+	seg  int
+	off  int64
+	size uint32
+}
+
+// chainIndex is one chain's in-memory index. Like logdb's chainRows it is
+// sorted by seq lazily under a dirty flag; unlike logdb only locations are
+// kept, the records themselves stay on disk.
+type chainIndex struct {
+	locs  []recLoc
+	dirty bool
+	last  time.Time // newest wall-clock touch; drives retention
+}
+
+type chainSeq struct {
+	chain uuid.UUID
+	seq   uint64
+}
+
+// shard owns one directory of segment files plus the index over them.
+// Chains are partitioned by Function UUID hash, so a chain's every event
+// lands in the same shard and queries touch exactly one shard lock.
+type shard struct {
+	mu       sync.Mutex
+	dir      string
+	maxBytes int64
+
+	chains   map[uuid.UUID]*chainIndex
+	links    []probe.Record
+	byParent map[chainSeq]uuid.UUID
+	events   int // event records indexed
+
+	active   *segmentWriter
+	activeID int
+	readers  map[int]*os.File
+
+	sticky  error // first disk failure; shard keeps serving reads
+	dropped int   // records lost to sticky failures
+}
+
+func segName(id int) string { return fmt.Sprintf("%06d.seg", id) }
+
+func (sh *shard) segPath(id int) string { return filepath.Join(sh.dir, segName(id)) }
+
+// gcPath names the shard's compaction watermark file: the lowest live
+// segment id, written tmp+rename before old segments are deleted so a
+// crash mid-compaction never resurrects dropped (or duplicated) records.
+func (sh *shard) gcPath() string { return filepath.Join(sh.dir, "gc") }
+
+// openShard creates or recovers the shard rooted at dir. Torn segment
+// tails (crashed writer) are truncated to the last complete frame and
+// reported through warn; the readable prefix stands.
+func openShard(dir string, maxBytes int64, warn func(string)) (*shard, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("tracestore: shard dir: %w", err)
+	}
+	sh := &shard{
+		dir:      dir,
+		maxBytes: maxBytes,
+		chains:   make(map[uuid.UUID]*chainIndex),
+		byParent: make(map[chainSeq]uuid.UUID),
+		readers:  make(map[int]*os.File),
+	}
+	ids, err := sh.listSegments()
+	if err != nil {
+		return nil, err
+	}
+	floor := sh.readGC()
+	now := time.Now()
+	lastID, lastSize := -1, int64(0)
+	for _, id := range ids {
+		if id < floor {
+			// Leftover from a crash between compaction's gc write and
+			// segment deletion: its records live on in the compacted
+			// segment, so indexing it would duplicate them.
+			os.Remove(sh.segPath(id))
+			continue
+		}
+		size, err := sh.recoverSegment(id, now, warn)
+		if err != nil {
+			return nil, err
+		}
+		lastID, lastSize = id, size
+	}
+	if lastID >= 0 {
+		sh.active, err = appendSegment(sh.segPath(lastID), lastSize)
+		if err != nil {
+			return nil, err
+		}
+		sh.activeID = lastID
+	} else {
+		sh.activeID = floor
+		sh.active, err = createSegment(sh.segPath(sh.activeID))
+		if err != nil {
+			return nil, err
+		}
+	}
+	return sh, nil
+}
+
+// listSegments returns the shard's segment ids in ascending order.
+func (sh *shard) listSegments() ([]int, error) {
+	entries, err := os.ReadDir(sh.dir)
+	if err != nil {
+		return nil, fmt.Errorf("tracestore: list shard: %w", err)
+	}
+	var ids []int
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".seg") {
+			continue
+		}
+		id, err := strconv.Atoi(strings.TrimSuffix(name, ".seg"))
+		if err != nil {
+			continue
+		}
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids, nil
+}
+
+// readGC returns the compaction watermark, 0 if none was ever written.
+func (sh *shard) readGC() int {
+	b, err := os.ReadFile(sh.gcPath())
+	if err != nil {
+		return 0
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(string(b)))
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
+}
+
+func (sh *shard) writeGC(floor int) error {
+	tmp := sh.gcPath() + ".tmp"
+	if err := os.WriteFile(tmp, []byte(strconv.Itoa(floor)+"\n"), 0o644); err != nil {
+		return fmt.Errorf("tracestore: gc watermark: %w", err)
+	}
+	if err := os.Rename(tmp, sh.gcPath()); err != nil {
+		return fmt.Errorf("tracestore: gc watermark: %w", err)
+	}
+	return nil
+}
+
+// recoverSegment scans segment id, rebuilding the index, and truncates a
+// torn tail in place. Returns the segment's recovered size.
+func (sh *shard) recoverSegment(id int, now time.Time, warn func(string)) (int64, error) {
+	path := sh.segPath(id)
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return 0, fmt.Errorf("tracestore: open segment: %w", err)
+	}
+	good, err := scanSegment(f, func(rec probe.Record, off int64, size uint32) {
+		sh.indexRecord(rec, id, off, size, now)
+	})
+	if err != nil {
+		if !errors.Is(err, probe.ErrTruncated) {
+			f.Close()
+			return 0, err
+		}
+		if terr := f.Truncate(good); terr != nil {
+			f.Close()
+			return 0, fmt.Errorf("tracestore: truncate torn tail: %w", terr)
+		}
+		if warn != nil {
+			warn(fmt.Sprintf("%s: torn tail truncated to %d bytes (%v)", path, good, err))
+		}
+	}
+	if good < segHeader {
+		// Header itself was torn; rewrite it so the segment is appendable.
+		if _, werr := f.WriteAt([]byte(segMagic), 0); werr != nil {
+			f.Close()
+			return 0, fmt.Errorf("tracestore: repair header: %w", werr)
+		}
+		good = segHeader
+	}
+	if err := f.Close(); err != nil {
+		return 0, err
+	}
+	return good, nil
+}
+
+// indexRecord adds one decoded record to the in-memory index.
+func (sh *shard) indexRecord(rec probe.Record, seg int, off int64, size uint32, now time.Time) {
+	switch rec.Kind {
+	case probe.KindEvent:
+		ci := sh.chains[rec.Chain]
+		if ci == nil {
+			ci = &chainIndex{}
+			sh.chains[rec.Chain] = ci
+		}
+		if !ci.dirty && len(ci.locs) > 0 && rec.Seq < ci.locs[len(ci.locs)-1].seq {
+			ci.dirty = true
+		}
+		ci.locs = append(ci.locs, recLoc{seq: rec.Seq, seg: seg, off: off, size: size})
+		touch := rec.WallEnd
+		if touch.IsZero() {
+			touch = rec.WallStart
+		}
+		if touch.IsZero() {
+			touch = now
+		}
+		if touch.After(ci.last) {
+			ci.last = touch
+		}
+		sh.events++
+	case probe.KindLink:
+		sh.links = append(sh.links, rec)
+		sh.byParent[chainSeq{rec.LinkParent, rec.LinkParentSeq}] = rec.LinkChild
+	}
+}
+
+// insert appends records to the shard (all must hash here). Disk failures
+// turn sticky: the failing record and all after it are dropped and counted
+// rather than wedging the live ingest path, and the index only ever
+// describes bytes that reached the writer.
+func (sh *shard) insert(recs []probe.Record, now time.Time) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for i := range recs {
+		r := &recs[i]
+		if sh.sticky != nil {
+			sh.dropped++
+			continue
+		}
+		if sh.active.size >= sh.maxBytes {
+			if err := sh.rotateLocked(); err != nil {
+				sh.sticky = err
+				sh.dropped++
+				continue
+			}
+		}
+		off, size, err := sh.active.append(r)
+		if err != nil {
+			sh.sticky = fmt.Errorf("tracestore: append: %w", err)
+			sh.dropped++
+			continue
+		}
+		sh.indexRecord(*r, sh.activeID, off, size, now)
+	}
+}
+
+// rotateLocked seals the active segment and starts the next one.
+func (sh *shard) rotateLocked() error {
+	if err := sh.active.close(); err != nil {
+		return fmt.Errorf("tracestore: seal segment: %w", err)
+	}
+	// A sealed segment may already have an open read handle; keep it.
+	next := sh.activeID + 1
+	w, err := createSegment(sh.segPath(next))
+	if err != nil {
+		return err
+	}
+	sh.active = w
+	sh.activeID = next
+	return nil
+}
+
+// reader returns an open read handle for segment id, caching it.
+func (sh *shard) reader(id int) (*os.File, error) {
+	if f, ok := sh.readers[id]; ok {
+		return f, nil
+	}
+	f, err := os.Open(sh.segPath(id))
+	if err != nil {
+		return nil, fmt.Errorf("tracestore: open segment for read: %w", err)
+	}
+	sh.readers[id] = f
+	return f, nil
+}
+
+// flushLocked makes buffered appends visible to readers.
+func (sh *shard) flushLocked() error {
+	if sh.sticky != nil {
+		return sh.sticky
+	}
+	if err := sh.active.flush(); err != nil {
+		sh.sticky = fmt.Errorf("tracestore: flush: %w", err)
+		return sh.sticky
+	}
+	return nil
+}
+
+// eventsOf returns chain's records sorted by seq, reading them back from
+// their segments. Missing chains yield nil.
+func (sh *shard) eventsOf(chain uuid.UUID) ([]probe.Record, error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ci := sh.chains[chain]
+	if ci == nil {
+		return nil, nil
+	}
+	return sh.eventsLocked(chain, ci)
+}
+
+// chainList returns the shard's chain UUIDs, unsorted (the store merges
+// and sorts across shards).
+func (sh *shard) chainList() []uuid.UUID {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	out := make([]uuid.UUID, 0, len(sh.chains))
+	for c := range sh.chains {
+		out = append(out, c)
+	}
+	return out
+}
+
+func (sh *shard) childChain(parent uuid.UUID, seq uint64) (uuid.UUID, bool) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	c, ok := sh.byParent[chainSeq{parent, seq}]
+	return c, ok
+}
+
+func (sh *shard) linkList() []probe.Record {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	out := make([]probe.Record, len(sh.links))
+	copy(out, sh.links)
+	return out
+}
+
+func (sh *shard) counts() (events, links, chains, dropped int) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.events, len(sh.links), len(sh.chains), sh.dropped
+}
+
+func (sh *shard) flush() error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.flushLocked()
+}
+
+func (sh *shard) close() error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	var first error
+	if sh.active != nil {
+		if err := sh.active.close(); err != nil && first == nil {
+			first = err
+		}
+		sh.active = nil
+	}
+	for id, f := range sh.readers {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(sh.readers, id)
+	}
+	if first == nil && sh.sticky != nil {
+		first = sh.sticky
+	}
+	return first
+}
+
+// chainComplete reports whether sorted locs describe a finished chain:
+// seqs contiguous from 1 (ftl.Tunnel.BeginChild starts every chain's
+// first event at seq 1), balanced start/end events, and the final event
+// an end event. Incomplete or anomalous chains are never swept — the
+// analyzer should keep seeing them.
+func chainComplete(recs []probe.Record) bool {
+	if len(recs) == 0 {
+		return false
+	}
+	starts, ends := 0, 0
+	for i, r := range recs {
+		if r.Seq != uint64(i+1) {
+			return false
+		}
+		switch r.Event {
+		case ftl.StubStart, ftl.SkelStart:
+			starts++
+		case ftl.SkelEnd, ftl.StubEnd:
+			ends++
+		default:
+			return false
+		}
+	}
+	if starts != ends {
+		return false
+	}
+	last := recs[len(recs)-1].Event
+	return last == ftl.StubEnd || last == ftl.SkelEnd
+}
+
+// sweep drops completed chains whose newest event is older than cutoff,
+// then compacts the shard: survivors are rewritten into a fresh segment,
+// the gc watermark advances, and only then are the old segments removed —
+// the crash-safe order (rename beats delete) guarantees a reopening store
+// sees either the old segments or the compacted one, never both.
+func (sh *shard) sweep(cutoff time.Time) (dropped int, err error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.sticky != nil {
+		return 0, sh.sticky
+	}
+
+	// Phase 1: pick victims.
+	victims := make(map[uuid.UUID]bool)
+	for c, ci := range sh.chains {
+		if !ci.last.Before(cutoff) {
+			continue
+		}
+		recs, rerr := sh.eventsLocked(c, ci)
+		if rerr != nil {
+			return 0, rerr
+		}
+		if chainComplete(recs) {
+			victims[c] = true
+		}
+	}
+	if len(victims) == 0 {
+		return 0, nil
+	}
+
+	// Phase 2: rewrite survivors into the next segment id. Links whose
+	// parent chain was dropped go with it (their child is gone too: a
+	// child chain shares the parent's wall-clock era, and an incomplete
+	// child keeps its own chain alive but not its link).
+	newID := sh.activeID + 1
+	tmp := filepath.Join(sh.dir, "compact.tmp")
+	w, err := createSegment(tmp)
+	if err != nil {
+		return 0, err
+	}
+	type newLoc struct {
+		chain uuid.UUID
+		loc   recLoc
+	}
+	var newLocs []newLoc
+	var keptLinks []probe.Record
+	for _, l := range sh.links {
+		if victims[l.LinkParent] {
+			continue
+		}
+		if _, _, werr := w.append(&l); werr != nil {
+			w.close()
+			os.Remove(tmp)
+			return 0, fmt.Errorf("tracestore: compact: %w", werr)
+		}
+		keptLinks = append(keptLinks, l)
+	}
+	survivors := make([]uuid.UUID, 0, len(sh.chains)-len(victims))
+	for c := range sh.chains {
+		if !victims[c] {
+			survivors = append(survivors, c)
+		}
+	}
+	sort.Slice(survivors, func(i, j int) bool { return uuid.Compare(survivors[i], survivors[j]) < 0 })
+	for _, c := range survivors {
+		recs, rerr := sh.eventsLocked(c, sh.chains[c])
+		if rerr != nil {
+			w.close()
+			os.Remove(tmp)
+			return 0, rerr
+		}
+		for i := range recs {
+			off, size, werr := w.append(&recs[i])
+			if werr != nil {
+				w.close()
+				os.Remove(tmp)
+				return 0, fmt.Errorf("tracestore: compact: %w", werr)
+			}
+			newLocs = append(newLocs, newLoc{chain: c, loc: recLoc{seq: recs[i].Seq, seg: newID, off: off, size: size}})
+		}
+	}
+	if err := w.sync(); err != nil {
+		w.close()
+		os.Remove(tmp)
+		return 0, fmt.Errorf("tracestore: compact: %w", err)
+	}
+	if err := w.close(); err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("tracestore: compact: %w", err)
+	}
+	if err := os.Rename(tmp, sh.segPath(newID)); err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("tracestore: compact: %w", err)
+	}
+
+	// Phase 3: commit. The watermark makes pre-compaction segments dead
+	// even if their deletion below is interrupted.
+	if err := sh.writeGC(newID); err != nil {
+		return 0, err
+	}
+	oldActive := sh.activeID
+	if cerr := sh.active.close(); cerr != nil {
+		return 0, fmt.Errorf("tracestore: seal segment: %w", cerr)
+	}
+	sh.active = nil
+	for id, f := range sh.readers {
+		f.Close()
+		delete(sh.readers, id)
+	}
+	for id := 0; id <= oldActive; id++ {
+		os.Remove(sh.segPath(id))
+	}
+
+	// Phase 4: rebuild the index over the compacted segment and resume
+	// appending after it.
+	oldChains := sh.chains
+	sh.chains = make(map[uuid.UUID]*chainIndex, len(survivors))
+	sh.links = keptLinks
+	sh.byParent = make(map[chainSeq]uuid.UUID, len(keptLinks))
+	for _, l := range keptLinks {
+		sh.byParent[chainSeq{l.LinkParent, l.LinkParentSeq}] = l.LinkChild
+	}
+	sh.events = 0
+	for _, nl := range newLocs {
+		ci := sh.chains[nl.chain]
+		if ci == nil {
+			ci = &chainIndex{last: oldChains[nl.chain].last}
+			sh.chains[nl.chain] = ci
+		}
+		ci.locs = append(ci.locs, nl.loc)
+		sh.events++
+	}
+	nextID := newID + 1
+	w2, err := createSegment(sh.segPath(nextID))
+	if err != nil {
+		sh.sticky = err
+		return len(victims), err
+	}
+	sh.active = w2
+	sh.activeID = nextID
+	return len(victims), nil
+}
+
+// eventsLocked is eventsOf with the lock already held.
+func (sh *shard) eventsLocked(chain uuid.UUID, ci *chainIndex) ([]probe.Record, error) {
+	if err := sh.flushLocked(); err != nil {
+		return nil, err
+	}
+	if ci.dirty {
+		sort.SliceStable(ci.locs, func(i, j int) bool { return ci.locs[i].seq < ci.locs[j].seq })
+		ci.dirty = false
+	}
+	out := make([]probe.Record, 0, len(ci.locs))
+	for _, loc := range ci.locs {
+		f, err := sh.reader(loc.seg)
+		if err != nil {
+			return nil, err
+		}
+		rec, err := readPayloadAt(f, loc.off, loc.size)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}

@@ -1,0 +1,378 @@
+// Package tracestore is the disk-backed, sharded successor to logdb for
+// the live-collection path. logdb keeps every record resident and guards
+// the whole map with one lock — the right shape for one-shot offline
+// analysis, the wrong one for a collection daemon that ingests many
+// shipper connections for hours. tracestore partitions chains by Function
+// UUID hash across independently locked shards (a chain's constant-size
+// UUID keys all of its events, so no operation ever crosses a shard),
+// appends records to length-prefixed binary segment files, and keeps only
+// a 28-byte location per event in memory. Torn segment tails from a
+// crashed collector are truncated on reopen, matching the torn-tail
+// contract probe.ReadStream established for gob logs, and a retention
+// sweep compacts away completed chains past a configurable age so the
+// store can run unattended.
+//
+// The store satisfies analysis.Source, so both Reconstruct and
+// ReconstructParallel run against it unchanged.
+package tracestore
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"causeway/internal/logdb"
+	"causeway/internal/probe"
+	"causeway/internal/uuid"
+)
+
+// Options configures Open. The zero value selects the defaults.
+type Options struct {
+	// Shards is the number of chain partitions; rounded up to a power of
+	// two. A store remembers its shard count in MANIFEST, and reopening
+	// with a different value is an error (records would hash to the wrong
+	// shard). Default 16.
+	Shards int
+	// SegmentMaxBytes rotates a shard's active segment once it grows past
+	// this size. Default 64 MiB.
+	SegmentMaxBytes int64
+}
+
+const (
+	defaultShards     = 16
+	defaultSegmentMax = 64 << 20
+	manifestName      = "MANIFEST"
+)
+
+// Store is a sharded on-disk trace store. It is safe for concurrent
+// insertion and querying; operations on different chains contend only
+// when their UUIDs hash to the same shard.
+type Store struct {
+	dir    string
+	shards []*shard
+	mask   uint64
+
+	warnMu   sync.Mutex
+	warnings []string
+}
+
+// Open creates or reopens the store rooted at dir, recovering every
+// shard's segments (truncating torn tails, dropping segments below the
+// compaction watermark).
+func Open(dir string, opts Options) (*Store, error) {
+	if opts.Shards <= 0 {
+		opts.Shards = defaultShards
+	}
+	opts.Shards = nextPow2(opts.Shards)
+	if opts.SegmentMaxBytes <= 0 {
+		opts.SegmentMaxBytes = defaultSegmentMax
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("tracestore: open: %w", err)
+	}
+	shards, err := loadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	if shards == 0 {
+		shards = opts.Shards
+		if err := writeManifest(dir, shards); err != nil {
+			return nil, err
+		}
+	}
+	s := &Store{dir: dir, mask: uint64(shards - 1)}
+	s.shards = make([]*shard, shards)
+	for i := range s.shards {
+		sh, err := openShard(filepath.Join(dir, fmt.Sprintf("shard-%03d", i)), opts.SegmentMaxBytes, s.warn)
+		if err != nil {
+			for _, prev := range s.shards[:i] {
+				prev.close()
+			}
+			return nil, err
+		}
+		s.shards[i] = sh
+	}
+	return s, nil
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+func loadManifest(dir string) (int, error) {
+	b, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("tracestore: manifest: %w", err)
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if rest, ok := strings.CutPrefix(line, "shards "); ok {
+			n, err := strconv.Atoi(strings.TrimSpace(rest))
+			if err != nil || n < 1 || n != nextPow2(n) {
+				return 0, fmt.Errorf("tracestore: manifest: bad shard count %q", rest)
+			}
+			return n, nil
+		}
+	}
+	return 0, fmt.Errorf("tracestore: manifest: no shard count")
+}
+
+func writeManifest(dir string, shards int) error {
+	body := fmt.Sprintf("causeway tracestore v1\nshards %d\n", shards)
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	if err := os.WriteFile(tmp, []byte(body), 0o644); err != nil {
+		return fmt.Errorf("tracestore: manifest: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		return fmt.Errorf("tracestore: manifest: %w", err)
+	}
+	return nil
+}
+
+// shardIndex hashes a Function UUID to its shard with FNV-1a. The mask
+// trick needs the power-of-two shard count Open enforces.
+func (s *Store) shardIndex(c uuid.UUID) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range c {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return int(h & s.mask)
+}
+
+// shardOf routes a record: events by their chain, links by the parent
+// chain, so ChildChain lookups hit the same shard that indexed the link.
+func (s *Store) shardOf(r *probe.Record) int {
+	if r.Kind == probe.KindLink {
+		return s.shardIndex(r.LinkParent)
+	}
+	return s.shardIndex(r.Chain)
+}
+
+func (s *Store) warn(msg string) {
+	s.warnMu.Lock()
+	s.warnings = append(s.warnings, msg)
+	s.warnMu.Unlock()
+}
+
+// Warnings returns recovery and read warnings accumulated so far.
+func (s *Store) Warnings() []string {
+	s.warnMu.Lock()
+	defer s.warnMu.Unlock()
+	out := make([]string, len(s.warnings))
+	copy(out, s.warnings)
+	return out
+}
+
+// Insert appends records. It groups the batch by shard first so each
+// shard's lock is taken once per call, not once per record.
+func (s *Store) Insert(recs ...probe.Record) {
+	if len(recs) == 0 {
+		return
+	}
+	now := time.Now()
+	if len(recs) == 1 {
+		sh := s.shards[s.shardOf(&recs[0])]
+		sh.insert(recs, now)
+		return
+	}
+	byShard := make(map[int][]probe.Record)
+	for i := range recs {
+		idx := s.shardOf(&recs[i])
+		byShard[idx] = append(byShard[idx], recs[i])
+	}
+	for idx, batch := range byShard {
+		s.shards[idx].insert(batch, now)
+	}
+}
+
+// Chains returns every chain UUID in the store, sorted — the same
+// deterministic order logdb.Chains yields, which keeps reconstruction
+// output identical across backends.
+func (s *Store) Chains() []uuid.UUID {
+	var out []uuid.UUID
+	for _, sh := range s.shards {
+		out = append(out, sh.chainList()...)
+	}
+	sort.Slice(out, func(i, j int) bool { return uuid.Compare(out[i], out[j]) < 0 })
+	return out
+}
+
+// Events returns chain's event records sorted by seq, read back from the
+// shard's segments. Read failures surface as warnings and a truncated
+// result rather than an error, preserving the analysis.Source signature.
+func (s *Store) Events(chain uuid.UUID) []probe.Record {
+	recs, err := s.shards[s.shardIndex(chain)].eventsOf(chain)
+	if err != nil {
+		s.warn(fmt.Sprintf("events %s: %v", chain, err))
+	}
+	return recs
+}
+
+// ChildChain resolves the oneway link recorded for (parent, seq).
+func (s *Store) ChildChain(parent uuid.UUID, seq uint64) (uuid.UUID, bool) {
+	return s.shards[s.shardIndex(parent)].childChain(parent, seq)
+}
+
+// Links returns all link records, sorted by (parent, seq) for determinism
+// across shard layouts.
+func (s *Store) Links() []probe.Record {
+	var out []probe.Record
+	for _, sh := range s.shards {
+		out = append(out, sh.linkList()...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if c := uuid.Compare(out[i].LinkParent, out[j].LinkParent); c != 0 {
+			return c < 0
+		}
+		return out[i].LinkParentSeq < out[j].LinkParentSeq
+	})
+	return out
+}
+
+// Len reports the number of records indexed (events + links), matching
+// logdb.Store.Len.
+func (s *Store) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		e, l, _, _ := sh.counts()
+		n += e + l
+	}
+	return n
+}
+
+// Dropped reports records lost to shard disk failures.
+func (s *Store) Dropped() int {
+	n := 0
+	for _, sh := range s.shards {
+		_, _, _, d := sh.counts()
+		n += d
+	}
+	return n
+}
+
+// ComputeStats aggregates the same run statistics logdb reports, scanning
+// records back from disk shard by shard.
+func (s *Store) ComputeStats() logdb.Stats {
+	var st logdb.Stats
+	methods := map[string]bool{}
+	ifaces := map[string]bool{}
+	comps := map[string]bool{}
+	procs := map[string]bool{}
+	threads := map[string]bool{}
+	for _, sh := range s.shards {
+		for _, c := range sh.chainList() {
+			st.Chains++
+			recs, err := sh.eventsOf(c)
+			if err != nil {
+				s.warn(fmt.Sprintf("stats %s: %v", c, err))
+			}
+			for _, r := range recs {
+				st.Records++
+				if r.Event.ProbeNumber() == 1 {
+					st.Calls++
+				}
+				methods[r.Op.Interface+"::"+r.Op.Operation] = true
+				ifaces[r.Op.Interface] = true
+				comps[r.Op.Component] = true
+				procs[r.Process] = true
+				threads[fmt.Sprintf("%s/%d", r.Process, r.Thread)] = true
+			}
+		}
+		_, l, _, _ := sh.counts()
+		st.Links += l
+	}
+	st.Methods = len(methods)
+	st.Interfaces = len(ifaces)
+	st.Components = len(comps)
+	st.Processes = len(procs)
+	st.Threads = len(threads)
+	return st
+}
+
+// Flush pushes buffered appends in every shard to the OS.
+func (s *Store) Flush() error {
+	var first error
+	for _, sh := range s.shards {
+		if err := sh.flush(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Close flushes and closes every shard's files. The store must not be
+// used afterwards.
+func (s *Store) Close() error {
+	var first error
+	for _, sh := range s.shards {
+		if err := sh.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Sweep drops completed chains whose newest event is older than olderThan
+// and compacts every shard that lost any. It returns the number of chains
+// dropped. Incomplete chains — still running, or torn by a crashed
+// process — survive regardless of age.
+func (s *Store) Sweep(olderThan time.Duration) (int, error) {
+	cutoff := time.Now().Add(-olderThan)
+	dropped := 0
+	var first error
+	for _, sh := range s.shards {
+		n, err := sh.sweep(cutoff)
+		dropped += n
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	return dropped, first
+}
+
+// WriteStream exports the whole store as a gob record stream — the same
+// format probe.StreamSink writes and logdb.LoadFile reads, so `causectl
+// export` output feeds the existing analyzer unchanged. Order matches
+// logdb.WriteStream: links first, then events by chain (sorted) and seq.
+func (s *Store) WriteStream(w io.Writer) error {
+	sink := probe.NewStreamSink(w)
+	for _, l := range s.Links() {
+		sink.Append(l)
+	}
+	for _, c := range s.Chains() {
+		for _, r := range s.Events(c) {
+			sink.Append(r)
+		}
+	}
+	return sink.Close()
+}
+
+// SaveFile persists the export stream to path.
+func (s *Store) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("tracestore: save: %w", err)
+	}
+	defer f.Close()
+	if err := s.WriteStream(f); err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,537 @@
+package tracestore
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"causeway/internal/ftl"
+	"causeway/internal/logdb"
+	"causeway/internal/probe"
+	"causeway/internal/uuid"
+	"causeway/internal/workload"
+)
+
+func chainID(b byte) uuid.UUID {
+	var c uuid.UUID
+	c[0] = b
+	c[15] = 0x42
+	return c
+}
+
+func ev(chain uuid.UUID, seq uint64, e ftl.Event, iface string, wall time.Time) probe.Record {
+	r := probe.Record{
+		Kind:    probe.KindEvent,
+		Process: "proc00",
+		Thread:  7,
+		Chain:   chain,
+		Event:   e,
+		Seq:     seq,
+	}
+	r.Op.Component = "comp"
+	r.Op.Interface = iface
+	r.Op.Operation = "op"
+	if !wall.IsZero() {
+		r.LatencyArmed = true
+		r.WallStart = wall
+		r.WallEnd = wall.Add(time.Millisecond)
+	}
+	return r
+}
+
+func link(parent uuid.UUID, seq uint64, child uuid.UUID) probe.Record {
+	return probe.Record{
+		Kind:          probe.KindLink,
+		LinkParent:    parent,
+		LinkParentSeq: seq,
+		LinkChild:     child,
+	}
+}
+
+// sameRecord compares records field-wise, using time.Equal for the wall
+// fields: the segment codec stores wall nanoseconds, so the monotonic
+// reading time.Now attaches is (deliberately) not round-tripped.
+func sameRecord(a, b probe.Record) bool {
+	if !a.WallStart.Equal(b.WallStart) || !a.WallEnd.Equal(b.WallEnd) {
+		return false
+	}
+	a.WallStart, a.WallEnd = time.Time{}, time.Time{}
+	b.WallStart, b.WallEnd = time.Time{}, time.Time{}
+	return reflect.DeepEqual(a, b)
+}
+
+func sameRecords(t *testing.T, label string, got, want []probe.Record) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d records, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if !sameRecord(got[i], want[i]) {
+			t.Fatalf("%s: record %d mismatch\n got  %+v\n want %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestStoreMatchesLogdb drives a full synthetic workload into both stores
+// and checks every reconstruction query agrees.
+func TestStoreMatchesLogdb(t *testing.T) {
+	sys, err := workload.Generate(workload.Config{
+		Processes: 3, Threads: 4, Components: 6, Interfaces: 5, Methods: 12,
+		Calls: 400, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := sys.Store()
+
+	ts, err := Open(t.TempDir(), Options{Shards: 8, SegmentMaxBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+	for _, sink := range sys.Sinks {
+		ts.Insert(sink.Snapshot()...)
+	}
+
+	if got, want := ts.Len(), ref.Len(); got != want {
+		t.Fatalf("Len: got %d want %d", got, want)
+	}
+	chains := ts.Chains()
+	if want := ref.Chains(); !reflect.DeepEqual(chains, want) {
+		t.Fatalf("Chains: got %d want %d chains", len(chains), len(want))
+	}
+	for _, c := range chains {
+		sameRecords(t, "events "+c.String(), ts.Events(c), ref.Events(c))
+	}
+	for _, l := range ref.Links() {
+		child, ok := ts.ChildChain(l.LinkParent, l.LinkParentSeq)
+		if !ok || child != l.LinkChild {
+			t.Fatalf("ChildChain(%s,%d): got %s,%v want %s", l.LinkParent, l.LinkParentSeq, child, ok, l.LinkChild)
+		}
+	}
+	if got, want := len(ts.Links()), len(ref.Links()); got != want {
+		t.Fatalf("Links: got %d want %d", got, want)
+	}
+	if got, want := ts.ComputeStats(), ref.ComputeStats(); got != want {
+		t.Fatalf("ComputeStats:\n got  %+v\n want %+v", got, want)
+	}
+	if w := ts.Warnings(); len(w) != 0 {
+		t.Fatalf("unexpected warnings: %v", w)
+	}
+}
+
+// TestReopen closes a populated store and reopens it from disk.
+func TestReopen(t *testing.T) {
+	dir := t.TempDir()
+	wall := time.Now()
+	c1, c2 := chainID(1), chainID(2)
+	recs := []probe.Record{
+		ev(c1, 1, ftl.StubStart, "IJob", wall),
+		ev(c1, 2, ftl.SkelStart, "IJob", wall),
+		link(c1, 2, c2),
+		ev(c2, 1, ftl.SkelStart, "ISpool", wall),
+		ev(c2, 2, ftl.SkelEnd, "ISpool", wall),
+		ev(c1, 3, ftl.SkelEnd, "IJob", wall),
+		ev(c1, 4, ftl.StubEnd, "IJob", wall),
+	}
+
+	ts, err := Open(dir, Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts.Insert(recs...)
+	if err := ts.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopening with a different Shards option must respect the manifest.
+	ts2, err := Open(dir, Options{Shards: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts2.Close()
+	if got := len(ts2.shards); got != 2 {
+		t.Fatalf("reopen shards: got %d want 2 (manifest)", got)
+	}
+	if got := ts2.Len(); got != len(recs) {
+		t.Fatalf("reopen Len: got %d want %d", got, len(recs))
+	}
+	sameRecords(t, "c1", ts2.Events(c1), []probe.Record{recs[0], recs[1], recs[5], recs[6]})
+	sameRecords(t, "c2", ts2.Events(c2), []probe.Record{recs[3], recs[4]})
+	if child, ok := ts2.ChildChain(c1, 2); !ok || child != c2 {
+		t.Fatalf("reopen ChildChain: got %s,%v", child, ok)
+	}
+	if w := ts2.Warnings(); len(w) != 0 {
+		t.Fatalf("clean reopen warned: %v", w)
+	}
+
+	// Appends after reopen land after the recovered tail.
+	ts2.Insert(ev(c2, 3, ftl.SkelStart, "ISpool", wall))
+	if got := len(ts2.Events(c2)); got != 3 {
+		t.Fatalf("append after reopen: got %d events", got)
+	}
+}
+
+// TestRotation forces many small segments and checks reads span them.
+func TestRotation(t *testing.T) {
+	dir := t.TempDir()
+	ts, err := Open(dir, Options{Shards: 1, SegmentMaxBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := chainID(9)
+	const n = 50
+	for i := 1; i <= n; i++ {
+		e := ftl.StubStart
+		if i%2 == 0 {
+			e = ftl.StubEnd
+		}
+		ts.Insert(ev(c, uint64(i), e, "IRot", time.Time{}))
+	}
+	segs, err := ts.shards[0].listSegments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("rotation: only %d segments", len(segs))
+	}
+	got := ts.Events(c)
+	if len(got) != n {
+		t.Fatalf("rotation read: got %d events want %d", len(got), n)
+	}
+	for i, r := range got {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("rotation order: event %d has seq %d", i, r.Seq)
+		}
+	}
+	if err := ts.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ts2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts2.Close()
+	if got := len(ts2.Events(c)); got != n {
+		t.Fatalf("rotation reopen: got %d events", got)
+	}
+}
+
+// TestRecoverEveryTruncation is the crash-tolerance property test: a
+// segment cut at EVERY byte offset must reopen without panicking, recover
+// exactly the records whose frames fit before the cut, and warn when the
+// cut tore a frame.
+func TestRecoverEveryTruncation(t *testing.T) {
+	// Build a reference single-shard store whose one chain lives in one
+	// segment, so the on-disk prefix order equals insertion order.
+	master := t.TempDir()
+	ts, err := Open(master, Options{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, child := chainID(3), chainID(4)
+	wall := time.Unix(1700000000, 12345)
+	recs := []probe.Record{
+		ev(c, 1, ftl.StubStart, "IJobSubmitter", wall),
+		ev(c, 2, ftl.SkelStart, "IJobSubmitter", wall),
+		link(c, 2, child),
+		ev(c, 3, ftl.SkelEnd, "IJobSubmitter", wall),
+		ev(c, 4, ftl.StubEnd, "IJobSubmitter", wall),
+	}
+	ts.Insert(recs...)
+	if err := ts.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segPath := filepath.Join(master, "shard-000", segName(0))
+	full, err := os.ReadFile(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// frameEnds[i] = file size at which exactly i+1 records are readable.
+	var frameEnds []int64
+	f, err := os.Open(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := segHeader
+	if _, err := scanSegment(f, func(_ probe.Record, off int64, size uint32) {
+		end = off + int64(size)
+		frameEnds = append(frameEnds, end)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if len(frameEnds) != len(recs) {
+		t.Fatalf("reference scan: %d frames want %d", len(frameEnds), len(recs))
+	}
+
+	manifest, err := os.ReadFile(filepath.Join(master, manifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut <= len(full); cut++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, manifestName), manifest, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Join(dir, "shard-000"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "shard-000", segName(0)), full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		re, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("cut %d: open: %v", cut, err)
+		}
+		wantComplete := 0
+		for _, e := range frameEnds {
+			if int64(cut) >= e {
+				wantComplete++
+			}
+		}
+		if got := re.Len(); got != wantComplete {
+			re.Close()
+			t.Fatalf("cut %d: recovered %d records, want %d", cut, got, wantComplete)
+		}
+		// A cut exactly at a frame boundary (or at the bare header) leaves
+		// a clean file; anything else tears a frame and must warn.
+		atBoundary := cut == int(segHeader) || (wantComplete > 0 && int64(cut) == frameEnds[wantComplete-1])
+		if warns := re.Warnings(); atBoundary && len(warns) != 0 {
+			re.Close()
+			t.Fatalf("cut %d: clean boundary warned: %v", cut, warns)
+		} else if !atBoundary && len(warns) == 0 {
+			re.Close()
+			t.Fatalf("cut %d: torn tail produced no warning", cut)
+		}
+		// The recovered records must be exactly the insertion prefix.
+		var got []probe.Record
+		got = append(got, re.Links()...)
+		for _, ch := range re.Chains() {
+			got = append(got, re.Events(ch)...)
+		}
+		want := make([]probe.Record, 0, wantComplete)
+		for _, r := range recs[:wantComplete] {
+			if r.Kind == probe.KindLink {
+				want = append(want, r)
+			}
+		}
+		for _, r := range recs[:wantComplete] {
+			if r.Kind == probe.KindEvent {
+				want = append(want, r)
+			}
+		}
+		sameRecords(t, "recovered", got, want)
+		// The truncated store must accept appends and survive reopen.
+		re.Insert(ev(chainID(5), 1, ftl.StubStart, "IAfter", wall))
+		if err := re.Close(); err != nil {
+			t.Fatalf("cut %d: close: %v", cut, err)
+		}
+		re2, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("cut %d: reopen: %v", cut, err)
+		}
+		if got := re2.Len(); got != wantComplete+1 {
+			t.Fatalf("cut %d: after append reopen Len=%d want %d", cut, got, wantComplete+1)
+		}
+		if len(re2.Warnings()) != 0 {
+			t.Fatalf("cut %d: second reopen warned: %v", cut, re2.Warnings())
+		}
+		re2.Close()
+	}
+}
+
+// TestSweep checks retention: only complete, old chains are dropped;
+// compaction preserves survivors across reopen and deletes old segments.
+func TestSweep(t *testing.T) {
+	dir := t.TempDir()
+	ts, err := Open(dir, Options{Shards: 1, SegmentMaxBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-2 * time.Hour)
+	fresh := time.Now()
+	oldDone, oldOpen, freshDone := chainID(10), chainID(11), chainID(12)
+	oldChild := chainID(13)
+	ts.Insert(
+		// Complete old chain (sweepable), with a link to an old complete child.
+		ev(oldDone, 1, ftl.StubStart, "IOld", old),
+		ev(oldDone, 2, ftl.SkelStart, "IOld", old),
+		link(oldDone, 2, oldChild),
+		ev(oldDone, 3, ftl.SkelEnd, "IOld", old),
+		ev(oldDone, 4, ftl.StubEnd, "IOld", old),
+		ev(oldChild, 1, ftl.SkelStart, "IOldChild", old),
+		ev(oldChild, 2, ftl.SkelEnd, "IOldChild", old),
+		// Old but incomplete (crashed mid-call): must survive.
+		ev(oldOpen, 1, ftl.StubStart, "IStuck", old),
+		ev(oldOpen, 2, ftl.SkelStart, "IStuck", old),
+		// Fresh and complete: must survive the age filter.
+		ev(freshDone, 1, ftl.StubStart, "IFresh", fresh),
+		ev(freshDone, 2, ftl.StubEnd, "IFresh", fresh),
+	)
+	dropped, err := ts.Sweep(time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 2 {
+		t.Fatalf("Sweep dropped %d chains, want 2", dropped)
+	}
+	chains := ts.Chains()
+	if len(chains) != 2 {
+		t.Fatalf("after sweep: %d chains remain, want 2: %v", len(chains), chains)
+	}
+	if len(ts.Events(oldDone)) != 0 || len(ts.Events(oldChild)) != 0 {
+		t.Fatal("swept chain still has events")
+	}
+	if _, ok := ts.ChildChain(oldDone, 2); ok {
+		t.Fatal("swept chain's link survived")
+	}
+	if got := len(ts.Events(oldOpen)); got != 2 {
+		t.Fatalf("incomplete chain lost events: %d", got)
+	}
+	if got := len(ts.Events(freshDone)); got != 2 {
+		t.Fatalf("fresh chain lost events: %d", got)
+	}
+
+	// The store stays writable after compaction and survives reopen.
+	ts.Insert(ev(oldOpen, 3, ftl.SkelEnd, "IStuck", fresh))
+	if err := ts.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ts2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts2.Close()
+	if got := len(ts2.Chains()); got != 2 {
+		t.Fatalf("reopen after sweep: %d chains", got)
+	}
+	if got := len(ts2.Events(oldOpen)); got != 3 {
+		t.Fatalf("reopen after sweep: oldOpen has %d events want 3", got)
+	}
+	if len(ts2.Warnings()) != 0 {
+		t.Fatalf("reopen after sweep warned: %v", ts2.Warnings())
+	}
+
+	// A second sweep with nothing old drops nothing.
+	if n, err := ts2.Sweep(time.Hour); err != nil || n != 0 {
+		t.Fatalf("idle sweep: dropped %d err %v", n, err)
+	}
+}
+
+// TestExportStream round-trips the store through WriteStream into logdb —
+// the `causectl export` path — and checks nothing is lost.
+func TestExportStream(t *testing.T) {
+	sys, err := workload.Generate(workload.Config{
+		Processes: 2, Threads: 2, Components: 4, Interfaces: 4, Methods: 8,
+		Calls: 120, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := Open(t.TempDir(), Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+	for _, sink := range sys.Sinks {
+		ts.Insert(sink.Snapshot()...)
+	}
+	var buf bytes.Buffer
+	if err := ts.WriteStream(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db := logdb.NewStore()
+	recs, err := probe.ReadStream(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Insert(recs...)
+	if got, want := db.Len(), ts.Len(); got != want {
+		t.Fatalf("export round-trip: %d records, want %d", got, want)
+	}
+	ref := sys.Store()
+	for _, c := range ref.Chains() {
+		if got, want := len(db.Events(c)), len(ref.Events(c)); got != want {
+			t.Fatalf("export chain %s: %d events want %d", c, got, want)
+		}
+	}
+}
+
+// TestConcurrentInsertAndQuery hammers the store from writer and reader
+// goroutines at once — the workload the collectd daemon actually applies
+// (connection goroutines insert while the reporter sweeps and queries).
+// Run under -race in CI.
+func TestConcurrentInsertAndQuery(t *testing.T) {
+	ts, err := Open(t.TempDir(), Options{Shards: 4, SegmentMaxBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+
+	const writers, chainsPer = 4, 25
+	var wg sync.WaitGroup
+	stopReaders := make(chan struct{})
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stopReaders:
+					return
+				default:
+				}
+				for _, c := range ts.Chains() {
+					ts.Events(c)
+				}
+				ts.Len()
+				ts.Links()
+				if _, err := ts.Sweep(time.Hour); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	var ww sync.WaitGroup
+	base := time.Now()
+	for wtr := 0; wtr < writers; wtr++ {
+		ww.Add(1)
+		go func(wtr int) {
+			defer ww.Done()
+			for i := 0; i < chainsPer; i++ {
+				c := chainID(byte(wtr*chainsPer + i + 1))
+				ts.Insert(
+					ev(c, 1, ftl.StubStart, "Iface", base),
+					ev(c, 2, ftl.SkelStart, "Iface", base),
+					ev(c, 3, ftl.SkelEnd, "Iface", base),
+					ev(c, 4, ftl.StubEnd, "Iface", base),
+				)
+			}
+		}(wtr)
+	}
+	ww.Wait()
+	close(stopReaders)
+	wg.Wait()
+
+	if ts.Dropped() != 0 {
+		t.Fatalf("store dropped %d records", ts.Dropped())
+	}
+	if got, want := ts.Len(), writers*chainsPer*4; got != want {
+		t.Fatalf("store holds %d records, want %d", got, want)
+	}
+	if got := len(ts.Chains()); got != writers*chainsPer {
+		t.Fatalf("store holds %d chains, want %d", got, writers*chainsPer)
+	}
+	for _, c := range ts.Chains() {
+		if evs := ts.Events(c); len(evs) != 4 {
+			t.Fatalf("chain %s has %d events, want 4", c, len(evs))
+		}
+	}
+}
