@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"causeway/internal/analysis"
 	"causeway/internal/collector"
@@ -129,7 +130,21 @@ type ProcessConfig struct {
 	// buffer in a bounded ring and the oldest are dropped under
 	// backpressure (see internal/telemetry).
 	ShipTo string
+	// CallTimeout bounds every synchronous invocation issued through this
+	// process's references; zero means wait forever.
+	CallTimeout time.Duration
+	// Retry enables bounded, jittered retry for idempotent references and
+	// oneway posts; the zero value disables retry.
+	Retry RetryPolicy
+	// WrapClient and WrapHandler wrap the transports the ORB dials and
+	// serves — the fault-injection hooks (see internal/faultinject).
+	WrapClient func(transport.Client) transport.Client
+	// WrapHandler wraps the request handler on every served endpoint.
+	WrapHandler func(transport.Handler) transport.Handler
 }
+
+// RetryPolicy re-exports the ORB's bounded-retry configuration.
+type RetryPolicy = orb.RetryPolicy
 
 // Process is one monitored logical process: its ORB and its log.
 type Process struct {
@@ -212,6 +227,10 @@ func NewProcess(cfg ProcessConfig) (*Process, error) {
 		Network:            cfg.Network,
 		DisableCollocation: cfg.DisableCollocation,
 		PinDispatch:        cfg.PinDispatch,
+		CallTimeout:        cfg.CallTimeout,
+		Retry:              cfg.Retry,
+		WrapClient:         cfg.WrapClient,
+		WrapHandler:        cfg.WrapHandler,
 	})
 	if err != nil {
 		p.closeFile()
@@ -278,8 +297,11 @@ type Report struct {
 	// Interactions is the component-interaction topology (§3.1), sorted by
 	// descending call count.
 	Interactions []analysis.Interaction
-	// Warnings counts collected log files whose tail record was torn by a
-	// crashed writer; their readable prefixes are still included.
+	// Warnings counts recoverable defects in the collected data: causal
+	// chains whose probe-event sequence a failure left incomplete (broken
+	// chains, kept in the graph with a '!' marker), plus — for AnalyzeFiles
+	// — log files whose tail record was torn by a crashed writer (their
+	// readable prefixes are still included).
 	Warnings int
 }
 
@@ -311,7 +333,7 @@ func AnalyzeFiles(glob string) (*Report, error) {
 		return nil, err
 	}
 	r := analyzeStore(db)
-	r.Warnings = warnings
+	r.Warnings += warnings
 	return r, nil
 }
 
@@ -343,6 +365,7 @@ func AnalyzeSource(src Source, workers int) *Report {
 		LatencyStats: g.LatencyStats(),
 		CCSG:         analysis.BuildCCSG(g),
 		Interactions: g.Interactions(),
+		Warnings:     len(g.Broken),
 	}
 }
 

@@ -64,14 +64,17 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 	report := causeway.AnalyzeSource(db, *workers)
-	report.Warnings = warnings
+	report.Warnings += warnings
 	st := report.Stats
-	fmt.Fprintf(w, "analyzed in %v: %d records, %d calls, %d chains, %d methods / %d interfaces / %d components, %d processes, %d threads, %d anomalies\n",
+	fmt.Fprintf(w, "analyzed in %v: %d records, %d calls, %d chains, %d methods / %d interfaces / %d components, %d processes, %d threads, %d anomalies, %d warnings\n",
 		time.Since(start).Round(time.Millisecond), st.Records, st.Calls, st.Chains,
 		st.Methods, st.Interfaces, st.Components, st.Processes, st.Threads,
-		len(report.Graph.Anomalies))
-	if report.Warnings > 0 {
-		fmt.Fprintf(w, "  ! %d log file(s) had torn tail records (crashed writers); readable prefixes were merged\n", report.Warnings)
+		len(report.Graph.Anomalies), report.Warnings)
+	if warnings > 0 {
+		fmt.Fprintf(w, "  ! %d log file(s) had torn tail records (crashed writers); readable prefixes were merged\n", warnings)
+	}
+	for _, b := range report.Graph.Broken {
+		fmt.Fprintf(w, "  ! broken %s\n", b)
 	}
 	for _, a := range report.Graph.Anomalies {
 		fmt.Fprintf(w, "  ! %s\n", a)

@@ -185,24 +185,42 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 		}
 	}()
 
-	// Wait for SIGINT, the test's stop channel, or -duration expiry.
+	// Wait for SIGINT, the test's stop channel, or -duration expiry. Each
+	// trigger gets its own watcher goroutine funnelled through a sync.Once:
+	// the first one wins, announces the drain, and releases the main
+	// goroutine; any trigger firing later — a SIGINT landing while a
+	// -duration drain is already underway, or vice versa — is swallowed
+	// instead of starting a second drain over the same server and store.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	defer signal.Stop(sig)
-	var expiry <-chan time.Time
+	drained := make(chan struct{})
+	var drainOnce sync.Once
+	beginDrain := func(reason string) {
+		drainOnce.Do(func() {
+			fmt.Fprintf(w, "collectd: %s, draining\n", reason)
+			close(drained)
+		})
+	}
+	go func() {
+		<-sig
+		beginDrain("interrupt")
+	}()
 	if *duration > 0 {
 		timer := time.NewTimer(*duration)
 		defer timer.Stop()
-		expiry = timer.C
+		go func() {
+			<-timer.C
+			beginDrain("duration elapsed")
+		}()
 	}
-	select {
-	case <-sig:
-		fmt.Fprintf(w, "collectd: interrupt, draining\n")
-	case <-expiry:
-		fmt.Fprintf(w, "collectd: duration elapsed, draining\n")
-	case <-stop: // nil outside tests: blocks forever, exactly the non-test behaviour
-		fmt.Fprintf(w, "collectd: stop requested, draining\n")
+	if stop != nil {
+		go func() {
+			<-stop
+			beginDrain("stop requested")
+		}()
 	}
+	<-drained
 
 	close(reporterStop)
 	<-reporterDone
@@ -243,6 +261,9 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 	}
 	if *dscgNodes >= 0 {
 		report := causeway.AnalyzeSource(store, *workers)
+		if report.Warnings > 0 {
+			fmt.Fprintf(w, "collectd: %d warning(s): broken chains left by failed or abandoned calls\n", report.Warnings)
+		}
 		fmt.Fprintln(w, "\nDynamic System Call Graph:")
 		if err := render.DSCGText(w, report.Graph, -1, *dscgNodes); err != nil {
 			return err

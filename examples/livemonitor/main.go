@@ -17,10 +17,19 @@
 // Run:
 //
 //	go run ./examples/livemonitor
+//
+// With -faults the client transports are wrapped in a seeded fault
+// injector (internal/faultinject) that drops and disconnects calls; the
+// deployment survives on deadlines and idempotent retry, the failed calls
+// leave broken chains behind, and the run fails unless the analyzer
+// reports them as warnings:
+//
+//	go run ./examples/livemonitor -faults -seed 7
 package main
 
 import (
 	"bytes"
+	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -29,6 +38,7 @@ import (
 
 	"causeway"
 	"causeway/internal/benchgen/instrecho"
+	"causeway/internal/faultinject"
 	"causeway/internal/logdb"
 	"causeway/internal/probe"
 	"causeway/internal/telemetry"
@@ -54,13 +64,16 @@ func (s *variableServant) Sum(values []int32) (int32, error) { return 0, nil }
 func (s *variableServant) Fire(string) error                 { return nil }
 
 func main() {
-	if err := run(); err != nil {
+	faults := flag.Bool("faults", false, "inject deterministic drops and disconnects into the client transports")
+	seed := flag.Int64("seed", 1, "fault-injection base seed (per-client seeds derive from it)")
+	flag.Parse()
+	if err := run(*faults, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "livemonitor:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(faults bool, seed int64) error {
 	dir, err := os.MkdirTemp("", "livemonitor")
 	if err != nil {
 		return err
@@ -125,17 +138,46 @@ func run() error {
 
 	const clients, callsPerClient = 3, 6
 	procs := []*causeway.Process{server}
+	failures := 0
 	for c := 1; c <= clients; c++ {
-		client, err := newProc(fmt.Sprintf("client-%d", c))
+		cfg := causeway.ProcessConfig{
+			Name:         fmt.Sprintf("client-%d", c),
+			Instrumented: true,
+			Monitor:      causeway.MonitorLatency,
+			LogPath:      filepath.Join(dir, fmt.Sprintf("client-%d.ftlog", c)),
+			ShipTo:       srv.Addr(),
+		}
+		if faults {
+			// One seeded injector per client keeps the schedule fully
+			// deterministic: sequential calls draw from a private stream.
+			inj := faultinject.New(faultinject.Plan{
+				Seed:           seed + int64(c),
+				DropProb:       0.35,
+				DisconnectProb: 0.15,
+			})
+			cfg.WrapClient = inj.WrapClient
+			cfg.CallTimeout = 100 * time.Millisecond
+			cfg.Retry = causeway.RetryPolicy{Attempts: 2, Backoff: 5 * time.Millisecond}
+		}
+		client, err := causeway.NewProcess(cfg)
 		if err != nil {
 			return err
 		}
 		defer client.Close()
 		procs = append(procs, client)
-		stub := instrecho.NewEchoStub(client.ORB.RefTo(ep, "svc", "Echo", "svc-comp"))
+		ref := client.ORB.RefTo(ep, "svc", "Echo", "svc-comp")
+		ref.Idempotent = true // echo is repeat-safe: opt into the retry policy
+		stub := instrecho.NewEchoStub(ref)
 		for i := 1; i <= callsPerClient; i++ {
 			if _, err := stub.Echo(fmt.Sprintf("c%d-req-%d", c, i)); err != nil {
-				return err
+				if !faults {
+					return err
+				}
+				// Under injection a call may exhaust its retry budget;
+				// the deployment carries on and the failure's partial
+				// probe trace becomes a broken-chain warning below.
+				failures++
+				fmt.Printf("client-%d: call %d failed under injection: %v\n", c, i, err)
 			}
 			client.NewChain()
 		}
@@ -179,6 +221,16 @@ func run() error {
 	}
 	fmt.Printf("\nnetworked collection is lossless: DSCG from the live store (%d records) == DSCG from %d per-process logs\n",
 		networked.Stats.Records, len(procs))
+	if faults {
+		fmt.Printf("\nfault injection: %d call(s) failed; analyzer reports %d warning(s), %d broken chain(s), %d anomalies\n",
+			failures, networked.Warnings, len(networked.Graph.Broken), len(networked.Graph.Anomalies))
+		for _, b := range networked.Graph.Broken {
+			fmt.Printf("  ! %s\n", b)
+		}
+		if networked.Warnings == 0 {
+			return fmt.Errorf("fault injection left no broken-chain warnings; reconstruction hid the failures")
+		}
+	}
 	fmt.Println("\nDynamic System Call Graph (live-collected):")
 	_, err = os.Stdout.Write(nb.Bytes())
 	return err

@@ -36,6 +36,16 @@ type Node struct {
 	// skeleton pair; the stub pair is always present for stub-side nodes.
 	StubStart, SkelStart, SkelEnd, StubEnd *probe.Record
 
+	// Broken marks an invocation whose probe events are incomplete because
+	// the call failed — a deadline expired, a connection dropped, or a
+	// process died before its remaining probes fired. Broken nodes keep
+	// whatever records were collected and stay in the graph (rendered with
+	// a '!' marker) rather than being silently dropped.
+	Broken bool
+	// BrokenReason says which events are missing and what failure shape
+	// that implies.
+	BrokenReason string
+
 	// Metrics, filled in by ComputeLatency / ComputeCPU.
 	Latency      time.Duration            // overhead-compensated end-to-end latency
 	RawLatency   time.Duration            // before overhead compensation
@@ -128,6 +138,24 @@ func (a Anomaly) String() string {
 	return fmt.Sprintf("chain %s event[%d]: %s", a.Chain.Short(), a.Index, a.Reason)
 }
 
+// BrokenChain records one invocation whose event sequence is incomplete
+// because of a failure. Unlike an Anomaly — an impossible transition that
+// suggests corrupt or mis-merged logs — a broken chain is a *plausible*
+// partial sequence: exactly what a timed-out, dropped, or half-dead call
+// leaves behind. Broken chains are reported as warnings, not errors.
+type BrokenChain struct {
+	Chain uuid.UUID
+	// Op is the invocation's operation name.
+	Op string
+	// Reason describes the missing events and the failure they imply.
+	Reason string
+}
+
+// String renders the broken-chain warning for reports.
+func (b BrokenChain) String() string {
+	return fmt.Sprintf("chain %s %s: %s", b.Chain.Short(), b.Op, b.Reason)
+}
+
 // DSCG is the Dynamic System Call Graph: the forest of causal-chain trees,
 // grouped (as the paper puts it, "a tree by grouping {Ti}") under an
 // implicit virtual root. Oneway child chains are stitched beneath their
@@ -135,6 +163,9 @@ func (a Anomaly) String() string {
 type DSCG struct {
 	Trees     []*Tree
 	Anomalies []Anomaly
+	// Broken lists the invocations classified broken-but-reported, in
+	// deterministic chain order.
+	Broken []BrokenChain
 	// stats cache
 	nodes int
 }
@@ -188,6 +219,7 @@ func ReconstructFrom(db Source) *DSCG {
 type parsedChain struct {
 	roots      []*Node
 	anomalies  []Anomaly
+	broken     []BrokenChain
 	calleeSide bool // chain begins with skel_start (oneway callee)
 	empty      bool
 }
@@ -201,6 +233,7 @@ func parseOneChain(chain uuid.UUID, events []probe.Record) parsedChain {
 	return parsedChain{
 		roots:      roots,
 		anomalies:  p.anomalies,
+		broken:     p.broken,
 		calleeSide: events[0].Event == ftl.SkelStart,
 	}
 }
@@ -220,6 +253,7 @@ func assemble(db Source, chains []uuid.UUID, parsed []parsedChain) *DSCG {
 			continue
 		}
 		g.Anomalies = append(g.Anomalies, p.anomalies...)
+		g.Broken = append(g.Broken, p.broken...)
 		t := &Tree{Chain: chain, Roots: p.roots}
 		if p.calleeSide {
 			childTrees[chain] = t
@@ -240,6 +274,11 @@ func assemble(db Source, chains []uuid.UUID, parsed []parsedChain) *DSCG {
 		}
 		childChain, ok := db.ChildChain(n.Chain, n.StubStart.Seq)
 		if !ok {
+			if n.Broken {
+				// The forking stub died before recording its link — the
+				// same failure already reported for the node itself.
+				return
+			}
 			g.Anomalies = append(g.Anomalies, Anomaly{
 				Chain: n.Chain, Reason: fmt.Sprintf("oneway %s at seq %d has no chain link", n.Op.Operation, n.StubStart.Seq),
 			})
@@ -315,6 +354,7 @@ type chainParser struct {
 	events    []probe.Record
 	pos       int
 	anomalies []Anomaly
+	broken    []BrokenChain
 }
 
 func (p *chainParser) peek() (probe.Record, bool) {
@@ -327,6 +367,17 @@ func (p *chainParser) peek() (probe.Record, bool) {
 func (p *chainParser) fail(reason string) {
 	p.anomalies = append(p.anomalies, Anomaly{Chain: p.chain, Index: p.pos, Reason: reason})
 	p.pos++ // restart from the next log record
+}
+
+// markBroken classifies n as an incomplete-but-plausible failure remnant:
+// the node stays in the tree with whatever records it has, and the chain
+// is reported as a warning. Unlike fail, markBroken does not skip the
+// current record — the caller already returned to a state that can parse
+// it.
+func (p *chainParser) markBroken(n *Node, reason string) {
+	n.Broken = true
+	n.BrokenReason = reason
+	p.broken = append(p.broken, BrokenChain{Chain: p.chain, Op: n.Op.Operation, Reason: reason})
 }
 
 // parseChain parses the whole chain: either a oneway callee side (starts
@@ -353,10 +404,50 @@ func (p *chainParser) parseChain() []*Node {
 	}
 }
 
+// abandonedReason names the failure shape of an invocation whose stub_end
+// fired before (or instead of) the skeleton pair — the signature a client
+// deadline leaves behind. The same wording is used whether the stub_end was
+// seen before or after the skeleton records, so both orders of the
+// stub_end/skel_start sequence-number tie yield identical output.
+func abandonedReason(n *Node) string {
+	switch {
+	case n.SkelStart == nil:
+		return "missing skel_start and skel_end (request never dispatched; client saw an error)"
+	case n.SkelEnd == nil:
+		return "missing skel_end (client abandoned the call while the server was still executing)"
+	default:
+		return "stub_end overlaps the skeleton records (client abandoned the call; server completed anyway)"
+	}
+}
+
+// adoptSkeleton consumes a same-op skel_start (and, if present, the matching
+// skel_end) into n. An error-path stub_end shares its sequence number with
+// the server's skel_start, so under the stable per-seq sort the skeleton
+// records of the abandoned invocation may sort either before or after its
+// stub_end; adopting them here makes both tie orders parse identically.
+func (p *chainParser) adoptSkeleton(n *Node, op probe.OpID) {
+	if r, ok := p.peek(); !ok || r.Event != ftl.SkelStart || r.Op != op {
+		return
+	}
+	n.SkelStart = &p.events[p.pos]
+	p.pos++
+	if r, ok := p.peek(); ok && r.Event == ftl.SkelEnd && r.Op == op {
+		n.SkelEnd = &p.events[p.pos]
+		p.pos++
+	}
+}
+
 // parseInvocation consumes one stub-side invocation:
 //
 //	sync F:   F.stub_start F.skel_start children* F.skel_end F.stub_end
 //	oneway F: F.stub_start F.stub_end            (callee side on child chain)
+//
+// Prefixes of these sequences that a failed call plausibly leaves behind —
+// a deadline expired, a connection dropped, a process died before its
+// remaining probes fired — are accepted as *broken* invocations: the node
+// keeps whatever records exist and the chain is reported as a warning.
+// Transitions no failure can explain (mismatched operations, events out of
+// any order) remain anomalies.
 func (p *chainParser) parseInvocation() *Node {
 	start := p.events[p.pos]
 	p.pos++
@@ -370,7 +461,11 @@ func (p *chainParser) parseInvocation() *Node {
 
 	r, ok := p.peek()
 	if !ok {
-		p.anomalies = append(p.anomalies, Anomaly{Chain: p.chain, Index: p.pos, Reason: fmt.Sprintf("chain ends after %s.stub_start", start.Op.Operation)})
+		if n.Oneway {
+			p.markBroken(n, "missing stub_end (chain ends after oneway stub_start)")
+		} else {
+			p.markBroken(n, "missing skel_start, skel_end, and stub_end (chain ends after stub_start)")
+		}
 		return n
 	}
 
@@ -381,23 +476,55 @@ func (p *chainParser) parseInvocation() *Node {
 			p.pos++
 			return n
 		}
-		p.fail(fmt.Sprintf("oneway %s.stub_start followed by %s(%s), want stub_end", start.Op.Operation, r.Event, r.Op.Operation))
+		// Anything else means the adjacent stub-exit record was lost; the
+		// current record is re-parsed by the caller.
+		p.markBroken(n, "missing stub_end (oneway stub-exit record lost)")
 		return n
 	}
 
-	// Synchronous: skeleton start must follow.
-	if r.Event != ftl.SkelStart || r.Op != start.Op {
-		p.fail(fmt.Sprintf("%s.stub_start followed by %s(%s), want skel_start", start.Op.Operation, r.Event, r.Op.Operation))
+	// Synchronous. A same-op stub_end directly after stub_start is the
+	// client error path (deadline, connection failure): accept it, adopt
+	// any tie-ordered skeleton records, and classify broken.
+	if r.Event == ftl.StubEnd && r.Op == start.Op {
+		n.StubEnd = &p.events[p.pos]
+		p.pos++
+		p.adoptSkeleton(n, start.Op)
+		p.markBroken(n, abandonedReason(n))
 		return n
 	}
-	n.SkelStart = &p.events[p.pos]
-	p.pos++
+	// A same-op skel_end with no skel_start means the skeleton-entry
+	// record was lost (shipper died between probes): accept the rest.
+	if r.Event == ftl.SkelEnd && r.Op == start.Op {
+		n.SkelEnd = &p.events[p.pos]
+		p.pos++
+		if r2, ok2 := p.peek(); ok2 && r2.Event == ftl.StubEnd && r2.Op == start.Op {
+			n.StubEnd = &p.events[p.pos]
+			p.pos++
+			p.markBroken(n, "missing skel_start (skeleton-entry record lost)")
+		} else {
+			p.markBroken(n, "missing skel_start and stub_end")
+		}
+		return n
+	}
+	// A child's stub_start where this call's skel_start belongs: the
+	// skeleton-entry record was lost, but the body demonstrably ran (its
+	// children follow). Open the body without a skel_start.
+	if r.Event == ftl.StubStart {
+		p.markBroken(n, "missing skel_start (skeleton-entry record lost)")
+	} else if r.Event != ftl.SkelStart || r.Op != start.Op {
+		// Anything else in skel_start position is an impossible transition.
+		p.fail(fmt.Sprintf("%s.stub_start followed by %s(%s), want skel_start", start.Op.Operation, r.Event, r.Op.Operation))
+		return n
+	} else {
+		n.SkelStart = &p.events[p.pos]
+		p.pos++
+	}
 
 	// Child function starts, or the function returns.
 	for {
 		r, ok = p.peek()
 		if !ok {
-			p.anomalies = append(p.anomalies, Anomaly{Chain: p.chain, Index: p.pos, Reason: fmt.Sprintf("chain ends inside %s body", start.Op.Operation)})
+			p.markBroken(n, "missing skel_end and stub_end (chain ends inside the body)")
 			return n
 		}
 		switch {
@@ -412,11 +539,27 @@ func (p *chainParser) parseInvocation() *Node {
 			// Stub end concludes the invocation.
 			r2, ok2 := p.peek()
 			if !ok2 || r2.Event != ftl.StubEnd || r2.Op != start.Op {
-				p.fail(fmt.Sprintf("%s.skel_end not followed by matching stub_end", start.Op.Operation))
+				// The body completed but the stub-exit record never
+				// arrived: client died before the return, or the record
+				// was lost. The current record (if any) is re-parsed by
+				// the caller.
+				p.markBroken(n, "missing stub_end (client died before return or stub-exit record lost)")
 				return n
 			}
 			n.StubEnd = &p.events[p.pos]
 			p.pos++
+			return n
+		case r.Event == ftl.StubEnd && r.Op == start.Op:
+			// The client's deadline expired mid-body: its stub_end sorts
+			// before the server's skel_end. Consume it, absorb the
+			// skel_end if the server did finish, and classify broken.
+			n.StubEnd = &p.events[p.pos]
+			p.pos++
+			if r2, ok2 := p.peek(); ok2 && r2.Event == ftl.SkelEnd && r2.Op == start.Op {
+				n.SkelEnd = &p.events[p.pos]
+				p.pos++
+			}
+			p.markBroken(n, abandonedReason(n))
 			return n
 		default:
 			p.fail(fmt.Sprintf("inside %s body: unexpected %s(%s)", start.Op.Operation, r.Event, r.Op.Operation))
@@ -440,7 +583,7 @@ func (p *chainParser) parseCalleeSide() *Node {
 	for {
 		r, ok := p.peek()
 		if !ok {
-			p.anomalies = append(p.anomalies, Anomaly{Chain: p.chain, Index: p.pos, Reason: fmt.Sprintf("callee chain ends inside %s body", start.Op.Operation)})
+			p.markBroken(n, "missing skel_end (oneway callee died mid-call or log truncated)")
 			return n
 		}
 		switch {

@@ -281,8 +281,23 @@ func TestTruncatedChainFlagged(t *testing.T) {
 		// Process died: no skel_end / stub_end.
 	)
 	g := Reconstruct(db)
-	if len(g.Anomalies) == 0 {
-		t.Fatal("truncated chain produced no anomaly")
+	// A chain that simply stops is the plausible remnant of a dead process:
+	// classified broken (a warning), not anomalous, and the node is kept.
+	if len(g.Anomalies) != 0 {
+		t.Fatalf("truncated chain flagged as anomaly: %v", g.Anomalies)
+	}
+	if len(g.Broken) != 1 {
+		t.Fatalf("Broken = %v, want one entry", g.Broken)
+	}
+	if len(g.Trees) != 1 || len(g.Trees[0].Roots) != 1 {
+		t.Fatalf("truncated chain's node dropped: %+v", g.Trees)
+	}
+	n := g.Trees[0].Roots[0]
+	if !n.Broken || n.BrokenReason == "" {
+		t.Fatalf("node not marked broken: %+v", n)
+	}
+	if n.StubStart == nil || n.SkelStart == nil {
+		t.Fatal("broken node lost its collected records")
 	}
 }
 

@@ -26,29 +26,19 @@ func storeOf(recs ...probe.Record) *logdb.Store {
 }
 
 // Every malformed adjacency the Figure-4 state machine can hit must be
-// flagged as an anomaly, never silently accepted or panicked on.
+// flagged as an anomaly, never silently accepted or panicked on. Sequences
+// a plausible failure explains (truncation, missing probe records) are
+// classified broken instead — covered by TestParserBrokenVariants and
+// broken_test.go.
 func TestParserAnomalyVariants(t *testing.T) {
 	c := uuid.UUID{0: 1}
 	cases := []struct {
 		name string
 		recs []probe.Record
 	}{
-		{"oneway stub_start followed by skel_start", []probe.Record{
-			mkRec(c, 1, ftl.StubStart, "F", true),
-			mkRec(c, 2, ftl.SkelStart, "F", true),
-		}},
 		{"skel_start for different op", []probe.Record{
 			mkRec(c, 1, ftl.StubStart, "F", false),
 			mkRec(c, 2, ftl.SkelStart, "G", false),
-		}},
-		{"chain ends after stub_start", []probe.Record{
-			mkRec(c, 1, ftl.StubStart, "F", false),
-		}},
-		{"skel_end not followed by stub_end", []probe.Record{
-			mkRec(c, 1, ftl.StubStart, "F", false),
-			mkRec(c, 2, ftl.SkelStart, "F", false),
-			mkRec(c, 3, ftl.SkelEnd, "F", false),
-			mkRec(c, 4, ftl.SkelStart, "G", false),
 		}},
 		{"chain starts with stub_end", []probe.Record{
 			mkRec(c, 1, ftl.StubEnd, "F", false),
@@ -56,9 +46,6 @@ func TestParserAnomalyVariants(t *testing.T) {
 		{"callee chain interrupted by foreign skel_end", []probe.Record{
 			mkRec(c, 1, ftl.SkelStart, "F", true),
 			mkRec(c, 2, ftl.SkelEnd, "G", true),
-		}},
-		{"callee chain truncated", []probe.Record{
-			mkRec(c, 1, ftl.SkelStart, "F", true),
 		}},
 	}
 	for _, tc := range cases {
@@ -71,6 +58,130 @@ func TestParserAnomalyVariants(t *testing.T) {
 				t.Fatalf("Anomaly.String = %q", got)
 			}
 		})
+	}
+}
+
+// Sequences that are incomplete in a way a real failure produces — a
+// deadline, a dead process, a lost record — are accepted as broken nodes
+// and reported as warnings, never anomalies and never dropped.
+func TestParserBrokenVariants(t *testing.T) {
+	c := uuid.UUID{0: 1}
+	cases := []struct {
+		name       string
+		recs       []probe.Record
+		wantReason string
+	}{
+		{"chain ends after stub_start", []probe.Record{
+			mkRec(c, 1, ftl.StubStart, "F", false),
+		}, "missing skel_start, skel_end, and stub_end"},
+		{"chain ends after oneway stub_start", []probe.Record{
+			mkRec(c, 1, ftl.StubStart, "F", true),
+		}, "missing stub_end"},
+		{"oneway stub-exit record lost", []probe.Record{
+			mkRec(c, 1, ftl.StubStart, "F", true),
+			mkRec(c, 2, ftl.StubStart, "G", false),
+			mkRec(c, 3, ftl.SkelStart, "G", false),
+			mkRec(c, 4, ftl.SkelEnd, "G", false),
+			mkRec(c, 5, ftl.StubEnd, "G", false),
+		}, "missing stub_end"},
+		{"skeleton-entry record lost with children", []probe.Record{
+			mkRec(c, 1, ftl.StubStart, "F", false),
+			mkRec(c, 2, ftl.StubStart, "G", false),
+			mkRec(c, 3, ftl.SkelStart, "G", false),
+			mkRec(c, 4, ftl.SkelEnd, "G", false),
+			mkRec(c, 5, ftl.StubEnd, "G", false),
+			mkRec(c, 6, ftl.SkelEnd, "F", false),
+			mkRec(c, 7, ftl.StubEnd, "F", false),
+		}, "missing skel_start"},
+		{"skel_end not followed by stub_end", []probe.Record{
+			mkRec(c, 1, ftl.StubStart, "F", false),
+			mkRec(c, 2, ftl.SkelStart, "F", false),
+			mkRec(c, 3, ftl.SkelEnd, "F", false),
+		}, "missing stub_end"},
+		{"stub_end directly after stub_start", []probe.Record{
+			mkRec(c, 1, ftl.StubStart, "F", false),
+			mkRec(c, 2, ftl.StubEnd, "F", false),
+		}, "missing skel_start and skel_end"},
+		{"missing skel_start only", []probe.Record{
+			mkRec(c, 1, ftl.StubStart, "F", false),
+			mkRec(c, 3, ftl.SkelEnd, "F", false),
+			mkRec(c, 4, ftl.StubEnd, "F", false),
+		}, "missing skel_start"},
+		{"chain ends inside body", []probe.Record{
+			mkRec(c, 1, ftl.StubStart, "F", false),
+			mkRec(c, 2, ftl.SkelStart, "F", false),
+		}, "missing skel_end and stub_end"},
+		{"client abandoned mid-body, server finished", []probe.Record{
+			mkRec(c, 1, ftl.StubStart, "F", false),
+			mkRec(c, 2, ftl.SkelStart, "F", false),
+			mkRec(c, 2, ftl.StubEnd, "F", false),
+			mkRec(c, 3, ftl.SkelEnd, "F", false),
+		}, "server completed anyway"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := Reconstruct(storeOf(tc.recs...))
+			if len(g.Anomalies) != 0 {
+				t.Fatalf("flagged as anomaly, want broken: %v", g.Anomalies)
+			}
+			if len(g.Broken) == 0 {
+				t.Fatal("no broken chain reported")
+			}
+			if got := g.Broken[0].String(); !strings.Contains(got, tc.wantReason) {
+				t.Fatalf("Broken[0] = %q, want substring %q", got, tc.wantReason)
+			}
+			if g.Nodes() == 0 {
+				t.Fatal("broken invocation dropped from the graph")
+			}
+			broken := 0
+			g.Walk(func(n *Node) {
+				if n.Broken {
+					broken++
+				}
+			})
+			if broken == 0 {
+				t.Fatal("no node carries the Broken mark")
+			}
+		})
+	}
+}
+
+// Both orders of the stub_end/skel_start sequence-number tie (the error
+// path's stub_end shares seq with the server's skel_start, and the stable
+// sort preserves insertion order) must reconstruct into identical nodes.
+func TestBrokenTieOrderInsensitive(t *testing.T) {
+	c := uuid.UUID{0: 9}
+	recs := func(stubEndFirst bool) []probe.Record {
+		a := mkRec(c, 2, ftl.StubEnd, "F", false)
+		b := mkRec(c, 2, ftl.SkelStart, "F", false)
+		if !stubEndFirst {
+			a, b = b, a
+		}
+		return []probe.Record{
+			mkRec(c, 1, ftl.StubStart, "F", false),
+			a, b,
+			mkRec(c, 3, ftl.SkelEnd, "F", false),
+		}
+	}
+	g1 := Reconstruct(storeOf(recs(true)...))
+	g2 := Reconstruct(storeOf(recs(false)...))
+	for _, g := range []*DSCG{g1, g2} {
+		if len(g.Anomalies) != 0 || len(g.Broken) != 1 || g.Nodes() != 1 {
+			t.Fatalf("anomalies=%v broken=%v nodes=%d", g.Anomalies, g.Broken, g.Nodes())
+		}
+	}
+	if g1.Broken[0] != g2.Broken[0] {
+		t.Fatalf("tie orders diverge: %v vs %v", g1.Broken[0], g2.Broken[0])
+	}
+	n1, n2 := g1.Trees[0].Roots[0], g2.Trees[0].Roots[0]
+	has := func(n *Node) [4]bool {
+		return [4]bool{n.StubStart != nil, n.SkelStart != nil, n.SkelEnd != nil, n.StubEnd != nil}
+	}
+	if has(n1) != has(n2) {
+		t.Fatalf("tie orders collected different records: %v vs %v", has(n1), has(n2))
+	}
+	if n1.BrokenReason != n2.BrokenReason {
+		t.Fatalf("reasons diverge: %q vs %q", n1.BrokenReason, n2.BrokenReason)
 	}
 }
 

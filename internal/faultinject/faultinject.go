@@ -1,0 +1,272 @@
+// Package faultinject makes transport-level failure deterministic and
+// therefore testable: a seeded Injector draws one fault decision per
+// operation from a private PRNG stream and applies it through wrappers
+// around transport.Client (caller side) and transport.Handler (servant
+// side). The same seed always yields the same schedule, so a test — or a
+// CI seed matrix — can assert exact failure counts and exact analyzer
+// warning counts across runs.
+//
+// The injectable faults are the ones a monitored deployment actually
+// meets: added latency (Delay), a message that never arrives (Drop), a
+// peer vanishing mid-conversation (Disconnect), payload corruption
+// (Corrupt), and a duplicated reply (Duplicate). Each wrapper applies the
+// kinds that make sense on its side of the wire and treats the rest as
+// the nearest equivalent (documented per wrapper).
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"causeway/internal/transport"
+)
+
+// Kind classifies one injected fault.
+type Kind uint8
+
+// Fault kinds drawn by the schedule.
+const (
+	// None passes the operation through untouched.
+	None Kind = iota
+	// Delay sleeps Plan.Delay before the operation proceeds.
+	Delay
+	// Drop loses the message: a call never reaches the peer (client side)
+	// or is received and never answered (server side).
+	Drop
+	// Disconnect severs the connection before the operation.
+	Disconnect
+	// Corrupt mangles the payload bytes.
+	Corrupt
+	// Duplicate sends the reply twice (server side).
+	Duplicate
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Delay:
+		return "delay"
+	case Drop:
+		return "drop"
+	case Disconnect:
+		return "disconnect"
+	case Corrupt:
+		return "corrupt"
+	case Duplicate:
+		return "duplicate"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// ErrInjected marks an error manufactured by the injector rather than the
+// real transport. Match with errors.Is.
+var ErrInjected = fmt.Errorf("faultinject: injected fault")
+
+// Plan is a fault schedule: per-kind probabilities drawn cumulatively
+// (their sum must be <= 1; the remainder is None) plus parameters. The
+// zero Plan injects nothing.
+type Plan struct {
+	// Seed fixes the PRNG stream; equal seeds replay equal schedules.
+	Seed int64
+	// After lets the first N operations through untouched — handshakes and
+	// registrations survive so the workload gets going before faults land.
+	After int
+	// Probabilities per operation, drawn cumulatively in this order.
+	DelayProb, DropProb, DisconnectProb, CorruptProb, DuplicateProb float64
+	// Delay is the fixed latency Delay injects. It is deliberately not
+	// randomized: a deterministic schedule must replay wall-clock-identically.
+	Delay time.Duration
+}
+
+// Stats counts what the injector actually did.
+type Stats struct {
+	Ops, Delays, Drops, Disconnects, Corrupts, Duplicates uint64
+}
+
+// Injector draws fault decisions from one seeded stream. Safe for
+// concurrent use; note that concurrent callers race for positions in the
+// stream, so fully deterministic schedules require either single-threaded
+// use or one Injector per goroutine (derive per-client seeds from a base).
+type Injector struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	plan  Plan
+	seen  int
+	stats Stats
+}
+
+// New builds an injector for plan.
+func New(plan Plan) *Injector {
+	return &Injector{rng: rand.New(rand.NewSource(plan.Seed)), plan: plan}
+}
+
+// next draws the fault for the next operation: exactly one PRNG draw per
+// operation keeps stream positions aligned across kinds.
+func (in *Injector) next() Kind {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.seen++
+	in.stats.Ops++
+	f := in.rng.Float64()
+	if in.seen <= in.plan.After {
+		return None
+	}
+	p := in.plan
+	switch {
+	case f < p.DelayProb:
+		in.stats.Delays++
+		return Delay
+	case f < p.DelayProb+p.DropProb:
+		in.stats.Drops++
+		return Drop
+	case f < p.DelayProb+p.DropProb+p.DisconnectProb:
+		in.stats.Disconnects++
+		return Disconnect
+	case f < p.DelayProb+p.DropProb+p.DisconnectProb+p.CorruptProb:
+		in.stats.Corrupts++
+		return Corrupt
+	case f < p.DelayProb+p.DropProb+p.DisconnectProb+p.CorruptProb+p.DuplicateProb:
+		in.stats.Duplicates++
+		return Duplicate
+	default:
+		return None
+	}
+}
+
+// Stats snapshots the injection counters.
+func (in *Injector) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+// CorruptBytes deterministically mangles a copy of b by flipping one byte
+// chosen by the schedule stream (an empty input gains one garbage byte).
+// The original is never modified.
+func (in *Injector) CorruptBytes(b []byte) []byte {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := append([]byte(nil), b...)
+	if len(out) == 0 {
+		return []byte{0xff}
+	}
+	i := in.rng.Intn(len(out))
+	out[i] ^= 0xff
+	return out
+}
+
+// CorruptFrame produces corrupted variants of a wire frame payload for
+// codec tests: depending on the schedule stream it flips the kind byte,
+// zeroes the request ID, or truncates the frame — the three corruption
+// classes transport.DecodeReplyFrame must reject by name.
+func (in *Injector) CorruptFrame(frame []byte) []byte {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := append([]byte(nil), frame...)
+	if len(out) == 0 {
+		return out
+	}
+	switch in.rng.Intn(3) {
+	case 0: // unknown kind byte
+		out[0] ^= 0x7f
+	case 1: // reply for request id 0
+		for i := 1; i < len(out) && i < 9; i++ {
+			out[i] = 0
+		}
+	default: // truncation mid-field
+		out = out[:1+in.rng.Intn(len(out)-1)]
+	}
+	return out
+}
+
+// WrapClient wraps c so each Call/Post first consults the schedule.
+// Client-side semantics: Delay sleeps then proceeds; Drop loses the
+// request — with a deadline set the caller waits it out and gets
+// transport.ErrDeadlineExceeded (exactly what a real network drop looks
+// like), without one it fails immediately with ErrInjected; Disconnect
+// closes the underlying client first, so the call and everything after it
+// fails with the transport's own connection errors; Corrupt mangles the
+// request body (the servant-side unmarshal fails); Duplicate is a
+// server-side notion and passes through.
+func (in *Injector) WrapClient(c transport.Client) transport.Client {
+	return &faultClient{inner: c, in: in}
+}
+
+type faultClient struct {
+	inner transport.Client
+	in    *Injector
+}
+
+var _ transport.Client = (*faultClient)(nil)
+
+func (c *faultClient) Call(req transport.Request) (transport.Reply, error) {
+	switch c.in.next() {
+	case Delay:
+		time.Sleep(c.in.plan.Delay)
+	case Drop:
+		if req.Timeout > 0 {
+			time.Sleep(req.Timeout)
+			return transport.Reply{}, fmt.Errorf("faultinject: dropped call %s: %w", req.Operation, transport.ErrDeadlineExceeded)
+		}
+		return transport.Reply{}, fmt.Errorf("faultinject: dropped call %s: %w", req.Operation, ErrInjected)
+	case Disconnect:
+		c.inner.Close()
+		return transport.Reply{}, fmt.Errorf("faultinject: disconnected before call %s: %w", req.Operation, ErrInjected)
+	case Corrupt:
+		req.Body = c.in.CorruptBytes(req.Body)
+	}
+	return c.inner.Call(req)
+}
+
+func (c *faultClient) Post(req transport.Request) error {
+	switch c.in.next() {
+	case Delay:
+		time.Sleep(c.in.plan.Delay)
+	case Drop:
+		// A lost oneway is silent by definition: report success.
+		return nil
+	case Disconnect:
+		c.inner.Close()
+		return fmt.Errorf("faultinject: disconnected before post %s: %w", req.Operation, ErrInjected)
+	case Corrupt:
+		req.Body = c.in.CorruptBytes(req.Body)
+	}
+	return c.inner.Post(req)
+}
+
+func (c *faultClient) Close() error { return c.inner.Close() }
+
+// WrapHandler wraps h so each incoming request first consults the
+// schedule. Server-side semantics: Delay sleeps before dispatch; Drop
+// accepts the request and never responds — the genuine hung-server path
+// that only a client deadline can unwedge; Disconnect is treated as Drop
+// (a handler has no connection to sever); Corrupt mangles the reply body;
+// Duplicate responds twice, exercising the client's discard path.
+func (in *Injector) WrapHandler(h transport.Handler) transport.Handler {
+	return func(conn transport.ConnID, req transport.Request, respond transport.Responder) {
+		switch in.next() {
+		case Delay:
+			time.Sleep(in.plan.Delay)
+		case Drop, Disconnect:
+			return // swallow: the caller's deadline is the only way out
+		case Corrupt:
+			h(conn, req, func(rep transport.Reply) {
+				rep.Body = in.CorruptBytes(rep.Body)
+				respond(rep)
+			})
+			return
+		case Duplicate:
+			h(conn, req, func(rep transport.Reply) {
+				respond(rep)
+				respond(rep)
+			})
+			return
+		}
+		h(conn, req, respond)
+	}
+}

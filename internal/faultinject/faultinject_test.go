@@ -1,0 +1,247 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"causeway/internal/transport"
+)
+
+func echoServer(t *testing.T, n *transport.InprocNetwork, name string) {
+	t.Helper()
+	srv, err := n.Listen(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	if err := srv.Serve(func(conn transport.ConnID, req transport.Request, respond transport.Responder) {
+		respond(transport.Reply{Status: transport.StatusOK, Body: req.Body})
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScheduleDeterminism drives two identically-seeded injectors through
+// the same workload and asserts the schedules — both the counters and the
+// per-call outcome sequence — are identical. This is the property the CI
+// seed matrix leans on.
+func TestScheduleDeterminism(t *testing.T) {
+	plan := Plan{
+		Seed:      42,
+		DropProb:  0.2,
+		DelayProb: 0.1,
+		Delay:     time.Microsecond,
+	}
+	runOnce := func() ([]bool, Stats) {
+		n := transport.NewInprocNetwork()
+		echoServer(t, n, "echo")
+		inner, err := n.Dial("echo")
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := New(plan)
+		c := in.WrapClient(inner)
+		defer c.Close()
+		outcomes := make([]bool, 0, 200)
+		for i := 0; i < 200; i++ {
+			_, err := c.Call(transport.Request{Operation: "op", Body: []byte{byte(i)}})
+			outcomes = append(outcomes, err == nil)
+		}
+		return outcomes, in.Stats()
+	}
+	o1, s1 := runOnce()
+	o2, s2 := runOnce()
+	if s1 != s2 {
+		t.Fatalf("stats diverge across identically-seeded runs: %+v vs %+v", s1, s2)
+	}
+	if s1.Drops == 0 {
+		t.Fatalf("plan with DropProb=0.2 over 200 ops injected no drops: %+v", s1)
+	}
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatalf("outcome %d diverges across identically-seeded runs", i)
+		}
+	}
+}
+
+// TestSeedsDiffer guards against the schedule ignoring the seed.
+func TestSeedsDiffer(t *testing.T) {
+	plan := Plan{DropProb: 0.5}
+	draws := func(seed int64) []Kind {
+		p := plan
+		p.Seed = seed
+		in := New(p)
+		ks := make([]Kind, 64)
+		for i := range ks {
+			ks[i] = in.next()
+		}
+		return ks
+	}
+	a, b := draws(1), draws(2)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 64-draw schedules")
+	}
+}
+
+// TestAfterWindow asserts the first Plan.After operations pass untouched.
+func TestAfterWindow(t *testing.T) {
+	in := New(Plan{Seed: 7, DropProb: 1.0, After: 10})
+	for i := 0; i < 10; i++ {
+		if k := in.next(); k != None {
+			t.Fatalf("op %d inside After window drew %v, want none", i, k)
+		}
+	}
+	if k := in.next(); k != Drop {
+		t.Fatalf("first op past After window drew %v, want drop with DropProb=1", k)
+	}
+}
+
+// TestClientDropHonorsDeadline: a dropped call with a deadline surfaces as
+// the transport's own deadline error after waiting it out — a fault-run
+// caller cannot distinguish injection from a real network drop.
+func TestClientDropHonorsDeadline(t *testing.T) {
+	n := transport.NewInprocNetwork()
+	echoServer(t, n, "echo")
+	inner, err := n.Dial("echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(Plan{Seed: 1, DropProb: 1.0}).WrapClient(inner)
+	defer c.Close()
+	start := time.Now()
+	_, err = c.Call(transport.Request{Operation: "op", Timeout: 20 * time.Millisecond})
+	if !errors.Is(err, transport.ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrDeadlineExceeded", err)
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Fatal("dropped call returned before the deadline elapsed")
+	}
+	// Without a deadline the drop fails fast with the injector's own error
+	// instead of hanging the test forever.
+	if _, err := c.Call(transport.Request{Operation: "op"}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("deadline-less drop: err = %v, want ErrInjected", err)
+	}
+}
+
+// TestServerDropNeedsClientDeadline wires the handler wrapper over real
+// TCP: the server accepts and never replies, and only the client deadline
+// ends the call — the acceptance scenario for hung servers.
+func TestServerDropNeedsClientDeadline(t *testing.T) {
+	srv, err := transport.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	in := New(Plan{Seed: 3, DropProb: 1.0})
+	if err := srv.Serve(in.WrapHandler(func(conn transport.ConnID, req transport.Request, respond transport.Responder) {
+		respond(transport.Reply{Status: transport.StatusOK})
+	})); err != nil {
+		t.Fatal(err)
+	}
+	c, err := transport.DialTCP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const timeout = 50 * time.Millisecond
+	start := time.Now()
+	_, err = c.Call(transport.Request{Operation: "op", Timeout: timeout})
+	if !errors.Is(err, transport.ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrDeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed >= 2*timeout {
+		t.Fatalf("deadline took %v, want < %v", elapsed, 2*timeout)
+	}
+	if n := c.Pending(); n != 0 {
+		t.Fatalf("pending map holds %d entries, want 0", n)
+	}
+}
+
+// TestDuplicateReplyDiscarded: the handler wrapper responds twice; the
+// client must deliver exactly one reply and count the other as discarded.
+func TestDuplicateReplyDiscarded(t *testing.T) {
+	srv, err := transport.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	in := New(Plan{Seed: 5, DuplicateProb: 1.0})
+	if err := srv.Serve(in.WrapHandler(func(conn transport.ConnID, req transport.Request, respond transport.Responder) {
+		respond(transport.Reply{Status: transport.StatusOK, Body: req.Body})
+	})); err != nil {
+		t.Fatal(err)
+	}
+	c, err := transport.DialTCP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	rep, err := c.Call(transport.Request{Operation: "op", Body: []byte("once"), Timeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rep.Body) != "once" {
+		t.Fatalf("reply body = %q", rep.Body)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Discarded() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("duplicate reply never counted as discarded")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := in.Stats().Duplicates; got != 1 {
+		t.Fatalf("injector counted %d duplicates, want 1", got)
+	}
+}
+
+// TestDisconnectSeversClient: after an injected disconnect the underlying
+// client is closed and further calls fail.
+func TestDisconnectSeversClient(t *testing.T) {
+	srv, err := transport.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if err := srv.Serve(func(conn transport.ConnID, req transport.Request, respond transport.Responder) {
+		respond(transport.Reply{Status: transport.StatusOK})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	inner, err := transport.DialTCP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(Plan{Seed: 9, DisconnectProb: 1.0}).WrapClient(inner)
+	if _, err := c.Call(transport.Request{Operation: "op"}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if _, err := inner.Call(transport.Request{Operation: "op"}); err == nil {
+		t.Fatal("underlying client survived an injected disconnect")
+	}
+}
+
+// TestCorruptBytesDeterministic: equal seeds corrupt identically, and the
+// input is never modified in place.
+func TestCorruptBytesDeterministic(t *testing.T) {
+	orig := []byte("payload-bytes")
+	a := New(Plan{Seed: 11}).CorruptBytes(orig)
+	b := New(Plan{Seed: 11}).CorruptBytes(orig)
+	if string(a) != string(b) {
+		t.Fatalf("corruption diverges across equal seeds: %q vs %q", a, b)
+	}
+	if string(orig) != "payload-bytes" {
+		t.Fatal("CorruptBytes modified its input")
+	}
+	if string(a) == string(orig) {
+		t.Fatal("CorruptBytes returned the input unchanged")
+	}
+}

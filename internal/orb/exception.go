@@ -44,6 +44,9 @@ const (
 	CodeMarshal = "MARSHAL"
 	// CodeTransport: the connection failed mid-call.
 	CodeTransport = "COMM_FAILURE"
+	// CodeTimeout: the call's deadline elapsed before a reply arrived. The
+	// invocation may or may not have executed at the server.
+	CodeTimeout = "TIMEOUT"
 	// CodeShutdown: the ORB is shutting down.
 	CodeShutdown = "BAD_INV_ORDER"
 )

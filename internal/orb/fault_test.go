@@ -1,0 +1,335 @@
+package orb
+
+import (
+	"errors"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"causeway/internal/ftl"
+	"causeway/internal/probe"
+	"causeway/internal/transport"
+)
+
+// hungCalc blocks every Add until released — the hung-server scenario.
+type hungCalc struct {
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (h *hungCalc) Add(x, y int32) (int32, error) {
+	select {
+	case h.entered <- struct{}{}:
+	default:
+	}
+	<-h.release
+	return x + y, nil
+}
+func (h *hungCalc) Divide(x, y int32) (int32, error) { return 0, nil }
+func (h *hungCalc) Notify(string) error              { return nil }
+
+// TestCallTimeoutHungServerTCP is the acceptance scenario at the ORB
+// layer: a TCP server accepts the request and never replies; the stub
+// call must fail with a TIMEOUT system exception within 2x the deadline,
+// reclaim its pending-map entry, and leak no goroutines.
+func TestCallTimeoutHungServerTCP(t *testing.T) {
+	env := newEnv()
+	defer env.shutdown()
+	servant := &hungCalc{entered: make(chan struct{}, 1), release: make(chan struct{})}
+	defer close(servant.release) // unblock dispatch so Shutdown can finish
+
+	server := env.orb(t, "server", true, ThreadPerRequest)
+	if err := server.Register("calc1", "Calc", "calc", servant, DispatchCalc); err != nil {
+		t.Fatal(err)
+	}
+	ep, err := server.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := env.orb(t, "client", true, ThreadPerRequest)
+	client.cfg.CallTimeout = 100 * time.Millisecond
+	stub := NewCalcStub(client.RefTo(ep, "calc1", "Calc", "calc"))
+
+	// Establish the connection (readLoop + server connLoop goroutines are
+	// steady-state, not leaks) before taking the goroutine baseline.
+	if _, err := stub.Divide(6, 3); err != nil {
+		t.Fatalf("warm-up call: %v", err)
+	}
+	client.Probes().Tunnel().Clear()
+
+	before := runtime.NumGoroutine()
+	start := time.Now()
+	_, err = stub.Add(2, 3)
+	elapsed := time.Since(start)
+	client.Probes().Tunnel().Clear()
+
+	var se *SystemException
+	if !errors.As(err, &se) || se.Code != CodeTimeout {
+		t.Fatalf("err = %v, want %s system exception", err, CodeTimeout)
+	}
+	if elapsed >= 2*client.cfg.CallTimeout {
+		t.Fatalf("timed-out call took %v, want < %v", elapsed, 2*client.cfg.CallTimeout)
+	}
+	<-servant.entered // the server really did accept and park the request
+
+	// The pending map must be reclaimed on the cached transport client.
+	tc, err := client.client(ep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := tc.(*transport.TCPClient).Pending(); n != 0 {
+		t.Fatalf("pending map holds %d entries after timeout, want 0", n)
+	}
+	// No goroutine leak: allow the dispatch goroutine that is still parked
+	// in the servant (released at cleanup), nothing else accumulating.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		runtime.GC()
+		if g := runtime.NumGoroutine(); g <= before+1 || time.Now().After(deadline) {
+			if g > before+1 {
+				t.Fatalf("goroutines grew from %d to %d after a timed-out call", before, g)
+			}
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The failure leaves the broken-chain probe signature: the client saw
+	// stub_start and stub_end, the server only skeleton_start.
+	events := map[ftl.Event]int{}
+	for _, r := range env.sinks["client"].Snapshot() {
+		if r.Op.Operation == "add" {
+			events[r.Event]++
+		}
+	}
+	if events[ftl.StubStart] != 1 || events[ftl.StubEnd] != 1 {
+		t.Fatalf("client events = %v, want one stub_start and one stub_end", events)
+	}
+}
+
+// flakyWrap builds a WrapClient hook whose first `failures` Calls/Posts
+// fail with a synthetic connection error; the counter is shared across
+// redials so an invalidated-and-redialed client does not reset it.
+func flakyWrap(failures int) (func(transport.Client) transport.Client, *atomic.Int32, *atomic.Int32) {
+	var calls, dials atomic.Int32
+	wrap := func(inner transport.Client) transport.Client {
+		dials.Add(1)
+		return &flakyClient{inner: inner, calls: &calls, failures: int32(failures)}
+	}
+	return wrap, &calls, &dials
+}
+
+type flakyClient struct {
+	inner    transport.Client
+	calls    *atomic.Int32
+	failures int32
+}
+
+func (f *flakyClient) Call(req transport.Request) (transport.Reply, error) {
+	if f.calls.Add(1) <= f.failures {
+		return transport.Reply{}, errors.New("synthetic connection failure")
+	}
+	return f.inner.Call(req)
+}
+
+func (f *flakyClient) Post(req transport.Request) error {
+	if f.calls.Add(1) <= f.failures {
+		return errors.New("synthetic connection failure")
+	}
+	return f.inner.Post(req)
+}
+
+func (f *flakyClient) Close() error { return f.inner.Close() }
+
+// TestRetryIdempotentRedialsAndBumpsSeq: the first attempt fails with a
+// connection error, the retry redials (client invalidation) and succeeds,
+// and every probe record in the chain still has a unique sequence number
+// because the retry advanced the FTL by the policy stride.
+func TestRetryIdempotentRedialsAndBumpsSeq(t *testing.T) {
+	env := newEnv()
+	defer env.shutdown()
+	server := env.orb(t, "server", true, ThreadPerRequest)
+	if err := server.Register("calc1", "Calc", "calc", &calcServant{}, DispatchCalc); err != nil {
+		t.Fatal(err)
+	}
+	ep, err := server.ListenInproc("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := env.orb(t, "client", true, ThreadPerRequest)
+	wrap, _, dials := flakyWrap(1)
+	client.cfg.WrapClient = wrap
+	client.cfg.Retry = RetryPolicy{Attempts: 3, Backoff: time.Millisecond}
+
+	ref := client.RefTo(ep, "calc1", "Calc", "calc")
+	ref.Idempotent = true
+	stub := NewCalcStub(ref)
+	got, err := stub.Add(20, 22)
+	client.Probes().Tunnel().Clear()
+	if err != nil || got != 42 {
+		t.Fatalf("Add = %d, %v; want 42 via retry", got, err)
+	}
+	if d := dials.Load(); d != 2 {
+		t.Fatalf("dials = %d, want 2 (original + redial after invalidation)", d)
+	}
+
+	// No duplicate sequence numbers anywhere in the chain, and the server
+	// events carry the stride offset proving the retry re-sequenced.
+	seen := map[uint64]ftl.Event{}
+	var maxSeq uint64
+	for _, sink := range env.sinks {
+		for _, r := range sink.Snapshot() {
+			if prev, dup := seen[r.Seq]; dup {
+				t.Fatalf("duplicate FTL seq %d (%v and %v)", r.Seq, prev, r.Event)
+			}
+			seen[r.Seq] = r.Event
+			if r.Seq > maxSeq {
+				maxSeq = r.Seq
+			}
+		}
+	}
+	if maxSeq < 4096 {
+		t.Fatalf("max seq %d < default stride 4096: retry did not re-sequence", maxSeq)
+	}
+	// And the resulting chain still reconstructs without anomalies.
+	g := env.dscg(t)
+	if len(g.Anomalies) != 0 {
+		t.Fatalf("anomalies after clean retry: %v", g.Anomalies)
+	}
+	if g.Nodes() != 1 {
+		t.Fatalf("Nodes = %d, want 1", g.Nodes())
+	}
+}
+
+// TestNoRetryWithoutIdempotent: the same failing first attempt is NOT
+// retried when the reference is not marked idempotent.
+func TestNoRetryWithoutIdempotent(t *testing.T) {
+	env := newEnv()
+	defer env.shutdown()
+	server := env.orb(t, "server", true, ThreadPerRequest)
+	if err := server.Register("calc1", "Calc", "calc", &calcServant{}, DispatchCalc); err != nil {
+		t.Fatal(err)
+	}
+	ep, err := server.ListenInproc("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := env.orb(t, "client", true, ThreadPerRequest)
+	wrap, calls, _ := flakyWrap(1)
+	client.cfg.WrapClient = wrap
+	client.cfg.Retry = RetryPolicy{Attempts: 3}
+
+	stub := NewCalcStub(client.RefTo(ep, "calc1", "Calc", "calc"))
+	_, err = stub.Add(1, 1)
+	client.Probes().Tunnel().Clear()
+	var se *SystemException
+	if !errors.As(err, &se) || se.Code != CodeTransport {
+		t.Fatalf("err = %v, want %s system exception", err, CodeTransport)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("non-idempotent call attempted %d times, want 1", n)
+	}
+}
+
+// TestOnewayPostRetries: oneway posts are always repeat-safe, so a failed
+// post retries and the notification is delivered exactly once.
+func TestOnewayPostRetries(t *testing.T) {
+	env := newEnv()
+	defer env.shutdown()
+	notified := make(chan string, 4)
+	server := env.orb(t, "server", true, ThreadPerRequest)
+	if err := server.Register("calc1", "Calc", "calc", &calcServant{notified: notified}, DispatchCalc); err != nil {
+		t.Fatal(err)
+	}
+	ep, err := server.ListenInproc("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := env.orb(t, "client", true, ThreadPerRequest)
+	wrap, _, dials := flakyWrap(1)
+	client.cfg.WrapClient = wrap
+	client.cfg.Retry = RetryPolicy{Attempts: 3, Backoff: time.Millisecond}
+
+	stub := NewCalcStub(client.RefTo(ep, "calc1", "Calc", "calc"))
+	if err := stub.Notify("hello"); err != nil {
+		t.Fatalf("Notify: %v", err)
+	}
+	select {
+	case msg := <-notified:
+		if msg != "hello" {
+			t.Fatalf("notified %q", msg)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("notification never delivered despite retry")
+	}
+	select {
+	case msg := <-notified:
+		t.Fatalf("notification delivered twice: %q", msg)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if d := dials.Load(); d != 2 {
+		t.Fatalf("dials = %d, want 2", d)
+	}
+}
+
+// TestRetryStopsOnShutdown: a retry loop must not spin against a shut-down
+// ORB; it fails fast with the shutdown code.
+func TestRetryStopsOnShutdown(t *testing.T) {
+	env := newEnv()
+	client := env.orb(t, "client", true, ThreadPerRequest)
+	client.cfg.Retry = RetryPolicy{Attempts: 5, Backoff: time.Hour}
+	ref := client.RefTo("inproc://nowhere", "k", "Calc", "calc")
+	ref.Idempotent = true
+	client.Shutdown()
+	start := time.Now()
+	_, err := ref.Invoke("add", nil)
+	var se *SystemException
+	if !errors.As(err, &se) || se.Code != CodeShutdown {
+		t.Fatalf("err = %v, want %s", err, CodeShutdown)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("shutdown retry did not fail fast")
+	}
+}
+
+// TestRetrySeqBodyCopies: bumping the FTL must not clobber the original
+// body shared across attempts.
+func TestRetrySeqBodyCopies(t *testing.T) {
+	env := newEnv()
+	defer env.shutdown()
+	client := env.orb(t, "client", true, ThreadPerRequest)
+	sctx := client.Probes().StubStart(probe.OpID{Component: "c", Interface: "I", Operation: "op"}, false)
+	client.Probes().StubEnd(sctx, sctx.Wire)
+	client.Probes().Tunnel().Clear()
+	orig := AppendFTL([]byte("params"), sctx.Wire)
+	snapshot := append([]byte(nil), orig...)
+
+	b1 := retrySeqBody(orig, 1, 4096)
+	b2 := retrySeqBody(orig, 2, 4096)
+	if string(orig) != string(snapshot) {
+		t.Fatal("retrySeqBody modified the original body")
+	}
+	_, f1, err := TakeFTL(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, f2, err := TakeFTL(b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, f0, err := TakeFTL(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1.Seq != f0.Seq+4096 || f2.Seq != f0.Seq+8192 {
+		t.Fatalf("seqs: base %d, attempt1 %d, attempt2 %d", f0.Seq, f1.Seq, f2.Seq)
+	}
+	if f1.Chain != f0.Chain || f2.Chain != f0.Chain {
+		t.Fatal("retrySeqBody changed the chain id")
+	}
+	if !strings.HasPrefix(string(b1), "params") {
+		t.Fatalf("declared-parameter prefix corrupted: %q", b1)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"time"
 
 	"causeway/internal/probe"
 	"causeway/internal/topology"
@@ -66,6 +67,48 @@ type Config struct {
 	// the call, making per-thread CPU readings (cputime.OSThreadMeter)
 	// valid on dispatch threads.
 	PinDispatch bool
+	// CallTimeout bounds every synchronous invocation issued through this
+	// ORB's references: a call not answered in time fails with a TIMEOUT
+	// system exception instead of hanging the caller forever. Zero means
+	// no deadline (the historical behaviour).
+	CallTimeout time.Duration
+	// Retry enables bounded retry with jittered backoff for invocations
+	// that are safe to repeat — references marked Idempotent, and oneway
+	// posts. The zero value disables retry.
+	Retry RetryPolicy
+	// WrapClient, when set, wraps every transport client the ORB dials —
+	// the fault-injection and tracing hook. The wrapped client is what
+	// gets cached per endpoint.
+	WrapClient func(transport.Client) transport.Client
+	// WrapHandler, when set, wraps the ORB's request handler on every
+	// endpoint it serves — the server-side fault-injection hook.
+	WrapHandler func(transport.Handler) transport.Handler
+}
+
+// RetryPolicy bounds automatic re-invocation at the ORB layer.
+type RetryPolicy struct {
+	// Attempts is the total number of tries (first call included); values
+	// below 2 disable retry.
+	Attempts int
+	// Backoff is the delay before the second attempt, doubled per further
+	// attempt and jittered over [d/2, d]; zero retries immediately.
+	Backoff time.Duration
+	// SeqStride is how far each retry attempt advances the hidden FTL
+	// sequence number, so an earlier attempt that did execute at the
+	// server can never share sequence numbers with the retry's probe
+	// events. Zero selects the default of 4096.
+	SeqStride uint64
+}
+
+// enabled reports whether the policy actually retries.
+func (p RetryPolicy) enabled() bool { return p.Attempts > 1 }
+
+// stride returns the effective sequence stride.
+func (p RetryPolicy) stride() uint64 {
+	if p.SeqStride == 0 {
+		return 4096
+	}
+	return p.SeqStride
 }
 
 // ORB is one logical process's runtime instance.
@@ -122,7 +165,7 @@ func (o *ORB) Register(key, iface, component string, servant any, dispatch Dispa
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	if o.closed {
-		return errors.New("orb: shut down")
+		return errShutdown
 	}
 	if _, dup := o.objects[key]; dup {
 		return fmt.Errorf("orb: object key %q already registered", key)
@@ -165,7 +208,11 @@ func (o *ORB) ListenTCP(addr string) (string, error) {
 }
 
 func (o *ORB) serveOn(srv transport.Server) (string, error) {
-	if err := srv.Serve(o.handleRequest); err != nil {
+	h := transport.Handler(o.handleRequest)
+	if o.cfg.WrapHandler != nil {
+		h = o.cfg.WrapHandler(h)
+	}
+	if err := srv.Serve(h); err != nil {
 		srv.Close()
 		return "", err
 	}
@@ -209,13 +256,16 @@ func (o *ORB) dispatchLocal(req transport.Request) transport.Reply {
 	return reg.dispatch(o, reg.servant, reg.component, req)
 }
 
+// errShutdown reports use of a shut-down ORB; retry loops stop on it.
+var errShutdown = errors.New("orb: shut down")
+
 // client returns (creating if needed) the cached transport client for an
 // endpoint of the form "inproc://name" or "tcp://host:port".
 func (o *ORB) client(endpoint string) (transport.Client, error) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	if o.closed {
-		return nil, errors.New("orb: shut down")
+		return nil, errShutdown
 	}
 	if c, ok := o.clients[endpoint]; ok {
 		return c, nil
@@ -238,8 +288,27 @@ func (o *ORB) client(endpoint string) (transport.Client, error) {
 	if err != nil {
 		return nil, err
 	}
+	if o.cfg.WrapClient != nil {
+		c = o.cfg.WrapClient(c)
+	}
 	o.clients[endpoint] = c
 	return c, nil
+}
+
+// invalidateClient drops a broken client from the cache so the next call
+// redials, closing it if it is still the cached one. A multiplexed TCP
+// client never recovers from a connection-fatal error, so without this a
+// single disconnect would poison the endpoint for the ORB's lifetime.
+func (o *ORB) invalidateClient(endpoint string, c transport.Client) {
+	o.mu.Lock()
+	cur, ok := o.clients[endpoint]
+	if ok && cur == c {
+		delete(o.clients, endpoint)
+	}
+	o.mu.Unlock()
+	if ok && cur == c {
+		c.Close()
+	}
 }
 
 // Shutdown stops serving, waits for in-flight dispatches, and closes all

@@ -1,10 +1,13 @@
 package orb
 
 import (
+	"errors"
 	"fmt"
+	"time"
 
 	"causeway/internal/ftl"
 	"causeway/internal/probe"
+	"causeway/internal/telemetry"
 	"causeway/internal/transport"
 )
 
@@ -16,6 +19,11 @@ type Ref struct {
 	Key       string
 	Interface string
 	Component string
+	// Idempotent marks every operation on this reference safe to repeat,
+	// opting it into the ORB's RetryPolicy. A timed-out attempt may have
+	// executed at the server, so only genuinely repeat-safe objects should
+	// set this.
+	Idempotent bool
 }
 
 // RefTo builds a reference resolvable through this ORB's transports.
@@ -74,37 +82,122 @@ func (o *ORB) servesEndpoint(endpoint string) bool {
 // Invoke performs a synchronous request carrying a pre-marshalled body and
 // returns the raw reply. Generated stubs marshal parameters (and, when
 // instrumented, the hidden FTL) into body, then decode the reply body.
+//
+// A call unanswered within the ORB's CallTimeout fails with a TIMEOUT
+// system exception. References marked Idempotent additionally retry under
+// the ORB's RetryPolicy: each retry waits a jittered, doubling backoff,
+// redials if the connection broke, and offsets the hidden FTL sequence
+// number by the policy stride so a retried invocation that executed twice
+// still emits probe events with unique sequence numbers.
 func (r *Ref) Invoke(operation string, body []byte) (transport.Reply, error) {
-	c, err := r.orb.client(r.Endpoint)
-	if err != nil {
-		return transport.Reply{}, &SystemException{Code: CodeTransport, Detail: err.Error()}
+	attempts := 1
+	policy := r.orb.cfg.Retry
+	if r.Idempotent && policy.enabled() {
+		attempts = policy.Attempts
 	}
-	rep, err := c.Call(transport.Request{
-		ObjectKey: r.Key,
-		Operation: operation,
-		Body:      body,
-	})
-	if err != nil {
-		return transport.Reply{}, &SystemException{Code: CodeTransport, Detail: err.Error()}
+	backoff := policy.Backoff
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		attemptBody := body
+		if attempt > 0 {
+			if backoff > 0 {
+				time.Sleep(telemetry.Jitter(backoff))
+				backoff *= 2
+			}
+			if r.orb.cfg.Instrumented {
+				attemptBody = retrySeqBody(body, attempt, policy.stride())
+			}
+		}
+		c, err := r.orb.client(r.Endpoint)
+		if err != nil {
+			if errors.Is(err, errShutdown) {
+				return transport.Reply{}, &SystemException{Code: CodeShutdown, Detail: err.Error()}
+			}
+			lastErr = &SystemException{Code: CodeTransport, Detail: err.Error()}
+			continue
+		}
+		rep, err := c.Call(transport.Request{
+			ObjectKey: r.Key,
+			Operation: operation,
+			Body:      attemptBody,
+			Timeout:   r.orb.cfg.CallTimeout,
+		})
+		if err == nil {
+			return rep, nil
+		}
+		if errors.Is(err, transport.ErrDeadlineExceeded) {
+			// The connection itself is healthy — the peer is just slow or
+			// hung — so keep the client cached for other callers.
+			lastErr = &SystemException{Code: CodeTimeout, Detail: err.Error()}
+			continue
+		}
+		// Any other Call failure means the connection is unusable; drop it
+		// from the cache so the next attempt (or the next caller) redials.
+		lastErr = &SystemException{Code: CodeTransport, Detail: err.Error()}
+		r.orb.invalidateClient(r.Endpoint, c)
 	}
-	return rep, nil
+	return transport.Reply{}, lastErr
 }
 
-// Post performs a oneway (asynchronous) request.
-func (r *Ref) Post(operation string, body []byte) error {
-	c, err := r.orb.client(r.Endpoint)
+// retrySeqBody returns a copy of body whose hidden trailing FTL has its
+// sequence number advanced by attempt*stride. The copy matters: later
+// attempts re-derive from the original body, and Encode on the shared
+// backing array would clobber it.
+func retrySeqBody(body []byte, attempt int, stride uint64) []byte {
+	prefix, f, err := TakeFTL(body)
 	if err != nil {
-		return &SystemException{Code: CodeTransport, Detail: err.Error()}
+		return body
 	}
-	if err := c.Post(transport.Request{
-		ObjectKey: r.Key,
-		Operation: operation,
-		Oneway:    true,
-		Body:      body,
-	}); err != nil {
-		return &SystemException{Code: CodeTransport, Detail: err.Error()}
+	f.Seq += uint64(attempt) * stride
+	out := make([]byte, len(prefix), len(prefix)+ftl.WireSize)
+	copy(out, prefix)
+	return f.Encode(out)
+}
+
+// Post performs a oneway (asynchronous) request. Oneway posts are
+// fire-and-forget and therefore always repeat-safe: when the ORB has a
+// RetryPolicy, a failed post is retried with the same jittered backoff and
+// redial behaviour as idempotent calls.
+func (r *Ref) Post(operation string, body []byte) error {
+	attempts := 1
+	policy := r.orb.cfg.Retry
+	if policy.enabled() {
+		attempts = policy.Attempts
 	}
-	return nil
+	backoff := policy.Backoff
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		attemptBody := body
+		if attempt > 0 {
+			if backoff > 0 {
+				time.Sleep(telemetry.Jitter(backoff))
+				backoff *= 2
+			}
+			if r.orb.cfg.Instrumented {
+				attemptBody = retrySeqBody(body, attempt, policy.stride())
+			}
+		}
+		c, err := r.orb.client(r.Endpoint)
+		if err != nil {
+			if errors.Is(err, errShutdown) {
+				return &SystemException{Code: CodeShutdown, Detail: err.Error()}
+			}
+			lastErr = &SystemException{Code: CodeTransport, Detail: err.Error()}
+			continue
+		}
+		if err := c.Post(transport.Request{
+			ObjectKey: r.Key,
+			Operation: operation,
+			Oneway:    true,
+			Body:      attemptBody,
+		}); err != nil {
+			lastErr = &SystemException{Code: CodeTransport, Detail: err.Error()}
+			r.orb.invalidateClient(r.Endpoint, c)
+			continue
+		}
+		return nil
+	}
+	return lastErr
 }
 
 // AppendFTL marshals the hidden in-out FTL parameter after the declared

@@ -37,6 +37,16 @@ func DSCGText(w io.Writer, g *analysis.DSCG, maxDepth, maxNodes int) error {
 			break
 		}
 	}
+	if len(g.Broken) > 0 {
+		if _, err := fmt.Fprintf(w, "broken chains: %d\n", len(g.Broken)); err != nil {
+			return err
+		}
+		for _, b := range g.Broken {
+			if _, err := fmt.Fprintf(w, "  ! %s\n", b); err != nil {
+				return err
+			}
+		}
+	}
 	if len(g.Anomalies) > 0 {
 		if _, err := fmt.Fprintf(w, "anomalies: %d\n", len(g.Anomalies)); err != nil {
 			return err
@@ -59,8 +69,15 @@ func writeNode(w io.Writer, n *analysis.Node, depth, maxDepth, maxNodes int, wri
 	}
 	*written++
 	indent := strings.Repeat("  ", depth)
-	label := fmt.Sprintf("%s%s::%s(%s)", indent, n.Op.Interface, n.Op.Operation, n.Op.Object)
+	mark := ""
+	if n.Broken {
+		mark = "! "
+	}
+	label := fmt.Sprintf("%s%s%s::%s(%s)", indent, mark, n.Op.Interface, n.Op.Operation, n.Op.Object)
 	var notes []string
+	if n.Broken {
+		notes = append(notes, "broken: "+n.BrokenReason)
+	}
 	if n.Oneway {
 		notes = append(notes, "oneway")
 	}

@@ -11,18 +11,43 @@ import (
 	"causeway/internal/uuid"
 )
 
-// TestDSCGTextShowsAnomalies: truncated chains surface in the rendering.
+// TestDSCGTextShowsAnomalies: impossible transitions surface in the
+// rendering.
 func TestDSCGTextShowsAnomalies(t *testing.T) {
 	chain := uuid.UUID{0: 3}
 	db := logdb.NewStore()
 	db.Insert(
-		probe.Record{Kind: probe.KindEvent, Chain: chain, Seq: 1, Event: ftl.StubStart,
-			Op: probe.OpID{Interface: "I", Operation: "broken", Object: "o"}},
+		// A chain cannot open with a stub_end: corrupt or mis-merged log.
+		probe.Record{Kind: probe.KindEvent, Chain: chain, Seq: 1, Event: ftl.StubEnd,
+			Op: probe.OpID{Interface: "I", Operation: "weird", Object: "o"}},
 	)
 	g := analysis.Reconstruct(db)
 	out := DSCGString(g)
 	if !strings.Contains(out, "anomalies: 1") || !strings.Contains(out, "!") {
 		t.Fatalf("anomaly not rendered:\n%s", out)
+	}
+}
+
+// TestDSCGTextShowsBrokenChains: failure remnants render with the '!'
+// marker on the node and a broken-chains summary section.
+func TestDSCGTextShowsBrokenChains(t *testing.T) {
+	chain := uuid.UUID{0: 3}
+	db := logdb.NewStore()
+	db.Insert(
+		// Truncated chain: the process died before the remaining probes.
+		probe.Record{Kind: probe.KindEvent, Chain: chain, Seq: 1, Event: ftl.StubStart,
+			Op: probe.OpID{Interface: "I", Operation: "broken", Object: "o"}},
+	)
+	g := analysis.Reconstruct(db)
+	out := DSCGString(g)
+	if !strings.Contains(out, "! I::broken(o)") {
+		t.Fatalf("broken node not marked with '!':\n%s", out)
+	}
+	if !strings.Contains(out, "broken chains: 1") || !strings.Contains(out, "missing") {
+		t.Fatalf("broken-chain summary missing:\n%s", out)
+	}
+	if strings.Contains(out, "anomalies:") {
+		t.Fatalf("broken chain misreported as anomaly:\n%s", out)
 	}
 }
 

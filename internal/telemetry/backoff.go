@@ -1,0 +1,18 @@
+package telemetry
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Jitter spreads a backoff delay uniformly over [d/2, d], the decorrelation
+// the shipper's reconnect loop has always used. It is exported because the
+// ORB's retry policy wants the same spread: every layer that retries against
+// a shared peer should jitter the same way so synchronized retry storms
+// cannot form.
+func Jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}

@@ -2,7 +2,6 @@ package telemetry
 
 import (
 	"errors"
-	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -295,7 +294,7 @@ func (s *ShipperSink) loop() {
 		if client == nil {
 			if client = s.connect(); client == nil {
 				// Jittered exponential backoff, interruptible by stop.
-				d := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1))
+				d := Jitter(backoff)
 				backoff *= 2
 				if backoff > s.cfg.BackoffMax {
 					backoff = s.cfg.BackoffMax

@@ -1,0 +1,70 @@
+// Corrupt-frame handling, tested from outside the package so the
+// faultinject corrupter can be reused without an import cycle
+// (faultinject wraps transport's Client/Handler types).
+package transport_test
+
+import (
+	"strings"
+	"testing"
+
+	"causeway/internal/faultinject"
+	"causeway/internal/transport"
+)
+
+// TestDecodeReplyFrameRejectsCorruption feeds DecodeReplyFrame both
+// hand-built corruptions and injector-generated ones, asserting each
+// class is rejected with its specific transport:-prefixed error rather
+// than a generic decode failure.
+func TestDecodeReplyFrameRejectsCorruption(t *testing.T) {
+	valid := transport.EncodeReplyFrame(transport.Reply{
+		ID: 7, Status: transport.StatusOK, Body: []byte("payload"),
+	})
+
+	flipKind := append([]byte(nil), valid...)
+	flipKind[0] ^= 0x7f
+	zeroID := append([]byte(nil), valid...)
+	for i := 1; i < 9; i++ {
+		zeroID[i] = 0
+	}
+
+	cases := []struct {
+		name  string
+		frame []byte
+		want  string
+	}{
+		{"empty frame", nil, "empty frame"},
+		{"unknown kind byte", flipKind, "unknown frame kind"},
+		{"request id zero", zeroID, "request id 0"},
+		{"truncated after kind", valid[:1], "malformed reply"},
+		{"truncated mid-id", valid[:5], "malformed reply"},
+		{"truncated mid-body", valid[:len(valid)-3], "malformed reply"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := transport.DecodeReplyFrame(tc.frame)
+			if err == nil {
+				t.Fatal("corrupt frame decoded successfully")
+			}
+			if !strings.HasPrefix(err.Error(), "transport:") {
+				t.Fatalf("err = %v, want transport: prefix", err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want mention of %q", err, tc.want)
+			}
+		})
+	}
+
+	// The faultinject corrupter generates the same three classes from its
+	// seeded stream; every variant must be rejected the same way.
+	in := faultinject.New(faultinject.Plan{Seed: 1234})
+	for i := 0; i < 64; i++ {
+		frame := in.CorruptFrame(valid)
+		_, err := transport.DecodeReplyFrame(frame)
+		if err == nil {
+			t.Fatalf("injector variant %d (% x) decoded successfully", i, frame)
+		}
+		if !strings.HasPrefix(err.Error(), "transport:") {
+			t.Fatalf("injector variant %d: err = %v, want transport: prefix", i, err)
+		}
+	}
+}

@@ -1,0 +1,350 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTCPDeadlineExceeded is the core hung-server scenario: the server
+// accepts the request and never replies, and Call must fail with
+// ErrDeadlineExceeded within 2x the configured deadline, reclaiming its
+// pending-map entry.
+func TestTCPDeadlineExceeded(t *testing.T) {
+	srv, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	block := make(chan struct{})
+	defer close(block)
+	if err := srv.Serve(func(conn ConnID, req Request, respond Responder) {
+		<-block // hang: never respond
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c, err := DialTCP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const timeout = 100 * time.Millisecond
+	start := time.Now()
+	_, err = c.Call(Request{Operation: "hang", Timeout: timeout})
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrDeadlineExceeded", err)
+	}
+	if elapsed >= 2*timeout {
+		t.Fatalf("deadline took %v, want < %v", elapsed, 2*timeout)
+	}
+	if n := c.Pending(); n != 0 {
+		t.Fatalf("pending map holds %d entries after timeout, want 0", n)
+	}
+}
+
+// TestInprocDeadlineExceeded mirrors the hung-server scenario on the
+// in-process transport.
+func TestInprocDeadlineExceeded(t *testing.T) {
+	n := NewInprocNetwork()
+	srv, err := n.Listen("hung")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	block := make(chan struct{})
+	defer close(block)
+	if err := srv.Serve(func(conn ConnID, req Request, respond Responder) {
+		<-block
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c, err := n.Dial("hung")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const timeout = 100 * time.Millisecond
+	start := time.Now()
+	_, err = c.Call(Request{Operation: "hang", Timeout: timeout})
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrDeadlineExceeded", err)
+	}
+	if elapsed >= 2*timeout {
+		t.Fatalf("deadline took %v, want < %v", elapsed, 2*timeout)
+	}
+}
+
+// TestTCPLateReplyDiscarded abandons a call at its deadline, then lets the
+// server reply anyway: the late reply must be discarded (counted, not
+// delivered) and the connection must keep working for fresh calls.
+func TestTCPLateReplyDiscarded(t *testing.T) {
+	srv, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	release := make(chan struct{})
+	if err := srv.Serve(func(conn ConnID, req Request, respond Responder) {
+		if req.Operation == "slow" {
+			go func() {
+				<-release
+				respond(Reply{Status: StatusOK, Body: []byte("late")})
+			}()
+			return
+		}
+		respond(Reply{Status: StatusOK, Body: req.Body})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c, err := DialTCP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.Call(Request{Operation: "slow", Timeout: 30 * time.Millisecond}); !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrDeadlineExceeded", err)
+	}
+	close(release) // now the server sends the abandoned reply
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Discarded() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("late reply never counted as discarded")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if n := c.Pending(); n != 0 {
+		t.Fatalf("pending map holds %d entries, want 0", n)
+	}
+	// Fresh calls on the same connection still work and are not cross-wired
+	// with the discarded reply.
+	rep, err := c.Call(Request{Operation: "echo", Body: []byte("fresh"), Timeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rep.Body) != "fresh" {
+		t.Fatalf("reply body = %q, want the fresh echo, not the stale reply", rep.Body)
+	}
+}
+
+// TestInprocLateReplyDiscarded covers the same abandonment on the
+// in-process transport.
+func TestInprocLateReplyDiscarded(t *testing.T) {
+	n := NewInprocNetwork()
+	srv, err := n.Listen("slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	release := make(chan struct{})
+	if err := srv.Serve(func(conn ConnID, req Request, respond Responder) {
+		<-release
+		respond(Reply{Status: StatusOK, Body: []byte("late")})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := n.Dial("slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Call(Request{Operation: "slow", Timeout: 30 * time.Millisecond}); !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrDeadlineExceeded", err)
+	}
+	close(release)
+	ic := cl.(*inprocClient)
+	deadline := time.Now().Add(2 * time.Second)
+	for ic.Discarded() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("late reply never counted as discarded")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestTCPReplyWinsDeadlineRace drives many calls whose reply lands right
+// around the deadline; every call must either deliver the genuine reply or
+// fail with ErrDeadlineExceeded — never hang, never mis-deliver.
+func TestTCPReplyWinsDeadlineRace(t *testing.T) {
+	srv, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if err := srv.Serve(func(conn ConnID, req Request, respond Responder) {
+		go func() {
+			time.Sleep(2 * time.Millisecond)
+			respond(Reply{Status: StatusOK, Body: req.Body})
+		}()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c, err := DialTCP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 200; i++ {
+		rep, err := c.Call(Request{Operation: "edge", Body: []byte{byte(i)}, Timeout: 2 * time.Millisecond})
+		if err != nil {
+			if !errors.Is(err, ErrDeadlineExceeded) {
+				t.Fatalf("call %d: %v", i, err)
+			}
+			continue
+		}
+		if len(rep.Body) != 1 || rep.Body[0] != byte(i) {
+			t.Fatalf("call %d: cross-wired reply %v", i, rep.Body)
+		}
+	}
+	if n := c.Pending(); n != 0 {
+		t.Fatalf("pending map holds %d entries, want 0", n)
+	}
+}
+
+// TestTCPCallCloseRace loops Call against Close under the race detector:
+// no interleaving may strand a caller or corrupt the pending map. This is
+// the regression test for the closed-check-before-register window.
+func TestTCPCallCloseRace(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		srv, err := ListenTCP("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.Serve(func(conn ConnID, req Request, respond Responder) {
+			respond(Reply{Status: StatusOK, Body: req.Body})
+		}); err != nil {
+			t.Fatal(err)
+		}
+		c, err := DialTCP(srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 25; i++ {
+					// Bounded wait so a stranded call fails the test loudly
+					// instead of deadlocking it.
+					_, err := c.Call(Request{Operation: "op", Timeout: 5 * time.Second})
+					if err != nil {
+						return // closed underneath us: expected
+					}
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.Close()
+		}()
+		wg.Wait()
+		if n := c.Pending(); n != 0 {
+			t.Fatalf("round %d: %d pending entries leaked across close", round, n)
+		}
+		srv.Close()
+	}
+}
+
+// rawReplyServer accepts one connection and lets the test write arbitrary
+// frames to the client.
+func rawReplyServer(t *testing.T) (addr string, conns <-chan net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	ch := make(chan net.Conn, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		ch <- conn
+	}()
+	return ln.Addr().String(), ch
+}
+
+// writeRawFrame length-prefixes payload exactly like writeFrame.
+func writeRawFrame(t *testing.T, conn net.Conn, payload []byte) {
+	t.Helper()
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := conn.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTCPCorruptReplyFailsConnection sends a well-framed but invalid reply
+// payload; the client must fail the in-flight call with the specific
+// transport: decode error and refuse further use of the connection.
+func TestTCPCorruptReplyFailsConnection(t *testing.T) {
+	cases := []struct {
+		name    string
+		payload []byte
+		want    string
+	}{
+		{"unknown kind", append([]byte{0x7f}, EncodeReplyFrame(Reply{ID: 1, Status: StatusOK})[1:]...), "unknown frame kind"},
+		{"reply id zero", EncodeReplyFrame(Reply{ID: 0, Status: StatusOK}), "request id 0"},
+		{"truncated reply", EncodeReplyFrame(Reply{ID: 1, Status: StatusOK})[:3], "malformed reply"},
+		{"empty frame", []byte{}, "empty frame"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			addr, conns := rawReplyServer(t)
+			c, err := DialTCP(addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			errCh := make(chan error, 1)
+			go func() {
+				_, err := c.Call(Request{Operation: "op"})
+				errCh <- err
+			}()
+			conn := <-conns
+			defer conn.Close()
+			// Drain the request frame, then poison the reply stream.
+			if _, err := readFrame(conn); err != nil {
+				t.Fatal(err)
+			}
+			writeRawFrame(t, conn, tc.payload)
+			err = <-errCh
+			if err == nil {
+				t.Fatal("call succeeded on corrupt reply")
+			}
+			if !strings.Contains(err.Error(), "transport:") || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want transport: error containing %q", err, tc.want)
+			}
+			if _, err := c.Call(Request{Operation: "again"}); err == nil {
+				t.Fatal("connection usable after corrupt frame")
+			}
+		})
+	}
+}
+
+// TestDecodeReplyFrameRoundTrip pins Encode/Decode as inverses for valid
+// replies.
+func TestDecodeReplyFrameRoundTrip(t *testing.T) {
+	want := Reply{ID: 42, Status: StatusUserException, Body: []byte("boom")}
+	got, err := DecodeReplyFrame(EncodeReplyFrame(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != want.ID || got.Status != want.Status || string(got.Body) != string(want.Body) {
+		t.Fatalf("round trip: got %+v want %+v", got, want)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // InprocNetwork is a namespace of in-process endpoints. Multiple logical
@@ -94,10 +95,11 @@ func (s *inprocServer) deliver(conn ConnID, req Request, respond Responder) erro
 }
 
 type inprocClient struct {
-	server *inprocServer
-	conn   ConnID
-	nextID atomic.Uint64
-	closed atomic.Bool
+	server    *inprocServer
+	conn      ConnID
+	nextID    atomic.Uint64
+	closed    atomic.Bool
+	discarded atomic.Uint64
 }
 
 var _ Client = (*inprocClient)(nil)
@@ -109,12 +111,67 @@ func (c *inprocClient) Call(req Request) (Reply, error) {
 	req.ID = c.nextID.Add(1)
 	req.Oneway = false
 	ch := make(chan Reply, 1)
-	err := c.server.deliver(c.conn, req, func(r Reply) { ch <- r })
-	if err != nil {
-		return Reply{}, err
+	if req.Timeout <= 0 {
+		err := c.server.deliver(c.conn, req, func(r Reply) { ch <- r })
+		if err != nil {
+			return Reply{}, err
+		}
+		return <-ch, nil
 	}
-	return <-ch, nil
+
+	// Deadline-bounded: the handler may block indefinitely (that is the
+	// failure mode deadlines exist for), so deliver runs on its own
+	// goroutine. abandoned marks the call so a reply produced after the
+	// deadline is discarded, never delivered; the buffered send keeps a
+	// late responder from leaking a goroutine.
+	var abandoned atomic.Bool
+	respond := func(r Reply) {
+		if abandoned.Load() {
+			c.discarded.Add(1)
+			return
+		}
+		select {
+		case ch <- r:
+		default:
+			c.discarded.Add(1) // duplicate reply
+		}
+	}
+	done := make(chan struct{})
+	var derr error
+	go func() {
+		derr = c.server.deliver(c.conn, req, respond)
+		close(done)
+	}()
+	timer := time.NewTimer(req.Timeout)
+	defer timer.Stop()
+	for {
+		select {
+		case rep := <-ch:
+			return rep, nil
+		case <-done:
+			if derr != nil {
+				return Reply{}, derr
+			}
+			// Dispatch completed; with an asynchronous threading policy the
+			// reply may still be in flight, so keep waiting on ch/timer.
+			done = nil
+		case <-timer.C:
+			abandoned.Store(true)
+			// The responder may have won the race into the buffered channel
+			// just before abandoned flipped; honor that reply.
+			select {
+			case rep := <-ch:
+				return rep, nil
+			default:
+			}
+			return Reply{}, fmt.Errorf("transport: call %s: %w after %v", req.Operation, ErrDeadlineExceeded, req.Timeout)
+		}
+	}
 }
+
+// Discarded reports replies dropped because their call was abandoned at
+// the deadline (or was a duplicate).
+func (c *inprocClient) Discarded() uint64 { return c.discarded.Load() }
 
 func (c *inprocClient) Post(req Request) error {
 	if c.closed.Load() {

@@ -8,6 +8,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Frame layout: every message is a length-prefixed frame.
@@ -177,6 +178,36 @@ func decodeReply(fr *frameReader) (Reply, error) {
 	return rep, nil
 }
 
+// DecodeReplyFrame parses a raw frame payload (as framed by writeFrame,
+// without the length prefix) as a reply, validating it strictly: a frame
+// whose length was plausible but whose payload is not a well-formed reply
+// for a real request is rejected with a specific transport: error rather
+// than a generic decode failure. Request IDs start at 1, so a reply
+// claiming ID 0 can only come from corruption.
+func DecodeReplyFrame(frame []byte) (Reply, error) {
+	fr := &frameReader{buf: frame}
+	kind, err := fr.u8()
+	if err != nil {
+		return Reply{}, errors.New("transport: empty frame")
+	}
+	if kind != frameReply {
+		return Reply{}, fmt.Errorf("transport: unknown frame kind 0x%02x (want reply 0x%02x)", kind, frameReply)
+	}
+	rep, err := decodeReply(fr)
+	if err != nil {
+		return Reply{}, fmt.Errorf("transport: malformed reply frame: %v", err)
+	}
+	if rep.ID == 0 {
+		return Reply{}, errors.New("transport: reply for request id 0 (request ids start at 1)")
+	}
+	return rep, nil
+}
+
+// EncodeReplyFrame renders rep as a frame payload, the inverse of
+// DecodeReplyFrame. Exported for fault injectors and codec tests that need
+// to synthesize wire bytes.
+func EncodeReplyFrame(rep Reply) []byte { return encodeReply(rep) }
+
 // TCPServer serves requests over TCP. One read goroutine per connection
 // delivers requests to the handler; the handler's scheduling policy decides
 // which goroutine executes the dispatch.
@@ -298,15 +329,33 @@ func (s *TCPServer) connLoop(conn net.Conn, id ConnID) {
 }
 
 // TCPClient multiplexes synchronous calls over one TCP connection.
+//
+// Lifecycle invariants (the Call/Close/readLoop interleaving audit):
+//
+//   - readLoop is the only goroutine that delivers replies; it removes the
+//     pending entry under mu before sending on the (buffered, capacity-1)
+//     channel, so a sender never blocks and at most one reply reaches a
+//     given entry.
+//   - Failure teardown (connection error, strict-decode error, Close) sets
+//     readErr and closes every pending channel under the same mu that Call
+//     uses to register, so a Call either observes readErr before
+//     registering and fails fast, or registers first and is guaranteed to
+//     be woken by the teardown's close. No interleaving strands a waiter.
+//   - Call re-checks closed under mu at registration time: Close flips
+//     closed before closing the socket, so without the re-check a Call
+//     racing Close could register, win the writeFrame race against the
+//     socket teardown, and only fail when readLoop collapses — correct but
+//     noisy. The re-check turns that window into a clean ErrClosed.
 type TCPClient struct {
-	conn    net.Conn
-	writeMu sync.Mutex
-	mu      sync.Mutex
-	pending map[uint64]chan Reply
-	nextID  atomic.Uint64
-	closed  atomic.Bool
-	readErr error
-	done    chan struct{}
+	conn      net.Conn
+	writeMu   sync.Mutex
+	mu        sync.Mutex
+	pending   map[uint64]chan Reply
+	nextID    atomic.Uint64
+	closed    atomic.Bool
+	discarded atomic.Uint64
+	readErr   error
+	done      chan struct{}
 }
 
 var _ Client = (*TCPClient)(nil)
@@ -326,28 +375,37 @@ func DialTCP(addr string) (*TCPClient, error) {
 	return c, nil
 }
 
+// failPending records err as the connection's terminal state and wakes
+// every registered caller by closing its channel.
+func (c *TCPClient) failPending(err error) {
+	c.mu.Lock()
+	if c.readErr == nil {
+		c.readErr = err
+	}
+	for id, ch := range c.pending {
+		close(ch)
+		delete(c.pending, id)
+	}
+	c.mu.Unlock()
+}
+
 func (c *TCPClient) readLoop() {
 	defer close(c.done)
 	for {
 		frame, err := readFrame(c.conn)
 		if err != nil {
-			c.mu.Lock()
-			c.readErr = err
-			for id, ch := range c.pending {
-				close(ch)
-				delete(c.pending, id)
-			}
-			c.mu.Unlock()
+			c.failPending(err)
 			return
 		}
-		fr := &frameReader{buf: frame}
-		kind, err := fr.u8()
-		if err != nil || kind != frameReply {
-			continue
-		}
-		rep, err := decodeReply(fr)
+		rep, err := DecodeReplyFrame(frame)
 		if err != nil {
-			continue
+			// A frame that framed correctly but does not decode to a valid
+			// reply means the stream is corrupt or the peer speaks another
+			// protocol; resynchronizing is impossible, so the connection is
+			// fatal. Every waiter sees the specific decode error.
+			c.conn.Close()
+			c.failPending(err)
+			return
 		}
 		c.mu.Lock()
 		ch, ok := c.pending[rep.ID]
@@ -357,9 +415,25 @@ func (c *TCPClient) readLoop() {
 		c.mu.Unlock()
 		if ok {
 			ch <- rep
+		} else {
+			// Reply for an ID nobody is waiting on: the call was abandoned
+			// (deadline) or this is a duplicate. Discard, never deliver.
+			c.discarded.Add(1)
 		}
 	}
 }
+
+// Pending reports how many calls are registered awaiting replies. Tests
+// use it to assert that abandoned calls reclaim their map entries.
+func (c *TCPClient) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
+}
+
+// Discarded reports how many replies arrived for IDs no caller was waiting
+// on — late replies to abandoned (timed-out) calls and duplicates.
+func (c *TCPClient) Discarded() uint64 { return c.discarded.Load() }
 
 // Call implements Client.
 func (c *TCPClient) Call(req Request) (Reply, error) {
@@ -375,6 +449,12 @@ func (c *TCPClient) Call(req Request) (Reply, error) {
 		c.mu.Unlock()
 		return Reply{}, err
 	}
+	if c.closed.Load() {
+		// Close won the race since the fast check above; registering now
+		// would still be woken by teardown, but fail cleanly instead.
+		c.mu.Unlock()
+		return Reply{}, ErrClosed
+	}
 	c.pending[req.ID] = ch
 	c.mu.Unlock()
 
@@ -387,17 +467,54 @@ func (c *TCPClient) Call(req Request) (Reply, error) {
 		c.mu.Unlock()
 		return Reply{}, err
 	}
-	rep, ok := <-ch
-	if !ok {
-		c.mu.Lock()
-		err := c.readErr
-		c.mu.Unlock()
-		if err == nil {
-			err = ErrClosed
+
+	if req.Timeout <= 0 {
+		rep, ok := <-ch
+		if !ok {
+			return Reply{}, c.terminalErr()
 		}
-		return Reply{}, err
+		return rep, nil
 	}
-	return rep, nil
+
+	timer := time.NewTimer(req.Timeout)
+	defer timer.Stop()
+	select {
+	case rep, ok := <-ch:
+		if !ok {
+			return Reply{}, c.terminalErr()
+		}
+		return rep, nil
+	case <-timer.C:
+		c.mu.Lock()
+		if _, registered := c.pending[req.ID]; registered {
+			// Nobody has touched the entry: reclaim it. A reply arriving
+			// later finds no waiter and is counted in Discarded.
+			delete(c.pending, req.ID)
+			c.mu.Unlock()
+			return Reply{}, fmt.Errorf("transport: call %s: %w after %v", req.Operation, ErrDeadlineExceeded, req.Timeout)
+		}
+		c.mu.Unlock()
+		// readLoop removed the entry concurrently with the timer firing:
+		// either the reply beat the deadline at the wire (buffered send is
+		// imminent or done — deliver it) or teardown closed the channel.
+		rep, ok := <-ch
+		if !ok {
+			return Reply{}, c.terminalErr()
+		}
+		return rep, nil
+	}
+}
+
+// terminalErr reports why the connection collapsed, for a caller whose
+// pending channel was closed by teardown.
+func (c *TCPClient) terminalErr() error {
+	c.mu.Lock()
+	err := c.readErr
+	c.mu.Unlock()
+	if err == nil {
+		err = ErrClosed
+	}
+	return err
 }
 
 // Post implements Client.

@@ -14,6 +14,7 @@ package transport
 import (
 	"errors"
 	"fmt"
+	"time"
 )
 
 // Status classifies a reply.
@@ -59,6 +60,11 @@ type Request struct {
 	// Body is the CDR-encoded parameter list (plus the hidden FTL when the
 	// deployment is instrumented).
 	Body []byte
+	// Timeout bounds how long Call waits for the reply; zero means wait
+	// forever (the pre-deadline behaviour). It is a client-local deadline —
+	// it never travels on the wire — so a timed-out request may still
+	// execute at the server; the late reply is discarded, not delivered.
+	Timeout time.Duration
 }
 
 // Reply is one response message.
@@ -93,7 +99,11 @@ type Server interface {
 
 // Client issues requests to one server endpoint.
 type Client interface {
-	// Call performs a synchronous request and waits for the reply.
+	// Call performs a synchronous request and waits for the reply. When
+	// req.Timeout is positive the wait is bounded: a call that has not
+	// completed by then fails with an error wrapping ErrDeadlineExceeded,
+	// its bookkeeping is reclaimed, and a reply arriving afterwards is
+	// discarded.
 	Call(req Request) (Reply, error)
 	// Post sends a oneway request without waiting.
 	Post(req Request) error
@@ -107,4 +117,7 @@ var (
 	ErrClosed = errors.New("transport: closed")
 	// ErrUnknownEndpoint reports a dial to an unregistered in-process name.
 	ErrUnknownEndpoint = errors.New("transport: unknown endpoint")
+	// ErrDeadlineExceeded reports a Call abandoned because its Timeout
+	// elapsed before the reply arrived. Match with errors.Is.
+	ErrDeadlineExceeded = errors.New("transport: deadline exceeded")
 )

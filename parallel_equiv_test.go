@@ -14,6 +14,7 @@ import (
 	"causeway/internal/analysis"
 	"causeway/internal/benchgen/instrecho"
 	"causeway/internal/cputime"
+	"causeway/internal/ftl"
 	"causeway/internal/gls"
 	"causeway/internal/logdb"
 	"causeway/internal/pps"
@@ -149,6 +150,46 @@ func TestParallelEquivalenceLivemonitor(t *testing.T) {
 	}
 	if seq.Stats != par.Stats {
 		t.Fatalf("stats diverge: %+v vs %+v", seq.Stats, par.Stats)
+	}
+}
+
+// TestParallelEquivalenceBrokenChains damages the PPS workload's log —
+// deleting every record of one probe-event class at a time — and asserts
+// the worker-pool path still characterizes byte-identically, including the
+// broken-chain warnings and '!' markers the damaged log produces.
+func TestParallelEquivalenceBrokenChains(t *testing.T) {
+	pipeline, err := pps.Build(pps.Options{
+		Network:      transport.NewInprocNetwork(),
+		Layout:       pps.FourProcess(),
+		Instrumented: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pipeline.Shutdown()
+	if err := pipeline.RunJobs(3, 2, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := pipeline.AwaitQuiescent(3, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	records := pipeline.Records()
+
+	for _, ev := range []ftl.Event{ftl.StubStart, ftl.SkelStart, ftl.SkelEnd, ftl.StubEnd} {
+		t.Run(ev.String(), func(t *testing.T) {
+			db := logdb.NewStore()
+			for _, r := range records {
+				if r.Kind == probe.KindEvent && r.Event == ev {
+					continue
+				}
+				db.Insert(r)
+			}
+			assertParallelEquivalent(t, db)
+			g := analysis.Reconstruct(db)
+			if len(g.Broken)+len(g.Anomalies) == 0 {
+				t.Fatalf("deleting every %s record produced no warnings or anomalies", ev)
+			}
+		})
 	}
 }
 
