@@ -1,0 +1,134 @@
+// Command benchreport turns `go test -bench` output into the repo's bench
+// trajectory file (BENCH_4.json): a baseline run captured once, plus the
+// current run, per benchmark (ns/op, B/op, allocs/op). scripts/bench.sh
+// pipes the benchmark output through it; the committed file is how a reader
+// (or CI) sees whether the hot path got faster or slower without rerunning
+// anything.
+//
+// Usage:
+//
+//	go test -run '^$' -bench ... -benchmem . | benchreport -out BENCH_4.json
+//
+// The first invocation (or -set-baseline) records the run as the baseline;
+// later invocations only replace "current" and print a comparison table.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Metrics is one benchmark's measured costs.
+type Metrics struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Run is one full benchmark sweep.
+type Run struct {
+	Label      string             `json:"label,omitempty"`
+	Benchmarks map[string]Metrics `json:"benchmarks"`
+}
+
+// Report is the on-disk BENCH_4.json shape.
+type Report struct {
+	Schema   string `json:"schema"`
+	Baseline *Run   `json:"baseline,omitempty"`
+	Current  *Run   `json:"current,omitempty"`
+}
+
+// benchLine matches one `go test -bench -benchmem` result line, e.g.
+// "BenchmarkHotPathOneway-8   10000   9327 ns/op   144 B/op   2 allocs/op".
+var benchLine = regexp.MustCompile(`^(Benchmark[^\s]+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op\s+([\d.]+) allocs/op)?`)
+
+func parseRun(label string) (*Run, error) {
+	run := &Run{Label: label, Benchmarks: map[string]Metrics{}}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		var met Metrics
+		met.NsPerOp, _ = strconv.ParseFloat(m[2], 64)
+		if m[3] != "" {
+			b, _ := strconv.ParseFloat(m[3], 64)
+			a, _ := strconv.ParseFloat(m[4], 64)
+			met.BytesPerOp, met.AllocsPerOp = int64(b), int64(a)
+		}
+		run.Benchmarks[m[1]] = met
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(run.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines on stdin")
+	}
+	return run, nil
+}
+
+func main() {
+	out := flag.String("out", "BENCH_4.json", "trajectory file to update")
+	label := flag.String("label", "", "label for this run (e.g. a commit id)")
+	setBaseline := flag.Bool("set-baseline", false, "record this run as the baseline, replacing any existing one")
+	flag.Parse()
+
+	run, err := parseRun(*label)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+
+	var rep Report
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, &rep); err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: %s is not a bench report: %v\n", *out, err)
+			os.Exit(1)
+		}
+	}
+	rep.Schema = "causeway-bench/1"
+	if *setBaseline || rep.Baseline == nil {
+		rep.Baseline = run
+	}
+	rep.Current = run
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+	printComparison(&rep)
+}
+
+// printComparison writes a baseline-vs-current table for every benchmark
+// present in both runs.
+func printComparison(rep *Report) {
+	if rep.Baseline == nil || rep.Current == nil || rep.Baseline == rep.Current {
+		fmt.Printf("recorded baseline (%d benchmarks)\n", len(rep.Current.Benchmarks))
+		return
+	}
+	names := make([]string, 0, len(rep.Current.Benchmarks))
+	for name := range rep.Current.Benchmarks {
+		if _, ok := rep.Baseline.Benchmarks[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	fmt.Printf("%-55s %22s %18s %16s\n", "benchmark", "ns/op", "B/op", "allocs/op")
+	for _, name := range names {
+		b, c := rep.Baseline.Benchmarks[name], rep.Current.Benchmarks[name]
+		fmt.Printf("%-55s %9.0f -> %9.0f %7d -> %7d %6d -> %6d\n",
+			name, b.NsPerOp, c.NsPerOp, b.BytesPerOp, c.BytesPerOp, b.AllocsPerOp, c.AllocsPerOp)
+	}
+}

@@ -1,0 +1,72 @@
+// Allocation-regression tests: ceilings for the invocation hot path,
+// measured with testing.AllocsPerRun over the same client/server pairs the
+// hot-path benchmarks use. The ceilings pin the tentpole property — GID
+// caching, pooled CDR encoders, and pooled transport frames keep the
+// steady-state per-invocation allocation count flat — so an accidental
+// escape or a dropped pool Put fails CI instead of silently regressing.
+//
+// AllocsPerRun counts mallocs process-wide, so dispatch-side allocations on
+// the thread-pool goroutines are included; each test warms the pools first
+// so one-time growth (frame buffers, interning maps) is excluded.
+package causeway_test
+
+import "testing"
+
+// Ceilings per synchronous invocation. The measured steady-state counts at
+// the time of writing are listed alongside; the ceilings leave one alloc of
+// slack for scheduler jitter, not for regressions.
+const (
+	maxAllocsSyncInproc = 6 // measured 5: reply chan, respond+dispatch closures, reply buf, 2 string decodes
+	maxAllocsSyncTCP    = 9 // measured 7: adds reply-body copy and wait bookkeeping
+	maxAllocsOneway     = 3 // measured 2: body copy for async dispatch, dispatch closure
+	maxAllocsCollocated = 2 // measured 1: servant result string concat path
+)
+
+func measureHotPath(t *testing.T, transportKind string, collocated bool, oneway bool) float64 {
+	t.Helper()
+	stub, fired, cleanup := hotPathPair(t, transportKind, collocated)
+	defer cleanup()
+	call := func() {
+		if _, err := stub.Echo("x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if oneway {
+		call = func() {
+			if err := stub.Fire("x"); err != nil {
+				t.Fatal(err)
+			}
+			<-fired
+		}
+	}
+	// Warm the pools (encoders, frame buffers, reply channels, interning)
+	// so the measurement sees steady state, not first-use growth.
+	for i := 0; i < 50; i++ {
+		call()
+	}
+	return testing.AllocsPerRun(200, call)
+}
+
+func TestSyncCallInprocAllocCeiling(t *testing.T) {
+	if a := measureHotPath(t, "inproc", false, false); a > maxAllocsSyncInproc {
+		t.Fatalf("sync inproc invocation allocates %v, ceiling %d", a, maxAllocsSyncInproc)
+	}
+}
+
+func TestSyncCallTCPAllocCeiling(t *testing.T) {
+	if a := measureHotPath(t, "tcp", false, false); a > maxAllocsSyncTCP {
+		t.Fatalf("sync TCP invocation allocates %v, ceiling %d", a, maxAllocsSyncTCP)
+	}
+}
+
+func TestOnewayAllocCeiling(t *testing.T) {
+	if a := measureHotPath(t, "inproc", false, true); a > maxAllocsOneway {
+		t.Fatalf("oneway invocation allocates %v, ceiling %d", a, maxAllocsOneway)
+	}
+}
+
+func TestCollocatedAllocCeiling(t *testing.T) {
+	if a := measureHotPath(t, "inproc", true, false); a > maxAllocsCollocated {
+		t.Fatalf("collocated invocation allocates %v, ceiling %d", a, maxAllocsCollocated)
+	}
+}

@@ -1,0 +1,149 @@
+// Hot-path benchmarks: the marginal cost of one monitored invocation,
+// measured where the paper's Figure-1 claim lives — the synchronous
+// stub→skeleton→stub round trip with all four probes firing. These are the
+// benchmarks scripts/bench.sh trends into BENCH_4.json; the companion
+// alloc-regression tests in hotpath_alloc_test.go pin the ceilings they
+// establish.
+//
+// All variants use the thread-pool policy so steady-state dispatch cost is
+// measured, not goroutine spawn, and a CountingSink so probe cost is not
+// confounded with sink cost (BenchmarkSinkOverhead measures sinks).
+package causeway_test
+
+import (
+	"testing"
+
+	"causeway/internal/benchgen/instrecho"
+	"causeway/internal/orb"
+	"causeway/internal/probe"
+	"causeway/internal/topology"
+	"causeway/internal/transport"
+)
+
+// hotPathPair builds an instrumented client/server ORB pair for hot-path
+// measurement. transportKind is "inproc" or "tcp".
+func hotPathPair(b testing.TB, transportKind string, collocated bool) (*instrecho.EchoStub, chan string, func()) {
+	b.Helper()
+	net := transport.NewInprocNetwork()
+	mk := func(name string) *orb.ORB {
+		probes, err := probe.New(probe.Config{
+			Process: topology.Process{ID: name, Processor: topology.Processor{ID: name, Type: "x86"}},
+			Sink:    &probe.CountingSink{},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		o, err := orb.New(orb.Config{
+			Process:      topology.Process{ID: name, Processor: topology.Processor{ID: name, Type: "x86"}},
+			Probes:       probes,
+			Instrumented: true,
+			Policy:       orb.ThreadPool,
+			PoolSize:     2,
+			Network:      net,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return o
+	}
+	server := mk("server")
+	fired := make(chan string, 1)
+	servant := hotPathServant{fired: fired}
+	if err := instrecho.RegisterEcho(server, "e", "c", servant); err != nil {
+		b.Fatal(err)
+	}
+	var (
+		ep  string
+		err error
+	)
+	if transportKind == "tcp" {
+		ep, err = server.ListenTCP("127.0.0.1:0")
+	} else {
+		ep, err = server.ListenInproc("srv")
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := server
+	if !collocated {
+		client = mk("client")
+	}
+	stub := instrecho.NewEchoStub(client.RefTo(ep, "e", "Echo", "c"))
+	cleanup := func() {
+		client.Probes().Tunnel().Clear()
+		server.Shutdown()
+		if client != server {
+			client.Shutdown()
+		}
+	}
+	return stub, fired, cleanup
+}
+
+type hotPathServant struct{ fired chan string }
+
+func (s hotPathServant) Echo(payload string) (string, error) { return payload, nil }
+func (s hotPathServant) Sum(values []int32) (int32, error)   { return 0, nil }
+func (s hotPathServant) Fire(payload string) error {
+	s.fired <- payload
+	return nil
+}
+
+// BenchmarkSyncCallProbePath is the headline hot-path number: one
+// synchronous instrumented invocation over the in-process transport, stub
+// start to stub end, four probes firing, thread-pool dispatch.
+func BenchmarkSyncCallProbePath(b *testing.B) {
+	stub, _, cleanup := hotPathPair(b, "inproc", false)
+	defer cleanup()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stub.Echo("x"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHotPathSyncTCP is the same invocation over a real TCP loopback
+// connection — the variant that exercises pooled frame buffers and the
+// coalesced single-write transport path.
+func BenchmarkHotPathSyncTCP(b *testing.B) {
+	stub, _, cleanup := hotPathPair(b, "tcp", false)
+	defer cleanup()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stub.Echo("x"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHotPathOneway measures a oneway (asynchronous) invocation. The
+// servant acknowledges through a channel and the loop waits for it, so
+// exactly one call is in flight and queue growth never distorts the number.
+func BenchmarkHotPathOneway(b *testing.B) {
+	stub, fired, cleanup := hotPathPair(b, "inproc", false)
+	defer cleanup()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := stub.Fire("x"); err != nil {
+			b.Fatal(err)
+		}
+		<-fired
+	}
+}
+
+// BenchmarkHotPathCollocated measures the collocation-optimized fast path:
+// same process, both degenerate probe pairs firing, no marshalling.
+func BenchmarkHotPathCollocated(b *testing.B) {
+	stub, _, cleanup := hotPathPair(b, "inproc", true)
+	defer cleanup()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stub.Echo("x"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // ErrShortBuffer reports a decode past the end of the message.
@@ -28,6 +29,55 @@ type Encoder struct {
 // NewEncoder returns an encoder with capacity preallocated.
 func NewEncoder(capacity int) *Encoder {
 	return &Encoder{buf: make([]byte, 0, capacity)}
+}
+
+// maxPooledEncoderCap clamps what Put will recycle: an encoder that grew
+// past this (a one-off huge message) is dropped rather than pinning its
+// buffer in the pool forever.
+const maxPooledEncoderCap = 64 << 10
+
+var encoderPool = sync.Pool{
+	New: func() any { return &Encoder{buf: make([]byte, 0, 256)} },
+}
+
+// GetEncoder returns an empty pooled encoder. Callers on the invocation hot
+// path (generated stubs and skeletons) pair it with Put once the encoded
+// bytes have been handed off; steady state allocates nothing.
+func GetEncoder() *Encoder {
+	e := encoderPool.Get().(*Encoder)
+	e.buf = e.buf[:0]
+	return e
+}
+
+// Put recycles an encoder obtained from GetEncoder. After Put the caller
+// must not touch the encoder or any slice previously returned by Bytes —
+// the buffer may be handed to another goroutine immediately. Encoders whose
+// buffers grew beyond the pool's cap clamp are dropped. Put(nil) is a no-op;
+// putting an encoder not from GetEncoder is allowed (its buffer joins the
+// pool).
+func Put(e *Encoder) {
+	if e == nil || cap(e.buf) > maxPooledEncoderCap {
+		return
+	}
+	e.buf = e.buf[:0]
+	encoderPool.Put(e)
+}
+
+// ResetTo repoints the encoder at dst, preserving dst's existing contents;
+// subsequent Put* calls append after them and Bytes returns the whole
+// buffer. Transports use this to assemble a frame header and an encoded
+// body in one caller-owned buffer so the pair goes out in a single write.
+func (e *Encoder) ResetTo(dst []byte) { e.buf = dst }
+
+// Grow ensures capacity for at least n more bytes, so a following burst of
+// Put calls appends without reallocating. Zero-value encoders on the stack
+// pair it with one up-front Grow to pay a single buffer allocation.
+func (e *Encoder) Grow(n int) {
+	if cap(e.buf)-len(e.buf) < n {
+		nb := make([]byte, len(e.buf), len(e.buf)+n)
+		copy(nb, e.buf)
+		e.buf = nb
+	}
 }
 
 // Bytes returns the encoded message. The slice aliases the encoder's
@@ -211,18 +261,40 @@ func (d *Decoder) String() string {
 	return string(d.take(int(n)))
 }
 
-// Bytes decodes a length-prefixed octet sequence, copying it out.
+// Bytes decodes a length-prefixed octet sequence. The result is always a
+// fresh copy: it remains valid and immutable after the decoder's source
+// buffer is recycled or overwritten, so callers may retain it indefinitely.
+// Hot-path callers that consume the bytes before the frame is recycled
+// should use BytesNoCopy instead.
 func (d *Decoder) Bytes() []byte {
+	src := d.BytesNoCopy()
+	if src == nil {
+		return nil
+	}
+	out := make([]byte, len(src))
+	copy(out, src)
+	return out
+}
+
+// BytesNoCopy decodes a length-prefixed octet sequence without copying.
+// The returned slice aliases the decoder's source buffer: it is valid only
+// until the frame backing the decoder is recycled (returned to a transport
+// pool) or mutated, and callers must not modify it or retain it past the
+// decode. Callers that retain must use Bytes.
+func (d *Decoder) BytesNoCopy() []byte {
 	n := d.Uint32()
 	if n > uint32(d.Remaining()) {
 		d.err = fmt.Errorf("%w: bytes length %d exceeds %d remaining", ErrShortBuffer, n, d.Remaining())
 		return nil
 	}
-	src := d.take(int(n))
-	out := make([]byte, len(src))
-	copy(out, src)
-	return out
+	return d.take(int(n))
 }
+
+// View returns the unread remainder of the message without consuming it.
+// Like BytesNoCopy the result aliases the decoder's source buffer and obeys
+// the same lifetime contract: do not mutate, do not retain past frame
+// recycling.
+func (d *Decoder) View() []byte { return d.buf[d.off:] }
 
 // SeqLen decodes a sequence length, bounding it by the remaining bytes so a
 // corrupt length cannot provoke a huge allocation in generated code.

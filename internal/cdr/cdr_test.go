@@ -155,3 +155,102 @@ func BenchmarkEncodeDecodeSmallMessage(b *testing.B) {
 		}
 	}
 }
+
+// TestBytesCopiesAndNoCopyAliases pins the two halves of the octet-sequence
+// contract: Bytes survives mutation of the source buffer (a retained copy),
+// while BytesNoCopy and View observe it (zero-copy aliases of the frame).
+func TestBytesCopiesAndNoCopyAliases(t *testing.T) {
+	build := func() []byte {
+		var e Encoder
+		e.PutBytes([]byte{1, 2, 3})
+		return append([]byte(nil), e.Bytes()...)
+	}
+
+	src := build()
+	d := NewDecoder(src)
+	got := d.Bytes()
+	if d.Err() != nil || string(got) != "\x01\x02\x03" {
+		t.Fatalf("Bytes = %v, err %v", got, d.Err())
+	}
+	for i := range src {
+		src[i] = 0xFF
+	}
+	if string(got) != "\x01\x02\x03" {
+		t.Fatalf("Bytes result changed after source mutation: %v", got)
+	}
+
+	src = build()
+	d = NewDecoder(src)
+	view := d.View()
+	alias := d.BytesNoCopy()
+	if d.Err() != nil || string(alias) != "\x01\x02\x03" {
+		t.Fatalf("BytesNoCopy = %v, err %v", alias, d.Err())
+	}
+	for i := range src {
+		src[i] = 0xFF
+	}
+	if string(alias) != "\xff\xff\xff" {
+		t.Fatalf("BytesNoCopy did not alias the source: %v", alias)
+	}
+	if string(view[:4]) != "\xff\xff\xff\xff" {
+		t.Fatalf("View did not alias the source: %v", view)
+	}
+}
+
+func TestBytesNoCopyRejectsCorruptLength(t *testing.T) {
+	var e Encoder
+	e.PutUint32(1000) // claims 1000 bytes, none follow
+	d := NewDecoder(e.Bytes())
+	if b := d.BytesNoCopy(); b != nil {
+		t.Fatalf("corrupt length returned %v", b)
+	}
+	if d.Err() == nil {
+		t.Fatal("corrupt length not reported")
+	}
+}
+
+// TestPooledEncoderReuse exercises GetEncoder/Put: a recycled encoder comes
+// back empty, and the steady-state get/encode/put cycle is allocation-free.
+func TestPooledEncoderReuse(t *testing.T) {
+	e := GetEncoder()
+	e.PutString("warm the buffer")
+	Put(e)
+
+	allocs := testing.AllocsPerRun(200, func() {
+		enc := GetEncoder()
+		enc.PutUint64(42)
+		enc.PutString("x")
+		if enc.Len() != 13 {
+			t.Fatal("unexpected length")
+		}
+		Put(enc)
+	})
+	if allocs != 0 {
+		t.Fatalf("pooled encode cycle allocates %v, want 0", allocs)
+	}
+}
+
+func TestPutClampsOversizedBuffers(t *testing.T) {
+	e := GetEncoder()
+	e.PutRaw(make([]byte, maxPooledEncoderCap+1))
+	Put(e) // must not panic; oversized buffer is dropped
+	Put(nil)
+	if got := GetEncoder(); cap(got.buf) > maxPooledEncoderCap+1024 {
+		t.Fatalf("pool retained oversized buffer, cap %d", cap(got.buf))
+	}
+}
+
+func TestResetToAppendsAfterExisting(t *testing.T) {
+	frame := make([]byte, 4, 32)
+	frame[0] = 0xAA
+	var e Encoder
+	e.ResetTo(frame)
+	e.PutUint32(7)
+	out := e.Bytes()
+	if len(out) != 8 || out[0] != 0xAA {
+		t.Fatalf("ResetTo clobbered prefix: %v", out)
+	}
+	if &out[0] != &frame[0] {
+		t.Fatal("ResetTo did not reuse the caller buffer")
+	}
+}

@@ -79,7 +79,7 @@ type Runtime struct {
 
 	// currentSTA tracks which apartment a dispatch thread belongs to, so
 	// outbound calls from STA threads pump instead of hard-blocking.
-	currentSTA *gls.Store
+	currentSTA *gls.Store[*Apartment]
 }
 
 type object struct {
@@ -101,7 +101,7 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 	return &Runtime{
 		cfg:        cfg,
 		objects:    make(map[string]*object),
-		currentSTA: gls.NewStore(),
+		currentSTA: gls.NewStore[*Apartment](),
 	}, nil
 }
 
@@ -343,10 +343,8 @@ func (r *ObjectRef) deliverAndWait(msg *callMsg) (callReply, error) {
 	}
 	// An STA loop thread must pump its own queue while blocked, or any
 	// same-apartment callback would deadlock — COM's reentrancy.
-	if v, ok := r.rt.currentSTA.Get(); ok {
-		if caller, ok := v.(*Apartment); ok && caller.kind == STA {
-			return caller.pumpUntil(msg.reply), nil
-		}
+	if caller, ok := r.rt.currentSTA.Get(); ok && caller.kind == STA {
+		return caller.pumpUntil(msg.reply), nil
 	}
 	return <-msg.reply, nil
 }
@@ -368,11 +366,7 @@ func (a *Apartment) pumpUntil(reply chan callReply) callReply {
 // it to model COM code that pumps messages mid-execution (PeekMessage
 // loops). Only meaningful on the apartment's own loop thread.
 func (rt *Runtime) Pump() {
-	v, ok := rt.currentSTA.Get()
-	if !ok {
-		return
-	}
-	a, ok := v.(*Apartment)
+	a, ok := rt.currentSTA.Get()
 	if !ok || a.kind != STA {
 		return
 	}

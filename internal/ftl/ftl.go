@@ -130,7 +130,7 @@ type ChainLink struct {
 // implementation body down to child-function stubs, and mints fresh chains
 // for top-level calls. A Tunnel is created per monitored process.
 type Tunnel struct {
-	store *gls.Store
+	store *gls.Store[FTL]
 	gen   uuid.Generator
 }
 
@@ -139,17 +139,12 @@ func NewTunnel(gen uuid.Generator) *Tunnel {
 	if gen == nil {
 		gen = uuid.RandomGenerator{}
 	}
-	return &Tunnel{store: gls.NewStore(), gen: gen}
+	return &Tunnel{store: gls.NewStore[FTL](), gen: gen}
 }
 
 // Current returns the FTL annotated to the calling logical thread, if any.
 func (t *Tunnel) Current() (FTL, bool) {
-	v, ok := t.store.Get()
-	if !ok {
-		return FTL{}, false
-	}
-	f, ok := v.(FTL)
-	return f, ok
+	return t.store.Get()
 }
 
 // CurrentOrBegin returns the calling thread's FTL, starting a fresh chain
@@ -183,12 +178,7 @@ func (t *Tunnel) Clear() { t.store.Clear() }
 // logical calls use Swap to save/restore tunnel state around dispatch
 // (§2.2, the COM chain-mingling fix).
 func (t *Tunnel) Swap(f FTL) (FTL, bool) {
-	prev, had := t.store.Swap(f)
-	if !had {
-		return FTL{}, false
-	}
-	p, ok := prev.(FTL)
-	return p, ok && had
+	return t.store.Swap(f)
 }
 
 // Restore re-annotates the calling thread with a previously swapped-out
@@ -211,12 +201,7 @@ func (t *Tunnel) Annotated() int { return t.store.Len() }
 
 // CurrentG is Current for an explicit goroutine id.
 func (t *Tunnel) CurrentG(gid uint64) (FTL, bool) {
-	v, ok := t.store.GetG(gid)
-	if !ok {
-		return FTL{}, false
-	}
-	f, ok := v.(FTL)
-	return f, ok
+	return t.store.GetG(gid)
 }
 
 // CurrentOrBeginG is CurrentOrBegin for an explicit goroutine id.

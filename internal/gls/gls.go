@@ -9,6 +9,12 @@
 // is the one non-idiomatic trick the transparent-tunnel property requires,
 // and it is confined to this package.
 //
+// Recovering the identity costs microseconds (a runtime.Stack call), so the
+// hot path resolves it exactly once per dispatch: Self returns a G handle
+// that probe sites capture at stub entry / skeleton dispatch and thread
+// through every subsequent probe and tunnel operation via the *G method
+// variants. A G is only valid on the goroutine that resolved it.
+//
 // Slots must be explicitly cleared (or the goroutine Released) when a
 // logical execution entity finishes; the ORB runtime does this on every
 // dispatch, realizing the paper's observation O2 (a pooled thread is always
@@ -24,111 +30,144 @@ import (
 // contention low when many dispatch goroutines run probes concurrently.
 const shardCount = 64
 
-type shard struct {
+type shard[T any] struct {
 	mu sync.RWMutex
-	m  map[uint64]any
+	m  map[uint64]T
 }
 
 // Store is a goroutine-keyed map. Each goroutine sees its own value.
-// The zero value is not usable; create Stores with NewStore.
-type Store struct {
-	shards [shardCount]shard
+// The zero value is not usable; create Stores with NewStore. Values are
+// stored by their concrete type — no interface boxing — so storing a small
+// struct (the FTL) allocates nothing.
+type Store[T any] struct {
+	shards [shardCount]shard[T]
 }
 
 // NewStore returns an empty Store.
-func NewStore() *Store {
-	s := &Store{}
+func NewStore[T any]() *Store[T] {
+	s := &Store[T]{}
 	for i := range s.shards {
-		s.shards[i].m = make(map[uint64]any)
+		s.shards[i].m = make(map[uint64]T)
 	}
 	return s
+}
+
+// G is a resolved goroutine identity: the handle Self returns. Capture it
+// once at dispatch entry and reuse it for every probe and tunnel operation
+// of that dispatch — each reuse saves a runtime.Stack parse. A G must not
+// cross goroutines (except through scheduler APIs that explicitly manage
+// logical threads on other goroutines' behalf).
+type G uint64
+
+// Self resolves the calling goroutine's identity once. It is the entry
+// point of the allocation-free probe path: stubs call it (inside StubStart)
+// at probe 1, the ORB calls it once per skeleton dispatch, and everything
+// downstream reuses the handle.
+func Self() G { return G(GoroutineID()) }
+
+// ID returns the raw goroutine id the handle was resolved from.
+func (g G) ID() uint64 { return uint64(g) }
+
+// stackBufPool recycles the scratch buffers GoroutineID hands to
+// runtime.Stack. The runtime retains its argument past the call from the
+// compiler's point of view, so a local array would escape and every
+// resolution would allocate; pooling keeps the resolve allocation-free.
+var stackBufPool = sync.Pool{
+	New: func() any { return new([40]byte) },
 }
 
 // GoroutineID returns the runtime id of the calling goroutine.
 //
 // The id is parsed from the first line of the runtime stack trace
-// ("goroutine N [running]:"). This costs roughly a microsecond; probe sites
-// cache it per dispatch where possible.
+// ("goroutine N [running]:"). This costs on the order of a microsecond —
+// the dominant probe cost — which is why the hot path resolves it once per
+// dispatch (see Self) rather than once per probe.
 func GoroutineID() uint64 {
-	var buf [40]byte
+	bp := stackBufPool.Get().(*[40]byte)
+	buf := bp
 	n := runtime.Stack(buf[:], false)
 	// Header is "goroutine <id> [...": parse the digits in place.
 	const prefix = len("goroutine ")
-	if n <= prefix {
-		return 0
-	}
 	var id uint64
-	for _, c := range buf[prefix:n] {
-		if c < '0' || c > '9' {
-			break
+	if n > prefix {
+		for _, c := range buf[prefix:n] {
+			if c < '0' || c > '9' {
+				break
+			}
+			id = id*10 + uint64(c-'0')
 		}
-		id = id*10 + uint64(c-'0')
 	}
+	stackBufPool.Put(bp)
 	return id
 }
 
-func (s *Store) shardFor(gid uint64) *shard {
+func (s *Store[T]) shardFor(gid uint64) *shard[T] {
 	return &s.shards[gid%shardCount]
 }
 
 // Get returns the calling goroutine's value and whether one was set.
-func (s *Store) Get() (any, bool) {
+func (s *Store[T]) Get() (T, bool) {
 	return s.GetG(GoroutineID())
 }
 
 // GetG is Get for an explicit goroutine id (used by schedulers that manage
-// logical threads on behalf of other goroutines).
-func (s *Store) GetG(gid uint64) (any, bool) {
+// logical threads on behalf of other goroutines, and by probe sites that
+// already hold a Self handle).
+func (s *Store[T]) GetG(gid uint64) (T, bool) {
 	sh := s.shardFor(gid)
 	sh.mu.RLock()
-	defer sh.mu.RUnlock()
 	v, ok := sh.m[gid]
+	sh.mu.RUnlock()
 	return v, ok
 }
 
 // Set stores v for the calling goroutine.
-func (s *Store) Set(v any) {
+func (s *Store[T]) Set(v T) {
 	s.SetG(GoroutineID(), v)
 }
 
 // SetG is Set for an explicit goroutine id.
-func (s *Store) SetG(gid uint64, v any) {
+func (s *Store[T]) SetG(gid uint64, v T) {
 	sh := s.shardFor(gid)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	sh.m[gid] = v
+	sh.mu.Unlock()
 }
 
 // Clear removes the calling goroutine's value, if any.
-func (s *Store) Clear() {
+func (s *Store[T]) Clear() {
 	s.ClearG(GoroutineID())
 }
 
 // ClearG is Clear for an explicit goroutine id.
-func (s *Store) ClearG(gid uint64) {
+func (s *Store[T]) ClearG(gid uint64) {
 	sh := s.shardFor(gid)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	delete(sh.m, gid)
+	sh.mu.Unlock()
 }
 
 // Swap stores v for the calling goroutine and returns the previous value.
 // Schedulers that multiplex one goroutine across logical calls (the COM STA
 // message loop) use Swap to save and restore tunnel state around dispatch,
 // which is exactly the paper's fix for causal chain mingling (§2.2).
-func (s *Store) Swap(v any) (prev any, had bool) {
-	gid := GoroutineID()
+func (s *Store[T]) Swap(v T) (prev T, had bool) {
+	return s.SwapG(GoroutineID(), v)
+}
+
+// SwapG is Swap for an explicit goroutine id.
+func (s *Store[T]) SwapG(gid uint64, v T) (prev T, had bool) {
 	sh := s.shardFor(gid)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	prev, had = sh.m[gid]
 	sh.m[gid] = v
+	sh.mu.Unlock()
 	return prev, had
 }
 
 // Len reports how many goroutines currently hold values; useful in leak
 // tests asserting that dispatch paths always clear their slots.
-func (s *Store) Len() int {
+func (s *Store[T]) Len() int {
 	total := 0
 	for i := range s.shards {
 		sh := &s.shards[i]

@@ -23,7 +23,7 @@ func TestGoroutineIDStableAndDistinct(t *testing.T) {
 }
 
 func TestSetGetClear(t *testing.T) {
-	s := NewStore()
+	s := NewStore[string]()
 	if _, ok := s.Get(); ok {
 		t.Fatal("fresh store has a value")
 	}
@@ -39,7 +39,7 @@ func TestSetGetClear(t *testing.T) {
 }
 
 func TestIsolationBetweenGoroutines(t *testing.T) {
-	s := NewStore()
+	s := NewStore[int]()
 	const n = 32
 	var wg sync.WaitGroup
 	errs := make(chan string, n)
@@ -69,7 +69,7 @@ func TestIsolationBetweenGoroutines(t *testing.T) {
 }
 
 func TestSwapSaveRestore(t *testing.T) {
-	s := NewStore()
+	s := NewStore[string]()
 	s.Set("outer")
 	prev, had := s.Swap("inner")
 	if !had || prev != "outer" {
@@ -87,16 +87,16 @@ func TestSwapSaveRestore(t *testing.T) {
 }
 
 func TestSwapOnEmpty(t *testing.T) {
-	s := NewStore()
+	s := NewStore[int]()
 	prev, had := s.Swap(1)
-	if had || prev != nil {
+	if had || prev != 0 {
 		t.Fatalf("Swap on empty = %v, %v", prev, had)
 	}
 	s.Clear()
 }
 
 func TestExplicitGidOps(t *testing.T) {
-	s := NewStore()
+	s := NewStore[string]()
 	s.SetG(12345, "x")
 	if v, ok := s.GetG(12345); !ok || v != "x" {
 		t.Fatalf("GetG = %v, %v", v, ok)
@@ -110,6 +110,116 @@ func TestExplicitGidOps(t *testing.T) {
 	}
 }
 
+func TestSelfMatchesGoroutineID(t *testing.T) {
+	if Self().ID() != GoroutineID() {
+		t.Fatal("Self handle disagrees with GoroutineID")
+	}
+	ch := make(chan G)
+	go func() { ch <- Self() }()
+	if other := <-ch; other == Self() {
+		t.Fatal("two goroutines resolved the same Self handle")
+	}
+}
+
+// TestGidReuseAfterClear models goroutine churn: the runtime may hand a new
+// goroutine the id of a dead one, so a store slot cleared on dispatch exit
+// must never leak into the id's next owner.
+func TestGidReuseAfterClear(t *testing.T) {
+	s := NewStore[string]()
+	const rounds = 200
+	for i := 0; i < rounds; i++ {
+		done := make(chan uint64, 1)
+		go func() {
+			self := Self()
+			if v, ok := s.GetG(self.ID()); ok {
+				t.Errorf("fresh goroutine %d inherited stale value %q", self.ID(), v)
+			}
+			s.SetG(self.ID(), "scoped")
+			s.ClearG(self.ID())
+			done <- self.ID()
+		}()
+		<-done
+	}
+	if got := s.Len(); got != 0 {
+		t.Fatalf("Len after churn = %d, want 0", got)
+	}
+}
+
+// TestConcurrentSelfHandles runs many goroutines (more than shardCount) each
+// resolving a Self handle once and reusing it across every store operation —
+// the per-dispatch probe pattern — under the race detector.
+func TestConcurrentSelfHandles(t *testing.T) {
+	s := NewStore[int]()
+	const n = 96 // > shardCount, so shards are shared and contended
+	var wg sync.WaitGroup
+	errs := make(chan string, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(me int) {
+			defer wg.Done()
+			self := Self()
+			gid := self.ID()
+			for j := 0; j < 50; j++ {
+				s.SetG(gid, me)
+				if v, ok := s.GetG(gid); !ok || v != me {
+					errs <- "handle-keyed Get saw foreign value"
+					return
+				}
+				if prev, had := s.SwapG(gid, me); !had || prev != me {
+					errs <- "handle-keyed Swap saw foreign value"
+					return
+				}
+			}
+			s.ClearG(gid)
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	if got := s.Len(); got != 0 {
+		t.Fatalf("Len after concurrent churn = %d, want 0", got)
+	}
+}
+
+// TestCachedGidPathAllocFree pins the tentpole property at the gls layer:
+// once a dispatch has resolved its Self handle, every store operation keyed
+// by it is allocation-free (values are stored unboxed).
+func TestCachedGidPathAllocFree(t *testing.T) {
+	type ftlLike struct {
+		chain [16]byte
+		seq   uint64
+	}
+	s := NewStore[ftlLike]()
+	gid := Self().ID()
+	defer s.ClearG(gid)
+	allocs := testing.AllocsPerRun(100, func() {
+		s.SetG(gid, ftlLike{seq: 7})
+		if _, ok := s.GetG(gid); !ok {
+			t.Fatal("lost value")
+		}
+		s.SwapG(gid, ftlLike{seq: 8})
+		s.ClearG(gid)
+	})
+	if allocs != 0 {
+		t.Fatalf("cached-GID store path allocates %v per op cycle, want 0", allocs)
+	}
+}
+
+// TestGoroutineIDAllocFree pins the pooled-stack-buffer property: resolving
+// the calling goroutine's identity must not allocate, or every dispatch pays
+// two hidden allocations (stub-side and skeleton-side Self).
+func TestGoroutineIDAllocFree(t *testing.T) {
+	if allocs := testing.AllocsPerRun(100, func() {
+		if GoroutineID() == 0 {
+			t.Fatal("GoroutineID returned 0")
+		}
+	}); allocs != 0 {
+		t.Fatalf("GoroutineID allocates %v per call, want 0", allocs)
+	}
+}
+
 func BenchmarkGoroutineID(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		GoroutineID()
@@ -117,7 +227,7 @@ func BenchmarkGoroutineID(b *testing.B) {
 }
 
 func BenchmarkStoreGet(b *testing.B) {
-	s := NewStore()
+	s := NewStore[int]()
 	s.Set(42)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -12,6 +12,7 @@ import (
 
 	"causeway/internal/cdr"
 	"causeway/internal/ftl"
+	"causeway/internal/gls"
 	"causeway/internal/probe"
 	"causeway/internal/transport"
 )
@@ -60,7 +61,7 @@ func (s *CalcStub) Add(x, y int32) (int32, error) {
 		}
 	}
 	o := s.ref.ORB()
-	e := cdr.NewEncoder(16)
+	e := cdr.GetEncoder()
 	e.PutInt32(x)
 	e.PutInt32(y)
 	body := e.Bytes()
@@ -70,6 +71,9 @@ func (s *CalcStub) Add(x, y int32) (int32, error) {
 		body = AppendFTL(body, sctx.Wire)
 	}
 	rep, err := s.ref.Invoke("add", body)
+	// Transports do not reference the request body once Invoke returns, so
+	// the pooled encoder can be recycled before the reply is decoded.
+	cdr.Put(e)
 	if err != nil {
 		if o.Instrumented() {
 			o.Probes().StubEnd(sctx, sctx.Wire)
@@ -108,7 +112,7 @@ func (s *CalcStub) Divide(x, y int32) (int32, error) {
 		}
 	}
 	o := s.ref.ORB()
-	e := cdr.NewEncoder(16)
+	e := cdr.GetEncoder()
 	e.PutInt32(x)
 	e.PutInt32(y)
 	body := e.Bytes()
@@ -118,6 +122,7 @@ func (s *CalcStub) Divide(x, y int32) (int32, error) {
 		body = AppendFTL(body, sctx.Wire)
 	}
 	rep, err := s.ref.Invoke("divide", body)
+	cdr.Put(e)
 	if err != nil {
 		if o.Instrumented() {
 			o.Probes().StubEnd(sctx, sctx.Wire)
@@ -163,10 +168,13 @@ func (s *CalcStub) Notify(msg string) error {
 				sctx := o.Probes().StubStart(s.ref.OpID("notify"), true)
 				wire := sctx.Wire
 				go func() {
-					skctx := o.Probes().SkelStart(s.ref.OpID("notify"), wire, true)
+					// The spawned logical thread resolves its identity once
+					// and reuses the handle through both skeleton probes.
+					self := gls.Self()
+					skctx := o.Probes().SkelStartG(self, s.ref.OpID("notify"), wire, true)
 					_ = impl.Notify(msg)
 					o.Probes().SkelEnd(skctx)
-					o.Probes().Tunnel().Clear()
+					o.Probes().Tunnel().ClearG(self.ID())
 				}()
 				o.Probes().StubEnd(sctx, ftl.FTL{})
 				return nil
@@ -176,7 +184,7 @@ func (s *CalcStub) Notify(msg string) error {
 		}
 	}
 	o := s.ref.ORB()
-	e := cdr.NewEncoder(16)
+	e := cdr.GetEncoder()
 	e.PutString(msg)
 	body := e.Bytes()
 	var sctx probe.StubCtx
@@ -188,11 +196,14 @@ func (s *CalcStub) Notify(msg string) error {
 	if o.Instrumented() {
 		o.Probes().StubEnd(sctx, ftl.FTL{})
 	}
+	cdr.Put(e)
 	return err
 }
 
-// DispatchCalc is the server-side skeleton entry point.
-func DispatchCalc(o *ORB, servant any, component string, req transport.Request) transport.Reply {
+// DispatchCalc is the server-side skeleton entry point. self is the
+// dispatch goroutine's identity, resolved once by the ORB; the skeleton
+// probes reuse it instead of re-parsing the runtime stack.
+func DispatchCalc(o *ORB, servant any, component string, req transport.Request, self gls.G) transport.Reply {
 	impl, ok := servant.(Calc)
 	if !ok {
 		return BadServantReply("Calc")
@@ -218,14 +229,16 @@ func DispatchCalc(o *ORB, servant any, component string, req transport.Request) 
 		}
 		var sctx probe.SkelCtx
 		if o.Instrumented() {
-			sctx = o.Probes().SkelStart(op, f, false)
+			sctx = o.Probes().SkelStartG(self, op, f, false)
 		}
 		res, err := impl.Add(x, y)
 		var rep transport.Reply
 		if err != nil {
 			rep = systemReply(CodeBadOperation, err.Error())
 		} else {
-			e := cdr.NewEncoder(8)
+			// Reply encoders are never pooled (the body is handed off via
+			// the responder); the zero value keeps the struct off the heap.
+			var e cdr.Encoder
 			e.PutInt32(res)
 			rep = transport.Reply{Status: transport.StatusOK, Body: e.Bytes()}
 		}
@@ -244,13 +257,13 @@ func DispatchCalc(o *ORB, servant any, component string, req transport.Request) 
 		}
 		var sctx probe.SkelCtx
 		if o.Instrumented() {
-			sctx = o.Probes().SkelStart(op, f, false)
+			sctx = o.Probes().SkelStartG(self, op, f, false)
 		}
 		res, err := impl.Divide(x, y)
 		var rep transport.Reply
 		switch {
 		case err == nil:
-			e := cdr.NewEncoder(8)
+			var e cdr.Encoder
 			e.PutInt32(res)
 			rep = transport.Reply{Status: transport.StatusOK, Body: e.Bytes()}
 		default:
@@ -277,7 +290,7 @@ func DispatchCalc(o *ORB, servant any, component string, req transport.Request) 
 		}
 		var sctx probe.SkelCtx
 		if o.Instrumented() {
-			sctx = o.Probes().SkelStart(op, f, true)
+			sctx = o.Probes().SkelStartG(self, op, f, true)
 		}
 		_ = impl.Notify(msg)
 		if o.Instrumented() {

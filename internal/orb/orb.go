@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"causeway/internal/gls"
 	"causeway/internal/probe"
 	"causeway/internal/topology"
 	"causeway/internal/transport"
@@ -26,8 +27,10 @@ import (
 // DispatchFunc is a generated skeleton entry point: it unmarshals the
 // request, invokes the servant, and builds the reply. component is the
 // component name the object was registered under, used for monitoring
-// records.
-type DispatchFunc func(o *ORB, servant any, component string, req transport.Request) transport.Reply
+// records. self is the dispatch goroutine's identity, resolved once by the
+// ORB before the skeleton runs; instrumented skeletons hand it to the
+// skeleton probes so no probe re-parses the runtime stack.
+type DispatchFunc func(o *ORB, servant any, component string, req transport.Request, self gls.G) transport.Reply
 
 // registration is one exported object.
 type registration struct {
@@ -234,12 +237,15 @@ func (o *ORB) handleRequest(conn transport.ConnID, req transport.Request, respon
 			runtime.LockOSThread()
 			defer runtime.UnlockOSThread()
 		}
+		// Resolve the dispatch goroutine's identity exactly once; the
+		// skeleton probes and the post-dispatch clear all reuse the handle.
+		self := gls.Self()
+		rep := o.dispatchLocal(req, self)
 		// Observation O2: whatever annotation a pooled dispatch thread may
 		// still hold from a previous call, the skeleton-start probe
 		// refreshes it, and clearing after dispatch guarantees no stale
 		// FTL survives the call either way.
-		defer o.cfg.Probes.Tunnel().Clear()
-		rep := o.dispatchLocal(req)
+		o.cfg.Probes.Tunnel().ClearG(self.ID())
 		if !req.Oneway {
 			rep.ID = req.ID
 			respond(rep)
@@ -248,12 +254,12 @@ func (o *ORB) handleRequest(conn transport.ConnID, req transport.Request, respon
 }
 
 // dispatchLocal resolves the object and runs its generated skeleton.
-func (o *ORB) dispatchLocal(req transport.Request) transport.Reply {
+func (o *ORB) dispatchLocal(req transport.Request, self gls.G) transport.Reply {
 	reg, ok := o.lookup(req.ObjectKey)
 	if !ok {
 		return systemReply(CodeObjectNotExist, fmt.Sprintf("object %q not registered in process %s", req.ObjectKey, o.cfg.Process.ID))
 	}
-	return reg.dispatch(o, reg.servant, reg.component, req)
+	return reg.dispatch(o, reg.servant, reg.component, req, self)
 }
 
 // errShutdown reports use of a shut-down ORB; retry loops stop on it.

@@ -208,6 +208,22 @@ func (p *Probes) openWindow() window {
 	return w
 }
 
+// openWindowAt is openWindow for a probe site that already resolved the
+// calling thread's identity — the cached-GID hot path. Only the first probe
+// of a dispatch pays the runtime.Stack parse; every later probe reuses the
+// handle and its window costs only the armed clock readings.
+func (p *Probes) openWindowAt(gid uint64) window {
+	var w window
+	if p.cfg.Aspects&AspectLatency != 0 {
+		w.wallStart = p.clock.Now()
+	}
+	if p.cfg.Aspects&AspectCPU != 0 {
+		w.cpuStart = p.meter.ThreadCPU()
+	}
+	w.gid = gid
+	return w
+}
+
 // emit closes the activation window and appends the record. Everything a
 // probe does must happen before its emit call so the window covers it; the
 // only uncompensated cost is the sink append itself.
@@ -246,6 +262,7 @@ func (p *Probes) emitSem(w window, op OpID, f ftl.FTL, ev ftl.Event, oneway, col
 type StubCtx struct {
 	op     OpID
 	oneway bool
+	gid    uint64 // caller identity resolved once at stub start
 	// Wire is the FTL to transport to the skeleton (the hidden in-out
 	// parameter of Figure 3). For oneway calls it is the fresh child chain.
 	Wire ftl.FTL
@@ -262,7 +279,7 @@ func (p *Probes) StubStart(op OpID, oneway bool) StubCtx {
 	w := p.openWindow()
 	f, fresh := p.tunnel.CurrentOrBeginG(w.gid)
 	f.NextSeq()
-	ctx := StubCtx{op: op, oneway: oneway, parent: f, fresh: fresh}
+	ctx := StubCtx{op: op, oneway: oneway, gid: w.gid, parent: f, fresh: fresh}
 	var link ftl.ChainLink
 	if oneway {
 		// Fork the child chain; the link is recorded in the stub start
@@ -284,7 +301,9 @@ func (p *Probes) StubStart(op OpID, oneway bool) StubCtx {
 // chain continues. The caller thread's annotation is refreshed so an
 // immediately following sibling call continues the chain (Table 1).
 func (p *Probes) StubEnd(ctx StubCtx, reply ftl.FTL) {
-	w := p.openWindow()
+	// Synchronous stubs return on the goroutine that entered them, so the
+	// identity cached at stub start is still the caller's.
+	w := p.openWindowAt(ctx.gid)
 	f := reply
 	if ctx.oneway {
 		f = ctx.parent
@@ -299,22 +318,32 @@ func (p *Probes) StubEnd(ctx StubCtx, reply ftl.FTL) {
 type SkelCtx struct {
 	op     OpID
 	oneway bool
+	gid    uint64 // dispatch-thread identity resolved once at skeleton start
 }
 
 // SkelStartSem is SkelStart with application semantics attached: sem is
 // the rendered input-parameter list the generated skeleton produced.
 func (p *Probes) SkelStartSem(op OpID, wire ftl.FTL, oneway bool, sem string) SkelCtx {
-	w := p.openWindow()
+	return p.SkelStartSemG(gls.Self(), op, wire, oneway, sem)
+}
+
+// SkelStartSemG is SkelStartSem for a dispatch loop that already resolved
+// its goroutine identity (the ORB resolves Self once per request and
+// threads it through the generated skeleton).
+func (p *Probes) SkelStartSemG(self gls.G, op OpID, wire ftl.FTL, oneway bool, sem string) SkelCtx {
+	w := p.openWindowAt(self.ID())
 	wire.NextSeq()
 	p.tunnel.StoreG(w.gid, wire)
 	p.emitSem(w, op, wire, ftl.SkelStart, oneway, false, sem)
-	return SkelCtx{op: op, oneway: oneway}
+	return SkelCtx{op: op, oneway: oneway, gid: w.gid}
 }
 
 // SkelEndSem is SkelEnd with application semantics attached: sem renders
 // the output parameters or the raised exception.
 func (p *Probes) SkelEndSem(ctx SkelCtx, sem string) ftl.FTL {
-	w := p.openWindow()
+	// Skeleton start and end run on the same dispatch goroutine; reuse the
+	// identity cached in the context.
+	w := p.openWindowAt(ctx.gid)
 	f, ok := p.tunnel.CurrentG(w.gid)
 	if !ok {
 		f = ftl.FTL{}
@@ -330,11 +359,17 @@ func (p *Probes) SkelEndSem(ctx SkelCtx, sem string) ftl.FTL {
 // The dispatch thread's annotation is set so child stubs inside the
 // function implementation pick the chain up from TSS (Figure 2).
 func (p *Probes) SkelStart(op OpID, wire ftl.FTL, oneway bool) SkelCtx {
-	w := p.openWindow()
+	return p.SkelStartG(gls.Self(), op, wire, oneway)
+}
+
+// SkelStartG is SkelStart for a dispatch loop that already resolved its
+// goroutine identity.
+func (p *Probes) SkelStartG(self gls.G, op OpID, wire ftl.FTL, oneway bool) SkelCtx {
+	w := p.openWindowAt(self.ID())
 	wire.NextSeq()
 	p.tunnel.StoreG(w.gid, wire)
 	p.emit(w, op, wire, ftl.SkelStart, oneway, false)
-	return SkelCtx{op: op, oneway: oneway}
+	return SkelCtx{op: op, oneway: oneway, gid: w.gid}
 }
 
 // SkelEnd is probe 3: the end of the skeleton when the function execution
@@ -343,7 +378,7 @@ func (p *Probes) SkelStart(op OpID, wire ftl.FTL, oneway bool) SkelCtx {
 // FTL to marshal into the reply (synchronous calls only; oneway replies
 // discard it).
 func (p *Probes) SkelEnd(ctx SkelCtx) ftl.FTL {
-	w := p.openWindow()
+	w := p.openWindowAt(ctx.gid)
 	f, ok := p.tunnel.CurrentG(w.gid)
 	if !ok {
 		// The implementation (or a buggy scheduler) cleared the slot; the
@@ -359,7 +394,8 @@ func (p *Probes) SkelEnd(ctx SkelCtx) ftl.FTL {
 
 // CollocCtx carries state across a collocation-optimized call.
 type CollocCtx struct {
-	op OpID
+	op  OpID
+	gid uint64 // caller identity resolved once at the degenerated start pair
 }
 
 // CollocStart handles a collocation-optimized invocation: "both stub start
@@ -374,13 +410,14 @@ func (p *Probes) CollocStart(op OpID) CollocCtx {
 	f.NextSeq()
 	p.tunnel.StoreG(w.gid, f)
 	p.emit(w, op, f, ftl.SkelStart, false, true)
-	return CollocCtx{op: op}
+	return CollocCtx{op: op, gid: w.gid}
 }
 
 // CollocEnd emits the degenerated skeleton-end + stub-end pair at function
 // return and refreshes the caller's annotation for sibling calls.
 func (p *Probes) CollocEnd(ctx CollocCtx) {
-	w := p.openWindow()
+	// Collocated calls execute entirely on the caller's goroutine.
+	w := p.openWindowAt(ctx.gid)
 	f, ok := p.tunnel.CurrentG(w.gid)
 	if !ok {
 		f = ftl.FTL{}

@@ -157,24 +157,24 @@ func (s *ShipperSink) Append(r probe.Record) {
 	}
 }
 
-// take removes up to max records from the front of the ring.
-func (s *ShipperSink) take(max int) []probe.Record {
+// take moves up to max records from the front of the ring into dst's
+// backing array (truncating dst first, growing only when a batch exceeds
+// its capacity) and returns the result, so steady-state batching reuses
+// one scratch slice instead of allocating per batch.
+func (s *ShipperSink) take(dst []probe.Record, max int) []probe.Record {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	dst = dst[:0]
 	k := s.count
 	if k > max {
 		k = max
 	}
-	if k == 0 {
-		return nil
-	}
-	out := make([]probe.Record, k)
 	for i := 0; i < k; i++ {
-		out[i] = s.ring[(s.head+i)%len(s.ring)]
+		dst = append(dst, s.ring[(s.head+i)%len(s.ring)])
 	}
 	s.head = (s.head + k) % len(s.ring)
 	s.count -= k
-	return out
+	return dst
 }
 
 func (s *ShipperSink) buffered() int {
@@ -251,6 +251,7 @@ func (s *ShipperSink) loop() {
 	var (
 		client  transport.Client
 		pending []probe.Record // taken from the ring, not yet acknowledged
+		enc     batchEncoder   // one encode buffer for the loop's lifetime
 		backoff = s.cfg.BackoffMin
 	)
 	disconnect := func() {
@@ -263,19 +264,22 @@ func (s *ShipperSink) loop() {
 	defer disconnect()
 
 	// ship sends pending plus everything buffered; false on send failure.
+	// A non-empty pending is an unacknowledged batch retried across
+	// reconnects; truncating (never nilling) it keeps its backing array —
+	// and the encoder's buffer — live for the next batch.
 	ship := func() bool {
 		for {
-			if pending == nil {
-				pending = s.take(s.cfg.BatchSize)
+			if len(pending) == 0 {
+				pending = s.take(pending, s.cfg.BatchSize)
 			}
 			if len(pending) == 0 {
 				return true
 			}
-			payload, err := encodeBatch(pending)
+			payload, err := enc.encode(pending)
 			if err != nil {
 				// Unencodable batch: nothing a retry can fix.
 				s.dropped.Add(uint64(len(pending)))
-				pending = nil
+				pending = pending[:0]
 				continue
 			}
 			if err := client.Post(transport.Request{ObjectKey: ObjectKey, Operation: opShip, Body: payload}); err != nil {
@@ -284,7 +288,7 @@ func (s *ShipperSink) loop() {
 			s.shipped.Add(uint64(len(pending)))
 			s.batches.Add(1)
 			s.bytes.Add(uint64(len(payload)))
-			pending = nil
+			pending = pending[:0]
 		}
 	}
 
@@ -335,7 +339,7 @@ func (s *ShipperSink) drain(client transport.Client, pending []probe.Record) {
 		// Whatever is still queued did not make it.
 		s.dropped.Add(uint64(len(pending)))
 		if left := s.buffered(); left > 0 {
-			s.take(left)
+			s.take(nil, left)
 			s.dropped.Add(uint64(left))
 		}
 	}()
@@ -344,17 +348,18 @@ func (s *ShipperSink) drain(client transport.Client, pending []probe.Record) {
 			return
 		}
 	}
+	var enc batchEncoder
 	for time.Now().Before(deadline) {
-		if pending == nil {
-			pending = s.take(s.cfg.BatchSize)
+		if len(pending) == 0 {
+			pending = s.take(pending, s.cfg.BatchSize)
 		}
 		if len(pending) == 0 {
 			break
 		}
-		payload, err := encodeBatch(pending)
+		payload, err := enc.encode(pending)
 		if err != nil {
 			s.dropped.Add(uint64(len(pending)))
-			pending = nil
+			pending = pending[:0]
 			continue
 		}
 		if err := client.Post(transport.Request{ObjectKey: ObjectKey, Operation: opShip, Body: payload}); err != nil {
@@ -363,7 +368,7 @@ func (s *ShipperSink) drain(client transport.Client, pending []probe.Record) {
 		s.shipped.Add(uint64(len(pending)))
 		s.batches.Add(1)
 		s.bytes.Add(uint64(len(payload)))
-		pending = nil
+		pending = pending[:0]
 	}
 	// Closing account: everything still queued at this point is about to
 	// be dropped by the deferred cleanup, so fold it in now — the frame

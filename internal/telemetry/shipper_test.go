@@ -289,3 +289,31 @@ func TestServerToleratesMidStreamDisconnect(t *testing.T) {
 		t.Fatalf("peers = %d, want 2", ss.Peers)
 	}
 }
+
+// TestAppendAllocFree pins the backpressure-path property: offering a record
+// to the ring is allocation-free in steady state, so a probe firing while
+// the collection server is down costs no more than a probe firing while it
+// is up. The shipper is parked in a long reconnect backoff during the
+// measurement so the background loop cannot contribute mallocs of its own.
+func TestAppendAllocFree(t *testing.T) {
+	dialErr := fmt.Errorf("collector down")
+	s, err := NewShipper(ShipperConfig{
+		Addr:         "127.0.0.1:1",
+		Process:      testProc("alloc"),
+		BufferSize:   1 << 15,
+		BackoffMin:   time.Hour,
+		BackoffMax:   time.Hour,
+		DrainTimeout: 10 * time.Millisecond,
+		Dial:         func(string) (transport.Client, error) { return nil, dialErr },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// Let the loop fail its first dial and settle into the hour-long backoff.
+	time.Sleep(20 * time.Millisecond)
+	rec := testRecord("alloc", 1)
+	if a := testing.AllocsPerRun(500, func() { s.Append(rec) }); a != 0 {
+		t.Fatalf("Append allocates %v per record, want 0", a)
+	}
+}

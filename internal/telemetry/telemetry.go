@@ -116,12 +116,27 @@ func decodeFinal(b []byte) (ShipperFinal, error) {
 	return f, nil
 }
 
-func encodeBatch(recs []probe.Record) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(recs); err != nil {
+// batchEncoder reuses one bytes.Buffer across ship frames. Each frame must
+// stay self-contained — the server decodes frames independently, so every
+// encode starts a fresh gob stream carrying its own type info — but the
+// byte buffer behind them is reusable: the transport's ownership contract
+// hands the Body back to the caller the moment Post returns, so the next
+// encode may overwrite it.
+type batchEncoder struct {
+	buf bytes.Buffer
+}
+
+func (e *batchEncoder) encode(recs []probe.Record) ([]byte, error) {
+	e.buf.Reset()
+	if err := gob.NewEncoder(&e.buf).Encode(recs); err != nil {
 		return nil, fmt.Errorf("telemetry: encode batch: %w", err)
 	}
-	return buf.Bytes(), nil
+	return e.buf.Bytes(), nil
+}
+
+func encodeBatch(recs []probe.Record) ([]byte, error) {
+	var e batchEncoder
+	return e.encode(recs)
 }
 
 func decodeBatch(b []byte) ([]probe.Record, error) {

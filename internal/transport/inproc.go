@@ -124,6 +124,13 @@ func (c *inprocClient) Call(req Request) (Reply, error) {
 	// goroutine. abandoned marks the call so a reply produced after the
 	// deadline is discarded, never delivered; the buffered send keeps a
 	// late responder from leaking a goroutine.
+	//
+	// Because Call may return at the deadline while the dispatch is still
+	// unmarshalling, the body must be copied: the caller owns (and may
+	// recycle) its buffer the moment Call returns.
+	if len(req.Body) != 0 {
+		req.Body = append([]byte(nil), req.Body...)
+	}
 	var abandoned atomic.Bool
 	respond := func(r Reply) {
 		if abandoned.Load() {
@@ -179,6 +186,11 @@ func (c *inprocClient) Post(req Request) error {
 	}
 	req.ID = c.nextID.Add(1)
 	req.Oneway = true
+	// Oneway dispatch is asynchronous under every threading policy, so the
+	// body is copied: the caller owns its buffer the moment Post returns.
+	if len(req.Body) != 0 {
+		req.Body = append([]byte(nil), req.Body...)
+	}
 	return c.server.deliver(c.conn, req, func(Reply) {})
 }
 

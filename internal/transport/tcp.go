@@ -43,19 +43,52 @@ func writeFrame(w io.Writer, payload []byte) error {
 }
 
 func readFrame(r io.Reader) ([]byte, error) {
+	return readFrameInto(r, nil)
+}
+
+// readFrameInto reads one frame, reusing buf's capacity when it suffices.
+// The result aliases buf (or a replacement that should be kept for the next
+// call); it is valid only until the next readFrameInto on the same buffer.
+func readFrameInto(r io.Reader, buf []byte) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
-	n := binary.LittleEndian.Uint32(hdr[:])
+	n := int(binary.LittleEndian.Uint32(hdr[:]))
 	if n > maxFrame {
 		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
 	}
-	buf := make([]byte, n)
+	if cap(buf) < n {
+		buf = make([]byte, n, max(n, 512))
+	} else {
+		buf = buf[:n]
+	}
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return nil, err
 	}
 	return buf, nil
+}
+
+// maxPooledFrameCap clamps what the frame pool retains, so one huge message
+// does not pin its buffer for the life of the process.
+const maxPooledFrameCap = 64 << 10
+
+// framePool recycles read/write frame buffers across connections. Within a
+// connection the same buffer is reused call after call (the read loop and
+// the write mutex each own one), so steady state does no pool traffic at
+// all; the pool only matters when connections churn.
+var framePool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 512); return &b },
+}
+
+func getFrameBuf() *[]byte { return framePool.Get().(*[]byte) }
+
+func putFrameBuf(p *[]byte) {
+	if p == nil || cap(*p) > maxPooledFrameCap {
+		return
+	}
+	*p = (*p)[:0]
+	framePool.Put(p)
 }
 
 func appendString(b []byte, s string) []byte {
@@ -110,6 +143,32 @@ func (f *frameReader) str() (string, error) {
 	return string(b), err
 }
 
+// internedStr is str deduplicated through m (nil m falls back to str).
+// Interned strings are bounded by maxInternedStrings per table; past that
+// the table stops growing and unseen strings are allocated normally, so a
+// client sending adversarially unique operation names cannot exhaust
+// memory.
+func (f *frameReader) internedStr(m map[string]string) (string, error) {
+	b, err := f.bytes()
+	if err != nil {
+		return "", err
+	}
+	if m == nil {
+		return string(b), nil
+	}
+	if s, ok := m[string(b)]; ok {
+		return s, nil
+	}
+	s := string(b)
+	if len(m) < maxInternedStrings {
+		m[s] = s
+	}
+	return s, nil
+}
+
+// maxInternedStrings bounds a connection's intern table.
+const maxInternedStrings = 1024
+
 func encodeRequest(req Request) []byte {
 	b := make([]byte, 0, 32+len(req.ObjectKey)+len(req.Operation)+len(req.Body))
 	b = append(b, frameRequest)
@@ -134,7 +193,46 @@ func encodeReply(rep Reply) []byte {
 	return b
 }
 
-func decodeRequest(fr *frameReader) (Request, error) {
+// appendRequestFrame assembles the length prefix and the request payload
+// into one buffer, so the whole message goes to the kernel in a single
+// Write — two small writes per call double the syscall count and, with
+// Nagle disabled, can double the packet count too.
+func appendRequestFrame(dst []byte, req Request) []byte {
+	dst = append(dst, 0, 0, 0, 0)
+	start := len(dst)
+	dst = append(dst, frameRequest)
+	dst = binary.LittleEndian.AppendUint64(dst, req.ID)
+	if req.Oneway {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	dst = appendString(dst, req.ObjectKey)
+	dst = appendString(dst, req.Operation)
+	dst = appendBytes(dst, req.Body)
+	binary.LittleEndian.PutUint32(dst[start-4:start], uint32(len(dst)-start))
+	return dst
+}
+
+// appendReplyFrame is appendRequestFrame for replies.
+func appendReplyFrame(dst []byte, rep Reply) []byte {
+	dst = append(dst, 0, 0, 0, 0)
+	start := len(dst)
+	dst = append(dst, frameReply)
+	dst = binary.LittleEndian.AppendUint64(dst, rep.ID)
+	dst = append(dst, byte(rep.Status))
+	dst = appendBytes(dst, rep.Body)
+	binary.LittleEndian.PutUint32(dst[start-4:start], uint32(len(dst)-start))
+	return dst
+}
+
+// decodeRequest parses a request. interned, when non-nil, is a
+// per-connection table that deduplicates ObjectKey/Operation strings: a
+// connection invokes the same few operations over and over, and the
+// m[string(b)] lookup form is recognized by the compiler as allocation-free,
+// so after the first call of each kind no string is allocated per request.
+// The body is copied (dispatch may outlive the read buffer's next reuse).
+func decodeRequest(fr *frameReader, interned map[string]string) (Request, error) {
 	var req Request
 	var err error
 	if req.ID, err = fr.u64(); err != nil {
@@ -145,10 +243,10 @@ func decodeRequest(fr *frameReader) (Request, error) {
 		return req, err
 	}
 	req.Oneway = ow != 0
-	if req.ObjectKey, err = fr.str(); err != nil {
+	if req.ObjectKey, err = fr.internedStr(interned); err != nil {
 		return req, err
 	}
-	if req.Operation, err = fr.str(); err != nil {
+	if req.Operation, err = fr.internedStr(interned); err != nil {
 		return req, err
 	}
 	body, err := fr.bytes()
@@ -295,17 +393,29 @@ func (s *TCPServer) connLoop(conn net.Conn, id ConnID) {
 		conn.Close()
 	}()
 	var writeMu sync.Mutex
+	// One read buffer and one write buffer per connection, reused for every
+	// message on the connection. The read buffer comes from the frame pool
+	// and is safe to reuse across requests because decodeRequest copies the
+	// body out. The write buffer is guarded by writeMu but deliberately NOT
+	// pooled: respond closures can outlive connLoop (a dispatch may finish
+	// after the connection died), so returning it at loop exit could hand a
+	// buffer to the pool while a late responder still writes into it.
+	readBuf := getFrameBuf()
+	defer putFrameBuf(readBuf)
+	var writeBuf []byte
+	interned := make(map[string]string, 8)
 	for {
-		frame, err := readFrame(conn)
+		frame, err := readFrameInto(conn, *readBuf)
 		if err != nil {
 			return
 		}
+		*readBuf = frame[:0]
 		fr := &frameReader{buf: frame}
 		kind, err := fr.u8()
 		if err != nil || kind != frameRequest {
 			return
 		}
-		req, err := decodeRequest(fr)
+		req, err := decodeRequest(fr, interned)
 		if err != nil {
 			return
 		}
@@ -316,9 +426,13 @@ func (s *TCPServer) connLoop(conn net.Conn, id ConnID) {
 				rep.ID = reqID
 				writeMu.Lock()
 				defer writeMu.Unlock()
+				out := appendReplyFrame(writeBuf[:0], rep)
+				if cap(out) <= maxPooledFrameCap {
+					writeBuf = out[:0]
+				}
 				// A write error means the client went away; the reply is
 				// undeliverable and dropping it is the only option.
-				_ = writeFrame(conn, encodeReply(rep))
+				_, _ = conn.Write(out)
 			}
 		}
 		s.mu.Lock()
@@ -349,6 +463,7 @@ func (s *TCPServer) connLoop(conn net.Conn, id ConnID) {
 type TCPClient struct {
 	conn      net.Conn
 	writeMu   sync.Mutex
+	writeBuf  []byte // frame assembly buffer, guarded by writeMu
 	mu        sync.Mutex
 	pending   map[uint64]chan Reply
 	nextID    atomic.Uint64
@@ -356,6 +471,27 @@ type TCPClient struct {
 	discarded atomic.Uint64
 	readErr   error
 	done      chan struct{}
+}
+
+// replyChPool recycles the per-call reply channels. Only channels that are
+// provably unreachable by any sender or teardown go back: a channel closed
+// by failPending must never be pooled (a pooled closed channel would wake
+// an unrelated future call with a phantom terminal error).
+var replyChPool = sync.Pool{
+	New: func() any { return make(chan Reply, 1) },
+}
+
+// writeRequestLocked assembles req into the client's reusable buffer and
+// writes it as one frame in a single Write call.
+func (c *TCPClient) writeRequest(req Request) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	out := appendRequestFrame(c.writeBuf[:0], req)
+	if cap(out) <= maxPooledFrameCap {
+		c.writeBuf = out[:0]
+	}
+	_, err := c.conn.Write(out)
+	return err
 }
 
 var _ Client = (*TCPClient)(nil)
@@ -391,12 +527,17 @@ func (c *TCPClient) failPending(err error) {
 
 func (c *TCPClient) readLoop() {
 	defer close(c.done)
+	// One pooled buffer reused for every reply frame; DecodeReplyFrame
+	// copies the body out, so the next read may overwrite it.
+	readBuf := getFrameBuf()
+	defer putFrameBuf(readBuf)
 	for {
-		frame, err := readFrame(c.conn)
+		frame, err := readFrameInto(c.conn, *readBuf)
 		if err != nil {
 			c.failPending(err)
 			return
 		}
+		*readBuf = frame[:0]
 		rep, err := DecodeReplyFrame(frame)
 		if err != nil {
 			// A frame that framed correctly but does not decode to a valid
@@ -442,7 +583,7 @@ func (c *TCPClient) Call(req Request) (Reply, error) {
 	}
 	req.ID = c.nextID.Add(1)
 	req.Oneway = false
-	ch := make(chan Reply, 1)
+	ch := replyChPool.Get().(chan Reply)
 	c.mu.Lock()
 	if c.readErr != nil {
 		err := c.readErr
@@ -458,13 +599,16 @@ func (c *TCPClient) Call(req Request) (Reply, error) {
 	c.pending[req.ID] = ch
 	c.mu.Unlock()
 
-	c.writeMu.Lock()
-	err := writeFrame(c.conn, encodeRequest(req))
-	c.writeMu.Unlock()
-	if err != nil {
+	if err := c.writeRequest(req); err != nil {
 		c.mu.Lock()
+		_, mine := c.pending[req.ID]
 		delete(c.pending, req.ID)
 		c.mu.Unlock()
+		if mine {
+			// The entry was still ours, so no sender ever touched ch and
+			// teardown can no longer close it: safe to recycle.
+			replyChPool.Put(ch)
+		}
 		return Reply{}, err
 	}
 
@@ -473,6 +617,7 @@ func (c *TCPClient) Call(req Request) (Reply, error) {
 		if !ok {
 			return Reply{}, c.terminalErr()
 		}
+		replyChPool.Put(ch)
 		return rep, nil
 	}
 
@@ -483,14 +628,17 @@ func (c *TCPClient) Call(req Request) (Reply, error) {
 		if !ok {
 			return Reply{}, c.terminalErr()
 		}
+		replyChPool.Put(ch)
 		return rep, nil
 	case <-timer.C:
 		c.mu.Lock()
 		if _, registered := c.pending[req.ID]; registered {
 			// Nobody has touched the entry: reclaim it. A reply arriving
-			// later finds no waiter and is counted in Discarded.
+			// later finds no waiter and is counted in Discarded. With the
+			// entry gone no sender or teardown can reach ch, so recycle it.
 			delete(c.pending, req.ID)
 			c.mu.Unlock()
+			replyChPool.Put(ch)
 			return Reply{}, fmt.Errorf("transport: call %s: %w after %v", req.Operation, ErrDeadlineExceeded, req.Timeout)
 		}
 		c.mu.Unlock()
@@ -501,6 +649,7 @@ func (c *TCPClient) Call(req Request) (Reply, error) {
 		if !ok {
 			return Reply{}, c.terminalErr()
 		}
+		replyChPool.Put(ch)
 		return rep, nil
 	}
 }
@@ -524,9 +673,7 @@ func (c *TCPClient) Post(req Request) error {
 	}
 	req.ID = c.nextID.Add(1)
 	req.Oneway = true
-	c.writeMu.Lock()
-	defer c.writeMu.Unlock()
-	return writeFrame(c.conn, encodeRequest(req))
+	return c.writeRequest(req)
 }
 
 // Close implements Client.

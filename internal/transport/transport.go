@@ -59,6 +59,12 @@ type Request struct {
 	Oneway bool
 	// Body is the CDR-encoded parameter list (plus the hidden FTL when the
 	// deployment is instrumented).
+	//
+	// Ownership: the caller owns Body again the moment Call or Post
+	// returns — transports must have copied (or finished transmitting) it
+	// by then, never retaining a reference. This is what lets generated
+	// stubs recycle their pooled encode buffers immediately after the
+	// invocation without racing a transport that is still reading.
 	Body []byte
 	// Timeout bounds how long Call waits for the reply; zero means wait
 	// forever (the pre-deadline behaviour). It is a client-local deadline —
@@ -68,6 +74,13 @@ type Request struct {
 }
 
 // Reply is one response message.
+//
+// Ownership: the Body a Call returns belongs to the caller outright (TCP
+// decodes it into a fresh copy; inproc hands over the skeleton's buffer).
+// Conversely, a Body passed to a Responder is handed off for good — inproc
+// forwards it to the waiting caller unchanged — so reply producers must
+// never reuse that buffer, which is why skeleton reply encoders are not
+// pooled.
 type Reply struct {
 	ID     uint64
 	Status Status

@@ -210,7 +210,7 @@ func TestFrameCodecRoundTrip(t *testing.T) {
 		if err != nil || kind != frameRequest {
 			return false
 		}
-		dec, err := decodeRequest(fr)
+		dec, err := decodeRequest(fr, nil)
 		if err != nil {
 			return false
 		}
@@ -259,7 +259,7 @@ func TestTruncatedFrameRejected(t *testing.T) {
 		} else if kind != frameRequest {
 			t.Fatalf("cut %d: wrong kind", cut)
 		}
-		if _, err := decodeRequest(fr); err == nil {
+		if _, err := decodeRequest(fr, nil); err == nil {
 			t.Fatalf("truncated frame at %d bytes decoded successfully", cut)
 		}
 	}

@@ -1,0 +1,17 @@
+#!/bin/sh
+# bench.sh — run the Figure-1 / hot-path benchmark set and update the
+# committed bench trajectory (BENCH_4.json) via cmd/benchreport.
+#
+#   scripts/bench.sh                  # update "current", keep baseline
+#   scripts/bench.sh -set-baseline    # also re-record the baseline
+#   BENCHTIME=50000x scripts/bench.sh # longer run for stabler numbers
+#
+# The fixed-iteration benchtime (not a duration) keeps run-to-run iteration
+# counts identical so ns/op comparisons are apples-to-apples.
+set -eu
+cd "$(dirname "$0")/.."
+
+BENCHES='BenchmarkSyncCallProbePath|BenchmarkHotPath|BenchmarkFigure1ProbeOverhead|BenchmarkFigure2Tunnel'
+
+go test -run '^$' -bench "$BENCHES" -benchtime "${BENCHTIME:-10000x}" -benchmem . \
+  | go run ./cmd/benchreport -out BENCH_4.json "$@"
