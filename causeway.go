@@ -31,7 +31,9 @@ import (
 	"causeway/internal/analysis"
 	"causeway/internal/collector"
 	"causeway/internal/cputime"
+	"causeway/internal/debugserver"
 	"causeway/internal/logdb"
+	"causeway/internal/metrics"
 	"causeway/internal/online"
 	"causeway/internal/orb"
 	"causeway/internal/probe"
@@ -141,7 +143,26 @@ type ProcessConfig struct {
 	WrapClient func(transport.Client) transport.Client
 	// WrapHandler wraps the request handler on every served endpoint.
 	WrapHandler func(transport.Handler) transport.Handler
+	// DebugAddr, when set, mounts the process's introspection HTTP server
+	// there ("127.0.0.1:0" picks an ephemeral port; read it back with
+	// Process.DebugAddr). It serves /metrics, /statusz, /chainz, /healthz
+	// and /debug/pprof, and — when the process also ships telemetry — is
+	// advertised in the shipper handshake so cmd/collectd can scrape it.
+	DebugAddr string
+	// Metrics, when set, is the registry the process's probes, ORB and
+	// transports count into — share one across in-binary processes for a
+	// merged view. Nil allocates a fresh registry per process.
+	Metrics *MetricsRegistry
 }
+
+// MetricsRegistry is the in-process metrics plane: goroutine-sharded
+// counters and log-linear latency histograms whose bucket scheme matches
+// the offline analyzer's quantile digests (see internal/metrics).
+type MetricsRegistry = metrics.Registry
+
+// NewMetricsRegistry builds an empty metrics registry, for sharing one
+// across the logical processes of a single binary.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
 
 // RetryPolicy re-exports the ORB's bounded-retry configuration.
 type RetryPolicy = orb.RetryPolicy
@@ -155,6 +176,8 @@ type Process struct {
 	file    *os.File
 	stream  *probe.StreamSink
 	shipper *telemetry.ShipperSink
+	metrics *metrics.Registry
+	debug   *debugserver.Server
 }
 
 // NewProcess builds a monitored process.
@@ -169,7 +192,24 @@ func NewProcess(cfg ProcessConfig) (*Process, error) {
 		ID:        cfg.Name,
 		Processor: topology.Processor{ID: cfg.Name + "-cpu", Type: cfg.ProcessorType},
 	}
-	p := &Process{proc: proc}
+	p := &Process{proc: proc, metrics: cfg.Metrics}
+	if p.metrics == nil {
+		p.metrics = metrics.NewRegistry()
+	}
+	p.metrics.RegisterSource("transport_pool", transport.WritePoolMetrics)
+	if cfg.Online != nil {
+		// Feed the online analyzer's compensated chain latencies into this
+		// registry so /metrics quantiles agree exactly with the offline
+		// InterfaceStat digests (first process wins on a shared monitor).
+		cfg.Online.SetMetrics(p.metrics)
+	}
+	fail := func(err error) (*Process, error) {
+		if p.debug != nil {
+			p.debug.Close()
+		}
+		p.closeFile()
+		return nil, err
+	}
 
 	var sink probe.Sink
 	if cfg.LogPath != "" {
@@ -187,13 +227,35 @@ func NewProcess(cfg ProcessConfig) (*Process, error) {
 	if cfg.Online != nil {
 		sink = probe.TeeSink{sink, cfg.Online}
 	}
-	if cfg.ShipTo != "" {
-		sh, err := telemetry.NewShipper(telemetry.ShipperConfig{Addr: cfg.ShipTo, Process: proc})
+
+	// The debug server starts before the shipper so the handshake can
+	// advertise its resolved address to the collection daemon.
+	if cfg.DebugAddr != "" {
+		dbg, err := debugserver.Start(debugserver.Config{
+			Addr:         cfg.DebugAddr,
+			Registry:     p.metrics,
+			Monitor:      cfg.Online,
+			Process:      cfg.Name,
+			ProcType:     cfg.ProcessorType,
+			Aspects:      cfg.Monitor.aspectString(),
+			Instrumented: cfg.Instrumented,
+		})
 		if err != nil {
-			p.closeFile()
-			return nil, fmt.Errorf("causeway: shipper: %w", err)
+			return fail(fmt.Errorf("causeway: %w", err))
+		}
+		p.debug = dbg
+	}
+	if cfg.ShipTo != "" {
+		shipCfg := telemetry.ShipperConfig{Addr: cfg.ShipTo, Process: proc}
+		if p.debug != nil {
+			shipCfg.DebugAddr = p.debug.Addr()
+		}
+		sh, err := telemetry.NewShipper(shipCfg)
+		if err != nil {
+			return fail(fmt.Errorf("causeway: shipper: %w", err))
 		}
 		p.shipper = sh
+		p.metrics.RegisterSource("shipper", sh.WriteMetrics)
 		sink = probe.TeeSink{sink, sh}
 	}
 
@@ -214,10 +276,10 @@ func NewProcess(cfg ProcessConfig) (*Process, error) {
 		Clock:   vclock.System{},
 		Meter:   meter,
 		Sink:    sink,
+		Metrics: p.metrics,
 	})
 	if err != nil {
-		p.closeFile()
-		return nil, err
+		return fail(err)
 	}
 	o, err := orb.New(orb.Config{
 		Process:            proc,
@@ -231,13 +293,25 @@ func NewProcess(cfg ProcessConfig) (*Process, error) {
 		Retry:              cfg.Retry,
 		WrapClient:         cfg.WrapClient,
 		WrapHandler:        cfg.WrapHandler,
+		Metrics:            p.metrics,
 	})
 	if err != nil {
-		p.closeFile()
-		return nil, err
+		return fail(err)
 	}
 	p.ORB = o
 	return p, nil
+}
+
+// aspectString names the armed aspects for /statusz.
+func (a Aspect) aspectString() string {
+	switch a {
+	case MonitorLatency:
+		return "causality+latency"
+	case MonitorCPU:
+		return "causality+cpu"
+	default:
+		return "causality"
+	}
 }
 
 // NewChain ends the calling thread's current causal chain, so its next
@@ -251,6 +325,19 @@ func (p *Process) Records() []Record {
 		return nil
 	}
 	return p.mem.Snapshot()
+}
+
+// Metrics returns the process's metrics registry — always non-nil, even
+// when no debug server is mounted.
+func (p *Process) Metrics() *MetricsRegistry { return p.metrics }
+
+// DebugAddr returns the introspection server's bound address, empty when
+// ProcessConfig.DebugAddr was unset.
+func (p *Process) DebugAddr() string {
+	if p.debug == nil {
+		return ""
+	}
+	return p.debug.Addr()
 }
 
 // ShipperStats reports the record shipper's counters; the zero value when
@@ -268,6 +355,9 @@ func (p *Process) Close() error {
 	p.ORB.Shutdown()
 	if p.shipper != nil {
 		p.shipper.Close()
+	}
+	if p.debug != nil {
+		p.debug.Close()
 	}
 	if p.stream != nil {
 		if err := p.stream.Close(); err != nil {

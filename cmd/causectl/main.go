@@ -18,8 +18,9 @@
 //	        one chain's call tree plus its per-interface latency breakdown
 //	top [-n N] [-by p50|p95|p99|max|total|calls]
 //	        rank interfaces by latency percentile (streaming digest)
-//	export <out.ftlog>
-//	        write the merged record stream for cmd/analyzer
+//	export [-format ftlog|chrome] <out>
+//	        write the merged record stream for cmd/analyzer, or the DSCG
+//	        as Chrome trace-event JSON (chrome://tracing, ui.perfetto.dev)
 package main
 
 import (
@@ -96,7 +97,7 @@ func run(args []string, w io.Writer) error {
 	case "top":
 		return cmdTop(w, src, *workers, rest)
 	case "export":
-		return cmdExport(w, src, rest)
+		return cmdExport(w, src, *workers, rest)
 	default:
 		return fmt.Errorf("unknown command %q (want chains, show, top, or export)", cmd)
 	}
@@ -290,21 +291,40 @@ func cmdTop(w io.Writer, src source, workers int, args []string) error {
 	return nil
 }
 
-func cmdExport(w io.Writer, src source, args []string) error {
-	if len(args) != 1 {
-		return fmt.Errorf("usage: causectl export <out.ftlog>")
+func cmdExport(w io.Writer, src source, workers int, args []string) error {
+	fs := flag.NewFlagSet("causectl export", flag.ContinueOnError)
+	format := fs.String("format", "ftlog", "output format: ftlog (analyzer input) | chrome (trace-event JSON for Perfetto)")
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
-	f, err := os.Create(args[0])
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: causectl export [-format ftlog|chrome] <out>")
+	}
+	path := fs.Arg(0)
+	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("export: %w", err)
 	}
-	if err := src.WriteStream(f); err != nil {
+	switch *format {
+	case "ftlog":
+		err = src.WriteStream(f)
+	case "chrome":
+		g := reconstruct(src, workers)
+		if err = render.ChromeTrace(f, g); err == nil {
+			fmt.Fprintf(w, "exported Chrome trace (%d spans) — open in chrome://tracing or ui.perfetto.dev\n", g.Nodes())
+		}
+	default:
+		err = fmt.Errorf("bad -format %q (want ftlog or chrome)", *format)
+	}
+	if err != nil {
 		f.Close()
 		return err
 	}
 	if err := f.Close(); err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "exported merged record stream to %s\n", args[0])
+	if *format == "ftlog" {
+		fmt.Fprintf(w, "exported merged record stream to %s\n", path)
+	}
 	return nil
 }

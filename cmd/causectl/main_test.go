@@ -2,12 +2,15 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"causeway"
+	"causeway/internal/analysis"
 	"causeway/internal/probe"
 	"causeway/internal/tracestore"
 	"causeway/internal/workload"
@@ -28,6 +31,7 @@ func buildFixture(t *testing.T) fixture {
 		Calls: 250, Threads: 4, Processes: 3,
 		Components: 8, Interfaces: 6, Methods: 15,
 		OnewayPermille: 150, Seed: 17,
+		Aspects: probe.AspectLatency,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -166,6 +170,115 @@ func TestTopInterfaces(t *testing.T) {
 	}
 	if err := run([]string{"-store", fx.storeDir, "top", "-by", "bogus"}, &bytes.Buffer{}); err == nil {
 		t.Fatal("top with bad -by succeeded")
+	}
+}
+
+// TestExportChromeTrace: `export -format=chrome` writes valid Chrome
+// trace-event JSON with exactly one span per DSCG node, and the export is
+// deterministic (the golden property: same store, byte-identical trace).
+func TestExportChromeTrace(t *testing.T) {
+	fx := buildFixture(t)
+	report, err := causeway.AnalyzeFiles(fx.logGlob)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	export := func(path string) []byte {
+		t.Helper()
+		var buf bytes.Buffer
+		if err := run([]string{"-store", fx.storeDir, "-workers", "4", "export", "-format", "chrome", path}, &buf); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(buf.String(), "exported Chrome trace") {
+			t.Fatalf("export output: %q", buf.String())
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	dir := t.TempDir()
+	raw := export(filepath.Join(dir, "a.json"))
+
+	var tf struct {
+		TraceEvents []struct {
+			Ph  string  `json:"ph"`
+			Cat string  `json:"cat"`
+			Dur float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &tf); err != nil {
+		t.Fatalf("chrome export is not valid trace-event JSON: %v", err)
+	}
+	spans, timed := 0, 0
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph == "X" {
+			spans++
+			if ev.Dur > 0 {
+				timed++
+			}
+		}
+	}
+	if spans != report.Graph.Nodes() {
+		t.Errorf("chrome trace has %d spans, DSCG has %d nodes", spans, report.Graph.Nodes())
+	}
+	if timed == 0 {
+		t.Error("no span carries a duration; compensated latencies lost")
+	}
+
+	if again := export(filepath.Join(dir, "b.json")); !bytes.Equal(raw, again) {
+		t.Error("two chrome exports of the same store differ")
+	}
+
+	if err := run([]string{"-store", fx.storeDir, "export", "-format", "bogus", filepath.Join(dir, "c")}, &bytes.Buffer{}); err == nil {
+		t.Fatal("export with bad -format succeeded")
+	}
+}
+
+// TestTopP99Values pins `top -by p99` to the offline digests: every
+// printed P99 cell must equal InterfaceStat.P99() computed from the same
+// records.
+func TestTopP99Values(t *testing.T) {
+	fx := buildFixture(t)
+	report, err := causeway.AnalyzeFiles(fx.logGlob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := analysis.InterfaceStats(report.Graph, 1)
+	want := make(map[string]string)
+	for i := range stats {
+		s := &stats[i]
+		if s.Latency.Count() > 0 {
+			want[s.Interface] = s.P99().Round(time.Microsecond).String()
+		}
+	}
+	if len(want) == 0 {
+		t.Fatal("fixture produced no timed interfaces")
+	}
+
+	var top bytes.Buffer
+	if err := run([]string{"-store", fx.storeDir, "top", "-n", "0", "-by", "p99"}, &top); err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, line := range strings.Split(strings.TrimSpace(top.String()), "\n")[1:] {
+		fields := strings.Fields(line)
+		if len(fields) != 7 {
+			t.Fatalf("unexpected top row %q", line)
+		}
+		iface := fields[0]
+		wantP99, ok := want[iface]
+		if !ok {
+			continue
+		}
+		if got := fields[4]; got != wantP99 {
+			t.Errorf("interface %s: rendered P99 %s, want %s (offline InterfaceStat)", iface, got, wantP99)
+		}
+		checked++
+	}
+	if checked != len(want) {
+		t.Errorf("checked %d of %d timed interfaces", checked, len(want))
 	}
 }
 

@@ -46,7 +46,9 @@ import (
 
 	"causeway"
 	"causeway/internal/analysis"
+	"causeway/internal/debugserver"
 	"causeway/internal/logdb"
+	"causeway/internal/metrics"
 	"causeway/internal/online"
 	"causeway/internal/probe"
 	"causeway/internal/render"
@@ -97,6 +99,7 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 	report := fs.Duration("report", 5*time.Second, "reporting period")
 	duration := fs.Duration("duration", 0, "stop after this long (0 = until SIGINT)")
 	roots := fs.Bool("roots", false, "print every completed root live")
+	debugAddr := fs.String("debug", "", "mount the daemon's own debug server here and scrape peer /metrics into a fleet view")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -119,7 +122,12 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 	} else {
 		store = logdb.NewStore()
 	}
+	// The daemon's own metrics plane: the online monitor feeds chain
+	// quantiles into it, the reporter counts loss recoveries, and — with
+	// -debug — a fleet scraper merges peer expositions into it.
+	reg := metrics.NewRegistry()
 	monitor := online.NewMonitor(online.Config{
+		Metrics: reg,
 		OnRoot: func(ev online.RootEvent) {
 			rootCount.Add(1)
 			if *roots {
@@ -153,6 +161,41 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 	}
 	fmt.Fprintf(w, "collectd: listening on %s\n", srv.Addr())
 
+	// Own introspection server + fleet scraper (-debug).
+	var fleet *fleetScraper
+	var dbg *debugserver.Server
+	if *debugAddr != "" {
+		fleet = newFleetScraper()
+		reg.RegisterSource("fleet", fleet.WriteMetrics)
+		dbg, err = debugserver.Start(debugserver.Config{
+			Addr:     *debugAddr,
+			Registry: reg,
+			Monitor:  monitor,
+			Process:  "collectd",
+			ProcType: "collector",
+			Aspects:  "collection",
+		})
+		if err != nil {
+			srv.Close()
+			return err
+		}
+		defer dbg.Close()
+		fmt.Fprintf(w, "collectd: debug server on %s\n", dbg.Addr())
+	}
+	// Torn-tail recoveries surface as a counter; the trace store
+	// accumulates warning strings, so each tick adds the delta.
+	tornTails := reg.Named("causeway_torn_tail_recoveries_total")
+	var tornSeen int
+	countTornTails := func() {
+		if disk == nil {
+			return
+		}
+		if n := len(disk.Warnings()); n > tornSeen {
+			tornTails.Add(uint64(n - tornSeen))
+			tornSeen = n
+		}
+	}
+
 	// Periodic self-report: ingest rate and live-parse progress.
 	reporterDone := make(chan struct{})
 	reporterStop := make(chan struct{})
@@ -169,11 +212,15 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 			case <-ticker.C:
 				st := srv.Stats()
 				now := time.Now()
-				rate := float64(st.Records-last) / now.Sub(lastT).Seconds()
+				rate := ingestRate(st.Records, last, now.Sub(lastT))
 				last, lastT = st.Records, now
 				fmt.Fprintf(w, "collectd: %d records (%.0f/s), %d batches, %d peers, %d open chains, %d roots, %d slow, %d anomalies\n",
 					st.Records, rate, st.Batches, st.Peers, monitor.OpenChains(),
 					rootCount.Load(), slowCount.Load(), anomalyCount.Load())
+				countTornTails()
+				if fleet != nil {
+					fleet.scrape(peerDebugAddrs(srv))
+				}
 				if disk != nil && *retain > 0 {
 					if n, err := disk.Sweep(*retain); err != nil {
 						fmt.Fprintf(w, "collectd: sweep: %v\n", err)
@@ -247,6 +294,7 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 		if err := disk.Flush(); err != nil {
 			fmt.Fprintf(w, "collectd: store flush: %v\n", err)
 		}
+		countTornTails()
 		for _, warn := range disk.Warnings() {
 			fmt.Fprintf(w, "collectd: store warning: %s\n", warn)
 		}
@@ -270,4 +318,28 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 		}
 	}
 	return nil
+}
+
+// ingestRate computes records/s over one reporting interval. A
+// non-positive interval (a clock hiccup, or a tick delivered before any
+// time elapsed) and a counter that did not advance both report 0 cleanly
+// instead of a division artifact.
+func ingestRate(cur, last uint64, elapsed time.Duration) float64 {
+	if elapsed <= 0 || cur <= last {
+		return 0
+	}
+	return float64(cur-last) / elapsed.Seconds()
+}
+
+// peerDebugAddrs lists the distinct debug addresses the connected peers
+// advertised in their handshakes.
+func peerDebugAddrs(srv *telemetry.Server) []string {
+	accts := srv.PeerAccounting()
+	addrs := make([]string, 0, len(accts))
+	for _, a := range accts {
+		if a.Peer.DebugAddr != "" {
+			addrs = append(addrs, a.Peer.DebugAddr)
+		}
+	}
+	return addrs
 }

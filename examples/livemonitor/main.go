@@ -31,8 +31,11 @@ import (
 	"bytes"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -62,6 +65,48 @@ func (s *variableServant) Echo(payload string) (string, error) {
 }
 func (s *variableServant) Sum(values []int32) (int32, error) { return 0, nil }
 func (s *variableServant) Fire(string) error                 { return nil }
+
+// selfScrape probes the deployment's own debug endpoint: /healthz must
+// answer ok and /metrics must serve a non-empty exposition.
+func selfScrape(addr string) error {
+	get := func(path string) (string, error) {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return "", err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return "", fmt.Errorf("GET %s: %s", path, resp.Status)
+		}
+		return string(body), nil
+	}
+	health, err := get("/healthz")
+	if err != nil {
+		return err
+	}
+	if strings.TrimSpace(health) != "ok" {
+		return fmt.Errorf("/healthz said %q, want ok", health)
+	}
+	exposition, err := get("/metrics")
+	if err != nil {
+		return err
+	}
+	series := 0
+	for _, line := range strings.Split(exposition, "\n") {
+		if strings.HasPrefix(line, "causeway_") {
+			series++
+		}
+	}
+	if series == 0 {
+		return fmt.Errorf("/metrics exposition is empty")
+	}
+	fmt.Printf("\ndebug: /healthz ok, /metrics exposes %d series at http://%s/metrics\n", series, addr)
+	return nil
+}
 
 func main() {
 	faults := flag.Bool("faults", false, "inject deterministic drops and disconnects into the client transports")
@@ -113,17 +158,19 @@ func run(faults bool, seed int64) error {
 
 	// Four monitored processes over real TCP loopback: one echo server and
 	// three clients, every one shipping its records to the collector live
-	// while also writing its own .ftlog.
-	newProc := func(name string) (*causeway.Process, error) {
-		return causeway.NewProcess(causeway.ProcessConfig{
-			Name:         name,
-			Instrumented: true,
-			Monitor:      causeway.MonitorLatency,
-			LogPath:      filepath.Join(dir, name+".ftlog"),
-			ShipTo:       srv.Addr(),
-		})
-	}
-	server, err := newProc("server")
+	// while also writing its own .ftlog. All four are in one binary, so they
+	// share one metrics registry; the echo server mounts the deployment's
+	// debug endpoint over it.
+	reg := causeway.NewMetricsRegistry()
+	server, err := causeway.NewProcess(causeway.ProcessConfig{
+		Name:         "server",
+		Instrumented: true,
+		Monitor:      causeway.MonitorLatency,
+		LogPath:      filepath.Join(dir, "server.ftlog"),
+		ShipTo:       srv.Addr(),
+		Metrics:      reg,
+		DebugAddr:    "127.0.0.1:0",
+	})
 	if err != nil {
 		return err
 	}
@@ -138,6 +185,7 @@ func run(faults bool, seed int64) error {
 
 	const clients, callsPerClient = 3, 6
 	procs := []*causeway.Process{server}
+	var injectors []*faultinject.Injector
 	failures := 0
 	for c := 1; c <= clients; c++ {
 		cfg := causeway.ProcessConfig{
@@ -146,6 +194,7 @@ func run(faults bool, seed int64) error {
 			Monitor:      causeway.MonitorLatency,
 			LogPath:      filepath.Join(dir, fmt.Sprintf("client-%d.ftlog", c)),
 			ShipTo:       srv.Addr(),
+			Metrics:      reg,
 		}
 		if faults {
 			// One seeded injector per client keeps the schedule fully
@@ -158,6 +207,7 @@ func run(faults bool, seed int64) error {
 			cfg.WrapClient = inj.WrapClient
 			cfg.CallTimeout = 100 * time.Millisecond
 			cfg.Retry = causeway.RetryPolicy{Attempts: 2, Backoff: 5 * time.Millisecond}
+			injectors = append(injectors, inj)
 		}
 		client, err := causeway.NewProcess(cfg)
 		if err != nil {
@@ -181,6 +231,21 @@ func run(faults bool, seed int64) error {
 			}
 			client.NewChain()
 		}
+	}
+
+	if len(injectors) > 0 {
+		// The injected faults count themselves into /metrics, summed across
+		// the per-client injectors into one series family.
+		reg.RegisterSource("faultinject", func(w io.Writer) {
+			faultinject.WriteMetricsMulti(w, injectors...)
+		})
+	}
+
+	// Mid-run introspection: while the deployment is still up, its own
+	// debug endpoint must answer. CI greps the line this prints, and an
+	// empty exposition fails the run outright.
+	if err := selfScrape(server.DebugAddr()); err != nil {
+		return err
 	}
 
 	// Shut the processes down: each Close drains its shipper (bounded) and

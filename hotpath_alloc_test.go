@@ -10,7 +10,11 @@
 // so one-time growth (frame buffers, interning maps) is excluded.
 package causeway_test
 
-import "testing"
+import (
+	"testing"
+
+	"causeway/internal/metrics"
+)
 
 // Ceilings per synchronous invocation. The measured steady-state counts at
 // the time of writing are listed alongside; the ceilings leave one alloc of
@@ -22,9 +26,12 @@ const (
 	maxAllocsCollocated = 2 // measured 1: servant result string concat path
 )
 
+// measureHotPath runs with the metrics plane armed: the ceilings assert that
+// per-interface RED metrics cost zero additional allocations per invocation
+// on top of the probe path (sharded counters, preallocated histograms).
 func measureHotPath(t *testing.T, transportKind string, collocated bool, oneway bool) float64 {
 	t.Helper()
-	stub, fired, cleanup := hotPathPair(t, transportKind, collocated)
+	stub, fired, cleanup := hotPathPair(t, transportKind, collocated, metrics.NewRegistry())
 	defer cleanup()
 	call := func() {
 		if _, err := stub.Echo("x"); err != nil {

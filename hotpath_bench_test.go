@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"causeway/internal/benchgen/instrecho"
+	"causeway/internal/metrics"
 	"causeway/internal/orb"
 	"causeway/internal/probe"
 	"causeway/internal/topology"
@@ -21,14 +22,18 @@ import (
 )
 
 // hotPathPair builds an instrumented client/server ORB pair for hot-path
-// measurement. transportKind is "inproc" or "tcp".
-func hotPathPair(b testing.TB, transportKind string, collocated bool) (*instrecho.EchoStub, chan string, func()) {
+// measurement. transportKind is "inproc" or "tcp". A non-nil registry arms
+// the in-process metrics plane on both sides, so the alloc ceilings and the
+// metrics-overhead benchmark measure the monitored configuration a real
+// deployment runs.
+func hotPathPair(b testing.TB, transportKind string, collocated bool, reg *metrics.Registry) (*instrecho.EchoStub, chan string, func()) {
 	b.Helper()
 	net := transport.NewInprocNetwork()
 	mk := func(name string) *orb.ORB {
 		probes, err := probe.New(probe.Config{
 			Process: topology.Process{ID: name, Processor: topology.Processor{ID: name, Type: "x86"}},
 			Sink:    &probe.CountingSink{},
+			Metrics: reg,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -40,6 +45,7 @@ func hotPathPair(b testing.TB, transportKind string, collocated bool) (*instrech
 			Policy:       orb.ThreadPool,
 			PoolSize:     2,
 			Network:      net,
+			Metrics:      reg,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -92,7 +98,7 @@ func (s hotPathServant) Fire(payload string) error {
 // synchronous instrumented invocation over the in-process transport, stub
 // start to stub end, four probes firing, thread-pool dispatch.
 func BenchmarkSyncCallProbePath(b *testing.B) {
-	stub, _, cleanup := hotPathPair(b, "inproc", false)
+	stub, _, cleanup := hotPathPair(b, "inproc", false, nil)
 	defer cleanup()
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -103,11 +109,31 @@ func BenchmarkSyncCallProbePath(b *testing.B) {
 	}
 }
 
+// BenchmarkMetricsOverhead isolates the cost of the in-process metrics
+// plane on the headline invocation: the same sync inproc call with the
+// registry detached ("off") and armed ("on"). The acceptance bar for the
+// metrics plane is under 5% on this pair.
+func BenchmarkMetricsOverhead(b *testing.B) {
+	run := func(b *testing.B, reg *metrics.Registry) {
+		stub, _, cleanup := hotPathPair(b, "inproc", false, reg)
+		defer cleanup()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := stub.Echo("x"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, nil) })
+	b.Run("on", func(b *testing.B) { run(b, metrics.NewRegistry()) })
+}
+
 // BenchmarkHotPathSyncTCP is the same invocation over a real TCP loopback
 // connection — the variant that exercises pooled frame buffers and the
 // coalesced single-write transport path.
 func BenchmarkHotPathSyncTCP(b *testing.B) {
-	stub, _, cleanup := hotPathPair(b, "tcp", false)
+	stub, _, cleanup := hotPathPair(b, "tcp", false, nil)
 	defer cleanup()
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -122,7 +148,7 @@ func BenchmarkHotPathSyncTCP(b *testing.B) {
 // servant acknowledges through a channel and the loop waits for it, so
 // exactly one call is in flight and queue growth never distorts the number.
 func BenchmarkHotPathOneway(b *testing.B) {
-	stub, fired, cleanup := hotPathPair(b, "inproc", false)
+	stub, fired, cleanup := hotPathPair(b, "inproc", false, nil)
 	defer cleanup()
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -137,7 +163,7 @@ func BenchmarkHotPathOneway(b *testing.B) {
 // BenchmarkHotPathCollocated measures the collocation-optimized fast path:
 // same process, both degenerate probe pairs firing, no marshalling.
 func BenchmarkHotPathCollocated(b *testing.B) {
-	stub, _, cleanup := hotPathPair(b, "inproc", true)
+	stub, _, cleanup := hotPathPair(b, "inproc", true, nil)
 	defer cleanup()
 	b.ReportAllocs()
 	b.ResetTimer()

@@ -16,6 +16,7 @@ package faultinject
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"sync"
 	"time"
@@ -143,6 +144,42 @@ func (in *Injector) Stats() Stats {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	return in.stats
+}
+
+// WriteMetrics renders the injection counters in the text exposition
+// format; register it as a metrics.Registry source to surface injected
+// faults on /metrics next to the loss counters they cause.
+func (in *Injector) WriteMetrics(w io.Writer) {
+	WriteMetricsMulti(w, in)
+}
+
+// WriteMetricsMulti renders the summed counters of several injectors as
+// one series family — the form a deployment with one injector per client
+// registers, since duplicate series names in one exposition are invalid.
+func WriteMetricsMulti(w io.Writer, injectors ...*Injector) {
+	var st Stats
+	for _, in := range injectors {
+		s := in.Stats()
+		st.Ops += s.Ops
+		st.Delays += s.Delays
+		st.Drops += s.Drops
+		st.Disconnects += s.Disconnects
+		st.Corrupts += s.Corrupts
+		st.Duplicates += s.Duplicates
+	}
+	fmt.Fprintf(w, "causeway_fault_ops_total %d\n", st.Ops)
+	for _, kv := range []struct {
+		kind string
+		n    uint64
+	}{
+		{"delay", st.Delays},
+		{"drop", st.Drops},
+		{"disconnect", st.Disconnects},
+		{"corrupt", st.Corrupts},
+		{"duplicate", st.Duplicates},
+	} {
+		fmt.Fprintf(w, "causeway_fault_injections_total{kind=%q} %d\n", kv.kind, kv.n)
+	}
 }
 
 // CorruptBytes deterministically mangles a copy of b by flipping one byte

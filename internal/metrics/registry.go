@@ -1,0 +1,258 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// OpKey identifies one interface method in the registry. It is the
+// metrics-plane projection of a probe OpID: component and object instance
+// are dropped so the cardinality stays bounded by the IDL, not the
+// deployment.
+type OpKey struct {
+	Interface string
+	Operation string
+}
+
+// OpStats is the per-operation RED family sampled at the four probes:
+// Calls/Dispatches are the request rates seen by the stub and skeleton
+// sides, Errors counts invocations that ultimately failed with a system
+// exception, and the two histograms hold raw (uncompensated) stub
+// round-trip and skeleton service durations. Compensated chain latency —
+// the number that matches the offline analyzer — lives in the per-
+// interface digests the online monitor feeds (Registry.ObserveChain).
+type OpStats struct {
+	Calls      Counter // stub_start activations (incl. collocated)
+	Dispatches Counter // skel_start activations
+	Errors     Counter // invocations failed with a SystemException
+	StubTime   Histogram
+	SkelTime   Histogram
+}
+
+// ORBStats counts invocation-layer failures and recoveries.
+type ORBStats struct {
+	Timeouts         Counter // attempts that exceeded the call deadline
+	Retries          Counter // re-invocation attempts issued
+	SystemExceptions Counter // invocations that ultimately failed
+}
+
+// NetStats counts the framed TCP transport's wire traffic. LateReplies
+// counts replies discarded because their caller had abandoned the call
+// (deadline) or they were duplicates.
+type NetStats struct {
+	BytesSent   Counter
+	BytesRecv   Counter
+	FramesSent  Counter
+	FramesRecv  Counter
+	LateReplies Counter
+}
+
+// Registry is one process's metrics plane: typed counter families for
+// the ORB and transport, per-operation RED stats, per-interface
+// compensated-latency digests, free-form named counters, and pluggable
+// exposition sources (subsystems that keep their own atomics — the
+// telemetry shipper, fault injectors, transport pools — and render
+// themselves on scrape).
+type Registry struct {
+	ORB ORBStats
+	Net NetStats
+
+	mu      sync.RWMutex
+	ops     map[OpKey]*OpStats
+	ifaces  map[string]*Histogram
+	named   map[string]*Counter
+	sources []source
+}
+
+type source struct {
+	name string
+	fn   func(io.Writer)
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		ops:    make(map[OpKey]*OpStats),
+		ifaces: make(map[string]*Histogram),
+		named:  make(map[string]*Counter),
+	}
+}
+
+// Op returns (creating on first use) the RED stats for key. The read
+// path is an RLock plus a map probe and never allocates — probes call
+// this once per invocation.
+func (r *Registry) Op(key OpKey) *OpStats {
+	r.mu.RLock()
+	s, ok := r.ops[key]
+	r.mu.RUnlock()
+	if ok {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok = r.ops[key]; ok {
+		return s
+	}
+	s = &OpStats{}
+	r.ops[key] = s
+	return s
+}
+
+// Iface returns (creating on first use) the compensated chain-latency
+// histogram for an interface. The online monitor feeds it the same
+// per-node latencies the offline analyzer aggregates into InterfaceStat.
+func (r *Registry) Iface(name string) *Histogram {
+	r.mu.RLock()
+	h, ok := r.ifaces[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.ifaces[name]; ok {
+		return h
+	}
+	h = &Histogram{}
+	r.ifaces[name] = h
+	return h
+}
+
+// ObserveChain records one compensated invocation latency for iface.
+func (r *Registry) ObserveChain(iface string, v time.Duration) {
+	r.Iface(iface).Observe(v)
+}
+
+// Named returns (creating on first use) a free-form counter exposed
+// under the given series name — the hook for loss-path counters that
+// have no typed family (torn-tail recoveries, injected faults).
+func (r *Registry) Named(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.named[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.named[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.named[name] = c
+	return c
+}
+
+// RegisterSource attaches an exposition source: fn is invoked on every
+// scrape and appends its own series. Re-registering a name replaces the
+// previous source, so rebuilding a subsystem does not duplicate series.
+func (r *Registry) RegisterSource(name string, fn func(io.Writer)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.sources {
+		if r.sources[i].name == name {
+			r.sources[i].fn = fn
+			return
+		}
+	}
+	r.sources = append(r.sources, source{name: name, fn: fn})
+}
+
+// quantiles rendered per histogram; the three the paper's
+// characterization tables use.
+var quantiles = []struct {
+	label string
+	q     float64
+}{
+	{"0.5", 0.50},
+	{"0.95", 0.95},
+	{"0.99", 0.99},
+}
+
+// escapeLabel escapes a label value for the text exposition.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, `\"`+"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func writeHistogram(w io.Writer, family, labels string, h *Histogram) {
+	count := h.Count()
+	fmt.Fprintf(w, "%s_count{%s} %d\n", family, labels, count)
+	if count == 0 {
+		return
+	}
+	fmt.Fprintf(w, "%s_sum_ns{%s} %d\n", family, labels, int64(h.Sum()))
+	fmt.Fprintf(w, "%s_max_ns{%s} %d\n", family, labels, int64(h.Max()))
+	for _, q := range quantiles {
+		fmt.Fprintf(w, "%s_ns{%s,q=\"%s\"} %d\n", family, labels, q.label, int64(h.Quantile(q.q)))
+	}
+}
+
+// WriteText renders the whole registry as a text exposition: one
+// `name{labels} value` line per series, families sorted, durations in
+// integer nanoseconds (so scrapes compare exactly against the offline
+// analyzer's digests, no float round-trip).
+func (r *Registry) WriteText(w io.Writer) {
+	r.mu.RLock()
+	opKeys := make([]OpKey, 0, len(r.ops))
+	for k := range r.ops {
+		opKeys = append(opKeys, k)
+	}
+	ifaceNames := make([]string, 0, len(r.ifaces))
+	for name := range r.ifaces {
+		ifaceNames = append(ifaceNames, name)
+	}
+	namedNames := make([]string, 0, len(r.named))
+	for name := range r.named {
+		namedNames = append(namedNames, name)
+	}
+	sources := append([]source(nil), r.sources...)
+	r.mu.RUnlock()
+
+	sort.Slice(opKeys, func(i, j int) bool {
+		if opKeys[i].Interface != opKeys[j].Interface {
+			return opKeys[i].Interface < opKeys[j].Interface
+		}
+		return opKeys[i].Operation < opKeys[j].Operation
+	})
+	sort.Strings(ifaceNames)
+	sort.Strings(namedNames)
+
+	for _, k := range opKeys {
+		s := r.Op(k)
+		labels := fmt.Sprintf("iface=%q,op=%q", escapeLabel(k.Interface), escapeLabel(k.Operation))
+		fmt.Fprintf(w, "causeway_op_calls_total{%s} %d\n", labels, s.Calls.Load())
+		fmt.Fprintf(w, "causeway_op_dispatches_total{%s} %d\n", labels, s.Dispatches.Load())
+		fmt.Fprintf(w, "causeway_op_errors_total{%s} %d\n", labels, s.Errors.Load())
+		writeHistogram(w, "causeway_op_stub", labels, &s.StubTime)
+		writeHistogram(w, "causeway_op_skel", labels, &s.SkelTime)
+	}
+	for _, name := range ifaceNames {
+		labels := fmt.Sprintf("iface=%q", escapeLabel(name))
+		writeHistogram(w, "causeway_chain_latency", labels, r.Iface(name))
+	}
+
+	fmt.Fprintf(w, "causeway_orb_timeouts_total %d\n", r.ORB.Timeouts.Load())
+	fmt.Fprintf(w, "causeway_orb_retries_total %d\n", r.ORB.Retries.Load())
+	fmt.Fprintf(w, "causeway_orb_system_exceptions_total %d\n", r.ORB.SystemExceptions.Load())
+
+	fmt.Fprintf(w, "causeway_net_bytes_sent_total %d\n", r.Net.BytesSent.Load())
+	fmt.Fprintf(w, "causeway_net_bytes_recv_total %d\n", r.Net.BytesRecv.Load())
+	fmt.Fprintf(w, "causeway_net_frames_sent_total %d\n", r.Net.FramesSent.Load())
+	fmt.Fprintf(w, "causeway_net_frames_recv_total %d\n", r.Net.FramesRecv.Load())
+	fmt.Fprintf(w, "causeway_net_late_replies_total %d\n", r.Net.LateReplies.Load())
+
+	for _, name := range namedNames {
+		fmt.Fprintf(w, "%s %d\n", name, r.Named(name).Load())
+	}
+	for _, src := range sources {
+		src.fn(w)
+	}
+}

@@ -20,6 +20,7 @@ import (
 
 	"causeway/internal/analysis"
 	"causeway/internal/ftl"
+	"causeway/internal/metrics"
 	"causeway/internal/probe"
 	"causeway/internal/uuid"
 )
@@ -50,6 +51,15 @@ type Config struct {
 	// OnAnomaly fires when a chain's event stream violates the Figure-4
 	// transitions; the chain's state is reset and parsing resumes.
 	OnAnomaly func(analysis.Anomaly)
+	// Metrics, when set, receives every completed node's compensated
+	// latency via Registry.ObserveChain. Because the values come from the
+	// same ComputeLatencySubtree pass the offline analyzer runs, the
+	// in-process /metrics quantiles agree exactly with offline
+	// InterfaceStat quantiles over the same records.
+	Metrics *metrics.Registry
+	// RecentRoots bounds the ring of completed-root summaries kept for
+	// introspection (/chainz). Zero selects the default of 64.
+	RecentRoots int
 }
 
 // Monitor incrementally reconstructs causality from a live record stream.
@@ -60,16 +70,41 @@ type Monitor struct {
 	chains map[uuid.UUID]*chainState
 	// links resolves callee chains to their parents (KindLink records).
 	links map[uuid.UUID]uuid.UUID // child chain -> parent chain
+
+	// recent is a fixed-size ring of completed-root summaries; recentN
+	// counts completions ever, so recentN % len(recent) is the next slot.
+	recent  []RootSummary
+	recentN uint64
+}
+
+// RootSummary is one completed top-level invocation, condensed for
+// introspection displays: the op, its chain, how big the subtree was, and
+// the compensated root latency.
+type RootSummary struct {
+	Op         probe.OpID
+	Chain      uuid.UUID
+	Oneway     bool
+	Nodes      int
+	Latency    time.Duration
+	HasLatency bool
+	// When is the root's closing wall timestamp when the latency aspect
+	// was armed, else the monitor's observation time.
+	When time.Time
 }
 
 var _ probe.Sink = (*Monitor)(nil)
 
 // NewMonitor builds an online monitor.
 func NewMonitor(cfg Config) *Monitor {
+	capN := cfg.RecentRoots
+	if capN <= 0 {
+		capN = 64
+	}
 	return &Monitor{
 		cfg:    cfg,
 		chains: make(map[uuid.UUID]*chainState),
 		links:  make(map[uuid.UUID]uuid.UUID),
+		recent: make([]RootSummary, capN),
 	}
 }
 
@@ -202,6 +237,28 @@ func (m *Monitor) apply(cs *chainState, r probe.Record) {
 // complete fires the callbacks for a finished top-level invocation.
 func (m *Monitor) complete(root *analysis.Node, chain uuid.UUID) {
 	analysis.ComputeLatencySubtree(root)
+
+	// Feed the in-process metrics plane and the introspection ring. Both
+	// run under m.mu (Append holds it through apply), so plain slice and
+	// counter writes suffice.
+	nodes := 0
+	root.Walk(func(n *analysis.Node) {
+		nodes++
+		if m.cfg.Metrics != nil && n.HasLatency {
+			m.cfg.Metrics.ObserveChain(n.Op.Interface, n.Latency)
+		}
+	})
+	sum := RootSummary{
+		Op: root.Op, Chain: chain, Oneway: root.Oneway,
+		Nodes: nodes, Latency: root.Latency, HasLatency: root.HasLatency,
+		When: time.Now(),
+	}
+	if end := rootEnd(root); !end.IsZero() {
+		sum.When = end
+	}
+	m.recent[m.recentN%uint64(len(m.recent))] = sum
+	m.recentN++
+
 	ev := RootEvent{Root: root, Chain: chain}
 	if parent, ok := m.links[chain]; ok {
 		ev.ParentChain, ev.HasParent = parent, true
@@ -213,6 +270,47 @@ func (m *Monitor) complete(root *analysis.Node, chain uuid.UUID) {
 		root.HasLatency && root.Latency > m.cfg.SlowThreshold {
 		m.cfg.OnSlow(ev)
 	}
+}
+
+// rootEnd returns the root's closing wall timestamp, zero when the
+// latency aspect was off.
+func rootEnd(root *analysis.Node) time.Time {
+	if root.StubEnd != nil && !root.StubEnd.WallEnd.IsZero() {
+		return root.StubEnd.WallEnd
+	}
+	if root.SkelEnd != nil && !root.SkelEnd.WallEnd.IsZero() {
+		return root.SkelEnd.WallEnd
+	}
+	return time.Time{}
+}
+
+// SetMetrics attaches a registry to feed compensated chain latencies
+// into; a no-op when one is already attached, so the first process of a
+// deployment sharing one monitor wins.
+func (m *Monitor) SetMetrics(reg *metrics.Registry) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.cfg.Metrics == nil {
+		m.cfg.Metrics = reg
+	}
+}
+
+// RecentRoots returns up to the last RecentRoots completed top-level
+// invocations, newest first — the /chainz data source.
+func (m *Monitor) RecentRoots() []RootSummary {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := m.recentN
+	capN := uint64(len(m.recent))
+	count := n
+	if count > capN {
+		count = capN
+	}
+	out := make([]RootSummary, 0, count)
+	for i := uint64(1); i <= count; i++ {
+		out = append(out, m.recent[(n-i)%capN])
+	}
+	return out
 }
 
 // OpenChains reports chains with incomplete state — in-flight invocations

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"causeway/internal/gls"
+	"causeway/internal/metrics"
 	"causeway/internal/probe"
 	"causeway/internal/topology"
 	"causeway/internal/transport"
@@ -86,6 +87,11 @@ type Config struct {
 	// WrapHandler, when set, wraps the ORB's request handler on every
 	// endpoint it serves — the server-side fault-injection hook.
 	WrapHandler func(transport.Handler) transport.Handler
+	// Metrics, when set, receives invocation-layer failure counters
+	// (timeouts, retries, system exceptions, per-op errors) and is handed
+	// to every TCP transport the ORB dials or serves for wire-traffic
+	// accounting.
+	Metrics *metrics.Registry
 }
 
 // RetryPolicy bounds automatic re-invocation at the ORB layer.
@@ -207,7 +213,18 @@ func (o *ORB) ListenTCP(addr string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	if ns := o.netStats(); ns != nil {
+		srv.SetMetrics(ns)
+	}
 	return o.serveOn(srv)
+}
+
+// netStats resolves the wire-traffic counter family, nil when unmetered.
+func (o *ORB) netStats() *metrics.NetStats {
+	if o.cfg.Metrics == nil {
+		return nil
+	}
+	return &o.cfg.Metrics.Net
 }
 
 func (o *ORB) serveOn(srv transport.Server) (string, error) {
@@ -287,7 +304,7 @@ func (o *ORB) client(endpoint string) (transport.Client, error) {
 		}
 		c, err = o.cfg.Network.Dial(strings.TrimPrefix(endpoint, "inproc://"))
 	case strings.HasPrefix(endpoint, "tcp://"):
-		c, err = transport.DialTCP(strings.TrimPrefix(endpoint, "tcp://"))
+		c, err = transport.DialTCPMetered(strings.TrimPrefix(endpoint, "tcp://"), o.netStats())
 	default:
 		return nil, fmt.Errorf("orb: unsupported endpoint %q", endpoint)
 	}

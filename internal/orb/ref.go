@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"causeway/internal/ftl"
+	"causeway/internal/metrics"
 	"causeway/internal/probe"
 	"causeway/internal/telemetry"
 	"causeway/internal/transport"
@@ -41,6 +42,18 @@ func (r *Ref) OpID(operation string) probe.OpID {
 		Interface: r.Interface,
 		Operation: operation,
 		Object:    r.Key,
+	}
+}
+
+// metrics resolves the ORB's registry, nil when unmetered.
+func (r *Ref) metrics() *metrics.Registry { return r.orb.cfg.Metrics }
+
+// countFailure records an invocation that ultimately failed with a
+// system exception, both in the ORB family and per operation.
+func (r *Ref) countFailure(operation string) {
+	if m := r.metrics(); m != nil {
+		m.ORB.SystemExceptions.Add(1)
+		m.Op(metrics.OpKey{Interface: r.Interface, Operation: operation}).Errors.Add(1)
 	}
 }
 
@@ -100,6 +113,9 @@ func (r *Ref) Invoke(operation string, body []byte) (transport.Reply, error) {
 	for attempt := 0; attempt < attempts; attempt++ {
 		attemptBody := body
 		if attempt > 0 {
+			if m := r.metrics(); m != nil {
+				m.ORB.Retries.Add(1)
+			}
 			if backoff > 0 {
 				time.Sleep(telemetry.Jitter(backoff))
 				backoff *= 2
@@ -111,6 +127,7 @@ func (r *Ref) Invoke(operation string, body []byte) (transport.Reply, error) {
 		c, err := r.orb.client(r.Endpoint)
 		if err != nil {
 			if errors.Is(err, errShutdown) {
+				r.countFailure(operation)
 				return transport.Reply{}, &SystemException{Code: CodeShutdown, Detail: err.Error()}
 			}
 			lastErr = &SystemException{Code: CodeTransport, Detail: err.Error()}
@@ -128,6 +145,9 @@ func (r *Ref) Invoke(operation string, body []byte) (transport.Reply, error) {
 		if errors.Is(err, transport.ErrDeadlineExceeded) {
 			// The connection itself is healthy — the peer is just slow or
 			// hung — so keep the client cached for other callers.
+			if m := r.metrics(); m != nil {
+				m.ORB.Timeouts.Add(1)
+			}
 			lastErr = &SystemException{Code: CodeTimeout, Detail: err.Error()}
 			continue
 		}
@@ -136,6 +156,7 @@ func (r *Ref) Invoke(operation string, body []byte) (transport.Reply, error) {
 		lastErr = &SystemException{Code: CodeTransport, Detail: err.Error()}
 		r.orb.invalidateClient(r.Endpoint, c)
 	}
+	r.countFailure(operation)
 	return transport.Reply{}, lastErr
 }
 
@@ -169,6 +190,9 @@ func (r *Ref) Post(operation string, body []byte) error {
 	for attempt := 0; attempt < attempts; attempt++ {
 		attemptBody := body
 		if attempt > 0 {
+			if m := r.metrics(); m != nil {
+				m.ORB.Retries.Add(1)
+			}
 			if backoff > 0 {
 				time.Sleep(telemetry.Jitter(backoff))
 				backoff *= 2
@@ -180,6 +204,7 @@ func (r *Ref) Post(operation string, body []byte) error {
 		c, err := r.orb.client(r.Endpoint)
 		if err != nil {
 			if errors.Is(err, errShutdown) {
+				r.countFailure(operation)
 				return &SystemException{Code: CodeShutdown, Detail: err.Error()}
 			}
 			lastErr = &SystemException{Code: CodeTransport, Detail: err.Error()}
@@ -197,6 +222,7 @@ func (r *Ref) Post(operation string, body []byte) error {
 		}
 		return nil
 	}
+	r.countFailure(operation)
 	return lastErr
 }
 

@@ -21,6 +21,7 @@ import (
 	"causeway/internal/cputime"
 	"causeway/internal/ftl"
 	"causeway/internal/gls"
+	"causeway/internal/metrics"
 	"causeway/internal/topology"
 	"causeway/internal/uuid"
 	"causeway/internal/vclock"
@@ -62,6 +63,12 @@ type Config struct {
 	Sink Sink
 	// Chains mints Function UUIDs; nil means random.
 	Chains uuid.Generator
+	// Metrics, when set, receives per-operation RED samples from the four
+	// probe sites: call/dispatch counts and raw stub/skeleton durations.
+	// The probe-side cost is a map probe plus atomic updates — never an
+	// allocation — and the duration reads reuse the armed latency
+	// aspect's clock samples when available.
+	Metrics *metrics.Registry
 }
 
 // Validate checks the configuration for the paper's constraints.
@@ -147,10 +154,11 @@ type Sink interface {
 // Probes is the per-process probe set. Generated stubs and skeletons call
 // its methods at the four Figure-1 probe points.
 type Probes struct {
-	cfg    Config
-	clock  vclock.Clock
-	meter  cputime.Meter
-	tunnel *ftl.Tunnel
+	cfg     Config
+	clock   vclock.Clock
+	meter   cputime.Meter
+	tunnel  *ftl.Tunnel
+	metrics *metrics.Registry
 }
 
 // New validates cfg and builds the process's probe set.
@@ -158,7 +166,7 @@ func New(cfg Config) (*Probes, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	p := &Probes{cfg: cfg, clock: cfg.Clock, meter: cfg.Meter}
+	p := &Probes{cfg: cfg, clock: cfg.Clock, meter: cfg.Meter, metrics: cfg.Metrics}
 	if p.clock == nil {
 		p.clock = vclock.System{}
 	}
@@ -176,6 +184,10 @@ func (p *Probes) Tunnel() *ftl.Tunnel { return p.tunnel }
 
 // Aspects reports the armed aspects.
 func (p *Probes) Aspects() Aspect { return p.cfg.Aspects }
+
+// Metrics reports the registry the probes sample into; nil when metrics
+// are unarmed.
+func (p *Probes) Metrics() *metrics.Registry { return p.metrics }
 
 // Process reports the logical process the probes belong to.
 func (p *Probes) Process() topology.Process { return p.cfg.Process }
@@ -224,6 +236,30 @@ func (p *Probes) openWindowAt(gid uint64) window {
 	return w
 }
 
+// opStats resolves the RED family for op plus the metric start timestamp
+// for a probe window, reusing the armed latency aspect's clock sample
+// when present so metrics add no clock read of their own. Returns nil
+// when no registry is armed.
+func (p *Probes) opStats(op OpID, w window) (*metrics.OpStats, time.Time) {
+	if p.metrics == nil {
+		return nil, time.Time{}
+	}
+	start := w.wallStart
+	if start.IsZero() {
+		start = p.clock.Now()
+	}
+	return p.metrics.Op(metrics.OpKey{Interface: op.Interface, Operation: op.Operation}), start
+}
+
+// metricEnd is the end-timestamp counterpart of opStats for a closing
+// probe's window.
+func (p *Probes) metricEnd(w window) time.Time {
+	if !w.wallStart.IsZero() {
+		return w.wallStart
+	}
+	return p.clock.Now()
+}
+
 // emit closes the activation window and appends the record. Everything a
 // probe does must happen before its emit call so the window covers it; the
 // only uncompensated cost is the sink append itself.
@@ -270,6 +306,11 @@ type StubCtx struct {
 	// calls keep numbering their parent chain through stub_end).
 	parent ftl.FTL
 	fresh  bool // chain was begun by this call (top-level)
+	// Metric sampling state: the op's RED family (nil when metrics are
+	// unarmed) and the stub-start timestamp the round-trip duration is
+	// measured from.
+	ms     *metrics.OpStats
+	mStart time.Time
 }
 
 // StubStart is probe 1: the start of the stub, after the client invoked the
@@ -280,6 +321,9 @@ func (p *Probes) StubStart(op OpID, oneway bool) StubCtx {
 	f, fresh := p.tunnel.CurrentOrBeginG(w.gid)
 	f.NextSeq()
 	ctx := StubCtx{op: op, oneway: oneway, gid: w.gid, parent: f, fresh: fresh}
+	if ctx.ms, ctx.mStart = p.opStats(op, w); ctx.ms != nil {
+		ctx.ms.Calls.AddAt(w.gid, 1)
+	}
 	var link ftl.ChainLink
 	if oneway {
 		// Fork the child chain; the link is recorded in the stub start
@@ -310,6 +354,12 @@ func (p *Probes) StubEnd(ctx StubCtx, reply ftl.FTL) {
 	}
 	f.NextSeq()
 	p.tunnel.StoreG(w.gid, f)
+	if ctx.ms != nil {
+		// Raw stub round trip: stub_start window open to stub_end window
+		// open (probe overhead included; the compensated number lives in
+		// the online monitor's per-interface digests).
+		ctx.ms.StubTime.Observe(p.metricEnd(w).Sub(ctx.mStart))
+	}
 	p.emit(w, ctx.op, f, ftl.StubEnd, ctx.oneway, false)
 }
 
@@ -319,6 +369,9 @@ type SkelCtx struct {
 	op     OpID
 	oneway bool
 	gid    uint64 // dispatch-thread identity resolved once at skeleton start
+	// Metric sampling state (see StubCtx).
+	ms     *metrics.OpStats
+	mStart time.Time
 }
 
 // SkelStartSem is SkelStart with application semantics attached: sem is
@@ -334,8 +387,12 @@ func (p *Probes) SkelStartSemG(self gls.G, op OpID, wire ftl.FTL, oneway bool, s
 	w := p.openWindowAt(self.ID())
 	wire.NextSeq()
 	p.tunnel.StoreG(w.gid, wire)
+	ctx := SkelCtx{op: op, oneway: oneway, gid: w.gid}
+	if ctx.ms, ctx.mStart = p.opStats(op, w); ctx.ms != nil {
+		ctx.ms.Dispatches.AddAt(w.gid, 1)
+	}
 	p.emitSem(w, op, wire, ftl.SkelStart, oneway, false, sem)
-	return SkelCtx{op: op, oneway: oneway, gid: w.gid}
+	return ctx
 }
 
 // SkelEndSem is SkelEnd with application semantics attached: sem renders
@@ -350,6 +407,9 @@ func (p *Probes) SkelEndSem(ctx SkelCtx, sem string) ftl.FTL {
 	}
 	f.NextSeq()
 	p.tunnel.ClearG(w.gid)
+	if ctx.ms != nil {
+		ctx.ms.SkelTime.Observe(p.metricEnd(w).Sub(ctx.mStart))
+	}
 	p.emitSem(w, ctx.op, f, ftl.SkelEnd, ctx.oneway, false, sem)
 	return f
 }
@@ -368,8 +428,12 @@ func (p *Probes) SkelStartG(self gls.G, op OpID, wire ftl.FTL, oneway bool) Skel
 	w := p.openWindowAt(self.ID())
 	wire.NextSeq()
 	p.tunnel.StoreG(w.gid, wire)
+	ctx := SkelCtx{op: op, oneway: oneway, gid: w.gid}
+	if ctx.ms, ctx.mStart = p.opStats(op, w); ctx.ms != nil {
+		ctx.ms.Dispatches.AddAt(w.gid, 1)
+	}
 	p.emit(w, op, wire, ftl.SkelStart, oneway, false)
-	return SkelCtx{op: op, oneway: oneway, gid: w.gid}
+	return ctx
 }
 
 // SkelEnd is probe 3: the end of the skeleton when the function execution
@@ -388,6 +452,9 @@ func (p *Probes) SkelEnd(ctx SkelCtx) ftl.FTL {
 	}
 	f.NextSeq()
 	p.tunnel.ClearG(w.gid)
+	if ctx.ms != nil {
+		ctx.ms.SkelTime.Observe(p.metricEnd(w).Sub(ctx.mStart))
+	}
 	p.emit(w, ctx.op, f, ftl.SkelEnd, ctx.oneway, false)
 	return f
 }
@@ -396,6 +463,9 @@ func (p *Probes) SkelEnd(ctx SkelCtx) ftl.FTL {
 type CollocCtx struct {
 	op  OpID
 	gid uint64 // caller identity resolved once at the degenerated start pair
+	// Metric sampling state (see StubCtx).
+	ms     *metrics.OpStats
+	mStart time.Time
 }
 
 // CollocStart handles a collocation-optimized invocation: "both stub start
@@ -406,11 +476,17 @@ func (p *Probes) CollocStart(op OpID) CollocCtx {
 	w := p.openWindow()
 	f, _ := p.tunnel.CurrentOrBeginG(w.gid)
 	f.NextSeq()
+	ctx := CollocCtx{op: op, gid: w.gid}
+	if ctx.ms, ctx.mStart = p.opStats(op, w); ctx.ms != nil {
+		// The degenerated pair is both probe sites at once.
+		ctx.ms.Calls.AddAt(w.gid, 1)
+		ctx.ms.Dispatches.AddAt(w.gid, 1)
+	}
 	p.emit(w, op, f, ftl.StubStart, false, true)
 	f.NextSeq()
 	p.tunnel.StoreG(w.gid, f)
 	p.emit(w, op, f, ftl.SkelStart, false, true)
-	return CollocCtx{op: op, gid: w.gid}
+	return ctx
 }
 
 // CollocEnd emits the degenerated skeleton-end + stub-end pair at function
@@ -423,6 +499,11 @@ func (p *Probes) CollocEnd(ctx CollocCtx) {
 		f = ftl.FTL{}
 	}
 	f.NextSeq()
+	if ctx.ms != nil {
+		d := p.metricEnd(w).Sub(ctx.mStart)
+		ctx.ms.SkelTime.Observe(d)
+		ctx.ms.StubTime.Observe(d)
+	}
 	p.emit(w, ctx.op, f, ftl.SkelEnd, false, true)
 	f.NextSeq()
 	p.tunnel.StoreG(w.gid, f)

@@ -15,6 +15,9 @@ type Peer struct {
 	Process  string
 	ProcType string
 	Conn     transport.ConnID
+	// DebugAddr is the peer's debug/introspection HTTP address, empty
+	// when the peer does not run one.
+	DebugAddr string
 }
 
 // RecordStore is the merged destination ingested records land in. Both
@@ -165,7 +168,7 @@ func (s *Server) handle(conn transport.ConnID, req transport.Request, respond tr
 			fail(fmt.Sprintf("telemetry: protocol version %d, want %d", h.Version, ProtocolVersion))
 			return
 		}
-		peer := Peer{Process: h.Process, ProcType: h.ProcType, Conn: conn}
+		peer := Peer{Process: h.Process, ProcType: h.ProcType, Conn: conn, DebugAddr: h.DebugAddr}
 		s.mu.Lock()
 		s.peers[conn] = &PeerAccount{Peer: peer}
 		s.mu.Unlock()

@@ -2,6 +2,8 @@ package telemetry
 
 import (
 	"errors"
+	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -17,6 +19,10 @@ type ShipperConfig struct {
 	Addr string
 	// Process identifies the shipping process in the handshake.
 	Process topology.Process
+	// DebugAddr, when set, is the process's debug/introspection HTTP
+	// address, advertised in the handshake so the collection daemon can
+	// scrape the peer's /metrics into a fleet view.
+	DebugAddr string
 	// BufferSize bounds the ring buffer (records); default 8192.
 	BufferSize int
 	// BatchSize caps records per ship frame; default 256.
@@ -201,6 +207,26 @@ func (s *ShipperSink) Stats() ShipperStats {
 	return st
 }
 
+// WriteMetrics renders the shipper's counters as exposition series — the
+// source form metrics.Registry.RegisterSource consumes. The drop counter
+// is the monitoring plane's own loss accounting: records the ring
+// rotated out under backpressure (or that Close could not deliver).
+func (s *ShipperSink) WriteMetrics(w io.Writer) {
+	st := s.Stats()
+	fmt.Fprintf(w, "causeway_shipper_appended_total %d\n", st.Appended)
+	fmt.Fprintf(w, "causeway_shipper_dropped_total %d\n", st.Dropped)
+	fmt.Fprintf(w, "causeway_shipper_shipped_total %d\n", st.Shipped)
+	fmt.Fprintf(w, "causeway_shipper_batches_total %d\n", st.Batches)
+	fmt.Fprintf(w, "causeway_shipper_bytes_total %d\n", st.Bytes)
+	fmt.Fprintf(w, "causeway_shipper_reconnects_total %d\n", st.Reconnects)
+	connected := 0
+	if st.Connected {
+		connected = 1
+	}
+	fmt.Fprintf(w, "causeway_shipper_connected %d\n", connected)
+	fmt.Fprintf(w, "causeway_shipper_buffered %d\n", st.Buffered)
+}
+
 // Close drains the buffer (bounded by DrainTimeout), sends a flush barrier
 // so the server has ingested everything delivered, and stops the
 // background goroutine. Records that could not be delivered in time are
@@ -226,9 +252,10 @@ func (s *ShipperSink) connect() transport.Client {
 		return nil
 	}
 	hello, err := encodeHello(Hello{
-		Version:  ProtocolVersion,
-		Process:  s.cfg.Process.ID,
-		ProcType: s.cfg.Process.Processor.Type,
+		Version:   ProtocolVersion,
+		Process:   s.cfg.Process.ID,
+		ProcType:  s.cfg.Process.Processor.Type,
+		DebugAddr: s.cfg.DebugAddr,
 	})
 	if err != nil {
 		client.Close()

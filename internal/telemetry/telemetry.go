@@ -66,11 +66,15 @@ const (
 // server rejects handshakes from other versions.
 const ProtocolVersion = 1
 
-// Hello is the handshake payload: who is shipping.
+// Hello is the handshake payload: who is shipping. DebugAddr (optional,
+// since PR 5) advertises the peer's debug/introspection HTTP address so
+// the collection daemon can scrape its /metrics; gob tolerates its
+// absence, so the field needs no protocol-version bump.
 type Hello struct {
-	Version  int
-	Process  string // topology.Process.ID
-	ProcType string // topology.Processor.Type
+	Version   int
+	Process   string // topology.Process.ID
+	ProcType  string // topology.Processor.Type
+	DebugAddr string // optional debugserver address ("host:port")
 }
 
 func encodeHello(h Hello) ([]byte, error) {

@@ -9,6 +9,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"causeway/internal/metrics"
 )
 
 // Frame layout: every message is a length-prefixed frame.
@@ -78,10 +80,50 @@ const maxPooledFrameCap = 64 << 10
 // the write mutex each own one), so steady state does no pool traffic at
 // all; the pool only matters when connections churn.
 var framePool = sync.Pool{
-	New: func() any { b := make([]byte, 0, 512); return &b },
+	New: func() any {
+		poolCounters.frameNews.Add(1)
+		b := make([]byte, 0, 512)
+		return &b
+	},
 }
 
-func getFrameBuf() *[]byte { return framePool.Get().(*[]byte) }
+// poolCounters observes the package's pools: gets vs news yields the hit
+// rate (a "new" is a pool miss). Process-global because the pools are.
+var poolCounters struct {
+	frameGets, frameNews atomic.Uint64
+	replyGets, replyNews atomic.Uint64
+}
+
+// PoolStats is a point-in-time snapshot of the pool counters.
+type PoolStats struct {
+	FrameGets, FrameMisses uint64 // frame buffer pool
+	ReplyGets, ReplyMisses uint64 // reply channel pool
+}
+
+// ReadPoolStats snapshots the pool counters.
+func ReadPoolStats() PoolStats {
+	return PoolStats{
+		FrameGets:   poolCounters.frameGets.Load(),
+		FrameMisses: poolCounters.frameNews.Load(),
+		ReplyGets:   poolCounters.replyGets.Load(),
+		ReplyMisses: poolCounters.replyNews.Load(),
+	}
+}
+
+// WritePoolMetrics renders the pool counters as exposition series — the
+// source form metrics.Registry.RegisterSource consumes.
+func WritePoolMetrics(w io.Writer) {
+	st := ReadPoolStats()
+	fmt.Fprintf(w, "causeway_pool_frame_gets_total %d\n", st.FrameGets)
+	fmt.Fprintf(w, "causeway_pool_frame_misses_total %d\n", st.FrameMisses)
+	fmt.Fprintf(w, "causeway_pool_reply_ch_gets_total %d\n", st.ReplyGets)
+	fmt.Fprintf(w, "causeway_pool_reply_ch_misses_total %d\n", st.ReplyMisses)
+}
+
+func getFrameBuf() *[]byte {
+	poolCounters.frameGets.Add(1)
+	return framePool.Get().(*[]byte)
+}
 
 func putFrameBuf(p *[]byte) {
 	if p == nil || cap(*p) > maxPooledFrameCap {
@@ -317,6 +359,7 @@ type TCPServer struct {
 	wg      sync.WaitGroup
 	closed  atomic.Bool
 	nextID  atomic.Uint64
+	net     *metrics.NetStats // nil when unmetered; set before Serve
 }
 
 var _ Server = (*TCPServer)(nil)
@@ -329,6 +372,10 @@ func ListenTCP(addr string) (*TCPServer, error) {
 	}
 	return &TCPServer{ln: ln, conns: make(map[net.Conn]struct{})}, nil
 }
+
+// SetMetrics attaches wire-traffic counters. It must be called before
+// Serve — connection loops read the field without synchronization.
+func (s *TCPServer) SetMetrics(ns *metrics.NetStats) { s.net = ns }
 
 // Serve implements Server; it starts the accept loop and returns.
 func (s *TCPServer) Serve(h Handler) error {
@@ -409,6 +456,10 @@ func (s *TCPServer) connLoop(conn net.Conn, id ConnID) {
 		if err != nil {
 			return
 		}
+		if s.net != nil {
+			s.net.FramesRecv.Add(1)
+			s.net.BytesRecv.Add(uint64(len(frame)) + 4)
+		}
 		*readBuf = frame[:0]
 		fr := &frameReader{buf: frame}
 		kind, err := fr.u8()
@@ -432,6 +483,10 @@ func (s *TCPServer) connLoop(conn net.Conn, id ConnID) {
 				}
 				// A write error means the client went away; the reply is
 				// undeliverable and dropping it is the only option.
+				if s.net != nil {
+					s.net.FramesSent.Add(1)
+					s.net.BytesSent.Add(uint64(len(out)))
+				}
 				_, _ = conn.Write(out)
 			}
 		}
@@ -471,6 +526,7 @@ type TCPClient struct {
 	discarded atomic.Uint64
 	readErr   error
 	done      chan struct{}
+	net       *metrics.NetStats // nil when unmetered; fixed at dial
 }
 
 // replyChPool recycles the per-call reply channels. Only channels that are
@@ -478,7 +534,16 @@ type TCPClient struct {
 // by failPending must never be pooled (a pooled closed channel would wake
 // an unrelated future call with a phantom terminal error).
 var replyChPool = sync.Pool{
-	New: func() any { return make(chan Reply, 1) },
+	New: func() any {
+		poolCounters.replyNews.Add(1)
+		return make(chan Reply, 1)
+	},
+}
+
+// getReplyCh is replyChPool.Get with the pool-hit accounting applied.
+func getReplyCh() chan Reply {
+	poolCounters.replyGets.Add(1)
+	return replyChPool.Get().(chan Reply)
 }
 
 // writeRequestLocked assembles req into the client's reusable buffer and
@@ -490,6 +555,10 @@ func (c *TCPClient) writeRequest(req Request) error {
 	if cap(out) <= maxPooledFrameCap {
 		c.writeBuf = out[:0]
 	}
+	if c.net != nil {
+		c.net.FramesSent.Add(1)
+		c.net.BytesSent.Add(uint64(len(out)))
+	}
 	_, err := c.conn.Write(out)
 	return err
 }
@@ -497,7 +566,12 @@ func (c *TCPClient) writeRequest(req Request) error {
 var _ Client = (*TCPClient)(nil)
 
 // DialTCP connects to a TCPServer.
-func DialTCP(addr string) (*TCPClient, error) {
+func DialTCP(addr string) (*TCPClient, error) { return DialTCPMetered(addr, nil) }
+
+// DialTCPMetered is DialTCP with wire-traffic counters attached. The
+// counters must be supplied at dial time: the read loop starts
+// immediately and reads the field without synchronization.
+func DialTCPMetered(addr string, ns *metrics.NetStats) (*TCPClient, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
@@ -506,6 +580,7 @@ func DialTCP(addr string) (*TCPClient, error) {
 		conn:    conn,
 		pending: make(map[uint64]chan Reply),
 		done:    make(chan struct{}),
+		net:     ns,
 	}
 	go c.readLoop()
 	return c, nil
@@ -537,6 +612,10 @@ func (c *TCPClient) readLoop() {
 			c.failPending(err)
 			return
 		}
+		if c.net != nil {
+			c.net.FramesRecv.Add(1)
+			c.net.BytesRecv.Add(uint64(len(frame)) + 4)
+		}
 		*readBuf = frame[:0]
 		rep, err := DecodeReplyFrame(frame)
 		if err != nil {
@@ -560,6 +639,9 @@ func (c *TCPClient) readLoop() {
 			// Reply for an ID nobody is waiting on: the call was abandoned
 			// (deadline) or this is a duplicate. Discard, never deliver.
 			c.discarded.Add(1)
+			if c.net != nil {
+				c.net.LateReplies.Add(1)
+			}
 		}
 	}
 }
@@ -583,7 +665,7 @@ func (c *TCPClient) Call(req Request) (Reply, error) {
 	}
 	req.ID = c.nextID.Add(1)
 	req.Oneway = false
-	ch := replyChPool.Get().(chan Reply)
+	ch := getReplyCh()
 	c.mu.Lock()
 	if c.readErr != nil {
 		err := c.readErr

@@ -40,6 +40,9 @@ type Config struct {
 	// permille; default 50 (5%).
 	OnewayPermille int
 	Seed           int64
+	// Aspects arms additional probe aspects on every process (e.g.
+	// probe.AspectLatency for wall-clock windows); default causality only.
+	Aspects probe.Aspect
 }
 
 func (c *Config) applyDefaults() {
@@ -111,8 +114,9 @@ func Generate(cfg Config) (*System, error) {
 				ID:        id,
 				Processor: topology.Processor{ID: id + "-cpu", Type: procTypes[i%len(procTypes)]},
 			},
-			Sink:   sink,
-			Chains: &uuid.SequentialGenerator{Seed: uint64(cfg.Seed) + uint64(i)},
+			Aspects: cfg.Aspects,
+			Sink:    sink,
+			Chains:  &uuid.SequentialGenerator{Seed: uint64(cfg.Seed) + uint64(i)},
 		})
 		if err != nil {
 			return nil, err
