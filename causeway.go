@@ -38,6 +38,7 @@ import (
 	"causeway/internal/orb"
 	"causeway/internal/probe"
 	"causeway/internal/render"
+	"causeway/internal/sampling"
 	"causeway/internal/telemetry"
 	"causeway/internal/topology"
 	"causeway/internal/transport"
@@ -153,6 +154,20 @@ type ProcessConfig struct {
 	// transports count into — share one across in-binary processes for a
 	// merged view. Nil allocates a fresh registry per process.
 	Metrics *MetricsRegistry
+	// ChainSampleRate, when in (0, 1), arms head-consistent chain
+	// sampling: each fresh chain this process begins is kept or dropped
+	// by a deterministic hash of its Function UUID, and the decision
+	// travels in the FTL so every downstream process agrees — chains are
+	// recorded whole or not at all. 0 (the zero value) and 1 keep every
+	// chain.
+	ChainSampleRate float64
+	// AdaptiveSampling, with ShipTo set, lets the collection daemon
+	// steer this process's sampling rate: the shipper polls the
+	// collector's current rate and applies it, starting from
+	// ChainSampleRate (or 1.0 when unset) until the first answer
+	// arrives. The collector's AIMD governor (cmd/collectd -adaptive)
+	// closes the loop.
+	AdaptiveSampling bool
 }
 
 // MetricsRegistry is the in-process metrics plane: goroutine-sharded
@@ -178,6 +193,7 @@ type Process struct {
 	shipper *telemetry.ShipperSink
 	metrics *metrics.Registry
 	debug   *debugserver.Server
+	sampler *sampling.Controlled
 }
 
 // NewProcess builds a monitored process.
@@ -245,10 +261,21 @@ func NewProcess(cfg ProcessConfig) (*Process, error) {
 		}
 		p.debug = dbg
 	}
+	if cfg.AdaptiveSampling || (cfg.ChainSampleRate > 0 && cfg.ChainSampleRate < 1) {
+		rate := cfg.ChainSampleRate
+		if rate <= 0 || rate >= 1 {
+			rate = 1
+		}
+		p.sampler = sampling.NewControlled(rate)
+		p.metrics.RegisterSource("sampling", p.sampler.WriteMetrics)
+	}
 	if cfg.ShipTo != "" {
 		shipCfg := telemetry.ShipperConfig{Addr: cfg.ShipTo, Process: proc}
 		if p.debug != nil {
 			shipCfg.DebugAddr = p.debug.Addr()
+		}
+		if cfg.AdaptiveSampling && p.sampler != nil {
+			shipCfg.RateTarget = p.sampler
 		}
 		sh, err := telemetry.NewShipper(shipCfg)
 		if err != nil {
@@ -270,14 +297,18 @@ func NewProcess(cfg ProcessConfig) (*Process, error) {
 		cfg.PinDispatch = true
 	}
 
-	probes, err := probe.New(probe.Config{
+	probeCfg := probe.Config{
 		Process: proc,
 		Aspects: aspects,
 		Clock:   vclock.System{},
 		Meter:   meter,
 		Sink:    sink,
 		Metrics: p.metrics,
-	})
+	}
+	if p.sampler != nil {
+		probeCfg.Sampler = p.sampler
+	}
+	probes, err := probe.New(probeCfg)
 	if err != nil {
 		return fail(err)
 	}
@@ -338,6 +369,15 @@ func (p *Process) DebugAddr() string {
 		return ""
 	}
 	return p.debug.Addr()
+}
+
+// SamplingRate reports the head-sampling rate currently applied to
+// fresh chains; 1 when sampling is not armed.
+func (p *Process) SamplingRate() float64 {
+	if p.sampler == nil {
+		return 1
+	}
+	return p.sampler.Rate()
 }
 
 // ShipperStats reports the record shipper's counters; the zero value when

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"causeway/internal/logdb"
+	"causeway/internal/probe"
+	"causeway/internal/streamrecon"
+	"causeway/internal/topology"
+	"causeway/internal/uuid"
+)
+
+// syncBuffer collects cmdFollow output while its poll loop still writes.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestChainsFollow tails a live assembler's /feedz: completions evicted
+// before the tail starts appear from the initial page, ones evicted
+// mid-tail appear from a later poll, and the summary line shapes match.
+func TestChainsFollow(t *testing.T) {
+	asm, err := streamrecon.New(streamrecon.Config{
+		Store:      logdb.NewStore(),
+		Quiescence: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(http.HandlerFunc(asm.ServeFeed))
+	defer srv.Close()
+	addr := strings.TrimPrefix(srv.URL, "http://")
+
+	sink := &probe.MemorySink{}
+	p, err := probe.New(probe.Config{
+		Process: topology.Process{ID: "fol", Processor: topology.Processor{ID: "fol", Type: "x86"}},
+		Aspects: probe.AspectLatency,
+		Sink:    sink,
+		Chains:  &uuid.SequentialGenerator{Seed: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	call := func(operation string) {
+		op := probe.OpID{Component: "c", Interface: "IFollow", Operation: operation, Object: "o"}
+		ctx := p.StubStart(op, false)
+		sctx := p.SkelStart(op, ctx.Wire, false)
+		p.StubEnd(ctx, p.SkelEnd(sctx))
+		p.Tunnel().Clear()
+	}
+	evict := func() {
+		t.Helper()
+		for _, r := range sink.Snapshot() {
+			asm.Append(r)
+		}
+		sink.Reset()
+		deadline := time.Now().Add(5 * time.Second)
+		for asm.OpenChains() > 0 {
+			if time.Now().After(deadline) {
+				t.Fatal("assembler never evicted")
+			}
+			time.Sleep(2 * time.Millisecond)
+			asm.Tick()
+		}
+	}
+
+	call("before")
+	evict()
+
+	out := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"chains", "-follow", "-addr", addr, "-poll", "10ms", "-for", "400ms"}, out)
+	}()
+
+	// Wait for the tail to print the pre-existing completion, then evict
+	// another chain mid-tail.
+	awaitContains := func(want string) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for !strings.Contains(out.String(), want) {
+			if time.Now().After(deadline) {
+				t.Fatalf("follow output never contained %q:\n%s", want, out.String())
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	awaitContains("IFollow::before")
+	call("during")
+	evict()
+	awaitContains("IFollow::during")
+
+	if err := <-done; err != nil {
+		t.Fatalf("follow: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "following http://"+addr+"/feedz") {
+		t.Fatalf("missing banner:\n%s", got)
+	}
+	if strings.Count(got, "IFollow::before") != 1 || strings.Count(got, "IFollow::during") != 1 {
+		t.Fatalf("completions duplicated or lost:\n%s", got)
+	}
+	if !strings.Contains(got, "complete") || strings.Contains(got, "not retained") {
+		t.Fatalf("status rendering wrong:\n%s", got)
+	}
+}
+
+// TestChainsFollowRejectsStore: follow mode and a store source are
+// mutually exclusive.
+func TestChainsFollowRejectsStore(t *testing.T) {
+	err := run([]string{"-store", t.TempDir(), "chains", "-follow"}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "-follow") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestChainsFollowBadAddr: an unreachable daemon fails fast on the
+// first poll instead of spinning silently.
+func TestChainsFollowBadAddr(t *testing.T) {
+	if err := run([]string{"chains", "-follow", "-addr", "127.0.0.1:1", "-for", "50ms"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("unreachable daemon accepted")
+	}
+}

@@ -14,6 +14,9 @@
 //
 //	chains [-iface substr] [-min dur] [-status all|complete|anomalous]
 //	        list root chains (slowest first)
+//	chains -follow [-addr host:port] [-poll dur] [-for dur] [-iface substr]
+//	        tail live chain completions from a running `collectd -stream`
+//	        by polling its /feedz debug endpoint (no store needed)
 //	show <uuid-or-prefix>
 //	        one chain's call tree plus its per-interface latency breakdown
 //	top [-n N] [-by p50|p95|p99|max|total|calls]
@@ -63,11 +66,18 @@ func run(args []string, w io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if (*storeDir == "") == (*logsGlob == "") {
-		return fmt.Errorf("exactly one of -store or -logs is required")
-	}
 	if fs.NArg() == 0 {
 		return fmt.Errorf("usage: causectl [-store dir | -logs glob] <chains|show|top|export> [args]")
+	}
+	if fs.Arg(0) == "chains" && followRequested(fs.Args()[1:]) {
+		// Follow mode talks to a running collectd, not a store.
+		if *storeDir != "" || *logsGlob != "" {
+			return fmt.Errorf("chains -follow reads a running collectd's /feedz, not -store/-logs")
+		}
+		return cmdFollow(w, fs.Args()[1:])
+	}
+	if (*storeDir == "") == (*logsGlob == "") {
+		return fmt.Errorf("exactly one of -store or -logs is required")
 	}
 
 	var src source

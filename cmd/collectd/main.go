@@ -13,6 +13,16 @@
 // of processes, and the post-drain artifacts are byte-compatible with
 // cmd/analyzer's inputs.
 //
+// With -stream the daemon assembles chains incrementally instead of
+// waiting for the drain: a streaming assembler (internal/streamrecon)
+// buffers each chain's records as they arrive, evicts chains to the
+// store the moment they complete (quiescence + a clean Figure-4 parse),
+// and publishes an eviction feed at /feedz on the debug server —
+// `causectl chains -follow` tails it live. With -rate/-adaptive the
+// daemon also owns the fleet's head-sampling rate: shippers poll it
+// over the telemetry protocol, and the AIMD governor (internal/sampling)
+// lowers it when the daemon's own metrics show overload.
+//
 // Usage:
 //
 //	collectd [flags]
@@ -32,12 +42,21 @@
 //	-report dur     period of the records/s + open-chains report (default 5s)
 //	-duration dur   stop after this long (default 0 = run until SIGINT)
 //	-roots          print every completed root live (noisy; slow calls always print)
+//	-debug addr     mount the daemon's debug server here (plus /feedz with -stream)
+//	-stream         streaming assembly: evict chains to the store as they complete
+//	-quiesce dur    with -stream: idle time before a clean chain counts complete
+//	-stale dur      with -stream: evict still-incomplete chains as broken after this
+//	-rate R         head-sampling rate served to shippers, 0 < R <= 1 (1 = keep all)
+//	-adaptive       steer the served rate by load (AIMD on drops/backlog signals)
+//	-tail R         with -stream: tail retention rate for normal chains; slow,
+//	                broken, and anomalous chains are always retained
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"os/signal"
 	"sync"
@@ -52,6 +71,8 @@ import (
 	"causeway/internal/online"
 	"causeway/internal/probe"
 	"causeway/internal/render"
+	"causeway/internal/sampling"
+	"causeway/internal/streamrecon"
 	"causeway/internal/telemetry"
 	"causeway/internal/tracestore"
 )
@@ -100,11 +121,23 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 	duration := fs.Duration("duration", 0, "stop after this long (0 = until SIGINT)")
 	roots := fs.Bool("roots", false, "print every completed root live")
 	debugAddr := fs.String("debug", "", "mount the daemon's own debug server here and scrape peer /metrics into a fleet view")
+	stream := fs.Bool("stream", false, "streaming assembly: evict chains to the store as they complete")
+	quiesce := fs.Duration("quiesce", 500*time.Millisecond, "with -stream: idle time before a clean chain counts complete")
+	staleAfter := fs.Duration("stale", 30*time.Second, "with -stream: evict still-incomplete chains as broken after this")
+	sampleRate := fs.Float64("rate", 1, "head-sampling rate served to shippers (0 < rate <= 1)")
+	adaptive := fs.Bool("adaptive", false, "steer the served sampling rate by load (AIMD)")
+	tailRate := fs.Float64("tail", 1, "with -stream: tail retention rate for normal chains (0..1)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 0 {
 		return fmt.Errorf("usage: collectd [flags]")
+	}
+	if *sampleRate <= 0 || *sampleRate > 1 {
+		return fmt.Errorf("-rate %g out of range (0, 1]", *sampleRate)
+	}
+	if *tailRate < 0 || *tailRate > 1 {
+		return fmt.Errorf("-tail %g out of range [0, 1]", *tailRate)
 	}
 	w := &syncWriter{w: out}
 
@@ -149,17 +182,68 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 		},
 	})
 
-	srv, err := telemetry.Listen(*listen, telemetry.ServerConfig{
+	// Head-consistent sampling: the daemon owns the authoritative rate and
+	// serves it over the telemetry rate operation; shippers poll it and
+	// decide keep/drop once per chain at the chain head.
+	var sampler *sampling.Controlled
+	if *adaptive || *sampleRate < 1 {
+		sampler = sampling.NewControlled(*sampleRate)
+		reg.RegisterSource("sampling", sampler.WriteMetrics)
+	}
+
+	// Streaming assembly: records flow server → assembler → store, with
+	// the assembler evicting each chain the moment it completes instead of
+	// holding everything for the drain.
+	var asm *streamrecon.Assembler
+	if *stream {
+		var tail *sampling.TailPolicy
+		if *tailRate < 1 {
+			tail = &sampling.TailPolicy{NormalRate: *tailRate}
+		}
+		var err error
+		asm, err = streamrecon.New(streamrecon.Config{
+			Store:         store,
+			Quiescence:    *quiesce,
+			StaleAfter:    *staleAfter,
+			SlowThreshold: *slow,
+			Tail:          tail,
+		})
+		if err != nil {
+			return err
+		}
+		reg.RegisterSource("assembler", asm.WriteMetrics)
+	}
+
+	srvCfg := telemetry.ServerConfig{
 		Store: store,
 		Sinks: []probe.Sink{monitor},
 		OnConnect: func(p telemetry.Peer) {
 			fmt.Fprintf(w, "collectd: process %q (%s) connected\n", p.Process, p.ProcType)
 		},
-	})
+	}
+	if asm != nil {
+		// Streaming mode: the store is fed only by assembler evictions.
+		srvCfg.Store = nil
+		srvCfg.Sinks = append(srvCfg.Sinks, asm)
+	}
+	if sampler != nil {
+		srvCfg.SampleRate = sampler.Rate
+	}
+	srv, err := telemetry.Listen(*listen, srvCfg)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "collectd: listening on %s\n", srv.Addr())
+	if asm != nil {
+		fmt.Fprintf(w, "collectd: streaming assembly on (quiesce %v, stale %v)\n", *quiesce, *staleAfter)
+	}
+	if sampler != nil {
+		mode := "fixed"
+		if *adaptive {
+			mode = "adaptive"
+		}
+		fmt.Fprintf(w, "collectd: serving head-sampling rate %g (%s)\n", sampler.Rate(), mode)
+	}
 
 	// Own introspection server + fleet scraper (-debug).
 	var fleet *fleetScraper
@@ -167,14 +251,18 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 	if *debugAddr != "" {
 		fleet = newFleetScraper()
 		reg.RegisterSource("fleet", fleet.WriteMetrics)
-		dbg, err = debugserver.Start(debugserver.Config{
+		dbgCfg := debugserver.Config{
 			Addr:     *debugAddr,
 			Registry: reg,
 			Monitor:  monitor,
 			Process:  "collectd",
 			ProcType: "collector",
 			Aspects:  "collection",
-		})
+		}
+		if asm != nil {
+			dbgCfg.Extra = map[string]http.HandlerFunc{"/feedz": asm.ServeFeed}
+		}
+		dbg, err = debugserver.Start(dbgCfg)
 		if err != nil {
 			srv.Close()
 			return err
@@ -195,6 +283,46 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 			tornSeen = n
 		}
 	}
+	// The store's side of the collection ledger: records removed by
+	// retention sweeps and records lost to disk failures both surface as
+	// counters, so inserted == indexed + swept + dropped stays checkable
+	// while batches keep arriving mid-sweep.
+	storeSwept := reg.Named("causeway_store_swept_records_total")
+	storeDrops := reg.Named("causeway_store_dropped_records_total")
+	var sweptSeen, dropSeen int
+	countStoreLoss := func() {
+		if disk == nil {
+			return
+		}
+		if n := disk.Swept(); n > sweptSeen {
+			storeSwept.Add(uint64(n - sweptSeen))
+			sweptSeen = n
+		}
+		if n := disk.Dropped(); n > dropSeen {
+			storeDrops.Add(uint64(n - dropSeen))
+			dropSeen = n
+		}
+	}
+
+	// The AIMD governor rides the reporting loop: each tick it reads the
+	// daemon's own metrics plane — ingest rate, assembler backlog, records
+	// lost anywhere downstream — and steers the rate the server serves.
+	var gov *sampling.Governor
+	if *adaptive {
+		gov = sampling.NewGovernor(sampler.Rate(), sampling.GovernorConfig{})
+	}
+	// lostRecords totals every record lost after ingest: assembler
+	// shedding and store disk failures. The governor keys off its delta.
+	lostRecords := func() uint64 {
+		var n uint64
+		if asm != nil {
+			n += asm.Ledger().Shed
+		}
+		if disk != nil {
+			n += uint64(disk.Dropped())
+		}
+		return n
+	}
 
 	// Periodic self-report: ingest rate and live-parse progress.
 	reporterDone := make(chan struct{})
@@ -203,7 +331,7 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 		defer close(reporterDone)
 		ticker := time.NewTicker(*report)
 		defer ticker.Stop()
-		var last uint64
+		var last, lastLost uint64
 		lastT := time.Now()
 		for {
 			select {
@@ -214,10 +342,20 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 				now := time.Now()
 				rate := ingestRate(st.Records, last, now.Sub(lastT))
 				last, lastT = st.Records, now
-				fmt.Fprintf(w, "collectd: %d records (%.0f/s), %d batches, %d peers, %d open chains, %d roots, %d slow, %d anomalies\n",
-					st.Records, rate, st.Batches, st.Peers, monitor.OpenChains(),
-					rootCount.Load(), slowCount.Load(), anomalyCount.Load())
+				if asm != nil {
+					asm.Tick()
+					led := asm.Ledger()
+					fmt.Fprintf(w, "collectd: %d records (%.0f/s), %d batches, %d peers, %d open chains, %d evicted (%d records persisted, %d discarded, %d shed), %d roots, %d slow, %d anomalies\n",
+						st.Records, rate, st.Batches, st.Peers, asm.OpenChains(), asm.Completions(),
+						led.Persisted, led.Discarded, led.Shed,
+						rootCount.Load(), slowCount.Load(), anomalyCount.Load())
+				} else {
+					fmt.Fprintf(w, "collectd: %d records (%.0f/s), %d batches, %d peers, %d open chains, %d roots, %d slow, %d anomalies\n",
+						st.Records, rate, st.Batches, st.Peers, monitor.OpenChains(),
+						rootCount.Load(), slowCount.Load(), anomalyCount.Load())
+				}
 				countTornTails()
+				countStoreLoss()
 				if fleet != nil {
 					fleet.scrape(peerDebugAddrs(srv))
 				}
@@ -226,6 +364,23 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 						fmt.Fprintf(w, "collectd: sweep: %v\n", err)
 					} else if n > 0 {
 						fmt.Fprintf(w, "collectd: sweep dropped %d completed chain(s) older than %v\n", n, *retain)
+					}
+				}
+				if gov != nil {
+					backlog := monitor.OpenChains()
+					if asm != nil {
+						backlog = asm.OpenChains()
+					}
+					lost := lostRecords()
+					next := gov.Tick(sampling.Signals{
+						IngestPerSec: rate,
+						Backlog:      backlog,
+						DropsDelta:   lost - lastLost,
+					})
+					lastLost = lost
+					if next != sampler.Rate() {
+						sampler.SetRate(next)
+						fmt.Fprintf(w, "collectd: sampling rate -> %.3g\n", next)
 					}
 				}
 			}
@@ -275,6 +430,17 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 		return err
 	}
 	monitor.Flush()
+	if asm != nil {
+		flushed := asm.FlushOpen()
+		led := asm.Ledger()
+		fmt.Fprintf(w, "collectd: streaming drain evicted %d open chain(s)\n", flushed)
+		balance := "balanced"
+		if led.Buffered != 0 || led.Appended != led.Persisted+led.Discarded+led.Shed {
+			balance = "UNBALANCED"
+		}
+		fmt.Fprintf(w, "collectd: assembler ledger: appended=%d persisted=%d discarded=%d shed=%d buffered=%d (%s)\n",
+			led.Appended, led.Persisted, led.Discarded, led.Shed, led.Buffered, balance)
+	}
 
 	st := srv.Stats()
 	fmt.Fprintf(w, "collectd: drained %d records in %d batches from %d peer connection(s); %d roots, %d slow, %d anomalies\n",
@@ -295,10 +461,17 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 			fmt.Fprintf(w, "collectd: store flush: %v\n", err)
 		}
 		countTornTails()
+		countStoreLoss()
 		for _, warn := range disk.Warnings() {
 			fmt.Fprintf(w, "collectd: store warning: %s\n", warn)
 		}
 		fmt.Fprintf(w, "collectd: trace store at %s holds %d records\n", *storeDir, disk.Len())
+		if n := disk.Swept(); n > 0 {
+			fmt.Fprintf(w, "collectd: store swept %d record(s) by retention\n", n)
+		}
+		if n := disk.Dropped(); n > 0 {
+			fmt.Fprintf(w, "collectd: store dropped %d record(s) to disk failures\n", n)
+		}
 	}
 
 	if *outPath != "" {

@@ -2,7 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
+	"net/http"
 	"path/filepath"
 	"strings"
 	"sync"
@@ -11,6 +13,8 @@ import (
 
 	"causeway"
 	"causeway/internal/probe"
+	"causeway/internal/sampling"
+	"causeway/internal/streamrecon"
 	"causeway/internal/telemetry"
 	"causeway/internal/topology"
 	"causeway/internal/tracestore"
@@ -325,4 +329,148 @@ func TestCollectdRejectsArgs(t *testing.T) {
 	if err := run([]string{"positional"}, &bytes.Buffer{}, nil); err == nil {
 		t.Fatal("positional arguments accepted")
 	}
+}
+
+// TestCollectdStreamMode exercises the streaming pipeline end to end:
+// records flow server → assembler → on-disk store as chains complete,
+// /feedz serves the eviction feed live, the rate operation serves the
+// adaptive head-sampling rate to shippers, and the drain proves the
+// assembler ledger and the per-peer shipper ledger both balance.
+func TestCollectdStreamMode(t *testing.T) {
+	storeDir := filepath.Join(t.TempDir(), "trace")
+	out := &lockedBuffer{}
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-listen", "127.0.0.1:0",
+			"-store", storeDir,
+			"-stream",
+			"-quiesce", "30ms",
+			"-stale", "10s",
+			"-adaptive",
+			"-dscg", "0",
+			"-report", "20ms",
+			"-debug", "127.0.0.1:0",
+		}, out, stop)
+	}()
+	addr := listenAddr(t, out)
+	dbgAddr := bannerSuffix(t, out, "collectd: debug server on ")
+
+	// The shipper polls the daemon's sampling rate; adaptive mode starts
+	// at 1 and stays there while the plane is healthy.
+	target := sampling.NewControlled(0.123)
+	proc := topology.Process{ID: "stream-proc", Processor: topology.Processor{ID: "stream-proc", Type: "x86"}}
+	sh, err := telemetry.NewShipper(telemetry.ShipperConfig{
+		Addr: addr, Process: proc, FlushInterval: 2 * time.Millisecond,
+		RateTarget: target, RatePollInterval: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := probe.New(probe.Config{
+		Process: proc,
+		Aspects: probe.AspectLatency,
+		Sink:    sh,
+		Chains:  &uuid.SequentialGenerator{Seed: 9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := probe.OpID{Component: "comp", Interface: "Stream", Operation: "flow", Object: "o"}
+	for c := 0; c < 6; c++ {
+		ctx := p.StubStart(op, false)
+		sctx := p.SkelStart(op, ctx.Wire, false)
+		p.StubEnd(ctx, p.SkelEnd(sctx))
+		p.Tunnel().Clear()
+	}
+
+	// The live feed sees all 6 chains complete while the daemon runs.
+	var page streamrecon.FeedPage
+	deadline := time.Now().Add(10 * time.Second)
+	for page.Cursor < 6 {
+		if time.Now().After(deadline) {
+			t.Fatalf("feed cursor stuck at %d; output:\n%s", page.Cursor, out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+		resp, err := http.Get("http://" + dbgAddr + "/feedz")
+		if err != nil {
+			continue
+		}
+		page = streamrecon.FeedPage{}
+		err = json.NewDecoder(resp.Body).Decode(&page)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(page.Completions) != 6 {
+		t.Fatalf("feed window holds %d completions, want 6", len(page.Completions))
+	}
+	for _, e := range page.Completions {
+		if e.Reason != "complete" || !e.Persisted || e.Broken || e.Op != "Stream::flow" {
+			t.Fatalf("completion %+v", e)
+		}
+	}
+	for deadline := time.Now().Add(5 * time.Second); target.Rate() != 1; {
+		if time.Now().After(deadline) {
+			t.Fatalf("shipper never learned the served rate (at %g)", target.Rate())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if err := sh.Close(); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	got := out.String()
+	for _, want := range []string{
+		"collectd: streaming assembly on (quiesce 30ms, stale 10s)",
+		"collectd: serving head-sampling rate 1 (adaptive)",
+		"evicted (",
+		"collectd: streaming drain evicted 0 open chain(s)",
+		"collectd: assembler ledger: appended=24 persisted=24 discarded=0 shed=0 buffered=0 (balanced)",
+		"drained 24 records",
+		"peer stream-proc (x86): ingested 24 records",
+		"shipper appended=24 shipped=24 dropped=0",
+		"trace store at " + storeDir + " holds 24 records",
+		"Dynamic System Call Graph:",
+		"Stream::flow",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q;\n%s", want, got)
+		}
+	}
+
+	// The store the streaming path left behind is the same artifact batch
+	// mode produces: reopenable, fully populated.
+	ts, err := tracestore.Open(storeDir, tracestore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+	if ts.Len() != 24 {
+		t.Fatalf("reopened store holds %d records, want 24", ts.Len())
+	}
+}
+
+// bannerSuffix polls the daemon output for a line with the given prefix
+// and returns the rest of that line.
+func bannerSuffix(t *testing.T, out *lockedBuffer, prefix string) string {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, line := range strings.Split(out.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, prefix); ok {
+				return rest
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("daemon never printed %q; output:\n%s", prefix, out.String())
+	return ""
 }

@@ -25,6 +25,17 @@
 // reports them as warnings:
 //
 //	go run ./examples/livemonitor -faults -seed 7
+//
+// With -stream the collector assembles chains incrementally
+// (internal/streamrecon): every chain is evicted to the store the moment
+// it completes — printed live — instead of merging records record by
+// record, and the run fails unless the streaming store's DSCG is
+// byte-identical to the offline per-process-log one. -rate arms
+// head-consistent chain sampling at the sources; the equivalence still
+// holds at any rate, because the probes drop whole chains before both
+// the log file and the shipper:
+//
+//	go run ./examples/livemonitor -stream -rate 0.5
 package main
 
 import (
@@ -36,6 +47,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -44,6 +56,7 @@ import (
 	"causeway/internal/faultinject"
 	"causeway/internal/logdb"
 	"causeway/internal/probe"
+	"causeway/internal/streamrecon"
 	"causeway/internal/telemetry"
 )
 
@@ -111,14 +124,20 @@ func selfScrape(addr string) error {
 func main() {
 	faults := flag.Bool("faults", false, "inject deterministic drops and disconnects into the client transports")
 	seed := flag.Int64("seed", 1, "fault-injection base seed (per-client seeds derive from it)")
+	stream := flag.Bool("stream", false, "assemble chains incrementally at the collector (internal/streamrecon)")
+	rate := flag.Float64("rate", 1, "head-consistent chain sampling rate at the sources, in (0, 1]")
 	flag.Parse()
-	if err := run(*faults, *seed); err != nil {
+	if *rate <= 0 || *rate > 1 {
+		fmt.Fprintln(os.Stderr, "livemonitor: -rate must be in (0, 1]")
+		os.Exit(1)
+	}
+	if err := run(*faults, *seed, *stream, *rate); err != nil {
 		fmt.Fprintln(os.Stderr, "livemonitor:", err)
 		os.Exit(1)
 	}
 }
 
-func run(faults bool, seed int64) error {
+func run(faults bool, seed int64, stream bool, rate float64) error {
 	dir, err := os.MkdirTemp("", "livemonitor")
 	if err != nil {
 		return err
@@ -143,18 +162,81 @@ func run(faults bool, seed int64) error {
 		SlowThreshold: 10 * time.Millisecond,
 	})
 	store := logdb.NewStore()
-	srv, err := telemetry.Listen("127.0.0.1:0", telemetry.ServerConfig{
+	srvCfg := telemetry.ServerConfig{
 		Store: store,
 		Sinks: []probe.Sink{monitor},
 		OnConnect: func(p telemetry.Peer) {
 			fmt.Printf("collector: process %q (%s) connected\n", p.Process, p.ProcType)
 		},
-	})
+	}
+
+	// In stream mode the store is fed by the assembler's evictions, not
+	// record by record off the wire: each chain lands whole, the moment it
+	// completes, and its completion prints live.
+	var asm *streamrecon.Assembler
+	stopTicks := func() {} // idempotent: stops the assembler's tick driver
+	if stream {
+		var tickStop, tickDone chan struct{}
+		var err error
+		asm, err = streamrecon.New(streamrecon.Config{
+			Store:         store,
+			Quiescence:    50 * time.Millisecond,
+			SlowThreshold: 10 * time.Millisecond,
+			OnComplete: func(c streamrecon.Completion) {
+				status := c.Reason
+				if c.Slow {
+					status += " SLOW"
+				}
+				if c.Broken {
+					status += " broken"
+				}
+				fmt.Printf("stream: chain %s evicted whole — %s::%s, %d node(s), %s\n",
+					c.Chain.Short(), c.Op.Interface, c.Op.Operation, c.Nodes, status)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		srvCfg.Store = nil
+		srvCfg.Sinks = append(srvCfg.Sinks, asm)
+		// The assembler owns no goroutine; the deployment drives it.
+		tickStop, tickDone = make(chan struct{}), make(chan struct{})
+		go func() {
+			defer close(tickDone)
+			ticker := time.NewTicker(10 * time.Millisecond)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-tickStop:
+					return
+				case <-ticker.C:
+					asm.Tick()
+				}
+			}
+		}()
+		var once sync.Once
+		stopTicks = func() {
+			once.Do(func() {
+				close(tickStop)
+				<-tickDone
+			})
+		}
+		defer stopTicks()
+	}
+
+	srv, err := telemetry.Listen("127.0.0.1:0", srvCfg)
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
-	fmt.Printf("collector: listening on %s\n\n", srv.Addr())
+	fmt.Printf("collector: listening on %s", srv.Addr())
+	if stream {
+		fmt.Printf(" (streaming assembly on)")
+	}
+	if rate < 1 {
+		fmt.Printf(" (head sampling rate %g)", rate)
+	}
+	fmt.Printf("\n\n")
 
 	// Four monitored processes over real TCP loopback: one echo server and
 	// three clients, every one shipping its records to the collector live
@@ -163,13 +245,14 @@ func run(faults bool, seed int64) error {
 	// debug endpoint over it.
 	reg := causeway.NewMetricsRegistry()
 	server, err := causeway.NewProcess(causeway.ProcessConfig{
-		Name:         "server",
-		Instrumented: true,
-		Monitor:      causeway.MonitorLatency,
-		LogPath:      filepath.Join(dir, "server.ftlog"),
-		ShipTo:       srv.Addr(),
-		Metrics:      reg,
-		DebugAddr:    "127.0.0.1:0",
+		Name:            "server",
+		Instrumented:    true,
+		Monitor:         causeway.MonitorLatency,
+		LogPath:         filepath.Join(dir, "server.ftlog"),
+		ShipTo:          srv.Addr(),
+		Metrics:         reg,
+		DebugAddr:       "127.0.0.1:0",
+		ChainSampleRate: rate,
 	})
 	if err != nil {
 		return err
@@ -189,12 +272,13 @@ func run(faults bool, seed int64) error {
 	failures := 0
 	for c := 1; c <= clients; c++ {
 		cfg := causeway.ProcessConfig{
-			Name:         fmt.Sprintf("client-%d", c),
-			Instrumented: true,
-			Monitor:      causeway.MonitorLatency,
-			LogPath:      filepath.Join(dir, fmt.Sprintf("client-%d.ftlog", c)),
-			ShipTo:       srv.Addr(),
-			Metrics:      reg,
+			Name:            fmt.Sprintf("client-%d", c),
+			Instrumented:    true,
+			Monitor:         causeway.MonitorLatency,
+			LogPath:         filepath.Join(dir, fmt.Sprintf("client-%d.ftlog", c)),
+			ShipTo:          srv.Addr(),
+			Metrics:         reg,
+			ChainSampleRate: rate,
 		}
 		if faults {
 			// One seeded injector per client keeps the schedule fully
@@ -264,6 +348,26 @@ func run(faults bool, seed int64) error {
 	}
 	monitor.Flush()
 
+	if asm != nil {
+		// Give quiescence-based completion a chance to evict every chain
+		// cleanly, then flush whatever is left (broken remnants under
+		// -faults) so the store holds everything that arrived.
+		deadline := time.Now().Add(5 * time.Second)
+		for asm.OpenChains() > 0 && time.Now().Before(deadline) {
+			time.Sleep(10 * time.Millisecond)
+		}
+		stopTicks()
+		if n := asm.FlushOpen(); n > 0 {
+			fmt.Printf("stream: drain flushed %d still-open chain(s)\n", n)
+		}
+		led := asm.Ledger()
+		fmt.Printf("\nstream: %d chain(s) evicted live; assembler ledger appended=%d persisted=%d discarded=%d shed=%d buffered=%d\n",
+			asm.Completions(), led.Appended, led.Persisted, led.Discarded, led.Shed, led.Buffered)
+		if led.Appended != led.Persisted {
+			return fmt.Errorf("streaming assembler lost records: appended %d, persisted %d", led.Appended, led.Persisted)
+		}
+	}
+
 	fmt.Printf("\n%d roots completed live, %d of %d calls flagged slow; open chains at shutdown: %d\n",
 		rootCount.Load(), slowCount.Load(), clients*callsPerClient, monitor.OpenChains())
 
@@ -284,8 +388,20 @@ func run(faults bool, seed int64) error {
 	if nb.String() != ob.String() {
 		return fmt.Errorf("networked DSCG differs from per-process-file DSCG")
 	}
-	fmt.Printf("\nnetworked collection is lossless: DSCG from the live store (%d records) == DSCG from %d per-process logs\n",
-		networked.Stats.Records, len(procs))
+	if asm != nil {
+		fmt.Printf("\nstreaming collection is lossless: DSCG from the streaming store (%d records) == DSCG from %d per-process logs\n",
+			networked.Stats.Records, len(procs))
+	} else {
+		fmt.Printf("\nnetworked collection is lossless: DSCG from the live store (%d records) == DSCG from %d per-process logs\n",
+			networked.Stats.Records, len(procs))
+	}
+	if rate < 1 {
+		// Sampling drops whole chains at the sources, before both the log
+		// file and the shipper — which is exactly why the equivalence
+		// above survives any rate.
+		fmt.Printf("sampling: head rate %g retained %d of %d chains, head-consistently\n",
+			rate, len(networked.Graph.Trees), clients*callsPerClient)
+	}
 	if faults {
 		fmt.Printf("\nfault injection: %d call(s) failed; analyzer reports %d warning(s), %d broken chain(s), %d anomalies\n",
 			failures, networked.Warnings, len(networked.Graph.Broken), len(networked.Graph.Anomalies))

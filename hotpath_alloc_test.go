@@ -12,6 +12,7 @@ package causeway_test
 
 import (
 	"testing"
+	"time"
 
 	"causeway/internal/metrics"
 )
@@ -51,7 +52,20 @@ func measureHotPath(t *testing.T, transportKind string, collocated bool, oneway 
 	for i := 0; i < 50; i++ {
 		call()
 	}
-	return testing.AllocsPerRun(200, call)
+	// AllocsPerRun counts process-wide, and the dispatch side runs on its
+	// own goroutine: under -race its parking can add sudog/scheduler
+	// allocations, sometimes for a whole sample at a time. That noise is
+	// one-sided, so take the minimum of several samples — a real hot-path
+	// regression raises every one of them — with a pause between samples
+	// so a bad scheduling regime does not persist across all of them.
+	best := testing.AllocsPerRun(200, call)
+	for i := 0; i < 4 && best > 0; i++ {
+		time.Sleep(time.Millisecond)
+		if a := testing.AllocsPerRun(200, call); a < best {
+			best = a
+		}
+	}
+	return best
 }
 
 func TestSyncCallInprocAllocCeiling(t *testing.T) {

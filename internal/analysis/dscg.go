@@ -205,57 +205,72 @@ func Reconstruct(db *logdb.Store) *DSCG { return ReconstructFrom(db) }
 // ReconstructFrom is Reconstruct over any Source.
 func ReconstructFrom(db Source) *DSCG {
 	chains := db.Chains()
-	parsed := make([]parsedChain, len(chains))
+	parsed := make([]ParsedChain, len(chains))
 	for i, chain := range chains {
-		parsed[i] = parseOneChain(chain, db.Events(chain))
+		parsed[i] = ParseChainEvents(chain, db.Events(chain))
 	}
-	return assemble(db, chains, parsed)
+	return AssembleParsed(db, chains, parsed)
 }
 
-// parsedChain is the per-chain output of the Figure-4 state machine: the
+// ParsedChain is the per-chain output of the Figure-4 state machine: the
 // embarrassingly parallel half of reconstruction. Chains are keyed by a
 // constant-size Function UUID and parsed independently, so any number of
-// workers can run parseOneChain concurrently with no coordination.
-type parsedChain struct {
-	roots      []*Node
-	anomalies  []Anomaly
-	broken     []BrokenChain
-	calleeSide bool // chain begins with skel_start (oneway callee)
-	empty      bool
+// workers can run ParseChainEvents concurrently with no coordination.
+// The streaming assembler (internal/streamrecon) also parses chains one
+// at a time as they quiesce, using the clean-parse result as its
+// completion heuristic.
+type ParsedChain struct {
+	Roots      []*Node
+	Anomalies  []Anomaly
+	Broken     []BrokenChain
+	CalleeSide bool // chain begins with skel_start (oneway callee)
+	Empty      bool
 }
 
-func parseOneChain(chain uuid.UUID, events []probe.Record) parsedChain {
+// ParseChainEvents runs the Figure-4 state machine over one chain's
+// seq-sorted event records.
+func ParseChainEvents(chain uuid.UUID, events []probe.Record) ParsedChain {
 	if len(events) == 0 {
-		return parsedChain{empty: true}
+		return ParsedChain{Empty: true}
 	}
 	p := &chainParser{chain: chain, events: events}
 	roots := p.parseChain()
-	return parsedChain{
-		roots:      roots,
-		anomalies:  p.anomalies,
-		broken:     p.broken,
-		calleeSide: events[0].Event == ftl.SkelStart,
+	return ParsedChain{
+		Roots:      roots,
+		Anomalies:  p.anomalies,
+		Broken:     p.broken,
+		CalleeSide: events[0].Event == ftl.SkelStart,
 	}
 }
 
-// assemble runs the sequential tail of reconstruction: grouping parsed
+// LinkSource is the slice of Source that assembly actually needs:
+// resolving oneway chain links. Separated so callers that already hold
+// parsed chains (the streaming assembler) need not offer the full
+// Source interface.
+type LinkSource interface {
+	ChildChain(parent uuid.UUID, seq uint64) (uuid.UUID, bool)
+}
+
+// AssembleParsed runs the sequential tail of reconstruction: grouping parsed
 // chains into trees and stitching oneway callee chains under their forking
 // nodes. Iteration follows the deterministic chains order, so the result is
-// identical no matter how the parse phase was scheduled.
-func assemble(db Source, chains []uuid.UUID, parsed []parsedChain) *DSCG {
+// identical no matter how the parse phase was scheduled. Note stitching
+// MUTATES the parsed nodes (callee roots are adopted into their forking
+// parents), so a ParsedChain slice must not be assembled twice.
+func AssembleParsed(db LinkSource, chains []uuid.UUID, parsed []ParsedChain) *DSCG {
 	g := &DSCG{}
 	childTrees := make(map[uuid.UUID]*Tree) // oneway callee chains by chain id
 	var parentTrees []*Tree
 
 	for i, chain := range chains {
 		p := parsed[i]
-		if p.empty {
+		if p.Empty {
 			continue
 		}
-		g.Anomalies = append(g.Anomalies, p.anomalies...)
-		g.Broken = append(g.Broken, p.broken...)
-		t := &Tree{Chain: chain, Roots: p.roots}
-		if p.calleeSide {
+		g.Anomalies = append(g.Anomalies, p.Anomalies...)
+		g.Broken = append(g.Broken, p.Broken...)
+		t := &Tree{Chain: chain, Roots: p.Roots}
+		if p.CalleeSide {
 			childTrees[chain] = t
 		} else {
 			parentTrees = append(parentTrees, t)

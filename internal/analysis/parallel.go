@@ -30,7 +30,7 @@ func ReconstructParallel(db Source, workers int) *DSCG {
 		workers = len(chains)
 	}
 
-	parsed := make([]parsedChain, len(chains))
+	parsed := make([]ParsedChain, len(chains))
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -42,10 +42,10 @@ func ReconstructParallel(db Source, workers int) *DSCG {
 				if i >= len(chains) {
 					return
 				}
-				parsed[i] = parseOneChain(chains[i], db.Events(chains[i]))
+				parsed[i] = ParseChainEvents(chains[i], db.Events(chains[i]))
 			}
 		}()
 	}
 	wg.Wait()
-	return assemble(db, chains, parsed)
+	return AssembleParsed(db, chains, parsed)
 }

@@ -46,6 +46,10 @@ type Config struct {
 	// Instrumented reports whether the instrumented wire format is
 	// deployed.
 	Instrumented bool
+	// Extra mounts additional handlers by path (e.g. cmd/collectd's
+	// /feedz streaming-completion feed). Paths colliding with the
+	// built-in endpoints are ignored.
+	Extra map[string]http.HandlerFunc
 }
 
 // Server is a running introspection endpoint.
@@ -64,6 +68,14 @@ func Start(cfg Config) (*Server, error) {
 	}
 	s := &Server{cfg: cfg, ln: ln, start: time.Now()}
 	mux := http.NewServeMux()
+	builtin := map[string]bool{
+		"/healthz": true, "/metrics": true, "/statusz": true, "/chainz": true,
+	}
+	for path, h := range cfg.Extra {
+		if !builtin[path] && h != nil {
+			mux.HandleFunc(path, h)
+		}
+	}
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/statusz", s.handleStatusz)

@@ -72,16 +72,30 @@ func (e Event) ProbeNumber() int {
 
 // FTL is the Function-Transportable Log: the global Function UUID naming
 // the causal chain, plus the event sequence number incremented at every
-// tracing event along the chain.
+// tracing event along the chain, plus a flags byte carrying per-chain
+// decisions that every process on the chain must agree on.
 type FTL struct {
 	Chain uuid.UUID
 	Seq   uint64
+	Flags uint8
 }
+
+// FlagDropped marks a chain the head-of-chain process decided NOT to
+// record (head-consistent sampling). The zero value means "record",
+// so unsampled deployments and pre-flag logs behave identically. The
+// flag rides the wire with the rest of the FTL: every downstream
+// process inherits the head's decision, and oneway child chains copy
+// the parent's flags, so a chain tree is kept or dropped whole —
+// never half-recorded.
+const FlagDropped uint8 = 1 << 0
+
+// Sampled reports whether this chain's events should be recorded.
+func (f FTL) Sampled() bool { return f.Flags&FlagDropped == 0 }
 
 // WireSize is the encoded size of an FTL. It is a constant — independent of
 // call-chain depth — which is the property the paper's related-work section
 // contrasts against concatenating trace objects.
-const WireSize = uuid.Size + 8
+const WireSize = uuid.Size + 8 + 1
 
 // NextSeq increments and returns the event sequence number. Each tracing
 // event along the chain calls NextSeq exactly once.
@@ -95,7 +109,8 @@ func (f FTL) Encode(dst []byte) []byte {
 	dst = append(dst, f.Chain[:]...)
 	var seq [8]byte
 	binary.BigEndian.PutUint64(seq[:], f.Seq)
-	return append(dst, seq[:]...)
+	dst = append(dst, seq[:]...)
+	return append(dst, f.Flags)
 }
 
 // Decode parses an FTL from the front of src, returning the remainder.
@@ -105,7 +120,8 @@ func Decode(src []byte) (FTL, []byte, error) {
 	}
 	var f FTL
 	copy(f.Chain[:], src[:uuid.Size])
-	f.Seq = binary.BigEndian.Uint64(src[uuid.Size:WireSize])
+	f.Seq = binary.BigEndian.Uint64(src[uuid.Size : uuid.Size+8])
+	f.Flags = src[uuid.Size+8]
 	return f, src[WireSize:], nil
 }
 
@@ -159,9 +175,12 @@ func (t *Tunnel) CurrentOrBegin() (FTL, bool) {
 }
 
 // BeginChild mints the child chain for a oneway call and returns the link
-// record tying it to its parent.
+// record tying it to its parent. The child inherits the parent's flags:
+// the sampling unit is the whole chain tree, so a kept parent's oneway
+// children are kept and a dropped parent's children are dropped —
+// otherwise the analyzer would see orphan-callee anomalies.
 func (t *Tunnel) BeginChild(parent FTL) (FTL, ChainLink) {
-	child := FTL{Chain: t.gen.NewUUID()}
+	child := FTL{Chain: t.gen.NewUUID(), Flags: parent.Flags}
 	return child, ChainLink{Parent: parent.Chain, ParentSeq: parent.Seq, Child: child.Chain}
 }
 

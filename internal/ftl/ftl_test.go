@@ -48,8 +48,8 @@ func TestNextSeq(t *testing.T) {
 }
 
 func TestEncodeDecodeRoundTrip(t *testing.T) {
-	fn := func(raw [16]byte, seq uint64) bool {
-		in := FTL{Chain: uuid.UUID(raw), Seq: seq}
+	fn := func(raw [16]byte, seq uint64, flags uint8) bool {
+		in := FTL{Chain: uuid.UUID(raw), Seq: seq, Flags: flags}
 		buf := in.Encode(nil)
 		if len(buf) != WireSize {
 			return false
@@ -59,6 +59,59 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	}
 	if err := quick.Check(fn, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestDecodeEveryTruncationOffset mirrors the tracestore torn-tail fuzz:
+// a wire FTL cut at every possible offset must be rejected cleanly (no
+// partial parse, no panic), and only the full WireSize buffer decodes.
+func TestDecodeEveryTruncationOffset(t *testing.T) {
+	fn := func(raw [16]byte, seq uint64, flags uint8) bool {
+		in := FTL{Chain: uuid.UUID(raw), Seq: seq, Flags: flags}
+		buf := in.Encode(nil)
+		for cut := 0; cut < WireSize; cut++ {
+			out, rest, err := Decode(buf[:cut])
+			if err == nil {
+				return false // truncated buffer accepted
+			}
+			if out != (FTL{}) || len(rest) != cut {
+				return false // partial parse leaked state
+			}
+		}
+		out, rest, err := Decode(buf)
+		return err == nil && len(rest) == 0 && out == in
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSampledFlag(t *testing.T) {
+	var f FTL
+	if !f.Sampled() {
+		t.Fatal("zero-value FTL must be sampled (backward compatibility)")
+	}
+	f.Flags |= FlagDropped
+	if f.Sampled() {
+		t.Fatal("FlagDropped FTL reports sampled")
+	}
+	// The flag survives the wire.
+	out, _, err := Decode(f.Encode(nil))
+	if err != nil || out.Sampled() {
+		t.Fatalf("flag lost on wire: %+v err=%v", out, err)
+	}
+}
+
+// TestBeginChildInheritsFlags: oneway child chains copy the parent's
+// sampling decision, keeping the chain tree the sampling unit.
+func TestBeginChildInheritsFlags(t *testing.T) {
+	tun := NewTunnel(&uuid.SequentialGenerator{Seed: 11})
+	for _, flags := range []uint8{0, FlagDropped} {
+		parent := FTL{Chain: uuid.New(), Seq: 3, Flags: flags}
+		child, _ := tun.BeginChild(parent)
+		if child.Flags != flags {
+			t.Fatalf("child flags = %#x, want %#x", child.Flags, flags)
+		}
 	}
 }
 

@@ -69,6 +69,22 @@ type Config struct {
 	// allocation — and the duration reads reuse the armed latency
 	// aspect's clock samples when available.
 	Metrics *metrics.Registry
+	// Sampler, when set, decides head-consistent chain sampling: it is
+	// consulted exactly once per fresh chain (at the probe that begins
+	// it) and a drop decision is stamped into the FTL flags, so every
+	// probe on the chain — local and downstream — suppresses its record
+	// emission while still advancing the sequence number and feeding
+	// Metrics. nil keeps every chain. internal/sampling provides
+	// implementations (Fixed, Controlled).
+	Sampler HeadSampler
+}
+
+// HeadSampler is the head-of-chain sampling decision. Defined here (and
+// satisfied structurally by internal/sampling's types) so the probe
+// layer does not depend on the sampling package. Implementations must be
+// safe for concurrent use from probe hot paths and must not allocate.
+type HeadSampler interface {
+	SampleHead(chain uuid.UUID) bool
 }
 
 // Validate checks the configuration for the paper's constraints.
@@ -159,6 +175,7 @@ type Probes struct {
 	meter   cputime.Meter
 	tunnel  *ftl.Tunnel
 	metrics *metrics.Registry
+	sampler HeadSampler
 }
 
 // New validates cfg and builds the process's probe set.
@@ -166,7 +183,7 @@ func New(cfg Config) (*Probes, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	p := &Probes{cfg: cfg, clock: cfg.Clock, meter: cfg.Meter, metrics: cfg.Metrics}
+	p := &Probes{cfg: cfg, clock: cfg.Clock, meter: cfg.Meter, metrics: cfg.Metrics, sampler: cfg.Sampler}
 	if p.clock == nil {
 		p.clock = vclock.System{}
 	}
@@ -268,6 +285,14 @@ func (p *Probes) emit(w window, op OpID, f ftl.FTL, ev ftl.Event, oneway, colloc
 }
 
 func (p *Probes) emitSem(w window, op OpID, f ftl.FTL, ev ftl.Event, oneway, colloc bool, sem string) {
+	if !f.Sampled() {
+		// Head sampling dropped this chain: the FTL still travels and
+		// numbers events (so a mid-run rate change never de-syncs
+		// sequence numbers between processes), but no record is stored.
+		// Metrics were already fed at the probe site — the RED plane
+		// observes every call, sampled or not.
+		return
+	}
 	r := Record{
 		Semantics:  sem,
 		Kind:       KindEvent,
@@ -319,6 +344,9 @@ type StubCtx struct {
 func (p *Probes) StubStart(op OpID, oneway bool) StubCtx {
 	w := p.openWindow()
 	f, fresh := p.tunnel.CurrentOrBeginG(w.gid)
+	if fresh && p.sampler != nil && !p.sampler.SampleHead(f.Chain) {
+		f.Flags |= ftl.FlagDropped
+	}
 	f.NextSeq()
 	ctx := StubCtx{op: op, oneway: oneway, gid: w.gid, parent: f, fresh: fresh}
 	if ctx.ms, ctx.mStart = p.opStats(op, w); ctx.ms != nil {
@@ -333,7 +361,9 @@ func (p *Probes) StubStart(op OpID, oneway bool) StubCtx {
 		ctx.Wire = f
 	}
 	p.emit(w, op, f, ftl.StubStart, oneway, false)
-	if oneway {
+	if oneway && f.Sampled() {
+		// The link ties the (kept) parent to its (kept) child chain; a
+		// dropped chain tree records neither events nor links.
 		p.emitLink(w.gid, link)
 	}
 	return ctx
@@ -474,7 +504,10 @@ type CollocCtx struct {
 // probe activation (§2.2). The two events share one activation window.
 func (p *Probes) CollocStart(op OpID) CollocCtx {
 	w := p.openWindow()
-	f, _ := p.tunnel.CurrentOrBeginG(w.gid)
+	f, fresh := p.tunnel.CurrentOrBeginG(w.gid)
+	if fresh && p.sampler != nil && !p.sampler.SampleHead(f.Chain) {
+		f.Flags |= ftl.FlagDropped
+	}
 	f.NextSeq()
 	ctx := CollocCtx{op: op, gid: w.gid}
 	if ctx.ms, ctx.mStart = p.opStats(op, w); ctx.ms != nil {

@@ -1,0 +1,52 @@
+package sampling
+
+import "causeway/internal/uuid"
+
+// ChainVerdict is what the collector knows about a chain at completion
+// time — the inputs to the tail-retention decision.
+type ChainVerdict struct {
+	Chain     uuid.UUID
+	Slow      bool // root latency exceeded the collector's threshold
+	Broken    bool // Figure-4 parse reported abnormal transitions
+	Anomalous bool // parse produced anomaly records
+}
+
+// Interesting reports whether the chain is one tail retention always
+// keeps, regardless of any rate.
+func (v ChainVerdict) Interesting() bool { return v.Slow || v.Broken || v.Anomalous }
+
+// TailPolicy decides, when a chain completes at the collector, whether
+// its records are persisted. Slow, broken, and anomalous chains are
+// always retained — they are the chains worth debugging — and normal
+// chains pass a deterministic rate test. The zero value (NormalRate 0)
+// is NOT keep-all; use KeepAll or NormalRate 1 for that.
+type TailPolicy struct {
+	// NormalRate is the retention rate for uninteresting chains in
+	// [0, 1]. The hash test reuses Keep, but retention must stay
+	// independent of the head decision (otherwise tail retention at
+	// rate r would keep exactly the chains head sampling at rate r
+	// kept, compounding to r rather than filtering the survivors), so
+	// the chain UUID is permuted first.
+	NormalRate float64
+}
+
+// KeepAll retains every completed chain — the default collector policy.
+var KeepAll = TailPolicy{NormalRate: 1}
+
+// Retain reports whether a completed chain's records should be
+// persisted.
+func (p TailPolicy) Retain(v ChainVerdict) bool {
+	if v.Interesting() {
+		return true
+	}
+	return Keep(permute(v.Chain), p.NormalRate)
+}
+
+// permute decorrelates the tail hash from the head hash by XORing a
+// fixed pattern into the UUID before hashing.
+func permute(c uuid.UUID) uuid.UUID {
+	for i := range c {
+		c[i] ^= 0x5a
+	}
+	return c
+}

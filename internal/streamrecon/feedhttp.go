@@ -1,0 +1,94 @@
+package streamrecon
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// FeedEntry is one completion on the /feedz wire — the JSON shape both
+// cmd/collectd's handler writes and `causectl chains -follow` reads.
+// Chain is the canonical UUID string; Latency is a Go duration string,
+// present only when the chain's root latency was computable.
+type FeedEntry struct {
+	ID        uint64 `json:"id"`
+	Chain     string `json:"chain"`
+	Op        string `json:"op,omitempty"`
+	Roots     int    `json:"roots"`
+	Nodes     int    `json:"nodes"`
+	Latency   string `json:"latency,omitempty"`
+	Slow      bool   `json:"slow,omitempty"`
+	Broken    bool   `json:"broken,omitempty"`
+	Anomalous bool   `json:"anomalous,omitempty"`
+	Persisted bool   `json:"persisted"`
+	Reason    string `json:"reason"`
+	When      string `json:"when"`
+}
+
+// FeedPage is one /feedz response: the completions after the requested
+// cursor, oldest first, and the new cursor to pass back as ?since=.
+type FeedPage struct {
+	Cursor      uint64      `json:"cursor"`
+	Completions []FeedEntry `json:"completions"`
+}
+
+// entryOf flattens a Completion into its wire shape.
+func entryOf(c Completion) FeedEntry {
+	e := FeedEntry{
+		ID:        c.ID,
+		Chain:     c.Chain.String(),
+		Roots:     c.Roots,
+		Nodes:     c.Nodes,
+		Slow:      c.Slow,
+		Broken:    c.Broken,
+		Anomalous: c.Anomalous,
+		Persisted: c.Persisted,
+		Reason:    c.Reason,
+		When:      c.When.Format(time.RFC3339Nano),
+	}
+	if c.Op.Interface != "" || c.Op.Operation != "" {
+		e.Op = c.Op.Interface + "::" + c.Op.Operation
+	}
+	if c.HasLatency {
+		e.Latency = c.Latency.String()
+	}
+	return e
+}
+
+// ServeFeed is an http.HandlerFunc serving the completion feed as JSON —
+// collectd mounts it at /feedz on its debug server. Query parameters:
+//
+//	since=N  return completions with ID > N (default 0: the whole window)
+//	max=N    cap the page size (default 0: the whole retained window)
+//
+// The reply's cursor is the newest completion ID; a poller passes it
+// back as since. IDs are dense, so a gap between since and the first
+// returned entry means the ring window slid past unobserved completions.
+func (a *Assembler) ServeFeed(w http.ResponseWriter, r *http.Request) {
+	since, err := uintParam(r, "since")
+	if err != nil {
+		http.Error(w, "bad since: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	max, err := uintParam(r, "max")
+	if err != nil {
+		http.Error(w, "bad max: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	comps, cursor := a.Feed(since, int(max))
+	page := FeedPage{Cursor: cursor, Completions: make([]FeedEntry, 0, len(comps))}
+	for _, c := range comps {
+		page.Completions = append(page.Completions, entryOf(c))
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	json.NewEncoder(w).Encode(page)
+}
+
+func uintParam(r *http.Request, name string) (uint64, error) {
+	s := r.URL.Query().Get(name)
+	if s == "" {
+		return 0, nil
+	}
+	return strconv.ParseUint(s, 10, 63)
+}

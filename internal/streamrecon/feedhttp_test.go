@@ -1,0 +1,87 @@
+package streamrecon
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"causeway/internal/probe"
+)
+
+// TestServeFeed drives a few chains through the assembler and pages the
+// HTTP feed the way `causectl chains -follow` does: cursor at 0, then
+// the returned cursor, expecting no entries twice and none lost.
+func TestServeFeed(t *testing.T) {
+	clock := newFakeClock()
+	a, _ := newAssembler(t, clock, nil)
+	srv := httptest.NewServer(http.HandlerFunc(a.ServeFeed))
+	defer srv.Close()
+
+	getPage := func(since uint64) FeedPage {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/feedz?since=" + jsonUint(since))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /feedz: %s", resp.Status)
+		}
+		var page FeedPage
+		if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+			t.Fatal(err)
+		}
+		return page
+	}
+
+	if page := getPage(0); page.Cursor != 0 || len(page.Completions) != 0 {
+		t.Fatalf("empty feed served %+v", page)
+	}
+
+	p, sink := newProbes(t, 7)
+	op := probe.OpID{Component: "c", Interface: "IFeed", Operation: "serve", Object: "o"}
+	oneCall(p, op)
+	oneCall(p, op)
+	feed(a, sink.Snapshot())
+	clock.Advance(time.Second)
+	if n := a.Tick(); n != 2 {
+		t.Fatalf("evicted %d chains, want 2", n)
+	}
+
+	page := getPage(0)
+	if page.Cursor != 2 || len(page.Completions) != 2 {
+		t.Fatalf("page = %+v", page)
+	}
+	e := page.Completions[0]
+	if e.ID != 1 || e.Op != "IFeed::serve" || e.Reason != "complete" || !e.Persisted {
+		t.Fatalf("entry = %+v", e)
+	}
+	if e.Chain == "" || e.Latency == "" || e.When == "" {
+		t.Fatalf("entry missing rendered fields: %+v", e)
+	}
+	if _, err := time.Parse(time.RFC3339Nano, e.When); err != nil {
+		t.Fatalf("when %q: %v", e.When, err)
+	}
+
+	// Resuming from the cursor returns nothing new.
+	if next := getPage(page.Cursor); next.Cursor != 2 || len(next.Completions) != 0 {
+		t.Fatalf("resumed page = %+v", next)
+	}
+
+	// Bad parameters are a client error, not a panic.
+	resp, err := http.Get(srv.URL + "/feedz?since=banana")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad since: %s", resp.Status)
+	}
+}
+
+func jsonUint(v uint64) string {
+	b, _ := json.Marshal(v)
+	return string(b)
+}

@@ -39,6 +39,10 @@ type ServerConfig struct {
 	Sinks []probe.Sink
 	// OnConnect, when set, fires after each successful handshake.
 	OnConnect func(Peer)
+	// SampleRate, when set, serves the rate operation: the current
+	// head-sampling rate shippers should apply. nil rejects rate
+	// queries (sampling not enabled on this collector).
+	SampleRate func() float64
 }
 
 // ServerStats snapshots a collection server's counters.
@@ -202,6 +206,17 @@ func (s *Server) handle(conn transport.ConnID, req transport.Request, respond tr
 		if !req.Oneway {
 			respond(transport.Reply{Status: transport.StatusOK})
 		}
+	case opRate:
+		if s.cfg.SampleRate == nil {
+			fail("telemetry: sampling not enabled")
+			return
+		}
+		body, err := encodeRate(s.cfg.SampleRate())
+		if err != nil {
+			fail(err.Error())
+			return
+		}
+		respond(transport.Reply{Status: transport.StatusOK, Body: body})
 	case opFlush:
 		// Per-connection frames are handled in order, so replying here
 		// proves every prior ship frame from this peer was ingested.

@@ -39,6 +39,14 @@ type ShipperConfig struct {
 	DrainTimeout time.Duration
 	// Dial overrides the transport dialer (tests); default transport.DialTCP.
 	Dial func(addr string) (transport.Client, error)
+	// RateTarget, when set, receives the collector-steered head-sampling
+	// rate: the shipper polls the server's rate operation every
+	// RatePollInterval and applies each answer. *sampling.Controlled
+	// satisfies it; wire the same instance into probe.Config.Sampler and
+	// the process sheds chains at whatever rate the collector asks for.
+	RateTarget interface{ SetRate(float64) }
+	// RatePollInterval is how often the rate is polled; default 1s.
+	RatePollInterval time.Duration
 }
 
 func (c *ShipperConfig) applyDefaults() error {
@@ -71,6 +79,9 @@ func (c *ShipperConfig) applyDefaults() error {
 	}
 	if c.Dial == nil {
 		c.Dial = func(addr string) (transport.Client, error) { return transport.DialTCP(addr) }
+	}
+	if c.RatePollInterval <= 0 {
+		c.RatePollInterval = time.Second
 	}
 	return nil
 }
@@ -321,6 +332,12 @@ func (s *ShipperSink) loop() {
 
 	ticker := time.NewTicker(s.cfg.FlushInterval)
 	defer ticker.Stop()
+	var rateCh <-chan time.Time
+	if s.cfg.RateTarget != nil {
+		rt := time.NewTicker(s.cfg.RatePollInterval)
+		defer rt.Stop()
+		rateCh = rt.C
+	}
 	for {
 		if client == nil {
 			if client = s.connect(); client == nil {
@@ -350,8 +367,33 @@ func (s *ShipperSink) loop() {
 			return
 		case <-s.wake:
 		case <-ticker.C:
+		case <-rateCh:
+			if !s.pollRate(client) {
+				disconnect()
+			}
 		}
 	}
+}
+
+// pollRate asks the server for the current head-sampling rate and
+// applies it to the configured target. It reports false on transport
+// failure (the connection is dead); a protocol-level rejection — the
+// server has sampling disabled — just keeps the current rate.
+func (s *ShipperSink) pollRate(client transport.Client) bool {
+	if client == nil {
+		return true
+	}
+	rep, err := client.Call(transport.Request{ObjectKey: ObjectKey, Operation: opRate})
+	if err != nil {
+		return false
+	}
+	if rep.Status != transport.StatusOK {
+		return true
+	}
+	if rate, err := decodeRate(rep.Body); err == nil {
+		s.cfg.RateTarget.SetRate(rate)
+	}
+	return true
 }
 
 // drain makes a final bounded effort to deliver the remaining records and

@@ -60,6 +60,13 @@ const (
 	opShip  = "ship"
 	opFlush = "flush"
 	opStats = "stats"
+	// opRate (sync, empty request) asks the collection daemon for the
+	// current head-sampling rate; the reply body is gob(float64). The
+	// control loop that closes collectd's load-shedding feedback:
+	// shippers poll it periodically and apply the answer to their
+	// process's sampling.Controlled. Servers without sampling enabled
+	// reject the call and the shipper keeps its current rate.
+	opRate = "rate"
 )
 
 // ProtocolVersion is bumped on incompatible frame-format changes; the
@@ -118,6 +125,22 @@ func decodeFinal(b []byte) (ShipperFinal, error) {
 		return f, fmt.Errorf("telemetry: decode stats: %w", err)
 	}
 	return f, nil
+}
+
+func encodeRate(rate float64) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(rate); err != nil {
+		return nil, fmt.Errorf("telemetry: encode rate: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeRate(b []byte) (float64, error) {
+	var rate float64
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&rate); err != nil {
+		return 0, fmt.Errorf("telemetry: decode rate: %w", err)
+	}
+	return rate, nil
 }
 
 // batchEncoder reuses one bytes.Buffer across ship frames. Each frame must

@@ -60,6 +60,7 @@ type shard struct {
 
 	sticky  error // first disk failure; shard keeps serving reads
 	dropped int   // records lost to sticky failures
+	swept   int   // records removed by retention sweeps, counted at commit
 }
 
 func segName(id int) string { return fmt.Sprintf("%06d.seg", id) }
@@ -346,6 +347,12 @@ func (sh *shard) linkList() []probe.Record {
 	return out
 }
 
+func (sh *shard) sweptCount() int {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.swept
+}
+
 func (sh *shard) counts() (events, links, chains, dropped int) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -456,8 +463,13 @@ func (sh *shard) sweep(cutoff time.Time) (dropped int, err error) {
 	}
 	var newLocs []newLoc
 	var keptLinks []probe.Record
+	sweptRecs := 0
+	for c := range victims {
+		sweptRecs += len(sh.chains[c].locs)
+	}
 	for _, l := range sh.links {
 		if victims[l.LinkParent] {
+			sweptRecs++
 			continue
 		}
 		if _, _, werr := w.append(&l); werr != nil {
@@ -510,6 +522,9 @@ func (sh *shard) sweep(cutoff time.Time) (dropped int, err error) {
 	if err := sh.writeGC(newID); err != nil {
 		return 0, err
 	}
+	// The watermark is durable: from here the victims' records are gone
+	// whatever else fails, so the sweep ledger counts them now.
+	sh.swept += sweptRecs
 	oldActive := sh.activeID
 	if cerr := sh.active.close(); cerr != nil {
 		return 0, fmt.Errorf("tracestore: seal segment: %w", cerr)

@@ -257,6 +257,21 @@ func (s *Store) Len() int {
 	return n
 }
 
+// Swept reports records removed by retention sweeps (Sweep). Together
+// with Len and Dropped it closes the store's side of the collection
+// ledger: every record ever inserted is indexed, swept, or dropped —
+//
+//	inserted == Len() + Swept() + Dropped()
+//
+// so a batch arriving while a sweep compacts cannot vanish silently.
+func (s *Store) Swept() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.sweptCount()
+	}
+	return n
+}
+
 // Dropped reports records lost to shard disk failures.
 func (s *Store) Dropped() int {
 	n := 0

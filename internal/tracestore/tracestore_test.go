@@ -535,3 +535,74 @@ func TestConcurrentInsertAndQuery(t *testing.T) {
 		}
 	}
 }
+
+// TestSweepConcurrentIngestLedger races retention sweeps against live
+// ingest and checks the store-side ledger closes: every record ever
+// inserted is indexed, swept, or dropped. A batch arriving while a
+// compaction runs must block on the shard lock, never vanish silently.
+func TestSweepConcurrentIngestLedger(t *testing.T) {
+	ts, err := Open(t.TempDir(), Options{Shards: 2, SegmentMaxBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+
+	// Old wall times make every complete chain immediately sweepable.
+	old := time.Now().Add(-time.Hour)
+	const chains, recsPerChain = 80, 4
+	inserted := make(chan struct{})
+	go func() {
+		defer close(inserted)
+		for i := 0; i < chains; i++ {
+			c := chainID(byte(i + 1))
+			ts.Insert(
+				ev(c, 1, ftl.StubStart, "ISwept", old),
+				ev(c, 2, ftl.SkelStart, "ISwept", old),
+				ev(c, 3, ftl.SkelEnd, "ISwept", old),
+				ev(c, 4, ftl.StubEnd, "ISwept", old),
+			)
+		}
+	}()
+	var sweepErr error
+	sweeps := 0
+	swept := make(chan struct{})
+	go func() {
+		defer close(swept)
+		for {
+			select {
+			case <-inserted:
+				return
+			default:
+			}
+			if _, err := ts.Sweep(time.Minute); err != nil {
+				sweepErr = err
+				return
+			}
+			sweeps++
+		}
+	}()
+	<-inserted
+	<-swept
+	if sweepErr != nil {
+		t.Fatal(sweepErr)
+	}
+	// One quiescent sweep clears the stragglers the racing sweeper missed.
+	if _, err := ts.Sweep(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+
+	total := chains * recsPerChain
+	if got := ts.Len() + ts.Swept() + ts.Dropped(); got != total {
+		t.Fatalf("ledger leak: Len %d + Swept %d + Dropped %d = %d, want %d (after %d racing sweeps)",
+			ts.Len(), ts.Swept(), ts.Dropped(), got, total, sweeps)
+	}
+	if ts.Dropped() != 0 {
+		t.Fatalf("store dropped %d records", ts.Dropped())
+	}
+	if ts.Len() != 0 {
+		t.Fatalf("final sweep left %d records indexed", ts.Len())
+	}
+	if ts.Swept() != total {
+		t.Fatalf("swept ledger reads %d, want %d", ts.Swept(), total)
+	}
+}
