@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"causeway/internal/analysis"
+	"causeway/internal/cluster"
 	"causeway/internal/collector"
 	"causeway/internal/cputime"
 	"causeway/internal/debugserver"
@@ -133,6 +134,15 @@ type ProcessConfig struct {
 	// buffer in a bounded ring and the oldest are dropped under
 	// backpressure (see internal/telemetry).
 	ShipTo string
+	// ShipToCluster, when set, streams this process's records to an
+	// ingest-collector cluster instead of a single daemon: each record
+	// routes to the collector owning its chain's hash range (see
+	// internal/cluster), so every chain lands whole on exactly one
+	// collector. The addresses seed a provisional ring; the authoritative
+	// ring served in the collectors' handshakes supersedes it and
+	// rebalances re-route buffered records. Mutually exclusive with
+	// ShipTo.
+	ShipToCluster []string
 	// CallTimeout bounds every synchronous invocation issued through this
 	// process's references; zero means wait forever.
 	CallTimeout time.Duration
@@ -191,6 +201,7 @@ type Process struct {
 	file    *os.File
 	stream  *probe.StreamSink
 	shipper *telemetry.ShipperSink
+	routed  *cluster.RoutedShipper
 	metrics *metrics.Registry
 	debug   *debugserver.Server
 	sampler *sampling.Controlled
@@ -269,6 +280,9 @@ func NewProcess(cfg ProcessConfig) (*Process, error) {
 		p.sampler = sampling.NewControlled(rate)
 		p.metrics.RegisterSource("sampling", p.sampler.WriteMetrics)
 	}
+	if cfg.ShipTo != "" && len(cfg.ShipToCluster) > 0 {
+		return fail(errors.New("causeway: set ShipTo or ShipToCluster, not both"))
+	}
 	if cfg.ShipTo != "" {
 		shipCfg := telemetry.ShipperConfig{Addr: cfg.ShipTo, Process: proc}
 		if p.debug != nil {
@@ -284,6 +298,28 @@ func NewProcess(cfg ProcessConfig) (*Process, error) {
 		p.shipper = sh
 		p.metrics.RegisterSource("shipper", sh.WriteMetrics)
 		sink = probe.TeeSink{sink, sh}
+	}
+	if len(cfg.ShipToCluster) > 0 {
+		// Epoch 0 marks the configured ring provisional: any ring a
+		// collector serves (epoch >= 1) supersedes it on first contact.
+		ring, err := cluster.Assign(0, cluster.DefaultSlots, cluster.Members(cfg.ShipToCluster...))
+		if err != nil {
+			return fail(fmt.Errorf("causeway: cluster: %w", err))
+		}
+		tmpl := telemetry.ShipperConfig{Process: proc}
+		if p.debug != nil {
+			tmpl.DebugAddr = p.debug.Addr()
+		}
+		if cfg.AdaptiveSampling && p.sampler != nil {
+			tmpl.RateTarget = p.sampler
+		}
+		routed, err := cluster.NewRouted(cluster.RouterConfig{Ring: ring, Shipper: tmpl})
+		if err != nil {
+			return fail(fmt.Errorf("causeway: cluster shipper: %w", err))
+		}
+		p.routed = routed
+		p.metrics.RegisterSource("shipper", routed.WriteMetrics)
+		sink = probe.TeeSink{sink, routed}
 	}
 
 	var aspects probe.Aspect
@@ -383,6 +419,9 @@ func (p *Process) SamplingRate() float64 {
 // ShipperStats reports the record shipper's counters; the zero value when
 // the process does not ship.
 func (p *Process) ShipperStats() telemetry.ShipperStats {
+	if p.routed != nil {
+		return p.routed.Combined()
+	}
 	if p.shipper == nil {
 		return telemetry.ShipperStats{}
 	}
@@ -395,6 +434,9 @@ func (p *Process) Close() error {
 	p.ORB.Shutdown()
 	if p.shipper != nil {
 		p.shipper.Close()
+	}
+	if p.routed != nil {
+		p.routed.Close()
 	}
 	if p.debug != nil {
 		p.debug.Close()

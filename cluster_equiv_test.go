@@ -1,0 +1,612 @@
+// Equivalence tests for the tiered collector cluster: a workload fanned
+// across a 3-collector ingest tier, then aggregated, must characterize
+// byte-identically to a single collector holding every record — in the
+// steady state on the repo's two reference workloads, and across a
+// collector killed and rejoined mid-run with its hash ranges replayed
+// from segments under seeded schedules. Conservation rides along:
+// replayed chains are counted exactly once, and the tier ledger balances
+// with sum(Replayed) == sum(Retired).
+package causeway_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"causeway"
+	"causeway/internal/analysis"
+	"causeway/internal/benchgen/instrecho"
+	"causeway/internal/cluster"
+	"causeway/internal/logdb"
+	"causeway/internal/pps"
+	"causeway/internal/probe"
+	"causeway/internal/telemetry"
+	"causeway/internal/topology"
+	"causeway/internal/tracestore"
+	"causeway/internal/transport"
+)
+
+// clusterWaitFor polls until cond holds; the async hops here are oneway
+// ship frames and ring polls, which settle in milliseconds.
+func clusterWaitFor(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// sharedRing is the ring every ingest collector serves — mutating it and
+// bumping the epoch is how these tests rebalance the tier, exactly as
+// restarting collectd with a new -peers list would.
+type sharedRing struct {
+	mu   sync.Mutex
+	ring telemetry.Ring
+}
+
+func (s *sharedRing) set(r telemetry.Ring) {
+	s.mu.Lock()
+	s.ring = r
+	s.mu.Unlock()
+}
+
+func (s *sharedRing) get() (telemetry.Ring, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ring, s.ring.Slots > 0
+}
+
+// fanoutTemplate is the per-member shipper template for a routed
+// shipper: fast flushes and a tight ring poll so rebalances propagate
+// within a few milliseconds.
+func fanoutTemplate(name string) telemetry.ShipperConfig {
+	return telemetry.ShipperConfig{
+		Process:          topology.Process{ID: name, Processor: topology.Processor{ID: name, Type: "x86"}},
+		BufferSize:       8192,
+		FlushInterval:    2 * time.Millisecond,
+		BackoffMin:       5 * time.Millisecond,
+		BackoffMax:       50 * time.Millisecond,
+		DrainTimeout:     5 * time.Second,
+		RingPollInterval: 5 * time.Millisecond,
+	}
+}
+
+// ppsRecords runs the paper's PPS workload once in the 4-process layout
+// and returns its record log.
+func ppsRecords(t *testing.T) []probe.Record {
+	t.Helper()
+	pipeline, err := pps.Build(pps.Options{
+		Network:      transport.NewInprocNetwork(),
+		Layout:       pps.FourProcess(),
+		Instrumented: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pipeline.Shutdown()
+	if err := pipeline.RunJobs(4, 2, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := pipeline.AwaitQuiescent(4, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return pipeline.Records()
+}
+
+// assertChainsWhole asserts chain-range ownership held: every chain's
+// events (and its links, which route by parent) sit on exactly the
+// collector the ring assigns, never split across two.
+func assertChainsWhole(t *testing.T, ring telemetry.Ring, addrs []string, stores []*logdb.Store) {
+	t.Helper()
+	for i, db := range stores {
+		for _, chain := range db.Chains() {
+			m, ok := ring.OwnerOf(chain)
+			if !ok || m.ID != addrs[i] {
+				t.Fatalf("chain %s landed on %s but the ring assigns %q", chain, addrs[i], m.ID)
+			}
+			for j, other := range stores {
+				if j != i && len(other.Events(chain)) > 0 {
+					t.Fatalf("chain %s split across %s and %s", chain, addrs[i], addrs[j])
+				}
+			}
+		}
+		for _, l := range db.Links() {
+			if m, ok := ring.OwnerOf(l.LinkParent); !ok || m.ID != addrs[i] {
+				t.Fatalf("link of parent %s landed on %s but the ring assigns %q", l.LinkParent, addrs[i], m.ID)
+			}
+		}
+	}
+}
+
+// TestClusterEquivalencePPS: the paper's PPS workload fanned across a
+// 3-collector tier. Every chain lands whole on its ring owner, the
+// steady-state merge sees zero duplicates, and the fleet DSCG is
+// byte-identical to the single-collector baseline.
+func TestClusterEquivalencePPS(t *testing.T) {
+	records := ppsRecords(t)
+	baseline := logdb.NewStore()
+	baseline.Insert(records...)
+	want := characterize(t, analysis.ReconstructParallel(baseline, 4))
+
+	shared := &sharedRing{}
+	var stores []*logdb.Store
+	var addrs []string
+	for i := 0; i < 3; i++ {
+		db := logdb.NewStore()
+		srv, err := telemetry.Listen("127.0.0.1:0", telemetry.ServerConfig{Store: db, Ring: shared.get})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		stores = append(stores, db)
+		addrs = append(addrs, srv.Addr())
+	}
+	ring, err := cluster.Assign(1, cluster.DefaultSlots, cluster.Members(addrs...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared.set(ring)
+
+	rs, err := cluster.NewRouted(cluster.RouterConfig{Ring: ring, Shipper: fanoutTemplate("pps-fan")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range records {
+		rs.Append(r)
+	}
+	if err := rs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := rs.Combined()
+	if st.Dropped != 0 || st.Appended != uint64(len(records)) {
+		t.Fatalf("router lost records: %+v over %d records", st, len(records))
+	}
+	total := func() int {
+		n := 0
+		for _, db := range stores {
+			n += db.Len()
+		}
+		return n
+	}
+	clusterWaitFor(t, func() bool { return total() == len(records) }, "cluster ingest of the PPS workload")
+	assertChainsWhole(t, ring, addrs, stores)
+
+	fleet := logdb.NewStore()
+	agg := cluster.NewAggregator(fleet)
+	for i, db := range stores {
+		var buf bytes.Buffer
+		if err := db.WriteStream(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if db.Len() == 0 {
+			t.Fatalf("collector %s ingested nothing; slot spans too coarse for the workload", addrs[i])
+		}
+		_, dups, err := agg.MergeStream(addrs[i], &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dups != 0 {
+			t.Fatalf("steady-state merge of %s rejected %d duplicates", addrs[i], dups)
+		}
+	}
+	if fleet.Len() != len(records) {
+		t.Fatalf("fleet store holds %d of %d records", fleet.Len(), len(records))
+	}
+	if got := characterize(t, analysis.ReconstructParallel(fleet, 4)); got != want {
+		t.Fatal("fleet characterization diverges from the single-collector baseline")
+	}
+}
+
+// TestClusterEquivalenceLivemonitor rides the facade path: a networked
+// echo deployment where every process ships via ShipToCluster to three
+// live collectors, and the aggregated fleet view must characterize
+// identically to one store holding everything that arrived.
+func TestClusterEquivalenceLivemonitor(t *testing.T) {
+	shared := &sharedRing{}
+	var stores []*logdb.Store
+	var addrs []string
+	for i := 0; i < 3; i++ {
+		db := logdb.NewStore()
+		srv, err := telemetry.Listen("127.0.0.1:0", telemetry.ServerConfig{Store: db, Ring: shared.get})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		stores = append(stores, db)
+		addrs = append(addrs, srv.Addr())
+	}
+	ring, err := cluster.Assign(1, cluster.DefaultSlots, cluster.Members(addrs...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared.set(ring)
+
+	newProc := func(name string) *causeway.Process {
+		p, err := causeway.NewProcess(causeway.ProcessConfig{
+			Name:          name,
+			Instrumented:  true,
+			Monitor:       causeway.MonitorLatency,
+			ShipToCluster: addrs,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	server := newProc("server")
+	if err := instrecho.RegisterEcho(server.ORB, "svc", "svc-comp", echoOK{}); err != nil {
+		t.Fatal(err)
+	}
+	ep, err := server.ORB.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs := []*causeway.Process{server}
+	for c := 1; c <= 3; c++ {
+		client := newProc(fmt.Sprintf("client-%d", c))
+		procs = append(procs, client)
+		stub := instrecho.NewEchoStub(client.ORB.RefTo(ep, "svc", "Echo", "svc-comp"))
+		for i := 1; i <= 5; i++ {
+			if _, err := stub.Echo(fmt.Sprintf("c%d-req-%d", c, i)); err != nil {
+				t.Fatal(err)
+			}
+			client.NewChain()
+		}
+	}
+	var shipped uint64
+	for _, p := range procs {
+		if err := p.Close(); err != nil {
+			t.Fatal(err)
+		}
+		st := p.ShipperStats()
+		if st.Dropped != 0 || st.Buffered != 0 {
+			t.Fatalf("process shipper lost records: %+v", st)
+		}
+		shipped += st.Shipped
+	}
+	if shipped == 0 {
+		t.Fatal("nothing shipped to the cluster")
+	}
+	total := func() int {
+		n := 0
+		for _, db := range stores {
+			n += db.Len()
+		}
+		return n
+	}
+	clusterWaitFor(t, func() bool { return total() == int(shipped) }, "cluster ingest of the echo workload")
+	assertChainsWhole(t, ring, addrs, stores)
+
+	// The single-collector view is the union of arrivals — what one
+	// collector would hold had every process shipped to it alone.
+	union := logdb.NewStore()
+	for _, db := range stores {
+		union.Insert(arrivalRecords(db)...)
+	}
+	want := characterize(t, analysis.ReconstructParallel(union, 4))
+
+	fleet := logdb.NewStore()
+	agg := cluster.NewAggregator(fleet)
+	for i, db := range stores {
+		var buf bytes.Buffer
+		if err := db.WriteStream(&buf); err != nil {
+			t.Fatal(err)
+		}
+		_, dups, err := agg.MergeStream(addrs[i], &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dups != 0 {
+			t.Fatalf("steady-state merge of %s rejected %d duplicates", addrs[i], dups)
+		}
+	}
+	if fleet.Len() != int(shipped) {
+		t.Fatalf("fleet store holds %d of %d shipped records", fleet.Len(), shipped)
+	}
+	if got := characterize(t, analysis.ReconstructParallel(fleet, 4)); got != want {
+		t.Fatal("fleet characterization diverges from the single-collector union")
+	}
+}
+
+// TestClusterKillRejoinReplaySeeds is the rebalance gauntlet: a
+// collector is killed mid-run and later rejoins with its old segments,
+// with the kill point, rejoin point, victim, and record interleaving all
+// drawn from a seeded schedule. Its hash range is replayed forward to
+// the survivors and back on rejoin; the fleet DSCG must still match the
+// single-collector baseline byte for byte, with every replayed chain
+// counted once and the tier ledger balanced.
+func TestClusterKillRejoinReplaySeeds(t *testing.T) {
+	records := ppsRecords(t)
+	baseline := logdb.NewStore()
+	baseline.Insert(records...)
+	want := characterize(t, analysis.ReconstructParallel(baseline, 4))
+
+	for _, seed := range []int64{1, 1234, 987654321} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			recs := make([]probe.Record, len(records))
+			copy(recs, records)
+			rng.Shuffle(len(recs), func(i, j int) { recs[i], recs[j] = recs[j], recs[i] })
+			// The fault schedule: where in the stream the victim dies and
+			// where it rejoins.
+			victim := rng.Intn(3)
+			cut1 := 1 + rng.Intn(len(recs)/2)
+			cut2 := cut1 + 1 + rng.Intn(len(recs)-cut1-1)
+
+			shared := &sharedRing{}
+			dirs := make([]string, 3)
+			stores := make([]*tracestore.Store, 3)
+			srvs := make([]*telemetry.Server, 3)
+			addrs := make([]string, 3)
+			openIngest := func(i int, addr string) {
+				t.Helper()
+				ts, err := tracestore.Open(dirs[i], tracestore.Options{Shards: 4})
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg := telemetry.ServerConfig{
+					Store: ts,
+					Ring:  shared.get,
+					Replay: func(rs []probe.Record) int {
+						return ts.InsertNew(rs...)
+					},
+				}
+				var srv *telemetry.Server
+				if addr == "" {
+					srv, err = telemetry.Listen("127.0.0.1:0", cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+				} else {
+					// Rebinding the victim's old address can race the kernel
+					// releasing it.
+					clusterWaitFor(t, func() bool {
+						srv, err = telemetry.Listen(addr, cfg)
+						return err == nil
+					}, "rebinding the victim's address")
+				}
+				stores[i], srvs[i] = ts, srv
+			}
+			base := t.TempDir()
+			for i := range dirs {
+				dirs[i] = filepath.Join(base, fmt.Sprintf("col%d", i))
+				openIngest(i, "")
+				addrs[i] = srvs[i].Addr()
+			}
+			defer func() {
+				for i := range srvs {
+					srvs[i].Close()
+					stores[i].Close()
+				}
+			}()
+
+			ring1, err := cluster.Assign(1, cluster.DefaultSlots, cluster.Members(addrs...))
+			if err != nil {
+				t.Fatal(err)
+			}
+			shared.set(ring1)
+			rs, err := cluster.NewRouted(cluster.RouterConfig{Ring: ring1, Shipper: fanoutTemplate("kill-rejoin")})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rs.Close()
+
+			survivorLen := func() int {
+				n := 0
+				for i := range stores {
+					if i != victim {
+						n += stores[i].Len()
+					}
+				}
+				return n
+			}
+
+			// Phase 1: all three collectors up.
+			for _, r := range recs[:cut1] {
+				rs.Append(r)
+			}
+			clusterWaitFor(t, func() bool {
+				return survivorLen()+stores[victim].Len() == cut1
+			}, "phase-1 ingest")
+
+			// Kill the victim mid-run; the survivors take over its range at
+			// epoch 2 and the router re-routes.
+			victimLen := stores[victim].Len()
+			if err := srvs[victim].Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := stores[victim].Close(); err != nil {
+				t.Fatal(err)
+			}
+			var survivors []string
+			for i, a := range addrs {
+				if i != victim {
+					survivors = append(survivors, a)
+				}
+			}
+			ring2, err := cluster.Assign(2, cluster.DefaultSlots, cluster.Members(survivors...))
+			if err != nil {
+				t.Fatal(err)
+			}
+			shared.set(ring2)
+			clusterWaitFor(t, func() bool { return rs.Ring().Epoch == 2 }, "router to adopt the survivor ring")
+
+			// Phase 2: the victim's range lands on its new owners.
+			for _, r := range recs[cut1:cut2] {
+				rs.Append(r)
+			}
+			clusterWaitFor(t, func() bool {
+				return survivorLen() == cut2-victimLen
+			}, "phase-2 ingest on the survivors")
+
+			// Replay the dead collector's segments forward: everything that
+			// reached its disk moves to the range's new owners, and its
+			// recovered ledger retires exactly what they accept.
+			deadStore, err := tracestore.Open(dirs[victim], tracestore.Options{Shards: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			deadLed := cluster.RecoverLedger(deadStore)
+			if !deadLed.Balanced() || deadLed.Appended != uint64(victimLen) {
+				t.Fatalf("recovered ledger %s does not match the %d durable records", deadLed, victimLen)
+			}
+			var outAccepted, outScanned uint64
+			outBySurvivor := make(map[string]uint64)
+			for _, target := range survivors {
+				res, err := cluster.Replay(cluster.ReplayConfig{
+					Source: deadStore,
+					Range:  cluster.MovedTo(ring1, ring2, target),
+					Target: target,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Rejected != 0 {
+					t.Fatalf("fresh forward replay to %s rejected %d records", target, res.Rejected)
+				}
+				outAccepted += res.Accepted
+				outScanned += res.Scanned
+				outBySurvivor[target] = res.Accepted
+			}
+			if outScanned != uint64(victimLen) {
+				t.Fatalf("forward replay scanned %d of the victim's %d records", outScanned, victimLen)
+			}
+			deadLed = deadLed.Retire(outAccepted)
+			if err := deadStore.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Rejoin: the victim comes back on its old address with its old
+			// segments, the ring returns to three members at epoch 3, and
+			// the survivors replay its reclaimed range back. Records its own
+			// segments already hold are rejected by dedup — that rejection
+			// is exactly the set replayed out while it was dead, which is
+			// how replayed chains end up counted once.
+			openIngest(victim, addrs[victim])
+			ring3, err := cluster.Assign(3, cluster.DefaultSlots, cluster.Members(addrs...))
+			if err != nil {
+				t.Fatal(err)
+			}
+			shared.set(ring3)
+			clusterWaitFor(t, func() bool { return rs.Ring().Epoch == 3 }, "router to adopt the rejoin ring")
+
+			var backAccepted uint64
+			backBySurvivor := make(map[string]uint64)
+			for i := range stores {
+				if i == victim {
+					continue
+				}
+				res, err := cluster.Replay(cluster.ReplayConfig{
+					Source: stores[i],
+					Range:  cluster.MovedTo(ring2, ring3, addrs[victim]),
+					Target: addrs[victim],
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Rejected != outBySurvivor[addrs[i]] {
+					t.Fatalf("replay back from %s rejected %d records, want the %d replayed forward",
+						addrs[i], res.Rejected, outBySurvivor[addrs[i]])
+				}
+				backAccepted += res.Accepted
+				backBySurvivor[addrs[i]] = res.Accepted
+			}
+
+			// Phase 3: full tier again.
+			for _, r := range recs[cut2:] {
+				rs.Append(r)
+			}
+			if err := rs.Close(); err != nil {
+				t.Fatal(err)
+			}
+			combined := rs.Combined()
+			if combined.Dropped != 0 || combined.Appended != uint64(len(recs)) {
+				t.Fatalf("router lost records across the outage: %+v over %d", combined, len(recs))
+			}
+			if stats := rs.Stats(); stats.NoOwner != 0 || stats.Rebalances < 2 {
+				t.Fatalf("router stats implausible: %+v", stats)
+			}
+			// Physical copies: every record once, plus one extra copy of
+			// each record a replay moved (source segments keep theirs).
+			expectTotal := len(recs) + int(outAccepted+backAccepted)
+			totalLen := func() int { return survivorLen() + stores[victim].Len() }
+			clusterWaitFor(t, func() bool { return totalLen() == expectTotal }, "phase-3 ingest")
+			if outAccepted+backAccepted == 0 {
+				t.Fatalf("seed %d produced no replay traffic; schedule has no power", seed)
+			}
+
+			// Conservation: each survivor's ledger counts forward-replay
+			// arrivals as Replayed and retires what the victim accepted
+			// back; the reborn victim's ledger continues the recovered one.
+			ledgers := make([]cluster.Ledger, 0, 3)
+			for i := range stores {
+				if i == victim {
+					continue
+				}
+				shipped := uint64(stores[i].Len()) - outBySurvivor[addrs[i]]
+				led := cluster.Ledger{Appended: shipped, Persisted: shipped}
+				led.Replayed = outBySurvivor[addrs[i]]
+				led.Persisted += led.Replayed
+				led = led.Retire(backBySurvivor[addrs[i]])
+				if !led.Balanced() {
+					t.Fatalf("survivor %s ledger unbalanced: %s", addrs[i], led)
+				}
+				ledgers = append(ledgers, led)
+			}
+			reborn := uint64(stores[victim].Len()) - uint64(victimLen) - backAccepted
+			ledV := deadLed
+			ledV.Appended += reborn
+			ledV.Persisted += reborn
+			ledV.Replayed += backAccepted
+			ledV.Persisted += backAccepted
+			if !ledV.Balanced() {
+				t.Fatalf("victim ledger unbalanced across its death and rebirth: %s", ledV)
+			}
+			ledgers = append(ledgers, ledV)
+			tier := cluster.Sum(ledgers...)
+			if !tier.Balanced() {
+				t.Fatalf("tier ledger unbalanced after kill/rejoin: %s", tier)
+			}
+			if tier.Replayed != tier.Retired {
+				t.Fatalf("tier replay accounting off: replayed %d, retired %d (%s)",
+					tier.Replayed, tier.Retired, tier)
+			}
+
+			// The fleet view: dedup absorbs exactly the replay copies, and
+			// characterization matches the single-collector baseline.
+			fleet := logdb.NewStore()
+			agg := cluster.NewAggregator(fleet)
+			dups := 0
+			for i := range stores {
+				var buf bytes.Buffer
+				if err := stores[i].WriteStream(&buf); err != nil {
+					t.Fatal(err)
+				}
+				_, d, err := agg.MergeStream(addrs[i], &buf)
+				if err != nil {
+					t.Fatal(err)
+				}
+				dups += d
+			}
+			if fleet.Len() != len(recs) {
+				t.Fatalf("fleet holds %d of %d records after kill/rejoin", fleet.Len(), len(recs))
+			}
+			if dups != int(outAccepted+backAccepted) {
+				t.Fatalf("merge rejected %d duplicates, want the %d replay copies",
+					dups, outAccepted+backAccepted)
+			}
+			if got := characterize(t, analysis.ReconstructParallel(fleet, 4)); got != want {
+				t.Fatal("fleet characterization after kill/rejoin diverges from the single-collector baseline")
+			}
+			t.Logf("seed %d: victim=%d cuts=(%d,%d) replayed out=%d back=%d tier=%s",
+				seed, victim, cut1, cut2, outAccepted, backAccepted, tier)
+		})
+	}
+}

@@ -1,0 +1,174 @@
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"causeway/internal/cluster"
+)
+
+// cmdCluster inspects a running collector cluster over the peers' debug
+// servers: ring ownership from /ringz, per-collector conservation
+// ledgers from /metrics, and the tier-wide fleet ledger with its
+// conservation verdict.
+func cmdCluster(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("cluster", flag.ContinueOnError)
+	peersFlag := fs.String("peers", "", "comma-separated debug addresses of the ingest collectors")
+	timeout := fs.Duration("timeout", 2*time.Second, "per-peer HTTP timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	peers := splitList(*peersFlag)
+	if len(peers) == 0 {
+		return fmt.Errorf("usage: causectl cluster -peers dbg1,dbg2,... [-timeout dur]")
+	}
+	client := http.Client{Timeout: *timeout}
+
+	var ledgers []cluster.Ledger
+	ringSummaries := make(map[string][]string) // ring summary line -> peers serving it
+	reachable := 0
+	for _, p := range peers {
+		fmt.Fprintf(w, "collector %s:\n", p)
+		ringLine, members, err := fetchRingz(&client, p)
+		switch {
+		case err != nil:
+			fmt.Fprintf(w, "  ring: unreachable (%v)\n", err)
+		case ringLine == "":
+			fmt.Fprintf(w, "  ring: none served (standalone collector?)\n")
+		default:
+			fmt.Fprintf(w, "  %s\n", ringLine)
+			for _, m := range members {
+				fmt.Fprintf(w, "  %s\n", m)
+			}
+			ringSummaries[ringLine] = append(ringSummaries[ringLine], p)
+		}
+		series, err := fetchMetrics(&client, p)
+		if err != nil {
+			fmt.Fprintf(w, "  ledger: unreachable (%v)\n", err)
+			continue
+		}
+		reachable++
+		led := ledgerFromMetrics(series)
+		fmt.Fprintf(w, "  ledger: %s\n", led)
+		ledgers = append(ledgers, led)
+	}
+	if len(ringSummaries) > 1 {
+		fmt.Fprintf(w, "WARNING: peers disagree on the ring — a rebalance is in flight or -peers/-ring-epoch flags diverge:\n")
+		for line, ps := range ringSummaries {
+			fmt.Fprintf(w, "  %s  <- %s\n", line, strings.Join(ps, ", "))
+		}
+	}
+	if reachable == 0 {
+		return fmt.Errorf("no collector reachable")
+	}
+	tier := cluster.Sum(ledgers...)
+	fmt.Fprintf(w, "fleet (%d/%d collectors): %s\n", reachable, len(peers), tier)
+	if tier.Replayed != tier.Retired {
+		fmt.Fprintf(w, "fleet: replay in flight or unretired: replayed=%d retired=%d (ranges moved but donors not yet retired)\n",
+			tier.Replayed, tier.Retired)
+	}
+	return nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// fetchRingz pulls one peer's /ringz: the summary line and the member
+// lines. A 404 means the collector runs standalone (no -peers flag).
+func fetchRingz(client *http.Client, addr string) (summary string, members []string, err error) {
+	resp, err := client.Get("http://" + addr + "/ringz")
+	if err != nil {
+		return "", nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return "", nil, nil
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "ring "):
+			summary = line
+		case strings.HasPrefix(line, "member "):
+			members = append(members, line)
+		}
+	}
+	return summary, members, sc.Err()
+}
+
+// fetchMetrics pulls one peer's /metrics into a name -> value map,
+// skipping labelled and non-integer series (the ledger series are plain
+// counters).
+func fetchMetrics(client *http.Client, addr string) (map[string]int64, error) {
+	resp, err := client.Get("http://" + addr + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	series := make(map[string]int64)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.ContainsRune(line, '{') {
+			continue
+		}
+		cut := strings.LastIndexByte(line, ' ')
+		if cut <= 0 {
+			continue
+		}
+		if v, err := strconv.ParseInt(line[cut+1:], 10, 64); err == nil {
+			series[line[:cut]] = v
+		}
+	}
+	return series, sc.Err()
+}
+
+// ledgerFromMetrics reconstructs a collector's conservation ledger from
+// its exposition. A streaming collector's buckets come from the
+// assembler series; a store-direct collector persists everything it
+// ingests, minus what the store dropped or swept. Replayed records land
+// in the store synchronously (the accepted count is the replayer's
+// acknowledgement), so they appear in both Replayed and Persisted.
+func ledgerFromMetrics(m map[string]int64) cluster.Ledger {
+	u := func(name string) uint64 {
+		v := m[name]
+		if v < 0 {
+			return 0
+		}
+		return uint64(v)
+	}
+	var led cluster.Ledger
+	if _, streaming := m["causeway_assembler_records_appended_total"]; streaming {
+		led = cluster.Ledger{
+			Appended:  u("causeway_assembler_records_appended_total"),
+			Persisted: u("causeway_assembler_records_persisted_total"),
+			Discarded: u("causeway_assembler_records_discarded_total"),
+			Shed:      u("causeway_assembler_records_shed_total"),
+			Buffered:  u("causeway_assembler_records_buffered"),
+		}
+	} else {
+		appended := u("causeway_server_records_total")
+		lost := u("causeway_store_dropped_records_total") + u("causeway_store_swept_records_total")
+		if lost > appended {
+			lost = appended
+		}
+		led = cluster.Ledger{Appended: appended, Persisted: appended - lost, Discarded: lost}
+	}
+	led.Replayed = u("causeway_server_replayed_total")
+	led.Persisted += led.Replayed
+	return led
+}

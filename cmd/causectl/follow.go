@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"causeway/internal/streamrecon"
+	"causeway/internal/telemetry"
 )
 
 // followRequested reports whether the chains arguments ask for follow
@@ -30,6 +31,11 @@ func followRequested(args []string) bool {
 // each chain the assembler evicts, live, until interrupted or -for
 // elapses. The cursor protocol makes polling lossless while the feed
 // window holds; a window slide is reported, not hidden.
+//
+// The tail survives a collector restart: poll failures back off with
+// jitter and keep the cursor, and when the daemon comes back with a
+// fresh feed (its cursor behind ours) the tail replays the new window
+// instead of silently waiting past it.
 func cmdFollow(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("causectl chains -follow", flag.ContinueOnError)
 	follow := fs.Bool("follow", false, "tail live completions from a running collectd")
@@ -49,17 +55,6 @@ func cmdFollow(w io.Writer, args []string) error {
 	}
 
 	client := &http.Client{Timeout: 10 * time.Second}
-	// The first poll must succeed — it validates the address; later
-	// failures are transient (daemon restarting, network blip) and keep
-	// the tail alive.
-	page, err := fetchFeed(client, *addr, 0)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(w, "following http://%s/feedz every %v (interrupt to stop)\n", *addr, *poll)
-	printFeedPage(w, page, 0, *iface)
-	cursor := page.Cursor
-
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	defer signal.Stop(sig)
@@ -69,6 +64,36 @@ func cmdFollow(w io.Writer, args []string) error {
 		defer timer.Stop()
 		deadline = timer.C
 	}
+
+	// Reach the daemon: retries with jittered, growing backoff so a tail
+	// started before (or during) a collector restart attaches once the
+	// daemon is up. Interrupt or -for expiry before first contact still
+	// reports the failure instead of pretending the tail ran.
+	backoff := *poll
+	var page streamrecon.FeedPage
+	var err error
+	for {
+		page, err = fetchFeed(client, *addr, 0)
+		if err == nil {
+			break
+		}
+		select {
+		case <-sig:
+			return fmt.Errorf("interrupted before reaching %s: %w", *addr, err)
+		case <-deadline:
+			return fmt.Errorf("never reached %s: %w", *addr, err)
+		case <-time.After(telemetry.Jitter(backoff)):
+		}
+		if backoff < 8*(*poll) {
+			backoff *= 2
+		}
+	}
+	fmt.Fprintf(w, "following http://%s/feedz every %v (interrupt to stop)\n", *addr, *poll)
+	printFeedPage(w, page, 0, *iface)
+	cursor := page.Cursor
+
+	failing := false
+	backoff = *poll
 	for {
 		select {
 		case <-sig:
@@ -79,7 +104,35 @@ func cmdFollow(w io.Writer, args []string) error {
 		}
 		page, err := fetchFeed(client, *addr, cursor)
 		if err != nil {
-			fmt.Fprintf(w, "poll: %v\n", err)
+			// Transient: daemon restarting, network blip. Keep the cursor,
+			// announce once, and back off with jitter until it answers.
+			if !failing {
+				fmt.Fprintf(w, "poll: %v (retrying with backoff)\n", err)
+				failing = true
+			}
+			select {
+			case <-sig:
+				return nil
+			case <-deadline:
+				return nil
+			case <-time.After(telemetry.Jitter(backoff)):
+			}
+			if backoff < 8*(*poll) {
+				backoff *= 2
+			}
+			continue
+		}
+		if failing {
+			fmt.Fprintf(w, "reconnected to %s, resuming from cursor %d\n", *addr, cursor)
+			failing = false
+			backoff = *poll
+		}
+		if page.Cursor < cursor {
+			// The daemon restarted: its feed IDs began again below our
+			// cursor. Replay its window from the top rather than waiting
+			// for it to catch up to a cursor it will never reuse.
+			fmt.Fprintf(w, "feed restarted (collector restart?); replaying its window\n")
+			cursor = 0
 			continue
 		}
 		printFeedPage(w, page, cursor, *iface)

@@ -139,3 +139,111 @@ func TestChainsFollowBadAddr(t *testing.T) {
 		t.Fatal("unreachable daemon accepted")
 	}
 }
+
+// TestChainsFollowSurvivesRestart: the tail rides out a collector
+// restart — poll errors back off instead of killing the loop, and a
+// reborn daemon whose feed cursor restarted below ours gets its window
+// replayed rather than skipped.
+func TestChainsFollowSurvivesRestart(t *testing.T) {
+	newAsm := func(seed uint64, ops ...string) *streamrecon.Assembler {
+		t.Helper()
+		asm, err := streamrecon.New(streamrecon.Config{
+			Store:      logdb.NewStore(),
+			Quiescence: time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sink := &probe.MemorySink{}
+		p, err := probe.New(probe.Config{
+			Process: topology.Process{ID: "fol", Processor: topology.Processor{ID: "fol", Type: "x86"}},
+			Aspects: probe.AspectLatency,
+			Sink:    sink,
+			Chains:  &uuid.SequentialGenerator{Seed: seed},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, operation := range ops {
+			op := probe.OpID{Component: "c", Interface: "IRestart", Operation: operation, Object: "o"}
+			ctx := p.StubStart(op, false)
+			sctx := p.SkelStart(op, ctx.Wire, false)
+			p.StubEnd(ctx, p.SkelEnd(sctx))
+			p.Tunnel().Clear()
+		}
+		for _, r := range sink.Snapshot() {
+			asm.Append(r)
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for asm.OpenChains() > 0 {
+			if time.Now().After(deadline) {
+				t.Fatal("assembler never evicted")
+			}
+			time.Sleep(2 * time.Millisecond)
+			asm.Tick()
+		}
+		return asm
+	}
+
+	// Phase machine standing in for the daemon: up with two completions,
+	// down (connection-level errors), then reborn with ONE completion so
+	// the fresh feed's cursor (1) sits below the tail's cursor (2).
+	before := newAsm(3, "one", "two")
+	after := newAsm(4, "reborn")
+	var mu sync.Mutex
+	phase := "up"
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		ph := phase
+		mu.Unlock()
+		switch ph {
+		case "up":
+			before.ServeFeed(w, r)
+		case "down":
+			http.Error(w, "daemon restarting", http.StatusServiceUnavailable)
+		default:
+			after.ServeFeed(w, r)
+		}
+	}))
+	defer srv.Close()
+	addr := strings.TrimPrefix(srv.URL, "http://")
+
+	out := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"chains", "-follow", "-addr", addr, "-poll", "5ms", "-for", "2s"}, out)
+	}()
+	awaitContains := func(want string) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for !strings.Contains(out.String(), want) {
+			if time.Now().After(deadline) {
+				t.Fatalf("follow output never contained %q:\n%s", want, out.String())
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	awaitContains("IRestart::two")
+	mu.Lock()
+	phase = "down"
+	mu.Unlock()
+	awaitContains("retrying with backoff")
+	mu.Lock()
+	phase = "reborn"
+	mu.Unlock()
+	awaitContains("IRestart::reborn")
+
+	if err := <-done; err != nil {
+		t.Fatalf("follow: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "reconnected to "+addr) {
+		t.Fatalf("missing reconnect notice:\n%s", got)
+	}
+	if !strings.Contains(got, "feed restarted") {
+		t.Fatalf("missing restart detection:\n%s", got)
+	}
+	if strings.Count(got, "IRestart::reborn") != 1 {
+		t.Fatalf("reborn window lost or duplicated:\n%s", got)
+	}
+}

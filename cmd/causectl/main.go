@@ -24,6 +24,10 @@
 //	export [-format ftlog|chrome] <out>
 //	        write the merged record stream for cmd/analyzer, or the DSCG
 //	        as Chrome trace-event JSON (chrome://tracing, ui.perfetto.dev)
+//	cluster -peers dbg1,dbg2,...
+//	        inspect a running collector cluster over its debug servers:
+//	        ring ownership, per-collector conservation ledgers, and the
+//	        tier-wide fleet ledger (no store needed)
 package main
 
 import (
@@ -67,7 +71,7 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 	if fs.NArg() == 0 {
-		return fmt.Errorf("usage: causectl [-store dir | -logs glob] <chains|show|top|export> [args]")
+		return fmt.Errorf("usage: causectl [-store dir | -logs glob] <chains|show|top|export|cluster> [args]")
 	}
 	if fs.Arg(0) == "chains" && followRequested(fs.Args()[1:]) {
 		// Follow mode talks to a running collectd, not a store.
@@ -75,6 +79,13 @@ func run(args []string, w io.Writer) error {
 			return fmt.Errorf("chains -follow reads a running collectd's /feedz, not -store/-logs")
 		}
 		return cmdFollow(w, fs.Args()[1:])
+	}
+	if fs.Arg(0) == "cluster" {
+		// Cluster mode talks to the collectors' debug servers, not a store.
+		if *storeDir != "" || *logsGlob != "" {
+			return fmt.Errorf("cluster reads running collectors' debug servers, not -store/-logs")
+		}
+		return cmdCluster(w, fs.Args()[1:])
 	}
 	if (*storeDir == "") == (*logsGlob == "") {
 		return fmt.Errorf("exactly one of -store or -logs is required")
@@ -109,7 +120,7 @@ func run(args []string, w io.Writer) error {
 	case "export":
 		return cmdExport(w, src, *workers, rest)
 	default:
-		return fmt.Errorf("unknown command %q (want chains, show, top, or export)", cmd)
+		return fmt.Errorf("unknown command %q (want chains, show, top, export, or cluster)", cmd)
 	}
 }
 

@@ -65,6 +65,7 @@ import (
 
 	"causeway"
 	"causeway/internal/analysis"
+	"causeway/internal/cluster"
 	"causeway/internal/debugserver"
 	"causeway/internal/logdb"
 	"causeway/internal/metrics"
@@ -84,6 +85,7 @@ type mergedStore interface {
 	telemetry.RecordStore
 	causeway.Source
 	SaveFile(path string) error
+	WriteStream(w io.Writer) error
 }
 
 func main() {
@@ -127,11 +129,28 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 	sampleRate := fs.Float64("rate", 1, "head-sampling rate served to shippers (0 < rate <= 1)")
 	adaptive := fs.Bool("adaptive", false, "steer the served sampling rate by load (AIMD)")
 	tailRate := fs.Float64("tail", 1, "with -stream: tail retention rate for normal chains (0..1)")
+	peers := fs.String("peers", "", "comma-separated ingest-tier peer addresses: telemetry addresses of every ingest collector (this one included) to compute the ownership ring, or their debug addresses with -aggregate")
+	advertise := fs.String("advertise", "", "this collector's address in -peers (default: the -listen address)")
+	ringEpoch := fs.Uint64("ring-epoch", 1, "ownership-ring epoch to serve; bump when restarting with a changed -peers list so shippers re-route")
+	ringSlots := fs.Int("ring-slots", cluster.DefaultSlots, "ownership-ring slot count (power of two)")
+	aggregate := fs.Bool("aggregate", false, "aggregator mode: pull -peers debug /exportz streams into one fleet store instead of ingesting shippers")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 0 {
 		return fmt.Errorf("usage: collectd [flags]")
+	}
+	if *aggregate {
+		return runAggregate(aggConfig{
+			peers:     splitPeers(*peers),
+			storeDir:  *storeDir,
+			outPath:   *outPath,
+			dscgNodes: *dscgNodes,
+			workers:   *workers,
+			report:    *report,
+			duration:  *duration,
+			debugAddr: *debugAddr,
+		}, out, stop)
 	}
 	if *sampleRate <= 0 || *sampleRate > 1 {
 		return fmt.Errorf("-rate %g out of range (0, 1]", *sampleRate)
@@ -229,11 +248,47 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 	if sampler != nil {
 		srvCfg.SampleRate = sampler.Rate
 	}
+	// Cluster membership: serve the ownership ring computed from -peers in
+	// every handshake/ring poll, and accept segment replays of hash ranges
+	// this collector now owns. Replays land directly in the store: they
+	// are chains a previous owner already assembled and persisted, and
+	// InsertNew (or the dedup aggregator for in-memory stores) makes a
+	// retried replay count nothing twice.
+	var ring telemetry.Ring
+	if *peers != "" {
+		var err error
+		ring, err = buildRing(splitPeers(*peers), *ringEpoch, *ringSlots)
+		if err != nil {
+			return err
+		}
+		srvCfg.Ring = func() (telemetry.Ring, bool) { return ring, true }
+		if disk != nil {
+			srvCfg.Replay = func(recs []probe.Record) int { return disk.InsertNew(recs...) }
+		} else {
+			replayAgg := cluster.NewAggregator(store)
+			srvCfg.Replay = func(recs []probe.Record) int {
+				accepted, _ := replayAgg.MergeRecords("replay", recs)
+				return accepted
+			}
+		}
+	}
 	srv, err := telemetry.Listen(*listen, srvCfg)
 	if err != nil {
 		return err
 	}
+	reg.RegisterSource("server", serverMetrics(srv))
 	fmt.Fprintf(w, "collectd: listening on %s\n", srv.Addr())
+	self := *advertise
+	if self == "" {
+		self = srv.Addr()
+	}
+	if *peers != "" {
+		if m, ok := cluster.MemberByID(ring, self); ok {
+			fmt.Fprintf(w, "collectd: cluster ring %s; this collector owns [%d,%d)\n", ring, m.Start, m.End)
+		} else {
+			fmt.Fprintf(w, "collectd: cluster ring %s; WARNING: %s is not in -peers (set -advertise)\n", ring, self)
+		}
+	}
 	if asm != nil {
 		fmt.Fprintf(w, "collectd: streaming assembly on (quiesce %v, stale %v)\n", *quiesce, *staleAfter)
 	}
@@ -258,9 +313,15 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 			Process:  "collectd",
 			ProcType: "collector",
 			Aspects:  "collection",
+			// /exportz serves the store as a gob record stream — the
+			// aggregator tier's pull path — and /ringz the ownership view.
+			Extra: map[string]http.HandlerFunc{"/exportz": exportzHandler(store)},
 		}
 		if asm != nil {
-			dbgCfg.Extra = map[string]http.HandlerFunc{"/feedz": asm.ServeFeed}
+			dbgCfg.Extra["/feedz"] = asm.ServeFeed
+		}
+		if *peers != "" {
+			dbgCfg.Extra["/ringz"] = ringzHandler(ring, self)
 		}
 		dbg, err = debugserver.Start(dbgCfg)
 		if err != nil {

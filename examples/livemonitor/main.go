@@ -53,6 +53,7 @@ import (
 
 	"causeway"
 	"causeway/internal/benchgen/instrecho"
+	"causeway/internal/cluster"
 	"causeway/internal/faultinject"
 	"causeway/internal/logdb"
 	"causeway/internal/probe"
@@ -126,18 +127,23 @@ func main() {
 	seed := flag.Int64("seed", 1, "fault-injection base seed (per-client seeds derive from it)")
 	stream := flag.Bool("stream", false, "assemble chains incrementally at the collector (internal/streamrecon)")
 	rate := flag.Float64("rate", 1, "head-consistent chain sampling rate at the sources, in (0, 1]")
+	clusterN := flag.Int("cluster", 0, "ship through an N-collector ingest tier sharded by chain hash (0/1 = single collector)")
 	flag.Parse()
 	if *rate <= 0 || *rate > 1 {
 		fmt.Fprintln(os.Stderr, "livemonitor: -rate must be in (0, 1]")
 		os.Exit(1)
 	}
-	if err := run(*faults, *seed, *stream, *rate); err != nil {
+	if *clusterN > 1 && *stream {
+		fmt.Fprintln(os.Stderr, "livemonitor: -cluster and -stream are separate demonstrations; per-collector streaming assembly lives in cmd/collectd")
+		os.Exit(1)
+	}
+	if err := run(*faults, *seed, *stream, *rate, *clusterN); err != nil {
 		fmt.Fprintln(os.Stderr, "livemonitor:", err)
 		os.Exit(1)
 	}
 }
 
-func run(faults bool, seed int64, stream bool, rate float64) error {
+func run(faults bool, seed int64, stream bool, rate float64, clusterN int) error {
 	dir, err := os.MkdirTemp("", "livemonitor")
 	if err != nil {
 		return err
@@ -162,12 +168,24 @@ func run(faults bool, seed int64, stream bool, rate float64) error {
 		SlowThreshold: 10 * time.Millisecond,
 	})
 	store := logdb.NewStore()
+	// In cluster mode every collector serves the same ownership ring,
+	// computed once the whole tier is listening (the Ring closure reads
+	// it late so the servers can start on ephemeral ports first).
+	var ringMu sync.RWMutex
+	var ring telemetry.Ring
 	srvCfg := telemetry.ServerConfig{
 		Store: store,
 		Sinks: []probe.Sink{monitor},
 		OnConnect: func(p telemetry.Peer) {
 			fmt.Printf("collector: process %q (%s) connected\n", p.Process, p.ProcType)
 		},
+	}
+	if clusterN > 1 {
+		srvCfg.Ring = func() (telemetry.Ring, bool) {
+			ringMu.RLock()
+			defer ringMu.RUnlock()
+			return ring, ring.Slots > 0
+		}
 	}
 
 	// In stream mode the store is fed by the assembler's evictions, not
@@ -236,7 +254,41 @@ func run(faults bool, seed int64, stream bool, rate float64) error {
 	if rate < 1 {
 		fmt.Printf(" (head sampling rate %g)", rate)
 	}
-	fmt.Printf("\n\n")
+	fmt.Printf("\n")
+
+	// The rest of the ingest tier: collectors 2..N, each with its own
+	// store. The ring computed over the full address list shards chains
+	// across them; the shippers learn it from any member's handshake.
+	collectors := []*telemetry.Server{srv}
+	stores := []*logdb.Store{store}
+	var tierAddrs []string
+	if clusterN > 1 {
+		for i := 1; i < clusterN; i++ {
+			st := logdb.NewStore()
+			peerCfg := srvCfg
+			peerCfg.Store = st
+			s, err := telemetry.Listen("127.0.0.1:0", peerCfg)
+			if err != nil {
+				return err
+			}
+			defer s.Close()
+			collectors = append(collectors, s)
+			stores = append(stores, st)
+			fmt.Printf("collector: listening on %s\n", s.Addr())
+		}
+		for _, s := range collectors {
+			tierAddrs = append(tierAddrs, s.Addr())
+		}
+		r, err := cluster.Assign(1, cluster.DefaultSlots, cluster.Members(tierAddrs...))
+		if err != nil {
+			return err
+		}
+		ringMu.Lock()
+		ring = r
+		ringMu.Unlock()
+		fmt.Printf("cluster: ingest tier of %d collectors, ring %s\n", clusterN, r)
+	}
+	fmt.Printf("\n")
 
 	// Four monitored processes over real TCP loopback: one echo server and
 	// three clients, every one shipping its records to the collector live
@@ -244,16 +296,21 @@ func run(faults bool, seed int64, stream bool, rate float64) error {
 	// share one metrics registry; the echo server mounts the deployment's
 	// debug endpoint over it.
 	reg := causeway.NewMetricsRegistry()
-	server, err := causeway.NewProcess(causeway.ProcessConfig{
+	serverCfg := causeway.ProcessConfig{
 		Name:            "server",
 		Instrumented:    true,
 		Monitor:         causeway.MonitorLatency,
 		LogPath:         filepath.Join(dir, "server.ftlog"),
-		ShipTo:          srv.Addr(),
 		Metrics:         reg,
 		DebugAddr:       "127.0.0.1:0",
 		ChainSampleRate: rate,
-	})
+	}
+	if clusterN > 1 {
+		serverCfg.ShipToCluster = tierAddrs
+	} else {
+		serverCfg.ShipTo = srv.Addr()
+	}
+	server, err := causeway.NewProcess(serverCfg)
 	if err != nil {
 		return err
 	}
@@ -276,9 +333,13 @@ func run(faults bool, seed int64, stream bool, rate float64) error {
 			Instrumented:    true,
 			Monitor:         causeway.MonitorLatency,
 			LogPath:         filepath.Join(dir, fmt.Sprintf("client-%d.ftlog", c)),
-			ShipTo:          srv.Addr(),
 			Metrics:         reg,
 			ChainSampleRate: rate,
+		}
+		if clusterN > 1 {
+			cfg.ShipToCluster = tierAddrs
+		} else {
+			cfg.ShipTo = srv.Addr()
 		}
 		if faults {
 			// One seeded injector per client keeps the schedule fully
@@ -343,8 +404,10 @@ func run(faults bool, seed int64, stream bool, rate float64) error {
 			fmt.Printf("warning: a shipper dropped %d records under backpressure\n", stats.Dropped)
 		}
 	}
-	if err := srv.Close(); err != nil {
-		return err
+	for _, s := range collectors {
+		if err := s.Close(); err != nil {
+			return err
+		}
 	}
 	monitor.Flush()
 
@@ -370,6 +433,37 @@ func run(faults bool, seed int64, stream bool, rate float64) error {
 
 	fmt.Printf("\n%d roots completed live, %d of %d calls flagged slow; open chains at shutdown: %d\n",
 		rootCount.Load(), slowCount.Load(), clients*callsPerClient, monitor.OpenChains())
+
+	// In cluster mode, first fold the per-collector partials into one
+	// fleet store and prove the sharding was clean: every chain landed
+	// whole on exactly one collector, so the merge sees zero duplicates.
+	if clusterN > 1 {
+		fleet := logdb.NewStore()
+		agg := cluster.NewAggregator(fleet)
+		owner := make(map[string]string)
+		for i, st := range stores {
+			for _, c := range st.Chains() {
+				if prev, ok := owner[c.String()]; ok {
+					return fmt.Errorf("chain %s split between collectors %s and %s", c.Short(), prev, tierAddrs[i])
+				}
+				owner[c.String()] = tierAddrs[i]
+			}
+			var buf bytes.Buffer
+			if err := st.WriteStream(&buf); err != nil {
+				return err
+			}
+			acc, dups, err := agg.MergeStream(tierAddrs[i], &buf)
+			if err != nil {
+				return err
+			}
+			if dups != 0 {
+				return fmt.Errorf("collector %s overlapped %d record(s) with the rest of the tier", tierAddrs[i], dups)
+			}
+			fmt.Printf("cluster: collector %s held %d record(s) across %d chain(s)\n", tierAddrs[i], acc, len(st.Chains()))
+		}
+		fmt.Printf("cluster: fleet store merged %d record(s) from %d collectors, 0 duplicates\n", agg.Stats().Accepted, clusterN)
+		store = fleet
+	}
 
 	// Equivalence proof: the live-merged store characterizes identically to
 	// the per-process log files the offline analyzer was built for.

@@ -1,0 +1,86 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"causeway/internal/logdb"
+	"causeway/internal/probe"
+	"causeway/internal/telemetry"
+	"causeway/internal/topology"
+	"causeway/internal/uuid"
+)
+
+// BenchmarkClusterIngest measures end-to-end ingest throughput — append
+// at the routed shipper through delivery into the collectors' stores —
+// for a single collector versus a 3-collector tier. ns/op is the
+// per-record cost of the whole path: route hash, ring buffer, batch
+// encode, TCP ship, server decode, store insert. The record pool cycles
+// whole chains so the chain-hash routing is exercised, not bypassed.
+// With a single loopback producer the 3-way fanout pays for smaller
+// per-member batches, so expect collectors=3 to cost more per record
+// here; the tier's value is aggregate capacity across many shipping
+// processes, which this single-producer harness deliberately does not
+// hide behind.
+func BenchmarkClusterIngest(b *testing.B) {
+	for _, collectors := range []int{1, 3} {
+		b.Run(fmt.Sprintf("collectors=%d", collectors), func(b *testing.B) {
+			var stores []*logdb.Store
+			var addrs []string
+			for i := 0; i < collectors; i++ {
+				db := logdb.NewStore()
+				srv, err := telemetry.Listen("127.0.0.1:0", telemetry.ServerConfig{Store: db})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer srv.Close()
+				stores = append(stores, db)
+				addrs = append(addrs, srv.Addr())
+			}
+			ring, err := Assign(1, DefaultSlots, Members(addrs...))
+			if err != nil {
+				b.Fatal(err)
+			}
+			rs, err := NewRouted(RouterConfig{Ring: ring, Shipper: telemetry.ShipperConfig{
+				Process:       topology.Process{ID: "bench", Processor: topology.Processor{ID: "bench", Type: "x86"}},
+				BufferSize:    1 << 17,
+				BatchSize:     512,
+				FlushInterval: time.Millisecond,
+				DrainTimeout:  30 * time.Second,
+			}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer rs.Close()
+
+			gen := &uuid.SequentialGenerator{Seed: 42}
+			var pool []probe.Record
+			for len(pool) < 4096 {
+				pool = append(pool, chainRecords(gen.NewUUID(), gen.NewUUID())...)
+			}
+			total := func() int {
+				n := 0
+				for _, db := range stores {
+					n += db.Len()
+				}
+				return n
+			}
+			start := total()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rs.Append(pool[i%len(pool)])
+			}
+			// Delivery is part of the measured cost: throughput, not just
+			// enqueue rate.
+			for total()-start < b.N {
+				if st := rs.Combined(); st.Dropped > 0 {
+					b.Fatalf("ring dropped %d records; raise BufferSize or lower -benchtime", st.Dropped)
+				}
+				time.Sleep(time.Millisecond)
+			}
+			b.StopTimer()
+		})
+	}
+}

@@ -1,0 +1,333 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"causeway/internal/ftl"
+	"causeway/internal/logdb"
+	"causeway/internal/probe"
+	"causeway/internal/telemetry"
+	"causeway/internal/topology"
+	"causeway/internal/uuid"
+)
+
+func TestAssignDeterministicAndValid(t *testing.T) {
+	a, err := Assign(1, 64, Members("c:3", "a:1", "b:2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Assign(1, 64, Members("b:2", "c:3", "a:1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("assignment order-dependent:\n %s\n %s", a, b)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Members[0].ID != "a:1" || a.Members[2].End != 64 {
+		t.Fatalf("unexpected layout: %s", a)
+	}
+	// Uneven split covers every slot.
+	r, err := Assign(2, 8, Members("a", "b", "c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Assign(1, 63, Members("a")); err == nil {
+		t.Fatal("non-power-of-two slot count accepted")
+	}
+	if _, err := Assign(1, 64, Members("a", "a")); err == nil {
+		t.Fatal("duplicate member accepted")
+	}
+	if _, err := Assign(1, 64, nil); err == nil {
+		t.Fatal("empty member list accepted")
+	}
+}
+
+func TestOwnershipPredicates(t *testing.T) {
+	old, _ := Assign(1, 64, Members("a", "b", "c"))
+	// b dies; its range splits between a and c.
+	next, _ := Assign(2, 64, Members("a", "c"))
+	movedToA := MovedTo(old, next, "a")
+	movedToC := MovedTo(old, next, "c")
+	gen := &uuid.SequentialGenerator{Seed: 7}
+	moved, kept := 0, 0
+	for i := 0; i < 512; i++ {
+		u := gen.NewUUID()
+		om, _ := old.OwnerOf(u)
+		nm, _ := next.OwnerOf(u)
+		if om.ID == nm.ID {
+			kept++
+			if movedToA(u) || movedToC(u) {
+				t.Fatalf("unmoved chain %s flagged moved", u.Short())
+			}
+			continue
+		}
+		moved++
+		if om.ID != "b" {
+			t.Fatalf("chain %s moved from surviving member %s", u.Short(), om.ID)
+		}
+		if movedToA(u) == movedToC(u) {
+			t.Fatalf("chain %s moved to both or neither", u.Short())
+		}
+		if !OwnedBy(next, nm.ID)(u) {
+			t.Fatalf("OwnedBy disagrees with OwnerOf for %s", u.Short())
+		}
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate rebalance: moved=%d kept=%d", moved, kept)
+	}
+}
+
+// chainRecords synthesizes one chain: a balanced two-event call plus a
+// link to a child chain.
+func chainRecords(chain, child uuid.UUID) []probe.Record {
+	ev := func(seq uint64, e ftl.Event) probe.Record {
+		return probe.Record{
+			Kind: probe.KindEvent, Process: "p", ProcType: "x86",
+			Chain: chain, Seq: seq, Event: e,
+			Op: probe.OpID{Interface: "I", Operation: "op"},
+		}
+	}
+	return []probe.Record{
+		ev(1, ftl.StubStart),
+		{Kind: probe.KindLink, LinkParent: chain, LinkParentSeq: 1, LinkChild: child},
+		ev(2, ftl.StubEnd),
+	}
+}
+
+type ingestNode struct {
+	srv   *telemetry.Server
+	store *logdb.Store
+}
+
+func startIngest(t *testing.T, ringFn func() (telemetry.Ring, bool)) *ingestNode {
+	t.Helper()
+	store := logdb.NewStore()
+	srv, err := telemetry.Listen("127.0.0.1:0", telemetry.ServerConfig{Store: store, Ring: ringFn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return &ingestNode{srv: srv, store: store}
+}
+
+func routerTemplate(proc string) telemetry.ShipperConfig {
+	return telemetry.ShipperConfig{
+		Process:          topology.Process{ID: proc, Processor: topology.Processor{ID: proc + "-cpu", Type: "x86"}},
+		BufferSize:       4096,
+		FlushInterval:    2 * time.Millisecond,
+		BackoffMin:       5 * time.Millisecond,
+		BackoffMax:       50 * time.Millisecond,
+		DrainTimeout:     3 * time.Second,
+		RingPollInterval: 5 * time.Millisecond,
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// Every chain must land whole — events and the links its parent span
+// recorded — on exactly one collector, the one the ring names.
+func TestRoutedShipperLandsChainsWhole(t *testing.T) {
+	nodes := []*ingestNode{startIngest(t, nil), startIngest(t, nil), startIngest(t, nil)}
+	addrs := []string{nodes[0].srv.Addr(), nodes[1].srv.Addr(), nodes[2].srv.Addr()}
+	ring, err := Assign(1, 64, Members(addrs...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := NewRouted(RouterConfig{Ring: ring, Shipper: routerTemplate("p1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gen := &uuid.SequentialGenerator{Seed: 11}
+	const chains = 200
+	want := make(map[string]int) // member addr -> expected records
+	total := 0
+	for i := 0; i < chains; i++ {
+		chain, child := gen.NewUUID(), gen.NewUUID()
+		recs := chainRecords(chain, child)
+		owner, ok := ring.OwnerOf(chain)
+		if !ok {
+			t.Fatal("chain has no owner")
+		}
+		want[owner.Addr] += len(recs)
+		total += len(recs)
+		for _, r := range recs {
+			rs.Append(r)
+		}
+	}
+	if err := rs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := rs.Combined()
+	if st.Appended != uint64(total) || st.Shipped != uint64(total) || st.Dropped != 0 {
+		t.Fatalf("combined stats = %+v, want %d appended+shipped", st, total)
+	}
+	for i, n := range nodes {
+		if got := n.store.Len(); got != want[addrs[i]] {
+			t.Fatalf("collector %d holds %d records, want %d", i, got, want[addrs[i]])
+		}
+		// Chain-atomicity: every chain present on this node is complete.
+		for _, c := range n.store.Chains() {
+			if evs := n.store.Events(c); len(evs) != 2 {
+				t.Fatalf("collector %d holds a torn chain %s (%d events)", i, c.Short(), len(evs))
+			}
+			if _, ok := n.store.ChildChain(c, 1); !ok {
+				t.Fatalf("collector %d missing the link for its chain %s", i, c.Short())
+			}
+		}
+	}
+}
+
+// A newer ring served by any member propagates through the handshake /
+// ring polls and re-routes: records buffered toward a member that lost
+// a range must reach the new owner, not the old one.
+func TestRoutedShipperFollowsRebalance(t *testing.T) {
+	var mu sync.Mutex
+	var current telemetry.Ring
+	ringFn := func() (telemetry.Ring, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		return current, current.Slots > 0
+	}
+	a := startIngest(t, ringFn)
+	b := startIngest(t, ringFn)
+	ringAB, err := Assign(1, 64, Members(a.srv.Addr(), b.srv.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	current = ringAB
+	mu.Unlock()
+
+	rs, err := NewRouted(RouterConfig{Ring: ringAB, Shipper: routerTemplate("p1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+
+	gen := &uuid.SequentialGenerator{Seed: 23}
+	const chains = 100
+	var all []probe.Record
+	for i := 0; i < chains; i++ {
+		all = append(all, chainRecords(gen.NewUUID(), gen.NewUUID())...)
+	}
+	for _, r := range all {
+		rs.Append(r)
+	}
+	waitFor(t, func() bool {
+		return a.store.Len()+b.store.Len() == len(all)
+	}, "initial delivery across two collectors")
+
+	// Rebalance: a takes the whole ring (b is leaving). Served by both
+	// collectors; the router learns it from its ring polls.
+	ringA, err := Assign(2, 64, Members(a.srv.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	current = ringA
+	mu.Unlock()
+	waitFor(t, func() bool { return rs.Ring().Epoch == 2 }, "rebalanced ring applied")
+
+	// Everything appended now must land on a, regardless of chain hash.
+	before := b.store.Len()
+	var second []probe.Record
+	for i := 0; i < chains; i++ {
+		second = append(second, chainRecords(gen.NewUUID(), gen.NewUUID())...)
+	}
+	for _, r := range second {
+		rs.Append(r)
+	}
+	waitFor(t, func() bool {
+		return a.store.Len()+b.store.Len() == len(all)+len(second)
+	}, "post-rebalance delivery")
+	if b.store.Len() != before {
+		t.Fatalf("collector b received %d records after losing its range", b.store.Len()-before)
+	}
+	if st := rs.Stats(); st.Rebalances == 0 || st.NoOwner != 0 {
+		t.Fatalf("router stats after rebalance: %+v", st)
+	}
+}
+
+// The aggregator's dedup makes the fleet view identical whether partials
+// overlap or not.
+func TestAggregatorDeduplicates(t *testing.T) {
+	fleet := logdb.NewStore()
+	agg := NewAggregator(fleet)
+	gen := &uuid.SequentialGenerator{Seed: 31}
+	var all []probe.Record
+	for i := 0; i < 50; i++ {
+		all = append(all, chainRecords(gen.NewUUID(), gen.NewUUID())...)
+	}
+	// Three "collectors" with overlapping views: disjoint thirds plus a
+	// full duplicate of the middle third.
+	third := len(all) / 3
+	acc1, d1 := agg.MergeRecords("c1", all[:third])
+	acc2, d2 := agg.MergeRecords("c2", all[third:2*third])
+	acc3, d3 := agg.MergeRecords("c3", all[2*third:])
+	accDup, dDup := agg.MergeRecords("c2-replayed", all[third:2*third])
+	if d1+d2+d3 != 0 {
+		t.Fatalf("disjoint merges reported duplicates: %d %d %d", d1, d2, d3)
+	}
+	if acc1+acc2+acc3 != len(all) {
+		t.Fatalf("accepted %d, want %d", acc1+acc2+acc3, len(all))
+	}
+	if accDup != 0 || dDup != third {
+		t.Fatalf("duplicate merge accepted=%d dups=%d, want 0/%d", accDup, dDup, third)
+	}
+	if fleet.Len() != len(all) {
+		t.Fatalf("fleet store holds %d, want %d", fleet.Len(), len(all))
+	}
+	st := agg.Stats()
+	if st.Accepted != uint64(len(all)) || st.Duplicate != uint64(third) {
+		t.Fatalf("aggregate stats: %+v", st)
+	}
+}
+
+func TestLedgerConservation(t *testing.T) {
+	// A live collector that ingested 100, persisted 90, discarded 6,
+	// shed 4, then lost a 30-record range to a rebalance.
+	src := Ledger{Appended: 100, Persisted: 90, Discarded: 6, Shed: 4}
+	if !src.Balanced() {
+		t.Fatalf("source ledger unbalanced before move: %s", src)
+	}
+	src = src.Retire(30)
+	// The new owner accepted those 30 as replays on top of its own 50.
+	dst := Ledger{Appended: 50, Persisted: 50, Replayed: 30}
+	dst.Persisted += 30
+	if !src.Balanced() || !dst.Balanced() {
+		t.Fatalf("per-member ledgers unbalanced:\n src %s\n dst %s", src, dst)
+	}
+	tier := Sum(src, dst)
+	if !tier.Balanced() {
+		t.Fatalf("tier ledger unbalanced: %s", tier)
+	}
+	if tier.Replayed != tier.Retired {
+		t.Fatalf("replayed %d != retired %d", tier.Replayed, tier.Retired)
+	}
+	// Double-counting a replay (receiver accepts a record the sender did
+	// not retire) keeps each ledger locally balanced — it surfaces only
+	// in the tier-wide cross-check sum(Replayed) == sum(Retired).
+	bad := Sum(src, dst, Ledger{Replayed: 1, Persisted: 1})
+	if bad.Replayed == bad.Retired {
+		t.Fatal("double-counted replay went undetected by the replay/retire cross-check")
+	}
+}

@@ -60,22 +60,7 @@ func Keep(chain uuid.UUID, rate float64) bool {
 	if rate <= 0 {
 		return false
 	}
-	return hash64(chain) < uint64(rate*float64(math.MaxUint64))
-}
-
-// hash64 is FNV-1a over the UUID bytes — the same function tracestore
-// uses to shard chains, reused here so sampling costs no allocation.
-func hash64(c uuid.UUID) uint64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	for _, b := range c {
-		h ^= uint64(b)
-		h *= prime64
-	}
-	return h
+	return uuid.Hash64(chain) < uint64(rate*float64(math.MaxUint64))
 }
 
 // HeadSampler decides, at chain start, whether a fresh chain is

@@ -1,0 +1,99 @@
+package telemetry
+
+import (
+	"fmt"
+
+	"causeway/internal/probe"
+	"causeway/internal/transport"
+)
+
+// Courier is a synchronous telemetry client for cluster-internal
+// traffic — segment replay after a rebalance, ring fetches, flush
+// barriers. Unlike ShipperSink it blocks and returns errors: the
+// callers are operators and rebalance machinery, not probe hot paths,
+// and they need to know whether the bytes arrived.
+type Courier struct {
+	client transport.Client
+	// Hello is the server's handshake reply, kept so callers can read
+	// the ring the target advertised without a second round trip.
+	Hello HelloReply
+}
+
+// DialCourier connects and handshakes as process (shown in the peer
+// ledger on the far side). A protocol-version mismatch surfaces as the
+// server's own error text.
+func DialCourier(addr, process string, dial func(string) (transport.Client, error)) (*Courier, error) {
+	if dial == nil {
+		dial = func(a string) (transport.Client, error) { return transport.DialTCP(a) }
+	}
+	client, err := dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: courier dial %s: %w", addr, err)
+	}
+	hello, err := encodeHello(Hello{Version: ProtocolVersion, Process: process, ProcType: "collector"})
+	if err != nil {
+		client.Close()
+		return nil, err
+	}
+	rep, err := client.Call(transport.Request{ObjectKey: ObjectKey, Operation: opHello, Body: hello})
+	if err != nil {
+		client.Close()
+		return nil, fmt.Errorf("telemetry: courier handshake with %s: %w", addr, err)
+	}
+	if rep.Status != transport.StatusOK {
+		client.Close()
+		return nil, fmt.Errorf("telemetry: courier handshake rejected by %s: %s", addr, rep.Body)
+	}
+	hr, err := decodeHelloReply(rep.Body)
+	if err != nil {
+		client.Close()
+		return nil, err
+	}
+	return &Courier{client: client, Hello: hr}, nil
+}
+
+// Replay ships one batch of replayed records and returns how many the
+// receiver accepted as new (duplicates it already held are rejected and
+// excluded from the count).
+func (c *Courier) Replay(recs []probe.Record) (accepted uint64, err error) {
+	body, err := encodeBatch(recs)
+	if err != nil {
+		return 0, err
+	}
+	rep, err := c.client.Call(transport.Request{ObjectKey: ObjectKey, Operation: opReplay, Body: body})
+	if err != nil {
+		return 0, fmt.Errorf("telemetry: replay: %w", err)
+	}
+	if rep.Status != transport.StatusOK {
+		return 0, fmt.Errorf("telemetry: replay rejected: %s", rep.Body)
+	}
+	return decodeCount(rep.Body)
+}
+
+// Ring fetches the server's current cluster ring.
+func (c *Courier) Ring() (Ring, error) {
+	rep, err := c.client.Call(transport.Request{ObjectKey: ObjectKey, Operation: opRing})
+	if err != nil {
+		return Ring{}, fmt.Errorf("telemetry: ring fetch: %w", err)
+	}
+	if rep.Status != transport.StatusOK {
+		return Ring{}, fmt.Errorf("telemetry: ring fetch rejected: %s", rep.Body)
+	}
+	return decodeRing(rep.Body)
+}
+
+// Flush is the ingestion barrier: when it returns, every frame this
+// courier sent before it has been handled by the server.
+func (c *Courier) Flush() error {
+	rep, err := c.client.Call(transport.Request{ObjectKey: ObjectKey, Operation: opFlush})
+	if err != nil {
+		return fmt.Errorf("telemetry: flush: %w", err)
+	}
+	if rep.Status != transport.StatusOK {
+		return fmt.Errorf("telemetry: flush rejected: %s", rep.Body)
+	}
+	return nil
+}
+
+// Close tears the connection down.
+func (c *Courier) Close() error { return c.client.Close() }

@@ -1,0 +1,313 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"causeway/internal/logdb"
+	"causeway/internal/probe"
+	"causeway/internal/transport"
+)
+
+func testRing(epoch uint64, addrs ...string) Ring {
+	r := Ring{Epoch: epoch, Slots: 64}
+	span := r.Slots / len(addrs)
+	for i, a := range addrs {
+		end := (i + 1) * span
+		if i == len(addrs)-1 {
+			end = r.Slots
+		}
+		r.Members = append(r.Members, RingMember{ID: a, Addr: a, Start: i * span, End: end})
+	}
+	return r
+}
+
+// A version-mismatched handshake must fail with an error that names both
+// versions — not a gob decode error, and never a silent accept.
+func TestHandshakeVersionMismatchIsLoud(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0", ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := transport.DialTCP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	// A v1-era peer: raw gob with no version byte. The first gob byte is
+	// not ProtocolVersion, so the server must reject before decoding.
+	var legacy []byte
+	{
+		full, err := encodeHello(Hello{Version: 1, Process: "old", ProcType: "x86"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		legacy = full[1:] // strip the version byte v1 never sent
+	}
+	rep, err := client.Call(transport.Request{ObjectKey: ObjectKey, Operation: opHello, Body: legacy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status == transport.StatusOK {
+		t.Fatal("legacy un-versioned handshake accepted")
+	}
+	if msg := string(rep.Body); !strings.Contains(msg, "version") {
+		t.Fatalf("rejection does not name the version problem: %q", msg)
+	}
+
+	// A framed peer claiming version 1 explicitly.
+	old, err := encodeHello(Hello{Version: 1, Process: "old", ProcType: "x86"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err = client.Call(transport.Request{ObjectKey: ObjectKey, Operation: opHello, Body: old})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status == transport.StatusOK {
+		t.Fatal("version-1 handshake accepted by version-2 server")
+	}
+	msg := string(rep.Body)
+	if !strings.Contains(msg, "version 1") || !strings.Contains(msg, "want 2") {
+		t.Fatalf("rejection does not name both versions: %q", msg)
+	}
+}
+
+// The shipper surfaces the server's rejection in Stats().LastError
+// instead of burying it in an anonymous reconnect loop.
+func TestShipperSurfacesHandshakeRejection(t *testing.T) {
+	// A server whose handler rejects every hello the way a
+	// version-mismatched collector would.
+	tsrv, err := transport.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tsrv.Close()
+	if err := tsrv.Serve(func(conn transport.ConnID, req transport.Request, respond transport.Responder) {
+		if !req.Oneway {
+			respond(transport.Reply{Status: transport.StatusSystemException, Body: []byte("telemetry: hello: protocol version 2, want 3 (mismatched causeway versions between shipper and collector)")})
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	sh := fastShipperDrain(t, tsrv.Addr(), "p1", 64, 50*time.Millisecond)
+	defer sh.Close()
+	waitFor(t, func() bool {
+		return strings.Contains(sh.Stats().LastError, "protocol version")
+	}, "handshake rejection surfaced in LastError")
+}
+
+// The handshake reply delivers the ring; ring polls deliver only newer
+// epochs.
+func TestShipperLearnsRingFromHandshakeAndPolls(t *testing.T) {
+	var mu sync.Mutex
+	ring := testRing(3, "a:1", "b:2")
+	srv, err := Listen("127.0.0.1:0", ServerConfig{
+		Ring: func() (Ring, bool) {
+			mu.Lock()
+			defer mu.Unlock()
+			return ring, true
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var got sync.Map // epoch -> delivery count
+	var deliveries atomic64
+	sh, err := NewShipper(ShipperConfig{
+		Addr:             srv.Addr(),
+		Process:          testProc("p1"),
+		BufferSize:       64,
+		FlushInterval:    2 * time.Millisecond,
+		BackoffMin:       5 * time.Millisecond,
+		BackoffMax:       50 * time.Millisecond,
+		DrainTimeout:     time.Second,
+		RingPollInterval: 5 * time.Millisecond,
+		OnRing: func(r Ring) {
+			n, _ := got.LoadOrStore(r.Epoch, new(atomic64))
+			n.(*atomic64).add(1)
+			deliveries.add(1)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+
+	waitFor(t, func() bool { return deliveries.load() >= 1 }, "handshake ring delivery")
+	if n, ok := got.Load(uint64(3)); !ok || n.(*atomic64).load() != 1 {
+		t.Fatalf("epoch-3 ring not delivered exactly once at handshake")
+	}
+
+	// Same epoch keeps polling but must not re-deliver.
+	time.Sleep(50 * time.Millisecond)
+	if n, _ := got.Load(uint64(3)); n.(*atomic64).load() != 1 {
+		t.Fatalf("unchanged epoch re-delivered %d times", n.(*atomic64).load())
+	}
+
+	// Advance the epoch; the next poll delivers the new ring once.
+	mu.Lock()
+	ring = testRing(4, "a:1", "b:2", "c:3")
+	mu.Unlock()
+	waitFor(t, func() bool {
+		n, ok := got.Load(uint64(4))
+		return ok && n.(*atomic64).load() >= 1
+	}, "rebalanced ring delivery")
+}
+
+// Replay frames deduplicate via the configured callback and are
+// accounted separately from fresh ship traffic.
+func TestReplayOperationAccounting(t *testing.T) {
+	store := logdb.NewStore()
+	seen := make(map[uint64]bool)
+	var mu sync.Mutex
+	srv, err := Listen("127.0.0.1:0", ServerConfig{
+		Store: store,
+		Replay: func(recs []probe.Record) int {
+			mu.Lock()
+			defer mu.Unlock()
+			accepted := 0
+			for _, r := range recs {
+				if seen[r.Seq] {
+					continue
+				}
+				seen[r.Seq] = true
+				store.Insert(r)
+				accepted++
+			}
+			return accepted
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	client, err := transport.DialTCP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	hello, _ := encodeHello(Hello{Version: ProtocolVersion, Process: "replayer", ProcType: "x86"})
+	if rep, err := client.Call(transport.Request{ObjectKey: ObjectKey, Operation: opHello, Body: hello}); err != nil || rep.Status != transport.StatusOK {
+		t.Fatalf("handshake: %v %v", rep, err)
+	}
+
+	batch, _ := encodeBatch([]probe.Record{testRecord("p", 1), testRecord("p", 2)})
+	rep, err := client.Call(transport.Request{ObjectKey: ObjectKey, Operation: opReplay, Body: batch})
+	if err != nil || rep.Status != transport.StatusOK {
+		t.Fatalf("replay: %v %v", rep, err)
+	}
+	if n, err := decodeCount(rep.Body); err != nil || n != 2 {
+		t.Fatalf("first replay accepted %d (%v), want 2", n, err)
+	}
+	// Replaying the same batch again must accept nothing.
+	rep, err = client.Call(transport.Request{ObjectKey: ObjectKey, Operation: opReplay, Body: batch})
+	if err != nil || rep.Status != transport.StatusOK {
+		t.Fatalf("replay 2: %v %v", rep, err)
+	}
+	if n, _ := decodeCount(rep.Body); n != 0 {
+		t.Fatalf("duplicate replay accepted %d, want 0", n)
+	}
+	st := srv.Stats()
+	if st.Replayed != 2 || st.ReplayBatches != 2 {
+		t.Fatalf("server replay stats = %+v", st)
+	}
+	if st.Records != 0 || st.Batches != 0 {
+		t.Fatalf("replay leaked into fresh-ship accounting: %+v", st)
+	}
+	if store.Len() != 2 {
+		t.Fatalf("store has %d records, want 2", store.Len())
+	}
+}
+
+// A server without a Replay callback rejects replay frames; a server
+// without a Ring rejects ring queries.
+func TestClusterOpsRejectedWhenStandalone(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0", ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := transport.DialTCP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	if rep, err := client.Call(transport.Request{ObjectKey: ObjectKey, Operation: opRing}); err != nil || rep.Status == transport.StatusOK {
+		t.Fatalf("standalone server served a ring: %v %v", rep, err)
+	}
+	batch, _ := encodeBatch([]probe.Record{testRecord("p", 1)})
+	if rep, err := client.Call(transport.Request{ObjectKey: ObjectKey, Operation: opReplay, Body: batch}); err != nil || rep.Status == transport.StatusOK {
+		t.Fatalf("standalone server accepted a replay: %v %v", rep, err)
+	}
+}
+
+// Detach hands back exactly the records that never reached the wire, in
+// order, without counting them dropped.
+func TestDetachReturnsUndelivered(t *testing.T) {
+	// No server: nothing ships, everything must come back.
+	sh := fastShipperDrain(t, "127.0.0.1:1", "p1", 256, 50*time.Millisecond)
+	const n = 100
+	for i := 1; i <= n; i++ {
+		sh.Append(testRecord("p1", uint64(i)))
+	}
+	recs := sh.Detach()
+	if len(recs) != n {
+		t.Fatalf("Detach returned %d records, want %d", len(recs), n)
+	}
+	for i, r := range recs {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("record %d out of order: seq %d", i, r.Seq)
+		}
+	}
+	st := sh.Stats()
+	if st.Dropped != 0 {
+		t.Fatalf("detached records counted dropped: %+v", st)
+	}
+	// Idempotent: a second Detach (or a Close) finds nothing.
+	if again := sh.Detach(); again != nil {
+		t.Fatalf("second Detach returned %d records", len(again))
+	}
+	if err := sh.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Detach with a live server returns only what was not acknowledged.
+func TestDetachAfterDeliveryReturnsNothingExtra(t *testing.T) {
+	store := logdb.NewStore()
+	srv, err := Listen("127.0.0.1:0", ServerConfig{Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	sh := fastShipper(t, srv.Addr(), "p1", 256)
+	const n = 50
+	for i := 1; i <= n; i++ {
+		sh.Append(testRecord("p1", uint64(i)))
+	}
+	waitFor(t, func() bool { return sh.Stats().Shipped == n }, "all records shipped")
+	recs := sh.Detach()
+	if shipped := sh.Stats().Shipped; int(shipped)+len(recs) != n {
+		t.Fatalf("shipped %d + detached %d != appended %d", shipped, len(recs), n)
+	}
+}
+
+// atomic64 is a tiny test counter (sync/atomic's Uint64 under a name
+// that reads better in sync.Map values).
+type atomic64 struct {
+	mu sync.Mutex
+	n  uint64
+}
+
+func (a *atomic64) add(d uint64) { a.mu.Lock(); a.n += d; a.mu.Unlock() }
+func (a *atomic64) load() uint64 { a.mu.Lock(); defer a.mu.Unlock(); return a.n }

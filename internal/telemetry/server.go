@@ -43,14 +43,26 @@ type ServerConfig struct {
 	// head-sampling rate shippers should apply. nil rejects rate
 	// queries (sampling not enabled on this collector).
 	SampleRate func() float64
+	// Ring, when set, marks this collector as a cluster member: the
+	// current ring is returned in every handshake reply and served to
+	// ring polls. nil means standalone — HasRing false, ring queries
+	// rejected.
+	Ring func() (Ring, bool)
+	// Replay, when set, accepts replay batches (segment replays after a
+	// ring rebalance). It must deduplicate against records already held
+	// and return how many it accepted as new; the server accounts those
+	// as Replayed. nil rejects replay frames.
+	Replay func(recs []probe.Record) (accepted int)
 }
 
 // ServerStats snapshots a collection server's counters.
 type ServerStats struct {
-	Records   uint64 // records ingested
-	Batches   uint64 // ship frames ingested
-	Peers     uint64 // successful handshakes (a reconnecting process counts again)
-	BadFrames uint64 // frames that failed to decode or arrived out of protocol
+	Records       uint64 // records ingested via ship frames
+	Batches       uint64 // ship frames ingested
+	Peers         uint64 // successful handshakes (a reconnecting process counts again)
+	BadFrames     uint64 // frames that failed to decode or arrived out of protocol
+	Replayed      uint64 // records accepted as new from replay frames
+	ReplayBatches uint64 // replay frames ingested
 }
 
 // Server accepts shipper connections and fans ingested records into the
@@ -65,10 +77,12 @@ type Server struct {
 	mu    sync.Mutex
 	peers map[transport.ConnID]*PeerAccount
 
-	records   atomic.Uint64
-	batches   atomic.Uint64
-	handshook atomic.Uint64
-	badFrames atomic.Uint64
+	records       atomic.Uint64
+	batches       atomic.Uint64
+	handshook     atomic.Uint64
+	badFrames     atomic.Uint64
+	replayed      atomic.Uint64
+	replayBatches atomic.Uint64
 }
 
 // PeerAccount is one connection's ledger: what the server ingested from
@@ -110,10 +124,12 @@ func (s *Server) Close() error { return s.srv.Close() }
 // Stats snapshots the counters.
 func (s *Server) Stats() ServerStats {
 	return ServerStats{
-		Records:   s.records.Load(),
-		Batches:   s.batches.Load(),
-		Peers:     s.handshook.Load(),
-		BadFrames: s.badFrames.Load(),
+		Records:       s.records.Load(),
+		Batches:       s.batches.Load(),
+		Peers:         s.handshook.Load(),
+		BadFrames:     s.badFrames.Load(),
+		Replayed:      s.replayed.Load(),
+		ReplayBatches: s.replayBatches.Load(),
 	}
 }
 
@@ -163,6 +179,10 @@ func (s *Server) handle(conn transport.ConnID, req transport.Request, respond tr
 	}
 	switch req.Operation {
 	case opHello:
+		// decodeHello checks the leading version byte before touching
+		// gob, so a mismatched peer gets a version error, not a decode
+		// error. The Version field inside is checked too — the byte
+		// frames the payload, the field is what the peer claims.
 		h, err := decodeHello(req.Body)
 		if err != nil {
 			fail(err.Error())
@@ -180,7 +200,19 @@ func (s *Server) handle(conn transport.ConnID, req transport.Request, respond tr
 		if s.cfg.OnConnect != nil {
 			s.cfg.OnConnect(peer)
 		}
-		respond(transport.Reply{Status: transport.StatusOK})
+		hr := HelloReply{Version: ProtocolVersion}
+		if s.cfg.Ring != nil {
+			if ring, ok := s.cfg.Ring(); ok {
+				hr.HasRing = true
+				hr.Ring = ring
+			}
+		}
+		body, err := encodeHelloReply(hr)
+		if err != nil {
+			fail(err.Error())
+			return
+		}
+		respond(transport.Reply{Status: transport.StatusOK, Body: body})
 	case opShip:
 		recs, err := decodeBatch(req.Body)
 		if err != nil {
@@ -212,6 +244,41 @@ func (s *Server) handle(conn transport.ConnID, req transport.Request, respond tr
 			return
 		}
 		body, err := encodeRate(s.cfg.SampleRate())
+		if err != nil {
+			fail(err.Error())
+			return
+		}
+		respond(transport.Reply{Status: transport.StatusOK, Body: body})
+	case opRing:
+		if s.cfg.Ring == nil {
+			fail("telemetry: not a cluster member (no ring)")
+			return
+		}
+		ring, ok := s.cfg.Ring()
+		if !ok {
+			fail("telemetry: ring unavailable")
+			return
+		}
+		body, err := encodeRing(ring)
+		if err != nil {
+			fail(err.Error())
+			return
+		}
+		respond(transport.Reply{Status: transport.StatusOK, Body: body})
+	case opReplay:
+		if s.cfg.Replay == nil {
+			fail("telemetry: replay not accepted here")
+			return
+		}
+		recs, err := decodeBatch(req.Body)
+		if err != nil {
+			fail(err.Error())
+			return
+		}
+		accepted := s.cfg.Replay(recs)
+		s.replayed.Add(uint64(accepted))
+		s.replayBatches.Add(1)
+		body, err := encodeCount(uint64(accepted))
 		if err != nil {
 			fail(err.Error())
 			return

@@ -47,6 +47,14 @@ type ShipperConfig struct {
 	RateTarget interface{ SetRate(float64) }
 	// RatePollInterval is how often the rate is polled; default 1s.
 	RatePollInterval time.Duration
+	// OnRing, when set, receives the cluster ring: once from the
+	// handshake reply (when the collector is a cluster member) and then
+	// from periodic ring polls, invoked only when the epoch advances.
+	// cluster.RoutedShipper uses it to re-route around rebalances.
+	OnRing func(Ring)
+	// RingPollInterval is how often the ring is polled when OnRing is
+	// set; default 1s.
+	RingPollInterval time.Duration
 }
 
 func (c *ShipperConfig) applyDefaults() error {
@@ -83,6 +91,9 @@ func (c *ShipperConfig) applyDefaults() error {
 	if c.RatePollInterval <= 0 {
 		c.RatePollInterval = time.Second
 	}
+	if c.RingPollInterval <= 0 {
+		c.RingPollInterval = time.Second
+	}
 	return nil
 }
 
@@ -98,6 +109,11 @@ type ShipperStats struct {
 	Reconnects uint64 // successful handshakes after the first
 	Connected  bool   // a session is currently established
 	Buffered   int    // records waiting in the ring
+	// LastError is the most recent handshake or protocol failure, empty
+	// when the last attempt succeeded. A protocol-version mismatch
+	// surfaces here verbatim so a mixed-version deployment is
+	// diagnosable from the shipping side.
+	LastError string
 }
 
 // ShipperSink is a probe.Sink that streams records to a telemetry Server
@@ -114,9 +130,11 @@ type ShipperSink struct {
 	count  int // buffered records
 	closed bool
 
-	wake chan struct{} // nudges the background loop; capacity 1
-	stop chan struct{}
-	done chan struct{}
+	wake     chan struct{} // nudges the background loop; capacity 1
+	stop     chan struct{}
+	done     chan struct{}
+	detach   chan struct{}       // closed by Detach: stop WITHOUT draining
+	detached chan []probe.Record // loop hands back its unacked batch
 
 	appended  atomic.Uint64
 	dropped   atomic.Uint64
@@ -125,6 +143,8 @@ type ShipperSink struct {
 	bytes     atomic.Uint64
 	connects  atomic.Uint64
 	connected atomic.Bool
+	ringEpoch atomic.Uint64 // newest ring epoch delivered to OnRing, +1
+	lastErr   atomic.Value  // string: most recent handshake/protocol error
 }
 
 var _ probe.Sink = (*ShipperSink)(nil)
@@ -137,11 +157,13 @@ func NewShipper(cfg ShipperConfig) (*ShipperSink, error) {
 		return nil, err
 	}
 	s := &ShipperSink{
-		cfg:  cfg,
-		ring: make([]probe.Record, cfg.BufferSize),
-		wake: make(chan struct{}, 1),
-		stop: make(chan struct{}),
-		done: make(chan struct{}),
+		cfg:      cfg,
+		ring:     make([]probe.Record, cfg.BufferSize),
+		wake:     make(chan struct{}, 1),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+		detach:   make(chan struct{}),
+		detached: make(chan []probe.Record, 1),
 	}
 	go s.loop()
 	return s, nil
@@ -212,6 +234,9 @@ func (s *ShipperSink) Stats() ShipperStats {
 		Connected: s.connected.Load(),
 		Buffered:  s.buffered(),
 	}
+	if e, ok := s.lastErr.Load().(string); ok {
+		st.LastError = e
+	}
 	if st.Connects > 0 {
 		st.Reconnects = st.Connects - 1
 	}
@@ -256,10 +281,13 @@ func (s *ShipperSink) Close() error {
 	return nil
 }
 
-// connect dials and handshakes once; nil on failure.
+// connect dials and handshakes once; nil on failure. Protocol-level
+// rejections (version mismatch above all) are preserved in LastError so
+// the endless reconnect loop stays diagnosable.
 func (s *ShipperSink) connect() transport.Client {
 	client, err := s.cfg.Dial(s.cfg.Addr)
 	if err != nil {
+		s.lastErr.Store(err.Error())
 		return nil
 	}
 	hello, err := encodeHello(Hello{
@@ -269,17 +297,79 @@ func (s *ShipperSink) connect() transport.Client {
 		DebugAddr: s.cfg.DebugAddr,
 	})
 	if err != nil {
+		s.lastErr.Store(err.Error())
 		client.Close()
 		return nil
 	}
 	rep, err := client.Call(transport.Request{ObjectKey: ObjectKey, Operation: opHello, Body: hello})
-	if err != nil || rep.Status != transport.StatusOK {
+	if err != nil {
+		s.lastErr.Store(err.Error())
 		client.Close()
 		return nil
+	}
+	if rep.Status != transport.StatusOK {
+		// The reply body carries the server's rejection — for a version
+		// mismatch, the loud and clear error this satellite exists for.
+		s.lastErr.Store(fmt.Sprintf("telemetry: handshake rejected: %s", rep.Body))
+		client.Close()
+		return nil
+	}
+	hr, err := decodeHelloReply(rep.Body)
+	if err != nil {
+		s.lastErr.Store(err.Error())
+		client.Close()
+		return nil
+	}
+	if hr.Version != ProtocolVersion {
+		s.lastErr.Store(fmt.Sprintf("telemetry: server protocol version %d, want %d", hr.Version, ProtocolVersion))
+		client.Close()
+		return nil
+	}
+	s.lastErr.Store("")
+	if hr.HasRing {
+		s.deliverRing(hr.Ring)
 	}
 	s.connects.Add(1)
 	s.connected.Store(true)
 	return client
+}
+
+// deliverRing forwards a ring to OnRing when it is newer than the last
+// one delivered. Epochs are stored +1 so epoch 0 still registers.
+func (s *ShipperSink) deliverRing(r Ring) {
+	if s.cfg.OnRing == nil {
+		return
+	}
+	for {
+		cur := s.ringEpoch.Load()
+		if r.Epoch+1 <= cur {
+			return
+		}
+		if s.ringEpoch.CompareAndSwap(cur, r.Epoch+1) {
+			s.cfg.OnRing(r)
+			return
+		}
+	}
+}
+
+// pollRing asks the server for the current ring; false on transport
+// failure. A protocol rejection (collector left the cluster, or never
+// was in one) is not an error — the shipper keeps its current view.
+func (s *ShipperSink) pollRing(client transport.Client) bool {
+	if client == nil {
+		return true
+	}
+	rep, err := client.Call(transport.Request{ObjectKey: ObjectKey, Operation: opRing})
+	if err != nil {
+		return false
+	}
+	if rep.Status != transport.StatusOK {
+		return true
+	}
+	if r, err := decodeRing(rep.Body); err == nil {
+		s.deliverRing(r)
+	}
+	return true
 }
 
 // loop is the background encoder/sender: batch, ship, flush on a timer,
@@ -338,6 +428,12 @@ func (s *ShipperSink) loop() {
 		defer rt.Stop()
 		rateCh = rt.C
 	}
+	var ringCh <-chan time.Time
+	if s.cfg.OnRing != nil {
+		rt := time.NewTicker(s.cfg.RingPollInterval)
+		defer rt.Stop()
+		ringCh = rt.C
+	}
 	for {
 		if client == nil {
 			if client = s.connect(); client == nil {
@@ -350,6 +446,9 @@ func (s *ShipperSink) loop() {
 				select {
 				case <-s.stop:
 					s.drain(client, pending)
+					return
+				case <-s.detach:
+					s.detached <- pending
 					return
 				case <-time.After(d):
 				}
@@ -365,14 +464,49 @@ func (s *ShipperSink) loop() {
 		case <-s.stop:
 			s.drain(client, pending)
 			return
+		case <-s.detach:
+			s.detached <- pending
+			return
 		case <-s.wake:
 		case <-ticker.C:
 		case <-rateCh:
 			if !s.pollRate(client) {
 				disconnect()
 			}
+		case <-ringCh:
+			if !s.pollRing(client) {
+				disconnect()
+			}
 		}
 	}
+}
+
+// Detach stops the shipper WITHOUT draining and returns every record it
+// still holds — the unacknowledged in-flight batch plus the buffered
+// ring, in original order. Records already acknowledged onto the wire
+// are not included. This is the rebalance path: when the ring moves a
+// hash range away from this shipper's collector, the records en route
+// to the old owner must be re-routed, not dropped and not flushed to
+// the wrong collector. Detach after Close (or a second Detach) returns
+// nil. Returned records are NOT counted as dropped — the caller owns
+// them now.
+func (s *ShipperSink) Detach() []probe.Record {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.done
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.detach)
+	pending := <-s.detached
+	<-s.done
+	// The loop has exited; the ring is quiescent. Take whatever remains.
+	if left := s.buffered(); left > 0 {
+		pending = append(pending, s.take(nil, left)...)
+	}
+	return pending
 }
 
 // pollRate asks the server for the current head-sampling rate and

@@ -12,9 +12,17 @@
 // every message is a length-prefixed transport frame whose Request carries
 // ObjectKey "causeway.telemetry" and one of four operations:
 //
-//	hello  (sync)   gob(Hello{Version, Process, ProcType}) — handshake;
-//	                the server learns the peer's identity from
-//	                internal/topology terms and replies StatusOK.
+//	hello  (sync)   [version byte] + gob(Hello{Version, Process,
+//	                ProcType}) — handshake; the server learns the peer's
+//	                identity from internal/topology terms and replies
+//	                StatusOK with [version byte] + gob(HelloReply),
+//	                which carries the cluster ring when the collector
+//	                belongs to one. The leading version byte is checked
+//	                before any gob decoding, in both directions, so a
+//	                mismatched peer fails loudly with a version error
+//	                instead of a confusing decode failure — or worse,
+//	                silently misrouting records around a ring it cannot
+//	                parse.
 //	ship   (oneway) gob([]probe.Record) — one batch of records, in
 //	                emission order.
 //	stats  (oneway) gob(ShipperFinal) — the shipper's closing account of
@@ -67,11 +75,27 @@ const (
 	// process's sampling.Controlled. Servers without sampling enabled
 	// reject the call and the shipper keeps its current rate.
 	opRate = "rate"
+	// opRing (sync, empty request) asks for the current cluster ring;
+	// the reply body is gob(Ring). Ring-aware shippers poll it so a
+	// rebalance (collector joined or died) re-routes records without a
+	// reconnect. Collectors outside any cluster reject the call.
+	opRing = "ring"
+	// opReplay (sync) carries gob([]probe.Record) like ship, but marks
+	// the batch as a segment replay after a ring rebalance: the receiver
+	// deduplicates against records it already holds and accounts accepted
+	// records as Replayed, not freshly shipped — the bucket that keeps
+	// the tier-wide conservation ledger from double-counting a moved
+	// chain. The reply body is gob(uint64): how many records the
+	// receiver accepted as new.
+	opReplay = "replay"
 )
 
 // ProtocolVersion is bumped on incompatible frame-format changes; the
-// server rejects handshakes from other versions.
-const ProtocolVersion = 1
+// server rejects handshakes from other versions. Version 2 added the
+// leading version byte on the handshake (both directions), the
+// HelloReply payload (cluster ring discovery), and the ring and replay
+// operations.
+const ProtocolVersion = 2
 
 // Hello is the handshake payload: who is shipping. DebugAddr (optional,
 // since PR 5) advertises the peer's debug/introspection HTTP address so
@@ -84,20 +108,103 @@ type Hello struct {
 	DebugAddr string // optional debugserver address ("host:port")
 }
 
+// encodeHello prefixes the gob payload with the version byte — the one
+// byte a peer of any vintage can check before attempting to decode the
+// rest. The prefix comes from h.Version so tests can forge mismatches.
 func encodeHello(h Hello) ([]byte, error) {
 	var buf bytes.Buffer
+	buf.WriteByte(byte(h.Version))
 	if err := gob.NewEncoder(&buf).Encode(h); err != nil {
 		return nil, fmt.Errorf("telemetry: encode hello: %w", err)
 	}
 	return buf.Bytes(), nil
 }
 
+// checkVersion validates the leading protocol version byte and returns
+// the remaining payload. The error spells out both versions so a
+// mismatched deployment is diagnosable from either side's log.
+func checkVersion(b []byte, what string) ([]byte, error) {
+	if len(b) == 0 {
+		return nil, fmt.Errorf("telemetry: %s: empty body (peer predates protocol versioning; want version %d)", what, ProtocolVersion)
+	}
+	if b[0] != ProtocolVersion {
+		return nil, fmt.Errorf("telemetry: %s: protocol version %d, want %d (mismatched causeway versions between shipper and collector)", what, b[0], ProtocolVersion)
+	}
+	return b[1:], nil
+}
+
 func decodeHello(b []byte) (Hello, error) {
 	var h Hello
-	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&h); err != nil {
+	body, err := checkVersion(b, "hello")
+	if err != nil {
+		return h, err
+	}
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&h); err != nil {
 		return h, fmt.Errorf("telemetry: decode hello: %w", err)
 	}
 	return h, nil
+}
+
+// HelloReply is the server's handshake answer. HasRing reports whether
+// this collector is part of a cluster; when set, Ring is the current
+// chain-hash ownership map the shipper should route by.
+type HelloReply struct {
+	Version int
+	HasRing bool
+	Ring    Ring
+}
+
+func encodeHelloReply(hr HelloReply) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteByte(byte(hr.Version))
+	if err := gob.NewEncoder(&buf).Encode(hr); err != nil {
+		return nil, fmt.Errorf("telemetry: encode hello reply: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeHelloReply(b []byte) (HelloReply, error) {
+	var hr HelloReply
+	body, err := checkVersion(b, "hello reply")
+	if err != nil {
+		return hr, err
+	}
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&hr); err != nil {
+		return hr, fmt.Errorf("telemetry: decode hello reply: %w", err)
+	}
+	return hr, nil
+}
+
+func encodeRing(r Ring) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(r); err != nil {
+		return nil, fmt.Errorf("telemetry: encode ring: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeRing(b []byte) (Ring, error) {
+	var r Ring
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&r); err != nil {
+		return r, fmt.Errorf("telemetry: decode ring: %w", err)
+	}
+	return r, nil
+}
+
+func encodeCount(n uint64) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(n); err != nil {
+		return nil, fmt.Errorf("telemetry: encode count: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeCount(b []byte) (uint64, error) {
+	var n uint64
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&n); err != nil {
+		return 0, fmt.Errorf("telemetry: decode count: %w", err)
+	}
+	return n, nil
 }
 
 // ShipperFinal is a shipper's own closing account of itself, sent on the

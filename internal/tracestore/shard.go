@@ -245,26 +245,76 @@ func (sh *shard) insert(recs []probe.Record, now time.Time) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	for i := range recs {
-		r := &recs[i]
-		if sh.sticky != nil {
+		sh.appendLocked(&recs[i], now)
+	}
+}
+
+// appendLocked writes one record and indexes it; false when the record
+// was dropped (sticky disk failure).
+func (sh *shard) appendLocked(r *probe.Record, now time.Time) bool {
+	if sh.sticky != nil {
+		sh.dropped++
+		return false
+	}
+	if sh.active.size >= sh.maxBytes {
+		if err := sh.rotateLocked(); err != nil {
+			sh.sticky = err
 			sh.dropped++
+			return false
+		}
+	}
+	off, size, err := sh.active.append(r)
+	if err != nil {
+		sh.sticky = fmt.Errorf("tracestore: append: %w", err)
+		sh.dropped++
+		return false
+	}
+	sh.indexRecord(*r, sh.activeID, off, size, now)
+	return true
+}
+
+// insertNew appends only records the shard has not indexed yet — events
+// are identified by (chain, seq), links by (parent, parent seq). It
+// returns how many records were accepted as new. This is the replay
+// ingest path: a rebalanced hash range replayed from segments may
+// overlap records the new owner already received live, and accepting
+// them twice would double-count chains in the conservation ledger (and
+// duplicate events under the analyzer).
+func (sh *shard) insertNew(recs []probe.Record, now time.Time) int {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	accepted := 0
+	for i := range recs {
+		r := &recs[i]
+		if sh.dupLocked(r) {
 			continue
 		}
-		if sh.active.size >= sh.maxBytes {
-			if err := sh.rotateLocked(); err != nil {
-				sh.sticky = err
-				sh.dropped++
-				continue
+		if sh.appendLocked(r, now) {
+			accepted++
+		}
+	}
+	return accepted
+}
+
+// dupLocked reports whether the shard already indexed r's identity.
+func (sh *shard) dupLocked(r *probe.Record) bool {
+	switch r.Kind {
+	case probe.KindEvent:
+		ci := sh.chains[r.Chain]
+		if ci == nil {
+			return false
+		}
+		for _, loc := range ci.locs {
+			if loc.seq == r.Seq {
+				return true
 			}
 		}
-		off, size, err := sh.active.append(r)
-		if err != nil {
-			sh.sticky = fmt.Errorf("tracestore: append: %w", err)
-			sh.dropped++
-			continue
+	case probe.KindLink:
+		if _, ok := sh.byParent[chainSeq{r.LinkParent, r.LinkParentSeq}]; ok {
+			return true
 		}
-		sh.indexRecord(*r, sh.activeID, off, size, now)
 	}
+	return false
 }
 
 // rotateLocked seals the active segment and starts the next one.

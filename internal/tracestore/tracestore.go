@@ -141,19 +141,11 @@ func writeManifest(dir string, shards int) error {
 	return nil
 }
 
-// shardIndex hashes a Function UUID to its shard with FNV-1a. The mask
-// trick needs the power-of-two shard count Open enforces.
+// shardIndex hashes a Function UUID to its shard with the canonical
+// chain hash (uuid.Hash64, shared with sampling and the cluster ring).
+// The mask trick needs the power-of-two shard count Open enforces.
 func (s *Store) shardIndex(c uuid.UUID) int {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	for _, b := range c {
-		h ^= uint64(b)
-		h *= prime64
-	}
-	return int(h & s.mask)
+	return int(uuid.Hash64(c) & s.mask)
 }
 
 // shardOf routes a record: events by their chain, links by the parent
@@ -200,6 +192,62 @@ func (s *Store) Insert(recs ...probe.Record) {
 	for idx, batch := range byShard {
 		s.shards[idx].insert(batch, now)
 	}
+}
+
+// InsertNew appends only records the store has not indexed yet — events
+// identified by (chain, seq), links by (parent, parent seq) — and
+// returns how many were accepted as new. It is the replay ingest path:
+// after a ring rebalance the new owner of a hash range replays that
+// range from the old owner's segments, and any records it already
+// received live must not be double-counted.
+func (s *Store) InsertNew(recs ...probe.Record) int {
+	if len(recs) == 0 {
+		return 0
+	}
+	now := time.Now()
+	if len(recs) == 1 {
+		return s.shards[s.shardOf(&recs[0])].insertNew(recs, now)
+	}
+	byShard := make(map[int][]probe.Record)
+	for i := range recs {
+		idx := s.shardOf(&recs[i])
+		byShard[idx] = append(byShard[idx], recs[i])
+	}
+	accepted := 0
+	for idx, batch := range byShard {
+		accepted += s.shards[idx].insertNew(batch, now)
+	}
+	return accepted
+}
+
+// RangeRecords streams every record whose routing UUID — a link's parent
+// chain, an event's own chain, exactly the rule shardOf applies —
+// satisfies pred, in WriteStream order (links first, then events by
+// chain sorted and seq). It is the segment-replay scan: after a ring
+// rebalance, pred selects the moved hash range and the emitted records
+// are shipped to the range's new owner. A non-nil error from emit aborts
+// the scan; segment read failures surface as warnings and omissions,
+// matching Events.
+func (s *Store) RangeRecords(pred func(uuid.UUID) bool, emit func(probe.Record) error) error {
+	for _, l := range s.Links() {
+		if !pred(l.LinkParent) {
+			continue
+		}
+		if err := emit(l); err != nil {
+			return err
+		}
+	}
+	for _, c := range s.Chains() {
+		if !pred(c) {
+			continue
+		}
+		for _, r := range s.Events(c) {
+			if err := emit(r); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // Chains returns every chain UUID in the store, sorted — the same

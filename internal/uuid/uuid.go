@@ -109,6 +109,24 @@ func Compare(a, b UUID) int {
 	return 0
 }
 
+// Hash64 is the canonical 64-bit FNV-1a hash of a UUID — the one hash
+// every chain-partitioning layer shares: tracestore shards, head
+// sampling, and the cluster ring all key on it, so a chain that hashes
+// to a shard, a sampling decision, and a collector always means the
+// same chain everywhere.
+func Hash64(u UUID) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range u {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
+}
+
 func (u *UUID) setVersion(v byte) {
 	u[6] = (u[6] & 0x0f) | (v << 4)
 	u[8] = (u[8] & 0x3f) | 0x80 // RFC 4122 variant

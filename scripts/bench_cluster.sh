@@ -1,0 +1,17 @@
+#!/bin/sh
+# bench_cluster.sh — run the cluster ingest benchmark (1 vs 3 collectors,
+# end-to-end: route hash, ship, server decode, store insert) and update
+# the committed trajectory BENCH_7.json via cmd/benchreport.
+#
+#   scripts/bench_cluster.sh                  # update "current", keep baseline
+#   scripts/bench_cluster.sh -set-baseline    # also re-record the baseline
+#   BENCHTIME=200000x scripts/bench_cluster.sh
+#
+# Fixed-iteration benchtime keeps run-to-run iteration counts identical so
+# ns/op comparisons are apples-to-apples; keep it under the shipper's
+# 128Ki ring so the no-drop assertion holds.
+set -eu
+cd "$(dirname "$0")/.."
+
+go test -run '^$' -bench BenchmarkClusterIngest -benchtime "${BENCHTIME:-100000x}" -benchmem ./internal/cluster \
+  | go run ./cmd/benchreport -out BENCH_7.json "$@"
