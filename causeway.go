@@ -428,6 +428,17 @@ func (p *Process) ShipperStats() telemetry.ShipperStats {
 	return p.shipper.Stats()
 }
 
+// ClusterRing reports the ownership ring the process's routed shipper
+// currently routes by. ok is false when the process does not ship to a
+// cluster. Callers waiting out a rebalance poll this for the epoch bump
+// before draining, so no record is caught mid-re-route by Close.
+func (p *Process) ClusterRing() (ring telemetry.Ring, ok bool) {
+	if p.routed == nil {
+		return telemetry.Ring{}, false
+	}
+	return p.routed.Stats().Ring, true
+}
+
 // Close shuts the ORB down, drains the record shipper (bounded), and
 // flushes the log file, if any.
 func (p *Process) Close() error {

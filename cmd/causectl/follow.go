@@ -34,8 +34,10 @@ func followRequested(args []string) bool {
 //
 // The tail survives a collector restart: poll failures back off with
 // jitter and keep the cursor, and when the daemon comes back with a
-// fresh feed (its cursor behind ours) the tail replays the new window
-// instead of silently waiting past it.
+// fresh feed — detected by its feed generation changing, not by cursor
+// arithmetic, so a restarted daemon that races past the old cursor
+// cannot silently skip completions — the tail replays the new window
+// from the page it already fetched.
 func cmdFollow(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("causectl chains -follow", flag.ContinueOnError)
 	follow := fs.Bool("follow", false, "tail live completions from a running collectd")
@@ -73,7 +75,7 @@ func cmdFollow(w io.Writer, args []string) error {
 	var page streamrecon.FeedPage
 	var err error
 	for {
-		page, err = fetchFeed(client, *addr, 0)
+		page, err = fetchFeed(client, *addr, 0, 0)
 		if err == nil {
 			break
 		}
@@ -91,6 +93,7 @@ func cmdFollow(w io.Writer, args []string) error {
 	fmt.Fprintf(w, "following http://%s/feedz every %v (interrupt to stop)\n", *addr, *poll)
 	printFeedPage(w, page, 0, *iface)
 	cursor := page.Cursor
+	gen := page.Gen
 
 	failing := false
 	backoff = *poll
@@ -102,7 +105,7 @@ func cmdFollow(w io.Writer, args []string) error {
 			return nil
 		case <-time.After(*poll):
 		}
-		page, err := fetchFeed(client, *addr, cursor)
+		page, err := fetchFeed(client, *addr, cursor, gen)
 		if err != nil {
 			// Transient: daemon restarting, network blip. Keep the cursor,
 			// announce once, and back off with jitter until it answers.
@@ -127,23 +130,26 @@ func cmdFollow(w io.Writer, args []string) error {
 			failing = false
 			backoff = *poll
 		}
-		if page.Cursor < cursor {
-			// The daemon restarted: its feed IDs began again below our
-			// cursor. Replay its window from the top rather than waiting
-			// for it to catch up to a cursor it will never reuse.
+		if page.Gen != gen {
+			// The daemon restarted: this page comes from a fresh feed, so
+			// our cursor belongs to a dead one — regardless of whether the
+			// new feed's IDs are still behind it or already raced past.
+			// The server ignored our since on the generation mismatch, so
+			// this very page is the new window: print it, don't refetch.
 			fmt.Fprintf(w, "feed restarted (collector restart?); replaying its window\n")
+			gen = page.Gen
 			cursor = 0
-			continue
 		}
 		printFeedPage(w, page, cursor, *iface)
 		cursor = page.Cursor
 	}
 }
 
-// fetchFeed GETs one feed page after the cursor.
-func fetchFeed(client *http.Client, addr string, since uint64) (streamrecon.FeedPage, error) {
+// fetchFeed GETs one feed page after the cursor, naming the generation
+// the cursor belongs to (0 = first contact, accept any generation).
+func fetchFeed(client *http.Client, addr string, since, gen uint64) (streamrecon.FeedPage, error) {
 	var page streamrecon.FeedPage
-	resp, err := client.Get(fmt.Sprintf("http://%s/feedz?since=%d", addr, since))
+	resp, err := client.Get(fmt.Sprintf("http://%s/feedz?since=%d&gen=%d", addr, since, gen))
 	if err != nil {
 		return page, err
 	}

@@ -140,49 +140,56 @@ func TestChainsFollowBadAddr(t *testing.T) {
 	}
 }
 
+// followTestAsm builds an evicted-feed assembler for the restart tests.
+// gen pins the feed generation (0 keeps the clock-derived default).
+func followTestAsm(t *testing.T, seed, gen uint64, ops ...string) *streamrecon.Assembler {
+	t.Helper()
+	asm, err := streamrecon.New(streamrecon.Config{
+		Store:      logdb.NewStore(),
+		Quiescence: time.Millisecond,
+		FeedGen:    gen,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &probe.MemorySink{}
+	p, err := probe.New(probe.Config{
+		Process: topology.Process{ID: "fol", Processor: topology.Processor{ID: "fol", Type: "x86"}},
+		Aspects: probe.AspectLatency,
+		Sink:    sink,
+		Chains:  &uuid.SequentialGenerator{Seed: seed},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, operation := range ops {
+		op := probe.OpID{Component: "c", Interface: "IRestart", Operation: operation, Object: "o"}
+		ctx := p.StubStart(op, false)
+		sctx := p.SkelStart(op, ctx.Wire, false)
+		p.StubEnd(ctx, p.SkelEnd(sctx))
+		p.Tunnel().Clear()
+	}
+	for _, r := range sink.Snapshot() {
+		asm.Append(r)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for asm.OpenChains() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("assembler never evicted")
+		}
+		time.Sleep(2 * time.Millisecond)
+		asm.Tick()
+	}
+	return asm
+}
+
 // TestChainsFollowSurvivesRestart: the tail rides out a collector
 // restart — poll errors back off instead of killing the loop, and a
 // reborn daemon whose feed cursor restarted below ours gets its window
 // replayed rather than skipped.
 func TestChainsFollowSurvivesRestart(t *testing.T) {
 	newAsm := func(seed uint64, ops ...string) *streamrecon.Assembler {
-		t.Helper()
-		asm, err := streamrecon.New(streamrecon.Config{
-			Store:      logdb.NewStore(),
-			Quiescence: time.Millisecond,
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		sink := &probe.MemorySink{}
-		p, err := probe.New(probe.Config{
-			Process: topology.Process{ID: "fol", Processor: topology.Processor{ID: "fol", Type: "x86"}},
-			Aspects: probe.AspectLatency,
-			Sink:    sink,
-			Chains:  &uuid.SequentialGenerator{Seed: seed},
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		for _, operation := range ops {
-			op := probe.OpID{Component: "c", Interface: "IRestart", Operation: operation, Object: "o"}
-			ctx := p.StubStart(op, false)
-			sctx := p.SkelStart(op, ctx.Wire, false)
-			p.StubEnd(ctx, p.SkelEnd(sctx))
-			p.Tunnel().Clear()
-		}
-		for _, r := range sink.Snapshot() {
-			asm.Append(r)
-		}
-		deadline := time.Now().Add(5 * time.Second)
-		for asm.OpenChains() > 0 {
-			if time.Now().After(deadline) {
-				t.Fatal("assembler never evicted")
-			}
-			time.Sleep(2 * time.Millisecond)
-			asm.Tick()
-		}
-		return asm
+		return followTestAsm(t, seed, 0, ops...)
 	}
 
 	// Phase machine standing in for the daemon: up with two completions,
@@ -245,5 +252,78 @@ func TestChainsFollowSurvivesRestart(t *testing.T) {
 	}
 	if strings.Count(got, "IRestart::reborn") != 1 {
 		t.Fatalf("reborn window lost or duplicated:\n%s", got)
+	}
+}
+
+// TestChainsFollowRestartRacesPastCursor: a reborn daemon that already
+// evicted MORE completions than the tail's old cursor used to slip past
+// the cursor-comparison restart check — the tail would resume at
+// since=N and silently skip the fresh feed's first N completions. The
+// feed generation catches it: the server sees the stale gen, ignores
+// since, and the one fetched page carries the whole replacement window.
+func TestChainsFollowRestartRacesPastCursor(t *testing.T) {
+	// Old feed: one completion, so the tail's cursor parks at 1. Reborn
+	// feed: three completions — its cursor (3) has raced past ours.
+	before := followTestAsm(t, 3, 101, "one")
+	after := followTestAsm(t, 4, 202, "r-one", "r-two", "r-three")
+	var mu sync.Mutex
+	phase := "up"
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		ph := phase
+		mu.Unlock()
+		switch ph {
+		case "up":
+			before.ServeFeed(w, r)
+		case "down":
+			http.Error(w, "daemon restarting", http.StatusServiceUnavailable)
+		default:
+			after.ServeFeed(w, r)
+		}
+	}))
+	defer srv.Close()
+	addr := strings.TrimPrefix(srv.URL, "http://")
+
+	out := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"chains", "-follow", "-addr", addr, "-poll", "5ms", "-for", "2s"}, out)
+	}()
+	awaitContains := func(want string) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for !strings.Contains(out.String(), want) {
+			if time.Now().After(deadline) {
+				t.Fatalf("follow output never contained %q:\n%s", want, out.String())
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	awaitContains("IRestart::one")
+	mu.Lock()
+	phase = "down"
+	mu.Unlock()
+	awaitContains("retrying with backoff")
+	mu.Lock()
+	phase = "reborn"
+	mu.Unlock()
+	awaitContains("IRestart::r-three")
+
+	if err := <-done; err != nil {
+		t.Fatalf("follow: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "feed restarted") {
+		t.Fatalf("raced-past restart went undetected:\n%s", got)
+	}
+	// Every completion of the reborn window must surface exactly once —
+	// in particular r-one, the one the cursor-only check used to skip.
+	for _, op := range []string{"IRestart::r-one", "IRestart::r-two", "IRestart::r-three"} {
+		if n := strings.Count(got, op); n != 1 {
+			t.Fatalf("%s printed %d times, want 1:\n%s", op, n, got)
+		}
+	}
+	if strings.Contains(got, "missed (feed window slid)") {
+		t.Fatalf("restart replay misreported as a window slide:\n%s", got)
 	}
 }

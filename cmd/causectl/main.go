@@ -24,10 +24,15 @@
 //	export [-format ftlog|chrome] <out>
 //	        write the merged record stream for cmd/analyzer, or the DSCG
 //	        as Chrome trace-event JSON (chrome://tracing, ui.perfetto.dev)
-//	cluster -peers dbg1,dbg2,...
+//	cluster [status] -peers dbg1,dbg2,...
 //	        inspect a running collector cluster over its debug servers:
-//	        ring ownership, per-collector conservation ledgers, and the
-//	        tier-wide fleet ledger (no store needed)
+//	        ring ownership, heartbeat/membership state (suspect timers,
+//	        proposer, settling epoch), per-collector conservation ledgers,
+//	        and the tier-wide fleet ledger (no store needed)
+//	cluster rebalance -peers dbg1,dbg2,...
+//	        trigger or resume segment donation on every collector for the
+//	        ring it currently serves, with per-range progress lines and a
+//	        final tier ledger verdict (donations are idempotent)
 package main
 
 import (

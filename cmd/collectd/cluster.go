@@ -39,10 +39,31 @@ func buildRing(peers []string, epoch uint64, slots int) (telemetry.Ring, error) 
 	return cluster.Assign(epoch, slots, cluster.Members(peers...))
 }
 
+// ringSource holds the ring the telemetry server serves. It starts as
+// the configuration-computed ring and is swapped by automated
+// membership on every epoch transition.
+type ringSource struct {
+	mu   sync.Mutex
+	ring telemetry.Ring
+}
+
+func (rs *ringSource) get() telemetry.Ring {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.ring
+}
+
+func (rs *ringSource) set(r telemetry.Ring) {
+	rs.mu.Lock()
+	rs.ring = r
+	rs.mu.Unlock()
+}
+
 // ringzHandler serves the ring as text: the String() summary plus one
 // line per member, `causectl cluster` input.
-func ringzHandler(ring telemetry.Ring, self string) http.HandlerFunc {
+func ringzHandler(ringFn func() telemetry.Ring, self string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		ring := ringFn()
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintf(w, "ring %s\n", ring)
 		for _, m := range ring.Members {

@@ -50,6 +50,12 @@
 //	-adaptive       steer the served rate by load (AIMD on drops/backlog signals)
 //	-tail R         with -stream: tail retention rate for normal chains; slow,
 //	                broken, and anomalous chains are always retained
+//	-heartbeat dur  automated cluster membership: probe every peer's debug
+//	                plane on this jittered interval; a dead member is evicted
+//	                by an automatic ring-epoch bump and its hash ranges are
+//	                replayed to their new owners (0 = off)
+//	-suspect-after N  consecutive missed heartbeats before a member is dead
+//	-peer-debug list  comma-separated debug addresses parallel to -peers
 package main
 
 import (
@@ -133,6 +139,9 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 	advertise := fs.String("advertise", "", "this collector's address in -peers (default: the -listen address)")
 	ringEpoch := fs.Uint64("ring-epoch", 1, "ownership-ring epoch to serve; bump when restarting with a changed -peers list so shippers re-route")
 	ringSlots := fs.Int("ring-slots", cluster.DefaultSlots, "ownership-ring slot count (power of two)")
+	heartbeat := fs.Duration("heartbeat", 0, "automated cluster membership: probe peers' debug planes on this jittered interval (0 = off; needs -peers, -peer-debug, -debug)")
+	suspectAfter := fs.Int("suspect-after", 3, "consecutive missed heartbeats before a peer is declared dead and evicted from the ring")
+	peerDebug := fs.String("peer-debug", "", "comma-separated debug addresses parallel to -peers, where each peer's /healthz and /memberz are served")
 	aggregate := fs.Bool("aggregate", false, "aggregator mode: pull -peers debug /exportz streams into one fleet store instead of ingesting shippers")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -255,13 +264,18 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 	// InsertNew (or the dedup aggregator for in-memory stores) makes a
 	// retried replay count nothing twice.
 	var ring telemetry.Ring
+	var ringSrc *ringSource
 	if *peers != "" {
 		var err error
 		ring, err = buildRing(splitPeers(*peers), *ringEpoch, *ringSlots)
 		if err != nil {
 			return err
 		}
-		srvCfg.Ring = func() (telemetry.Ring, bool) { return ring, true }
+		// Served through a mutable source: automated membership (below)
+		// swaps the ring on an epoch bump and connected shippers pick it
+		// up through the normal ring-poll path, no reconnect.
+		ringSrc = &ringSource{ring: ring}
+		srvCfg.Ring = func() (telemetry.Ring, bool) { return ringSrc.get(), true }
 		if disk != nil {
 			srvCfg.Replay = func(recs []probe.Record) int { return disk.InsertNew(recs...) }
 		} else {
@@ -288,6 +302,45 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 		} else {
 			fmt.Fprintf(w, "collectd: cluster ring %s; WARNING: %s is not in -peers (set -advertise)\n", ring, self)
 		}
+	}
+
+	// Automated membership: heartbeat the peers' debug planes, evict dead
+	// members by proposing the next ring epoch, replay the moved ranges,
+	// and assert the tier conservation ledger — no operator action.
+	var mem *cluster.Membership
+	if *heartbeat > 0 {
+		if *peers == "" || *peerDebug == "" || *debugAddr == "" {
+			srv.Close()
+			return fmt.Errorf("-heartbeat needs -peers, -peer-debug, and -debug")
+		}
+		peerList, debugList := splitPeers(*peers), splitPeers(*peerDebug)
+		if len(debugList) != len(peerList) {
+			srv.Close()
+			return fmt.Errorf("-peer-debug lists %d addresses for %d peers", len(debugList), len(peerList))
+		}
+		debugs := make(map[string]string, len(peerList))
+		for i, p := range peerList {
+			debugs[p] = debugList[i]
+		}
+		mem, err = cluster.NewMembership(cluster.MembershipConfig{
+			Self:         self,
+			Members:      cluster.Members(peerList...),
+			DebugAddrs:   debugs,
+			Epoch:        *ringEpoch,
+			Slots:        *ringSlots,
+			Interval:     *heartbeat,
+			SuspectAfter: *suspectAfter,
+			Store:        disk,
+			OnRing:       func(r telemetry.Ring) { ringSrc.set(r) },
+			OnEvent:      func(ev string) { fmt.Fprintf(w, "collectd: membership: %s\n", ev) },
+		})
+		if err != nil {
+			srv.Close()
+			return err
+		}
+		defer mem.Close()
+		reg.RegisterSource("membership", mem.WriteMetrics)
+		fmt.Fprintf(w, "collectd: automated membership on (heartbeat %v, suspect after %d misses)\n", *heartbeat, *suspectAfter)
 	}
 	if asm != nil {
 		fmt.Fprintf(w, "collectd: streaming assembly on (quiesce %v, stale %v)\n", *quiesce, *staleAfter)
@@ -321,7 +374,11 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 			dbgCfg.Extra["/feedz"] = asm.ServeFeed
 		}
 		if *peers != "" {
-			dbgCfg.Extra["/ringz"] = ringzHandler(ring, self)
+			dbgCfg.Extra["/ringz"] = ringzHandler(ringSrc.get, self)
+		}
+		if mem != nil {
+			dbgCfg.Extra["/memberz"] = mem.ServeMemberz
+			dbgCfg.Extra["/rebalancez"] = mem.ServeRebalance
 		}
 		dbg, err = debugserver.Start(dbgCfg)
 		if err != nil {
@@ -487,6 +544,11 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 
 	close(reporterStop)
 	<-reporterDone
+	if mem != nil {
+		// Stop heartbeating before the listener goes away, so the drain
+		// does not race a proposal against a vanishing server.
+		mem.Close()
+	}
 	if err := srv.Close(); err != nil {
 		return err
 	}

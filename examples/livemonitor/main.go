@@ -54,6 +54,7 @@ import (
 	"causeway"
 	"causeway/internal/benchgen/instrecho"
 	"causeway/internal/cluster"
+	"causeway/internal/debugserver"
 	"causeway/internal/faultinject"
 	"causeway/internal/logdb"
 	"causeway/internal/probe"
@@ -128,6 +129,7 @@ func main() {
 	stream := flag.Bool("stream", false, "assemble chains incrementally at the collector (internal/streamrecon)")
 	rate := flag.Float64("rate", 1, "head-consistent chain sampling rate at the sources, in (0, 1]")
 	clusterN := flag.Int("cluster", 0, "ship through an N-collector ingest tier sharded by chain hash (0/1 = single collector)")
+	killAfter := flag.Int("kill-after", 0, "with -cluster: kill one collector after this many client calls; automated membership must evict it, shippers must re-route, and the final merge must still be lossless (0 = off)")
 	flag.Parse()
 	if *rate <= 0 || *rate > 1 {
 		fmt.Fprintln(os.Stderr, "livemonitor: -rate must be in (0, 1]")
@@ -137,13 +139,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "livemonitor: -cluster and -stream are separate demonstrations; per-collector streaming assembly lives in cmd/collectd")
 		os.Exit(1)
 	}
-	if err := run(*faults, *seed, *stream, *rate, *clusterN); err != nil {
+	if *killAfter > 0 && *clusterN < 2 {
+		fmt.Fprintln(os.Stderr, "livemonitor: -kill-after needs -cluster with at least 2 collectors")
+		os.Exit(1)
+	}
+	if err := run(*faults, *seed, *stream, *rate, *clusterN, *killAfter); err != nil {
 		fmt.Fprintln(os.Stderr, "livemonitor:", err)
 		os.Exit(1)
 	}
 }
 
-func run(faults bool, seed int64, stream bool, rate float64, clusterN int) error {
+func run(faults bool, seed int64, stream bool, rate float64, clusterN, killAfter int) error {
 	dir, err := os.MkdirTemp("", "livemonitor")
 	if err != nil {
 		return err
@@ -288,6 +294,133 @@ func run(faults bool, seed int64, stream bool, rate float64, clusterN int) error
 		ringMu.Unlock()
 		fmt.Printf("cluster: ingest tier of %d collectors, ring %s\n", clusterN, r)
 	}
+
+	// Automated-failover demo (-kill-after): every collector gets its own
+	// debug plane and membership instance, heartbeating the others. When
+	// the kill fires mid-run, the survivors must notice on their own,
+	// propose the next ring epoch without the dead member, and the
+	// shippers must re-route — no operator action, and the end-of-run
+	// equivalence proof below must still hold.
+	var killNow func() error
+	if killAfter > 0 {
+		memSlots := make([]*cluster.Membership, clusterN)
+		var memMu sync.Mutex
+		memAt := func(i int) *cluster.Membership {
+			memMu.Lock()
+			defer memMu.Unlock()
+			return memSlots[i]
+		}
+		// Debug planes first — memberships probe each other's /healthz and
+		// /memberz, so every address must exist before any instance starts.
+		// The handlers look the membership up late for the same reason.
+		var dbgs []*debugserver.Server
+		var debugAddrs []string
+		for i := range collectors {
+			i := i
+			srvI := collectors[i]
+			reg := causeway.NewMetricsRegistry()
+			reg.RegisterSource("server", func(w io.Writer) {
+				st := srvI.Stats()
+				fmt.Fprintf(w, "causeway_server_records_total %d\n", st.Records)
+				fmt.Fprintf(w, "causeway_server_replayed_total %d\n", st.Replayed)
+			})
+			dbg, err := debugserver.Start(debugserver.Config{
+				Addr:     "127.0.0.1:0",
+				Registry: reg,
+				Process:  fmt.Sprintf("collector-%d", i+1),
+				ProcType: "collector",
+				Aspects:  "collection",
+				Extra: map[string]http.HandlerFunc{
+					"/memberz": func(w http.ResponseWriter, r *http.Request) {
+						if m := memAt(i); m != nil {
+							m.ServeMemberz(w, r)
+							return
+						}
+						http.Error(w, "membership starting", http.StatusServiceUnavailable)
+					},
+					"/rebalancez": func(w http.ResponseWriter, r *http.Request) {
+						if m := memAt(i); m != nil {
+							m.ServeRebalance(w, r)
+							return
+						}
+						http.Error(w, "membership starting", http.StatusServiceUnavailable)
+					},
+				},
+			})
+			if err != nil {
+				return err
+			}
+			defer dbg.Close()
+			dbgs = append(dbgs, dbg)
+			debugAddrs = append(debugAddrs, dbg.Addr())
+		}
+		debugMap := make(map[string]string, clusterN)
+		for i, a := range tierAddrs {
+			debugMap[a] = debugAddrs[i]
+		}
+		mems := make([]*cluster.Membership, clusterN)
+		for i, addr := range tierAddrs {
+			i := i
+			m, err := cluster.NewMembership(cluster.MembershipConfig{
+				Self:         addr,
+				Members:      cluster.Members(tierAddrs...),
+				DebugAddrs:   debugMap,
+				Interval:     50 * time.Millisecond,
+				SuspectAfter: 3,
+				OnRing: func(r telemetry.Ring) {
+					// Proposals are deterministic (sorted assignment), so
+					// every member computes the same ring; one shared
+					// serving variable at the highest epoch suffices.
+					ringMu.Lock()
+					if r.Epoch > ring.Epoch {
+						ring = r
+					}
+					ringMu.Unlock()
+				},
+				OnEvent: func(ev string) { fmt.Printf("membership[%d]: %s\n", i+1, ev) },
+			})
+			if err != nil {
+				return err
+			}
+			defer m.Close()
+			memMu.Lock()
+			memSlots[i] = m
+			memMu.Unlock()
+			mems[i] = m
+		}
+		fmt.Printf("cluster: automated membership armed on %d collectors (heartbeat 50ms, suspect after 3 misses)\n", clusterN)
+
+		victim := clusterN - 1
+		killNow = func() error {
+			fmt.Printf("\nkill: stopping collector %s mid-run\n", tierAddrs[victim])
+			mems[victim].Close()
+			dbgs[victim].Close()
+			collectors[victim].Close()
+			// Wait for the survivors to converge on a ring without it.
+			deadline := time.Now().Add(10 * time.Second)
+			for {
+				converged := 0
+				for i, m := range mems {
+					if i == victim {
+						continue
+					}
+					r := m.Ring()
+					if _, still := cluster.MemberByID(r, tierAddrs[victim]); r.Epoch >= 2 && !still {
+						converged++
+					}
+				}
+				if converged == clusterN-1 {
+					break
+				}
+				if time.Now().After(deadline) {
+					return fmt.Errorf("membership never evicted the dead collector")
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+			fmt.Printf("kill: survivors converged on a post-kill ring with no operator action\n\n")
+			return nil
+		}
+	}
 	fmt.Printf("\n")
 
 	// Four monitored processes over real TCP loopback: one echo server and
@@ -324,6 +457,10 @@ func run(faults bool, seed int64, stream bool, rate float64, clusterN int) error
 	}
 
 	const clients, callsPerClient = 3, 6
+	if killAfter >= clients*callsPerClient {
+		return fmt.Errorf("-kill-after %d never fires: the run makes %d calls", killAfter, clients*callsPerClient)
+	}
+	callCount := 0
 	procs := []*causeway.Process{server}
 	var injectors []*faultinject.Injector
 	failures := 0
@@ -375,6 +512,12 @@ func run(faults bool, seed int64, stream bool, rate float64, clusterN int) error
 				fmt.Printf("client-%d: call %d failed under injection: %v\n", c, i, err)
 			}
 			client.NewChain()
+			callCount++
+			if killNow != nil && callCount == killAfter {
+				if err := killNow(); err != nil {
+					return err
+				}
+			}
 		}
 	}
 
@@ -391,6 +534,28 @@ func run(faults bool, seed int64, stream bool, rate float64, clusterN int) error
 	// empty exposition fails the run outright.
 	if err := selfScrape(server.DebugAddr()); err != nil {
 		return err
+	}
+
+	// After a kill, wait until every shipper routes by the post-kill ring
+	// with an empty buffer: records bound for the dead member sit buffered
+	// until a ring poll re-routes them, and draining mid-re-route would
+	// count them dropped.
+	if killAfter > 0 {
+		deadline := time.Now().Add(10 * time.Second)
+		for _, p := range procs {
+			for {
+				r, ok := p.ClusterRing()
+				st := p.ShipperStats()
+				if ok && r.Epoch >= 2 && st.Buffered == 0 {
+					break
+				}
+				if time.Now().After(deadline) {
+					return fmt.Errorf("a shipper never re-routed after the kill (epoch %d, %d buffered)", r.Epoch, st.Buffered)
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+		}
+		fmt.Printf("kill: every shipper re-routed; draining\n")
 	}
 
 	// Shut the processes down: each Close drains its shipper (bounded) and
@@ -441,10 +606,18 @@ func run(faults bool, seed int64, stream bool, rate float64, clusterN int) error
 		fleet := logdb.NewStore()
 		agg := cluster.NewAggregator(fleet)
 		owner := make(map[string]string)
+		splitChains, totalDups := 0, 0
 		for i, st := range stores {
 			for _, c := range st.Chains() {
 				if prev, ok := owner[c.String()]; ok {
-					return fmt.Errorf("chain %s split between collectors %s and %s", c.Short(), prev, tierAddrs[i])
+					// After a kill a chain may legitimately straddle the
+					// dead collector and the range's new owner — one epoch
+					// each. Without a kill it means the sharding is broken.
+					if killAfter == 0 {
+						return fmt.Errorf("chain %s split between collectors %s and %s", c.Short(), prev, tierAddrs[i])
+					}
+					splitChains++
+					continue
 				}
 				owner[c.String()] = tierAddrs[i]
 			}
@@ -456,12 +629,19 @@ func run(faults bool, seed int64, stream bool, rate float64, clusterN int) error
 			if err != nil {
 				return err
 			}
-			if dups != 0 {
+			// Duplicates across collectors mean double-counting — except
+			// after a kill, where a record acked just as the collector died
+			// is re-shipped to the new owner; identity dedup absorbs it.
+			if dups != 0 && killAfter == 0 {
 				return fmt.Errorf("collector %s overlapped %d record(s) with the rest of the tier", tierAddrs[i], dups)
 			}
+			totalDups += dups
 			fmt.Printf("cluster: collector %s held %d record(s) across %d chain(s)\n", tierAddrs[i], acc, len(st.Chains()))
 		}
-		fmt.Printf("cluster: fleet store merged %d record(s) from %d collectors, 0 duplicates\n", agg.Stats().Accepted, clusterN)
+		fmt.Printf("cluster: fleet store merged %d record(s) from %d collectors, %d duplicate(s)\n", agg.Stats().Accepted, clusterN, totalDups)
+		if killAfter > 0 {
+			fmt.Printf("cluster: kill recovery: %d chain(s) straddle the kill epoch, %d re-shipped record(s) deduplicated\n", splitChains, totalDups)
+		}
 		store = fleet
 	}
 

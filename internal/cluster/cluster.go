@@ -135,3 +135,20 @@ func MovedTo(oldRing, newRing telemetry.Ring, memberID string) func(uuid.UUID) b
 		return !had || om.ID != memberID
 	}
 }
+
+// MovedFrom returns a predicate selecting the UUIDs oldRing assigned
+// to the donor that newRing assigns to the target — the hash range the
+// donor replays out of its own segments to one new owner. The
+// donor-side dual of MovedTo: the union of MovedFrom over every target
+// is exactly the donor's lost range, and automated membership drives
+// one Replay per non-empty target range.
+func MovedFrom(oldRing, newRing telemetry.Ring, donorID, targetID string) func(uuid.UUID) bool {
+	return func(u uuid.UUID) bool {
+		om, had := oldRing.OwnerOf(u)
+		if !had || om.ID != donorID {
+			return false
+		}
+		nm, ok := newRing.OwnerOf(u)
+		return ok && nm.ID == targetID && nm.ID != donorID
+	}
+}

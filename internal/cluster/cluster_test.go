@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -329,5 +330,206 @@ func TestLedgerConservation(t *testing.T) {
 	bad := Sum(src, dst, Ledger{Replayed: 1, Persisted: 1})
 	if bad.Replayed == bad.Retired {
 		t.Fatal("double-counted replay went undetected by the replay/retire cross-check")
+	}
+}
+
+// A no-owner drop is a ring bug, not a bucket: it must unbalance the
+// ledger no matter what the other buckets say, survive Sum, and show up
+// in the rendering — a misrouted record can never balance silently.
+func TestLedgerNoOwnerNeverBalances(t *testing.T) {
+	l := Ledger{Appended: 10, Persisted: 10}
+	if !l.Balanced() {
+		t.Fatalf("clean ledger unbalanced: %s", l)
+	}
+	l.NoOwner = 1
+	if l.Balanced() {
+		t.Fatalf("no-owner drop balanced silently: %s", l)
+	}
+	if s := l.String(); !strings.Contains(s, "no_owner=1") || !strings.Contains(s, "UNBALANCED") {
+		t.Fatalf("no-owner drop not rendered: %s", s)
+	}
+	tier := Sum(Ledger{Appended: 5, Persisted: 5}, l)
+	if tier.NoOwner != 1 || tier.Balanced() {
+		t.Fatalf("no-owner drop lost in the tier sum: %s", tier)
+	}
+	var buf strings.Builder
+	l.WriteMetrics(&buf)
+	if !strings.Contains(buf.String(), "causeway_cluster_ledger_no_owner_total 1") ||
+		!strings.Contains(buf.String(), "causeway_cluster_ledger_balanced 0") {
+		t.Fatalf("no-owner exposition wrong:\n%s", buf.String())
+	}
+}
+
+// orderStore records per-chain arrival order — the fixture for proving
+// a mid-chain rebalance never reorders a chain's events on any single
+// collector.
+type orderStore struct {
+	mu   sync.Mutex
+	seqs map[uuid.UUID][]uint64
+	n    int
+}
+
+func newOrderStore() *orderStore { return &orderStore{seqs: make(map[uuid.UUID][]uint64)} }
+
+func (o *orderStore) Insert(recs ...probe.Record) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for _, r := range recs {
+		o.n += 1
+		if r.Kind == probe.KindEvent {
+			o.seqs[r.Chain] = append(o.seqs[r.Chain], r.Seq)
+		}
+	}
+}
+
+func (o *orderStore) Len() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.n
+}
+
+// sumShipperStats folds the monotonic counters of a member-stats map —
+// the exact quantity applyRing folds into hist at a rebalance.
+func sumShipperStats(members map[string]telemetry.ShipperStats) telemetry.ShipperStats {
+	var out telemetry.ShipperStats
+	for _, st := range members {
+		out.Appended += st.Appended
+		out.Dropped += st.Dropped
+		out.Shipped += st.Shipped
+		out.Batches += st.Batches
+		out.Bytes += st.Bytes
+		out.Connects += st.Connects
+		out.Reconnects += st.Reconnects
+	}
+	return out
+}
+
+// TestRoutedShipperMidChainEpochSwap: a ring epoch arriving while
+// chains are mid-flight. Two invariants: (1) the hist counters carried
+// across the rebalance equal the pre-rebalance member stats exactly —
+// nothing a detached shipper did is forgotten or invented; (2) no
+// collector ever observes a chain's events out of order, whether the
+// records rode the original shipper, were detached and re-routed, or
+// arrived after the swap.
+func TestRoutedShipperMidChainEpochSwap(t *testing.T) {
+	storeA, storeB := newOrderStore(), newOrderStore()
+	srvA, err := telemetry.Listen("127.0.0.1:0", telemetry.ServerConfig{Store: storeA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srvA.Close()
+	srvB, err := telemetry.Listen("127.0.0.1:0", telemetry.ServerConfig{Store: storeB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srvB.Close()
+
+	ring1, err := Assign(1, 64, Members(srvA.Addr(), srvB.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ring2 flips every span: each chain's second half lands on the
+	// other collector, so every chain crosses the epoch mid-flight.
+	ring2 := telemetry.Ring{Epoch: 2, Slots: 64, Members: []telemetry.RingMember{
+		{ID: ring1.Members[1].ID, Addr: ring1.Members[1].Addr, Start: 0, End: 32},
+		{ID: ring1.Members[0].ID, Addr: ring1.Members[0].Addr, Start: 32, End: 64},
+	}}
+	if err := ring2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	rs, err := NewRouted(RouterConfig{Ring: ring1, Shipper: routerTemplate("p1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gen := &uuid.SequentialGenerator{Seed: 41}
+	const chains, half, full = 16, 10, 20
+	ids := make([]uuid.UUID, chains)
+	ev := func(chain uuid.UUID, seq uint64) probe.Record {
+		return probe.Record{
+			Kind: probe.KindEvent, Process: "p1", ProcType: "x86",
+			Chain: chain, Seq: seq, Event: ftl.StubStart,
+			Op: probe.OpID{Interface: "I", Operation: "op"},
+		}
+	}
+	for i := range ids {
+		ids[i] = gen.NewUUID()
+	}
+	// First half of every chain under epoch 1, fully delivered so the
+	// pre-rebalance member stats are a stable quantity to compare hist
+	// against.
+	for seq := uint64(1); seq <= half; seq++ {
+		for _, c := range ids {
+			rs.Append(ev(c, seq))
+		}
+	}
+	waitFor(t, func() bool {
+		return storeA.Len()+storeB.Len() == chains*half
+	}, "first-half delivery")
+	waitFor(t, func() bool {
+		buffered := 0
+		for _, st := range rs.Stats().Members {
+			buffered += st.Buffered
+		}
+		return buffered == 0
+	}, "shipper buffers to quiesce")
+
+	pre := rs.Stats()
+	want := sumShipperStats(pre.Members)
+	if pre.Detached != (telemetry.ShipperStats{}) {
+		t.Fatalf("hist dirty before any rebalance: %+v", pre.Detached)
+	}
+	rs.UpdateRing(ring2)
+	waitFor(t, func() bool { return rs.Stats().Rebalances == 1 }, "epoch swap applied")
+
+	got := rs.Stats().Detached
+	if got != want {
+		t.Fatalf("hist after rebalance:\n got  %+v\n want %+v (pre-rebalance member stats)", got, want)
+	}
+
+	// Second half of every chain rides the flipped ring.
+	for seq := uint64(half + 1); seq <= full; seq++ {
+		for _, c := range ids {
+			rs.Append(ev(c, seq))
+		}
+	}
+	if err := rs.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st := rs.Combined()
+	if st.Appended != chains*full || st.Dropped != 0 {
+		t.Fatalf("combined stats after swap: %+v, want %d appended, 0 dropped", st, chains*full)
+	}
+	if storeA.Len()+storeB.Len() != chains*full {
+		t.Fatalf("stores hold %d records, want %d", storeA.Len()+storeB.Len(), chains*full)
+	}
+	// Per-chain order per collector: every chain's events arrive in
+	// strictly increasing seq on whichever store received them, and the
+	// two stores partition each chain without overlap.
+	for _, c := range ids {
+		seen := make(map[uint64]int)
+		for _, store := range []*orderStore{storeA, storeB} {
+			store.mu.Lock()
+			seqs := append([]uint64(nil), store.seqs[c]...)
+			store.mu.Unlock()
+			for i := 1; i < len(seqs); i++ {
+				if seqs[i] <= seqs[i-1] {
+					t.Fatalf("chain %s reordered across the epoch swap: %v", c.Short(), seqs)
+				}
+			}
+			for _, s := range seqs {
+				seen[s]++
+			}
+		}
+		if len(seen) != full {
+			t.Fatalf("chain %s: %d distinct seqs survived, want %d", c.Short(), len(seen), full)
+		}
+		for s, n := range seen {
+			if n != 1 {
+				t.Fatalf("chain %s seq %d delivered %d times", c.Short(), s, n)
+			}
+		}
 	}
 }

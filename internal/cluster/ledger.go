@@ -33,6 +33,12 @@ type Ledger struct {
 	Buffered  uint64
 	Replayed  uint64
 	Retired   uint64
+	// NoOwner counts records a routed shipper dropped because no ring
+	// member owned their hash — a ring bug, never a normal bucket. It
+	// sits outside the conservation equation on purpose: any non-zero
+	// value makes the ledger report UNBALANCED, so a misrouted record
+	// can never balance silently against the other buckets.
+	NoOwner uint64
 }
 
 // FromAssembler lifts a streaming-assembler ledger into the cluster
@@ -47,9 +53,11 @@ func FromAssembler(l streamrecon.Ledger) Ledger {
 	}
 }
 
-// Balanced reports whether the conservation equation holds.
+// Balanced reports whether the conservation equation holds and no
+// record fell outside it (NoOwner is an unconditional violation).
 func (l Ledger) Balanced() bool {
-	return l.Appended+l.Replayed == l.Persisted+l.Discarded+l.Shed+l.Buffered+l.Retired
+	return l.NoOwner == 0 &&
+		l.Appended+l.Replayed == l.Persisted+l.Discarded+l.Shed+l.Buffered+l.Retired
 }
 
 // Add returns the bucket-wise sum — the tier-wide ledger when applied
@@ -64,6 +72,7 @@ func (l Ledger) Add(o Ledger) Ledger {
 		Buffered:  l.Buffered + o.Buffered,
 		Replayed:  l.Replayed + o.Replayed,
 		Retired:   l.Retired + o.Retired,
+		NoOwner:   l.NoOwner + o.NoOwner,
 	}
 }
 
@@ -97,8 +106,12 @@ func (l Ledger) String() string {
 	if !l.Balanced() {
 		verdict = "UNBALANCED"
 	}
-	return fmt.Sprintf("appended=%d replayed=%d persisted=%d discarded=%d shed=%d buffered=%d retired=%d (%s)",
-		l.Appended, l.Replayed, l.Persisted, l.Discarded, l.Shed, l.Buffered, l.Retired, verdict)
+	extra := ""
+	if l.NoOwner > 0 {
+		extra = fmt.Sprintf(" no_owner=%d", l.NoOwner)
+	}
+	return fmt.Sprintf("appended=%d replayed=%d persisted=%d discarded=%d shed=%d buffered=%d retired=%d%s (%s)",
+		l.Appended, l.Replayed, l.Persisted, l.Discarded, l.Shed, l.Buffered, l.Retired, extra, verdict)
 }
 
 // WriteMetrics emits the ledger in exposition format.
@@ -110,6 +123,7 @@ func (l Ledger) WriteMetrics(w io.Writer) {
 	fmt.Fprintf(w, "causeway_cluster_ledger_buffered %d\n", l.Buffered)
 	fmt.Fprintf(w, "causeway_cluster_ledger_replayed_total %d\n", l.Replayed)
 	fmt.Fprintf(w, "causeway_cluster_ledger_retired_total %d\n", l.Retired)
+	fmt.Fprintf(w, "causeway_cluster_ledger_no_owner_total %d\n", l.NoOwner)
 	balanced := 0
 	if l.Balanced() {
 		balanced = 1

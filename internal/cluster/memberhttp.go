@@ -1,0 +1,148 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// ServeMemberz serves the membership view as JSON — collectd mounts it
+// at /memberz on the debug server. Peers poll it to adopt higher ring
+// epochs; `causectl cluster status` renders it for the operator.
+func (m *Membership) ServeMemberz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	json.NewEncoder(w).Encode(m.Status())
+}
+
+// ServeRebalance triggers or resumes the donation flow for the current
+// ring — mounted at /rebalancez, driven by `causectl cluster
+// rebalance`. POST only: a donation moves records.
+func (m *Membership) ServeRebalance(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	res := m.Rebalance()
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	json.NewEncoder(w).Encode(res)
+}
+
+// FetchMemberz pulls one member's /memberz view.
+func FetchMemberz(client *http.Client, debugAddr string) (MembershipStatus, error) {
+	var st MembershipStatus
+	resp, err := client.Get("http://" + debugAddr + "/memberz")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("GET /memberz: %s", resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return st, fmt.Errorf("GET /memberz: %w", err)
+	}
+	return st, nil
+}
+
+// PostRebalance drives one member's /rebalancez and returns its
+// donation result.
+func PostRebalance(client *http.Client, debugAddr string) (DonationResult, error) {
+	var res DonationResult
+	resp, err := client.Post("http://"+debugAddr+"/rebalancez", "text/plain", nil)
+	if err != nil {
+		return res, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return res, fmt.Errorf("POST /rebalancez: %s", resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		return res, fmt.Errorf("POST /rebalancez: %w", err)
+	}
+	return res, nil
+}
+
+// ParseSeries reads exposition-format metrics into a name -> value
+// map, skipping labelled and non-integer series (the conservation
+// series are all plain integer counters).
+func ParseSeries(r io.Reader) (map[string]int64, error) {
+	series := make(map[string]int64)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.ContainsRune(line, '{') {
+			continue
+		}
+		cut := strings.LastIndexByte(line, ' ')
+		if cut <= 0 {
+			continue
+		}
+		if v, err := strconv.ParseInt(line[cut+1:], 10, 64); err == nil {
+			series[line[:cut]] = v
+		}
+	}
+	return series, sc.Err()
+}
+
+// LedgerFromSeries reconstructs a collector's conservation ledger from
+// its exposition. A streaming collector's buckets come from the
+// assembler series; a store-direct collector persists everything it
+// ingests, minus what the store dropped or swept. Replayed records
+// land in the store synchronously (the accepted count is the
+// replayer's acknowledgement), so they appear in both Replayed and
+// Persisted; retired records leave Persisted for the Retired bucket,
+// since the new owner now counts them.
+func LedgerFromSeries(m map[string]int64) Ledger {
+	u := func(name string) uint64 {
+		v := m[name]
+		if v < 0 {
+			return 0
+		}
+		return uint64(v)
+	}
+	var led Ledger
+	if _, streaming := m["causeway_assembler_records_appended_total"]; streaming {
+		led = Ledger{
+			Appended:  u("causeway_assembler_records_appended_total"),
+			Persisted: u("causeway_assembler_records_persisted_total"),
+			Discarded: u("causeway_assembler_records_discarded_total"),
+			Shed:      u("causeway_assembler_records_shed_total"),
+			Buffered:  u("causeway_assembler_records_buffered"),
+		}
+	} else {
+		appended := u("causeway_server_records_total")
+		lost := u("causeway_store_dropped_records_total") + u("causeway_store_swept_records_total")
+		if lost > appended {
+			lost = appended
+		}
+		led = Ledger{Appended: appended, Persisted: appended - lost, Discarded: lost}
+	}
+	led.Replayed = u("causeway_server_replayed_total")
+	led.Persisted += led.Replayed
+	if ret := u("causeway_cluster_retired_total"); ret > 0 {
+		led = led.Retire(ret)
+	}
+	return led
+}
+
+// FetchLedger pulls one member's /metrics and reconstructs its
+// conservation ledger — the settle assertion's per-member input.
+func FetchLedger(client *http.Client, debugAddr string) (Ledger, error) {
+	resp, err := client.Get("http://" + debugAddr + "/metrics")
+	if err != nil {
+		return Ledger{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Ledger{}, fmt.Errorf("GET /metrics: %s", resp.Status)
+	}
+	series, err := ParseSeries(resp.Body)
+	if err != nil {
+		return Ledger{}, err
+	}
+	return LedgerFromSeries(series), nil
+}

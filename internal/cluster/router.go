@@ -317,7 +317,7 @@ func (s *RoutedShipper) WriteMetrics(w io.Writer) {
 	fmt.Fprintf(w, "causeway_cluster_ring_members %d\n", len(rs.Ring.Members))
 	fmt.Fprintf(w, "causeway_cluster_rebalances_total %d\n", rs.Rebalances)
 	fmt.Fprintf(w, "causeway_cluster_rerouted_records_total %d\n", rs.Rerouted)
-	fmt.Fprintf(w, "causeway_cluster_unroutable_records_total %d\n", rs.NoOwner)
+	fmt.Fprintf(w, "causeway_cluster_no_owner_total %d\n", rs.NoOwner)
 	ids := make([]string, 0, len(rs.Members))
 	for id := range rs.Members {
 		ids = append(ids, id)

@@ -56,7 +56,15 @@ func NewGovernor(rate float64, cfg GovernorConfig) *Governor {
 	if cfg.MaxBacklog <= 0 {
 		cfg.MaxBacklog = 10000
 	}
-	return &Governor{cfg: cfg, rate: clamp01(rate)}
+	// The controller contract says the published rate never leaves
+	// [Min, 1] — Tick maintains it, so the starting rate must honor it
+	// too, or a governor seeded below its own floor reports a rate it
+	// could never have steered to.
+	r := clamp01(rate)
+	if r < cfg.Min {
+		r = cfg.Min
+	}
+	return &Governor{cfg: cfg, rate: r}
 }
 
 // Rate returns the current steering decision.

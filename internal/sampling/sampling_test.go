@@ -198,6 +198,27 @@ func TestGovernorAIMD(t *testing.T) {
 	}
 }
 
+func TestGovernorStartRateBounds(t *testing.T) {
+	// A start rate below the configured floor is lifted onto it — the
+	// governor never reports a rate Tick could not have produced.
+	g := NewGovernor(0.001, GovernorConfig{Min: 0.05})
+	if g.Rate() != 0.05 {
+		t.Fatalf("start below floor: rate = %g, want 0.05", g.Rate())
+	}
+	// The default floor applies the same way.
+	if r := NewGovernor(0.0001, GovernorConfig{}).Rate(); r != 0.01 {
+		t.Fatalf("start below default floor: rate = %g, want 0.01", r)
+	}
+	// And the ceiling clamps from above.
+	if r := NewGovernor(17.3, GovernorConfig{}).Rate(); r != 1 {
+		t.Fatalf("start above ceiling: rate = %g, want 1", r)
+	}
+	// In-range rates pass through untouched.
+	if r := NewGovernor(0.4, GovernorConfig{}).Rate(); r != 0.4 {
+		t.Fatalf("in-range start mangled: %g", r)
+	}
+}
+
 func TestGovernorIngestSignal(t *testing.T) {
 	g := NewGovernor(1.0, GovernorConfig{MaxIngestPerSec: 1000})
 	if !g.Overloaded(Signals{IngestPerSec: 1500}) {

@@ -28,8 +28,12 @@ type FeedEntry struct {
 
 // FeedPage is one /feedz response: the completions after the requested
 // cursor, oldest first, and the new cursor to pass back as ?since=.
+// Gen is the serving assembler's feed generation — a poller that sees
+// it change knows the collector restarted and its cursor belongs to a
+// dead feed, even when the fresh feed's cursor has already raced past.
 type FeedPage struct {
 	Cursor      uint64      `json:"cursor"`
+	Gen         uint64      `json:"gen"`
 	Completions []FeedEntry `json:"completions"`
 }
 
@@ -61,10 +65,15 @@ func entryOf(c Completion) FeedEntry {
 //
 //	since=N  return completions with ID > N (default 0: the whole window)
 //	max=N    cap the page size (default 0: the whole retained window)
+//	gen=N    the feed generation the poller's cursor belongs to
 //
 // The reply's cursor is the newest completion ID; a poller passes it
 // back as since. IDs are dense, so a gap between since and the first
 // returned entry means the ring window slid past unobserved completions.
+// When gen names a different generation than this assembler's, the
+// poller's cursor is from a previous incarnation and since is ignored:
+// the reply carries the whole retained window, so one round trip both
+// signals the restart and delivers the replacement feed.
 func (a *Assembler) ServeFeed(w http.ResponseWriter, r *http.Request) {
 	since, err := uintParam(r, "since")
 	if err != nil {
@@ -76,8 +85,16 @@ func (a *Assembler) ServeFeed(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad max: "+err.Error(), http.StatusBadRequest)
 		return
 	}
+	gen, err := uintParam(r, "gen")
+	if err != nil {
+		http.Error(w, "bad gen: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if gen != 0 && gen != a.cfg.FeedGen {
+		since = 0
+	}
 	comps, cursor := a.Feed(since, int(max))
-	page := FeedPage{Cursor: cursor, Completions: make([]FeedEntry, 0, len(comps))}
+	page := FeedPage{Cursor: cursor, Gen: a.cfg.FeedGen, Completions: make([]FeedEntry, 0, len(comps))}
 	for _, c := range comps {
 		page.Completions = append(page.Completions, entryOf(c))
 	}

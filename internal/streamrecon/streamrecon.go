@@ -93,6 +93,13 @@ type Config struct {
 	OnComplete func(Completion)
 	// FeedSize bounds the completion feed ring. Default 256.
 	FeedSize int
+	// FeedGen identifies this assembler's feed on /feedz. Completion
+	// IDs restart from 1 whenever a collector restarts, so a tail that
+	// only compares cursors misses a restart whose fresh feed races
+	// past its old cursor; the generation changes with every assembler,
+	// making the restart detectable regardless of cursor order. Zero
+	// derives one from the clock at New.
+	FeedGen uint64
 	// Clock overrides time.Now for tests.
 	Clock func() time.Time
 }
@@ -193,6 +200,9 @@ func New(cfg Config) (*Assembler, error) {
 	}
 	if cfg.Clock == nil {
 		cfg.Clock = time.Now
+	}
+	if cfg.FeedGen == 0 {
+		cfg.FeedGen = uint64(cfg.Clock().UnixNano())
 	}
 	return &Assembler{
 		cfg:     cfg,
@@ -453,6 +463,10 @@ func (a *Assembler) Feed(sinceID uint64, max int) ([]Completion, uint64) {
 	}
 	return out, newest
 }
+
+// FeedGen returns the feed generation stamped on every /feedz page —
+// constant for this assembler's lifetime, different across restarts.
+func (a *Assembler) FeedGen() uint64 { return a.cfg.FeedGen }
 
 // OpenChains reports how many chains are currently buffered — the
 // backlog signal the sampling governor steers by.

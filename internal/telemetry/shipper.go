@@ -410,8 +410,22 @@ func (s *ShipperSink) loop() {
 				pending = pending[:0]
 				continue
 			}
-			if err := client.Post(transport.Request{ObjectKey: ObjectKey, Operation: opShip, Body: payload}); err != nil {
+			// Acknowledged shipment: the batch leaves pending only once
+			// the server confirms ingestion. A batch written onto a
+			// socket whose far end just died would otherwise be counted
+			// shipped and silently lost — the kill-a-collector hole.
+			// Retrying an ingested-but-unacknowledged batch is safe: the
+			// stores deduplicate by record identity.
+			rep, err := client.Call(transport.Request{ObjectKey: ObjectKey, Operation: opShip, Body: payload})
+			if err != nil {
 				return false
+			}
+			if rep.Status != transport.StatusOK {
+				// Protocol rejection: nothing a retry can fix.
+				s.lastErr.Store(fmt.Sprintf("telemetry: ship rejected: %s", rep.Body))
+				s.dropped.Add(uint64(len(pending)))
+				pending = pending[:0]
+				continue
 			}
 			s.shipped.Add(uint64(len(pending)))
 			s.batches.Add(1)
@@ -565,7 +579,8 @@ func (s *ShipperSink) drain(client transport.Client, pending []probe.Record) {
 			pending = pending[:0]
 			continue
 		}
-		if err := client.Post(transport.Request{ObjectKey: ObjectKey, Operation: opShip, Body: payload}); err != nil {
+		rep, err := client.Call(transport.Request{ObjectKey: ObjectKey, Operation: opShip, Body: payload})
+		if err != nil || rep.Status != transport.StatusOK {
 			return
 		}
 		s.shipped.Add(uint64(len(pending)))

@@ -65,6 +65,11 @@ const ObjectKey = "causeway.telemetry"
 // Operations of the shipping protocol.
 const (
 	opHello = "hello"
+	// opShip (sync) carries gob([]probe.Record); the empty StatusOK
+	// reply acknowledges ingestion. Shippers hold a batch as pending
+	// until the ack arrives, so a collector dying mid-frame loses
+	// nothing — the batch is retried on reconnect (or re-routed by
+	// Detach), and receivers deduplicate by record identity.
 	opShip  = "ship"
 	opFlush = "flush"
 	opStats = "stats"
