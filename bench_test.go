@@ -70,6 +70,8 @@ func BenchmarkTable1EventChaining(b *testing.B) {
 		p.StubEnd(ctx, p.SkelEnd(sctx))
 	}
 	b.Run("sibling", func(b *testing.B) {
+		gls.Register()
+		defer gls.Unregister()
 		for i := 0; i < b.N; i++ {
 			sync("F", nil)
 			sync("G", nil)
@@ -78,6 +80,8 @@ func BenchmarkTable1EventChaining(b *testing.B) {
 		b.ReportMetric(8, "events/pattern")
 	})
 	b.Run("parent-child", func(b *testing.B) {
+		gls.Register()
+		defer gls.Unregister()
 		for i := 0; i < b.N; i++ {
 			sync("F", func() { sync("G", func() { sync("H", nil) }) })
 			p.Tunnel().Clear()
@@ -154,7 +158,12 @@ func benchORBPairOpt(b *testing.B, instrumented, collocated, collocOff bool, ite
 	} else {
 		stub = plainecho.NewEchoStub(ref)
 	}
+	// Register the measuring goroutine — the application caller — so stub
+	// probes take the fast identity path a deployment's registered caller
+	// threads use.
+	gls.Register()
 	cleanup := func() {
+		gls.Unregister()
 		client.Probes().Tunnel().Clear()
 		server.Shutdown()
 		if client != server {
@@ -203,6 +212,11 @@ func BenchmarkFigure2Tunnel(b *testing.B) {
 	tun := ftl.NewTunnel(nil)
 	f := ftl.FTL{Chain: uuid.New()}
 	b.Run("tss-store-fetch", func(b *testing.B) {
+		// Tunnel operations run on dispatch goroutines, which pre-register
+		// with gls at birth; register this sub-benchmark's goroutine so it
+		// measures that deployed path, not the runtime.Stack fallback.
+		gls.Register()
+		defer gls.Unregister()
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			tun.Store(f)
@@ -460,6 +474,8 @@ func BenchmarkLatencyAccuracy(b *testing.B) {
 		collocOff bool
 	}{{"remote", false}, {"collocated-optimization-off", true}} {
 		b.Run(c.name, func(b *testing.B) {
+			gls.Register()
+			defer gls.Unregister()
 			var auto, manual time.Duration
 			for i := 0; i < b.N; i++ {
 				auto, manual = measure(b, c.collocOff)
@@ -738,6 +754,8 @@ func BenchmarkThreadingPolicies(b *testing.B) {
 			client := mk("client", orb.ThreadPerRequest)
 			defer client.Shutdown()
 			stub := instrecho.NewEchoStub(client.RefTo(ep, "e", "Echo", "c"))
+			gls.Register()
+			defer gls.Unregister()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := stub.Echo("x"); err != nil {
@@ -772,6 +790,8 @@ func BenchmarkSTADispatch(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			gls.Register()
+			defer gls.Unregister()
 			defer rt.Shutdown()
 			sta := rt.NewSTA("ui")
 			ref, err := rt.Register("o", "I", "c", sta, com.ServantFunc(
@@ -843,6 +863,8 @@ func BenchmarkBridgeCall(b *testing.B) {
 	}
 	defer client.Close()
 	stub := instrecho.NewEchoStub(client.ORB.RefTo(frontEp, "fe", "Echo", "fc"))
+	gls.Register()
+	defer gls.Unregister()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := stub.Echo("x"); err != nil {

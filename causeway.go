@@ -200,6 +200,7 @@ type Process struct {
 	mem     *probe.MemorySink
 	file    *os.File
 	stream  *probe.StreamSink
+	ring    *probe.RingSink
 	shipper *telemetry.ShipperSink
 	routed  *cluster.RoutedShipper
 	metrics *metrics.Registry
@@ -322,6 +323,17 @@ func NewProcess(cfg ProcessConfig) (*Process, error) {
 		sink = probe.TeeSink{sink, routed}
 	}
 
+	// The whole sink fan sits behind a lock-free span ring: probe sites pay
+	// one shard push (uncontended callers drain their own span inline, so
+	// single-threaded flows — and the online monitor's synchronous root
+	// callbacks — keep their timing), and concurrent dispatches never
+	// serialize behind the stream/shipper locks. The ring's conservation
+	// counters export under causeway_probe_* so any shed is visible.
+	ringSink := probe.NewRingSink(sink)
+	p.ring = ringSink
+	p.metrics.RegisterSource("probe_ring", ringSink.WriteMetrics)
+	sink = ringSink
+
 	var aspects probe.Aspect
 	var meter cputime.Meter
 	switch cfg.Monitor {
@@ -391,6 +403,9 @@ func (p *Process) Records() []Record {
 	if p.mem == nil {
 		return nil
 	}
+	if p.ring != nil {
+		p.ring.Flush()
+	}
 	return p.mem.Snapshot()
 }
 
@@ -443,6 +458,11 @@ func (p *Process) ClusterRing() (ring telemetry.Ring, ok bool) {
 // flushes the log file, if any.
 func (p *Process) Close() error {
 	p.ORB.Shutdown()
+	if p.ring != nil {
+		// Every in-flight dispatch has returned; push the last resident
+		// spans through the fan before the downstream sinks close.
+		p.ring.Flush()
+	}
 	if p.shipper != nil {
 		p.shipper.Close()
 	}

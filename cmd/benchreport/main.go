@@ -11,6 +11,17 @@
 //
 // The first invocation (or -set-baseline) records the run as the baseline;
 // later invocations only replace "current" and print a comparison table.
+//
+// Trajectory mode gates the current run against the numbers earlier PRs
+// committed:
+//
+//	... | benchreport -out BENCH_9.json -against BENCH_4.json,BENCH_7.json -tolerance 0.30
+//
+// For every benchmark the current run shares with a pinned file's "current"
+// run, the command fails (exit 1) if ns/op or allocs/op regressed beyond
+// pinned*(1+tolerance). Benchmarks a pinned file does not contain are
+// skipped — trajectory files from different PRs legitimately cover
+// different benchmark sets.
 package main
 
 import (
@@ -22,6 +33,7 @@ import (
 	"regexp"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // Metrics is one benchmark's measured costs.
@@ -78,6 +90,8 @@ func main() {
 	out := flag.String("out", "BENCH_4.json", "trajectory file to update")
 	label := flag.String("label", "", "label for this run (e.g. a commit id)")
 	setBaseline := flag.Bool("set-baseline", false, "record this run as the baseline, replacing any existing one")
+	against := flag.String("against", "", "comma-separated earlier trajectory files to gate this run against")
+	tolerance := flag.Float64("tolerance", 0.25, "fractional ns/op regression allowed against -against pins")
 	flag.Parse()
 
 	run, err := parseRun(*label)
@@ -109,6 +123,81 @@ func main() {
 		os.Exit(1)
 	}
 	printComparison(&rep)
+
+	if *against != "" {
+		ok, err := checkTrajectory(run, strings.Split(*against, ","), *tolerance)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchreport:", err)
+			os.Exit(1)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+	}
+}
+
+// pinnedRun loads the run a trajectory file pins: its "current" sweep, or
+// the baseline when no current was ever recorded.
+func pinnedRun(path string) (*Run, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s is not a bench report: %v", path, err)
+	}
+	run := rep.Current
+	if run == nil {
+		run = rep.Baseline
+	}
+	if run == nil {
+		return nil, fmt.Errorf("%s pins no runs", path)
+	}
+	return run, nil
+}
+
+// checkTrajectory compares the current run against each pinned trajectory
+// file and reports regressions: ns/op or allocs/op beyond pinned*(1+tol).
+// Benchmarks absent from a pinned file are skipped. Returns false if any
+// benchmark regressed.
+func checkTrajectory(cur *Run, pins []string, tol float64) (bool, error) {
+	ok := true
+	for _, path := range pins {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		pin, err := pinnedRun(path)
+		if err != nil {
+			return false, err
+		}
+		checked, skipped := 0, 0
+		for name, p := range pin.Benchmarks {
+			c, present := cur.Benchmarks[name]
+			if !present {
+				skipped++
+				continue
+			}
+			checked++
+			if limit := p.NsPerOp * (1 + tol); c.NsPerOp > limit {
+				fmt.Printf("REGRESSION %s: %s %.0f ns/op exceeds pinned %.0f +%d%% (limit %.0f)\n",
+					path, name, c.NsPerOp, p.NsPerOp, int(tol*100), limit)
+				ok = false
+			}
+			if limit := float64(p.AllocsPerOp) * (1 + tol); float64(c.AllocsPerOp) > limit {
+				fmt.Printf("REGRESSION %s: %s %d allocs/op exceeds pinned %d +%d%%\n",
+					path, name, c.AllocsPerOp, p.AllocsPerOp, int(tol*100))
+				ok = false
+			}
+		}
+		fmt.Printf("trajectory %s: %d benchmarks checked, %d not in this run (skipped)\n",
+			path, checked, skipped)
+	}
+	if ok {
+		fmt.Println("trajectory: no regressions")
+	}
+	return ok, nil
 }
 
 // printComparison writes a baseline-vs-current table for every benchmark

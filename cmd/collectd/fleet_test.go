@@ -21,11 +21,11 @@ func TestIngestRate(t *testing.T) {
 	}{
 		{100, 0, time.Second, 100},
 		{150, 100, 500 * time.Millisecond, 100},
-		{100, 100, time.Second, 0},  // no progress
-		{50, 100, time.Second, 0},   // counter went backwards: report 0, not negative
-		{100, 0, 0, 0},              // no time elapsed: no division artifact
-		{100, 0, -time.Second, 0},   // clock hiccup
-		{0, 0, 5 * time.Second, 0},  // first tick with nothing ingested
+		{100, 100, time.Second, 0}, // no progress
+		{50, 100, time.Second, 0},  // counter went backwards: report 0, not negative
+		{100, 0, 0, 0},             // no time elapsed: no division artifact
+		{100, 0, -time.Second, 0},  // clock hiccup
+		{0, 0, 5 * time.Second, 0}, // first tick with nothing ingested
 	}
 	for _, c := range cases {
 		if got := ingestRate(c.cur, c.last, c.elapsed); got != c.want {

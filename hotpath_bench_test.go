@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"causeway/internal/benchgen/instrecho"
+	"causeway/internal/gls"
 	"causeway/internal/metrics"
 	"causeway/internal/orb"
 	"causeway/internal/probe"
@@ -75,7 +76,12 @@ func hotPathPair(b testing.TB, transportKind string, collocated bool, reg *metri
 		client = mk("client")
 	}
 	stub := instrecho.NewEchoStub(client.RefTo(ep, "e", "Echo", "c"))
+	// The measuring loop runs on this goroutine, playing the application
+	// caller: register it so stub probes resolve identity over the g-pointer
+	// fast path, exactly as a deployment's long-lived caller threads do.
+	gls.Register()
 	cleanup := func() {
+		gls.Unregister()
 		client.Probes().Tunnel().Clear()
 		server.Shutdown()
 		if client != server {

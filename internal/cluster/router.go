@@ -54,7 +54,10 @@ type RoutedShipper struct {
 	rebalances atomic.Uint64
 }
 
-var _ probe.Sink = (*RoutedShipper)(nil)
+var (
+	_ probe.Sink     = (*RoutedShipper)(nil)
+	_ probe.SpanSink = (*RoutedShipper)(nil)
+)
 
 // NewRouted starts a routed shipper over cfg.Ring.
 func NewRouted(cfg RouterConfig) (*RoutedShipper, error) {
@@ -112,6 +115,28 @@ func (s *RoutedShipper) Append(r probe.Record) {
 		return
 	}
 	sink.Append(r)
+}
+
+// AppendSpan implements probe.SpanSink: the records of one invocation span
+// all belong to one chain (a link routes by its parent — the chain the
+// stub records carry), so the whole span routes with a single hash and
+// lands on its owner as a unit.
+func (s *RoutedShipper) AppendSpan(recs []probe.Record) {
+	if len(recs) == 0 {
+		return
+	}
+	s.mu.RLock()
+	m, ok := s.ring.OwnerOf(telemetry.RouteUUID(&recs[0]))
+	var sink *telemetry.ShipperSink
+	if ok {
+		sink = s.sinks[m.ID]
+	}
+	s.mu.RUnlock()
+	if sink == nil {
+		s.noOwner.Add(uint64(len(recs)))
+		return
+	}
+	sink.AppendSpan(recs)
 }
 
 // UpdateRing offers a new ring. Stale epochs are ignored; newer rings

@@ -173,6 +173,11 @@ func (a *Apartment) Kind() ApartmentKind { return a.kind }
 // is the only goroutine that ever executes this apartment's servants.
 func (a *Apartment) messageLoop() {
 	defer close(a.done)
+	// The STA loop thread lives for the apartment's lifetime and touches
+	// goroutine-local state on every pump (Swap/Set/Clear around each
+	// dispatch); registering once makes all of those constant-time.
+	gls.Register()
+	defer gls.Unregister()
 	a.rt.currentSTA.Set(a)
 	defer a.rt.currentSTA.Clear()
 	for msg := range a.queue {
@@ -328,6 +333,8 @@ func (r *ObjectRef) deliver(msg *callMsg) error {
 		apt.wg.Add(1)
 		go func() {
 			defer apt.wg.Done()
+			gls.RegisterFresh() // born owned: no prior records under the runtime id
+			defer gls.Unregister()
 			defer apt.rt.cfg.Probes.Tunnel().Clear()
 			apt.dispatch(msg)
 		}()

@@ -1,0 +1,24 @@
+//go:build (amd64 || arm64) && gc
+
+package gls
+
+// getg returns the address of the runtime g struct of the calling
+// goroutine, read straight from the reserved g register (R14 on amd64 under
+// the register ABI, R28 on arm64). The pointer is opaque — it is never
+// dereferenced — but it is stable for the lifetime of a goroutine, which
+// makes it a perfect constant-time identity key: resolving it costs a
+// couple of nanoseconds versus ~3µs for the runtime.Stack header parse.
+//
+// The runtime may reuse a g struct after its goroutine exits, so the
+// pointer is only meaningful while the goroutine that produced it is alive.
+// That is exactly the Register/Unregister contract: a registration must be
+// removed (on the registering goroutine) before the goroutine returns.
+//
+// validateGetg exercises the primitive at init time; if the returned
+// pointers are zero, unstable, or not distinct across live goroutines the
+// fast path is disabled and every caller falls back to the stack parse.
+func getg() uintptr
+
+// getgAvailable reports that this build has the assembly primitive; the
+// init-time validation still has the final say.
+const getgAvailable = true

@@ -1,0 +1,11 @@
+//go:build gc
+
+#include "textflag.h"
+
+// func getg() uintptr
+//
+// On arm64 the current g pointer is pinned in the dedicated g register
+// (R28, spelled "g" in Go assembly).
+TEXT ·getg(SB), NOSPLIT|NOFRAME, $0-8
+	MOVD	g, ret+0(FP)
+	RET

@@ -1,0 +1,10 @@
+//go:build !((amd64 || arm64) && gc)
+
+package gls
+
+// getg has no cheap implementation on this platform; returning 0 fails the
+// init-time validation, which disables the registration fast path and keeps
+// every identity resolution on the (correct, slower) runtime.Stack parse.
+func getg() uintptr { return 0 }
+
+const getgAvailable = false

@@ -1,0 +1,228 @@
+package gls
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// TestFastPathValidates pins that the getg primitive self-validates on the
+// platforms we build the assembly for; everywhere else the fallback must
+// keep Self correct.
+func TestFastPathValidates(t *testing.T) {
+	if getgAvailable && (runtime.GOARCH == "amd64" || runtime.GOARCH == "arm64") {
+		if !FastPathEnabled() {
+			t.Fatalf("getg fast path failed validation on %s", runtime.GOARCH)
+		}
+	}
+	if !getgAvailable && FastPathEnabled() {
+		t.Fatal("fast path enabled without a getg primitive")
+	}
+}
+
+// TestRegisterSelfAgrees checks that the registered fast path and the stack
+// parse resolve the same identity.
+func TestRegisterSelfAgrees(t *testing.T) {
+	g := Register()
+	defer Unregister()
+	if !FastPathEnabled() {
+		t.Skip("fast path unavailable on this platform")
+	}
+	if !Registered() {
+		t.Fatal("Registered() false after Register")
+	}
+	if got := Self(); got != g {
+		t.Fatalf("registered Self = %d, Register returned %d", got, g)
+	}
+	if parsed := G(GoroutineID()); parsed != g {
+		t.Fatalf("stack parse = %d, registered handle %d", parsed, g)
+	}
+}
+
+func TestUnregisterRestoresParse(t *testing.T) {
+	g := Register()
+	Unregister()
+	if Registered() {
+		t.Fatal("Registered() true after Unregister")
+	}
+	if got := Self(); got != g {
+		t.Fatalf("post-unregister Self = %d, want %d (same goroutine)", got, g)
+	}
+}
+
+// TestRegisterChurn races 96 goroutines — half registered, half not, with
+// registration churn (register/unregister cycles mid-flight) — and checks
+// every Self observation on a goroutine matches its own parsed gid. Run
+// under -race this also proves the registry sharding is sound, and the
+// goroutine churn exercises g-struct reuse: a recycled g must never inherit
+// the previous owner's identity.
+func TestRegisterChurn(t *testing.T) {
+	const (
+		goroutines = 96
+		rounds     = 50
+	)
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			want := G(GoroutineID())
+			registered := i%2 == 0
+			if registered {
+				if got := Register(); got != want {
+					errs <- "Register disagrees with parse"
+					return
+				}
+				defer Unregister()
+			}
+			for r := 0; r < rounds; r++ {
+				if got := Self(); got != want {
+					errs <- "Self disagrees with own gid"
+					return
+				}
+				if registered && r%10 == 5 {
+					// churn: drop and re-acquire the registration
+					Unregister()
+					if got := Self(); got != want {
+						errs <- "unregistered Self disagrees"
+						return
+					}
+					Register()
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	// After the storm every registration must be gone (no leaks into
+	// recycled g structs).
+	total := 0
+	for i := range regTable {
+		regTable[i].mu.RLock()
+		total += len(regTable[i].m)
+		regTable[i].mu.RUnlock()
+	}
+	if total != 0 {
+		t.Fatalf("%d stale registrations after churn", total)
+	}
+}
+
+// TestRegisterFresh pins the synthetic-identity contract: ids live in the
+// high namespace runtime gids can never reach, are unique per registration,
+// resolve through Self on the registering goroutine, and never parse.
+func TestRegisterFresh(t *testing.T) {
+	if !FastPathEnabled() {
+		// Degraded mode: RegisterFresh must behave exactly like Register.
+		g := RegisterFresh()
+		defer Unregister()
+		if got := Self(); got != g {
+			t.Fatalf("degraded RegisterFresh Self = %d, want %d", got, g)
+		}
+		return
+	}
+	const workers = 16
+	ids := make([]G, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			g := RegisterFresh()
+			defer Unregister()
+			ids[i] = g
+			if uint64(g)&syntheticBase == 0 {
+				errsafe(t, "synthetic id missing namespace bit")
+			}
+			if got := Self(); got != g {
+				errsafe(t, "Self disagrees with RegisterFresh handle")
+			}
+		}(i)
+	}
+	wg.Wait()
+	seen := make(map[G]bool, workers)
+	for _, g := range ids {
+		if seen[g] {
+			t.Fatalf("duplicate synthetic id %d", uint64(g))
+		}
+		seen[g] = true
+	}
+}
+
+func errsafe(t *testing.T, msg string) {
+	t.Helper()
+	t.Error(msg)
+}
+
+// TestStackBufClampOnPut pins the cdr-pool-style clamp: oversized scratch
+// buffers must not be returned to the pool.
+func TestStackBufClampOnPut(t *testing.T) {
+	big := make([]byte, stackBufCap*2)
+	putStackBuf(&big)
+	// Drain up to a generous number of pooled buffers; none may exceed the
+	// clamp. (The pool may also hand back fresh buffers — fine, those are
+	// stackBufMin-sized.)
+	for i := 0; i < 64; i++ {
+		bp := stackBufPool.Get().(*[]byte)
+		if cap(*bp) > stackBufCap {
+			t.Fatalf("pool retained %d-byte buffer beyond clamp %d", cap(*bp), stackBufCap)
+		}
+		defer putStackBuf(bp)
+	}
+	ok := make([]byte, stackBufCap)
+	putStackBuf(&ok) // at-clamp buffers are kept
+}
+
+// TestGoroutineIDGrowth proves the parse retries with a doubled buffer when
+// the header cannot be proven complete.
+func TestGoroutineIDGrowth(t *testing.T) {
+	tiny := make([]byte, 4) // smaller than "goroutine " — parse must fail
+	if _, ok := parseGID(tiny); ok {
+		t.Fatal("parse claimed success with a 4-byte buffer")
+	}
+	want := GoroutineID()
+	// The public path must still resolve correctly even if the pool is
+	// seeded with a too-small buffer.
+	small := make([]byte, 12)
+	stackBufPool.Put(&small)
+	for i := 0; i < 8; i++ { // several resolves to likely hit the seeded buf
+		if got := GoroutineID(); got != want {
+			t.Fatalf("GoroutineID = %d, want %d", got, want)
+		}
+	}
+}
+
+func BenchmarkSelfRegistered(b *testing.B) {
+	Register()
+	defer Unregister()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkG = Self()
+	}
+}
+
+func BenchmarkSelfUnregistered(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkG = Self()
+	}
+}
+
+var sinkG G
+
+// TestRegisteredSelfAllocFree pins the fast path at zero allocations.
+func TestRegisteredSelfAllocFree(t *testing.T) {
+	if !FastPathEnabled() {
+		t.Skip("fast path unavailable")
+	}
+	Register()
+	defer Unregister()
+	allocs := testing.AllocsPerRun(200, func() { sinkG = Self() })
+	if allocs != 0 {
+		t.Fatalf("registered Self allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -57,14 +58,21 @@ type NetStats struct {
 // exposition sources (subsystems that keep their own atomics — the
 // telemetry shipper, fault injectors, transport pools — and render
 // themselves on scrape).
+//
+// The lookup maps are copy-on-write: readers (the probe hot path calls Op
+// once per invocation) do one atomic load and a map probe — no lock, no
+// contention with other readers or with scrapes. Inserting a new key
+// copies the map under mu and publishes the copy; the key sets are bounded
+// by the IDL, so copies are rare and small.
 type Registry struct {
 	ORB ORBStats
 	Net NetStats
 
-	mu      sync.RWMutex
-	ops     map[OpKey]*OpStats
-	ifaces  map[string]*Histogram
-	named   map[string]*Counter
+	ops    atomic.Pointer[map[OpKey]*OpStats]
+	ifaces atomic.Pointer[map[string]*Histogram]
+	named  atomic.Pointer[map[string]*Counter]
+
+	mu      sync.Mutex // serializes map copies and source registration
 	sources []source
 }
 
@@ -75,30 +83,41 @@ type source struct {
 
 // NewRegistry builds an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{
-		ops:    make(map[OpKey]*OpStats),
-		ifaces: make(map[string]*Histogram),
-		named:  make(map[string]*Counter),
-	}
+	r := &Registry{}
+	ops := make(map[OpKey]*OpStats)
+	ifaces := make(map[string]*Histogram)
+	named := make(map[string]*Counter)
+	r.ops.Store(&ops)
+	r.ifaces.Store(&ifaces)
+	r.named.Store(&named)
+	return r
 }
 
 // Op returns (creating on first use) the RED stats for key. The read
-// path is an RLock plus a map probe and never allocates — probes call
-// this once per invocation.
+// path is one atomic load plus a map probe and never allocates or locks —
+// probes call this once per invocation.
 func (r *Registry) Op(key OpKey) *OpStats {
-	r.mu.RLock()
-	s, ok := r.ops[key]
-	r.mu.RUnlock()
-	if ok {
-		return s
+	if m := r.ops.Load(); m != nil {
+		if s, ok := (*m)[key]; ok {
+			return s
+		}
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if s, ok = r.ops[key]; ok {
-		return s
+	var cur map[OpKey]*OpStats
+	if m := r.ops.Load(); m != nil {
+		cur = *m
+		if s, ok := cur[key]; ok {
+			return s
+		}
 	}
-	s = &OpStats{}
-	r.ops[key] = s
+	next := make(map[OpKey]*OpStats, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	s := &OpStats{}
+	next[key] = s
+	r.ops.Store(&next)
 	return s
 }
 
@@ -106,19 +125,27 @@ func (r *Registry) Op(key OpKey) *OpStats {
 // histogram for an interface. The online monitor feeds it the same
 // per-node latencies the offline analyzer aggregates into InterfaceStat.
 func (r *Registry) Iface(name string) *Histogram {
-	r.mu.RLock()
-	h, ok := r.ifaces[name]
-	r.mu.RUnlock()
-	if ok {
-		return h
+	if m := r.ifaces.Load(); m != nil {
+		if h, ok := (*m)[name]; ok {
+			return h
+		}
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if h, ok = r.ifaces[name]; ok {
-		return h
+	var cur map[string]*Histogram
+	if m := r.ifaces.Load(); m != nil {
+		cur = *m
+		if h, ok := cur[name]; ok {
+			return h
+		}
 	}
-	h = &Histogram{}
-	r.ifaces[name] = h
+	next := make(map[string]*Histogram, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	h := &Histogram{}
+	next[name] = h
+	r.ifaces.Store(&next)
 	return h
 }
 
@@ -131,19 +158,27 @@ func (r *Registry) ObserveChain(iface string, v time.Duration) {
 // under the given series name — the hook for loss-path counters that
 // have no typed family (torn-tail recoveries, injected faults).
 func (r *Registry) Named(name string) *Counter {
-	r.mu.RLock()
-	c, ok := r.named[name]
-	r.mu.RUnlock()
-	if ok {
-		return c
+	if m := r.named.Load(); m != nil {
+		if c, ok := (*m)[name]; ok {
+			return c
+		}
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if c, ok = r.named[name]; ok {
-		return c
+	var cur map[string]*Counter
+	if m := r.named.Load(); m != nil {
+		cur = *m
+		if c, ok := cur[name]; ok {
+			return c
+		}
 	}
-	c = &Counter{}
-	r.named[name] = c
+	next := make(map[string]*Counter, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	c := &Counter{}
+	next[name] = c
+	r.named.Store(&next)
 	return c
 }
 
@@ -200,21 +235,32 @@ func writeHistogram(w io.Writer, family, labels string, h *Histogram) {
 // integer nanoseconds (so scrapes compare exactly against the offline
 // analyzer's digests, no float round-trip).
 func (r *Registry) WriteText(w io.Writer) {
-	r.mu.RLock()
-	opKeys := make([]OpKey, 0, len(r.ops))
-	for k := range r.ops {
-		opKeys = append(opKeys, k)
+	var (
+		opKeys     []OpKey
+		ifaceNames []string
+		namedNames []string
+	)
+	if m := r.ops.Load(); m != nil {
+		opKeys = make([]OpKey, 0, len(*m))
+		for k := range *m {
+			opKeys = append(opKeys, k)
+		}
 	}
-	ifaceNames := make([]string, 0, len(r.ifaces))
-	for name := range r.ifaces {
-		ifaceNames = append(ifaceNames, name)
+	if m := r.ifaces.Load(); m != nil {
+		ifaceNames = make([]string, 0, len(*m))
+		for name := range *m {
+			ifaceNames = append(ifaceNames, name)
+		}
 	}
-	namedNames := make([]string, 0, len(r.named))
-	for name := range r.named {
-		namedNames = append(namedNames, name)
+	if m := r.named.Load(); m != nil {
+		namedNames = make([]string, 0, len(*m))
+		for name := range *m {
+			namedNames = append(namedNames, name)
+		}
 	}
+	r.mu.Lock()
 	sources := append([]source(nil), r.sources...)
-	r.mu.RUnlock()
+	r.mu.Unlock()
 
 	sort.Slice(opKeys, func(i, j int) bool {
 		if opKeys[i].Interface != opKeys[j].Interface {

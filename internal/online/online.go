@@ -92,7 +92,10 @@ type RootSummary struct {
 	When time.Time
 }
 
-var _ probe.Sink = (*Monitor)(nil)
+var (
+	_ probe.Sink     = (*Monitor)(nil)
+	_ probe.SpanSink = (*Monitor)(nil)
+)
 
 // NewMonitor builds an online monitor.
 func NewMonitor(cfg Config) *Monitor {
@@ -120,6 +123,20 @@ type chainState struct {
 func (m *Monitor) Append(r probe.Record) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.appendLocked(r)
+}
+
+// AppendSpan implements probe.SpanSink: the records of one invocation
+// span apply under a single lock acquisition instead of one per record.
+func (m *Monitor) AppendSpan(recs []probe.Record) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := range recs {
+		m.appendLocked(recs[i])
+	}
+}
+
+func (m *Monitor) appendLocked(r probe.Record) {
 	switch r.Kind {
 	case probe.KindLink:
 		m.links[r.LinkChild] = r.LinkParent

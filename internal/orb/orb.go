@@ -249,14 +249,15 @@ func (o *ORB) serveOn(srv transport.Server) (string, error) {
 // handleRequest schedules the dispatch of one incoming request according
 // to the threading policy.
 func (o *ORB) handleRequest(conn transport.ConnID, req transport.Request, respond transport.Responder) {
-	o.policy.dispatch(conn, func() {
+	o.policy.dispatch(conn, func(self gls.G) {
 		if o.cfg.PinDispatch {
 			runtime.LockOSThread()
 			defer runtime.UnlockOSThread()
 		}
-		// Resolve the dispatch goroutine's identity exactly once; the
-		// skeleton probes and the post-dispatch clear all reuse the handle.
-		self := gls.Self()
+		// The policy resolved (and registered) the dispatch goroutine's
+		// identity at goroutine birth; the skeleton probes and the
+		// post-dispatch clear all reuse the handle — no runtime.Stack parse
+		// anywhere on the steady-state dispatch path.
 		rep := o.dispatchLocal(req, self)
 		// Observation O2: whatever annotation a pooled dispatch thread may
 		// still hold from a previous call, the skeleton-start probe

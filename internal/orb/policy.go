@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"causeway/internal/gls"
 	"causeway/internal/transport"
 )
 
@@ -39,10 +40,17 @@ func (k PolicyKind) String() string {
 	}
 }
 
-// policy schedules dispatch closures onto dispatch threads.
+// policy schedules dispatch closures onto dispatch threads. Every policy
+// owns its dispatch goroutines, so each one pre-registers with gls at
+// goroutine birth and hands the resolved handle to the closure: steady-state
+// requests never pay a runtime.Stack parse. Pool and per-connection workers
+// register once for their lifetime; per-request goroutines are born owned,
+// so they register under a synthetic identity (RegisterFresh) and skip the
+// parse entirely — on the fast path no dispatch ever touches runtime.Stack.
 type policy interface {
-	// dispatch runs fn on a dispatch thread chosen by the policy.
-	dispatch(conn transport.ConnID, fn func())
+	// dispatch runs fn on a dispatch thread chosen by the policy, passing
+	// the thread's pre-resolved goroutine identity.
+	dispatch(conn transport.ConnID, fn func(self gls.G))
 	// shutdown stops accepting work and waits for in-flight dispatches.
 	shutdown()
 }
@@ -53,11 +61,15 @@ type perRequestPolicy struct {
 	wg sync.WaitGroup
 }
 
-func (p *perRequestPolicy) dispatch(_ transport.ConnID, fn func()) {
+func (p *perRequestPolicy) dispatch(_ transport.ConnID, fn func(self gls.G)) {
 	p.wg.Add(1)
 	go func() {
 		defer p.wg.Done()
-		fn()
+		// Born owned: a fresh goroutine has no prior records, so a synthetic
+		// identity serves — no runtime.Stack parse on the per-request path.
+		self := gls.RegisterFresh()
+		defer gls.Unregister()
+		fn(self)
 	}()
 }
 
@@ -69,17 +81,17 @@ func (p *perRequestPolicy) shutdown() { p.wg.Wait() }
 // new call refreshes the annotation before user code runs.
 type perConnectionPolicy struct {
 	mu      sync.Mutex
-	queues  map[transport.ConnID]chan func()
+	queues  map[transport.ConnID]chan func(self gls.G)
 	wg      sync.WaitGroup
 	closed  bool
 	backlog int
 }
 
 func newPerConnectionPolicy(backlog int) *perConnectionPolicy {
-	return &perConnectionPolicy{queues: make(map[transport.ConnID]chan func()), backlog: backlog}
+	return &perConnectionPolicy{queues: make(map[transport.ConnID]chan func(self gls.G)), backlog: backlog}
 }
 
-func (p *perConnectionPolicy) dispatch(conn transport.ConnID, fn func()) {
+func (p *perConnectionPolicy) dispatch(conn transport.ConnID, fn func(self gls.G)) {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -87,13 +99,15 @@ func (p *perConnectionPolicy) dispatch(conn transport.ConnID, fn func()) {
 	}
 	q, ok := p.queues[conn]
 	if !ok {
-		q = make(chan func(), p.backlog)
+		q = make(chan func(self gls.G), p.backlog)
 		p.queues[conn] = q
 		p.wg.Add(1)
 		go func() {
 			defer p.wg.Done()
+			self := gls.Register()
+			defer gls.Unregister()
 			for f := range q {
-				f()
+				f(self)
 			}
 		}()
 	}
@@ -118,26 +132,28 @@ func (p *perConnectionPolicy) shutdown() {
 // poolPolicy: fixed worker pool consuming a shared queue. Workers survive
 // across calls and connections; O2 applies as above.
 type poolPolicy struct {
-	queue chan func()
+	queue chan func(self gls.G)
 	wg    sync.WaitGroup
 	once  sync.Once
 }
 
 func newPoolPolicy(workers, backlog int) *poolPolicy {
-	p := &poolPolicy{queue: make(chan func(), backlog)}
+	p := &poolPolicy{queue: make(chan func(self gls.G), backlog)}
 	for i := 0; i < workers; i++ {
 		p.wg.Add(1)
 		go func() {
 			defer p.wg.Done()
+			self := gls.Register()
+			defer gls.Unregister()
 			for f := range p.queue {
-				f()
+				f(self)
 			}
 		}()
 	}
 	return p
 }
 
-func (p *poolPolicy) dispatch(_ transport.ConnID, fn func()) {
+func (p *poolPolicy) dispatch(_ transport.ConnID, fn func(self gls.G)) {
 	defer func() {
 		// Dispatch after shutdown: the queue is closed; drop the call, as a
 		// real ORB drops requests arriving during shutdown.

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"causeway/internal/gls"
 	"causeway/internal/transport"
 )
 
@@ -21,7 +22,7 @@ func TestPerConnectionPolicySerializesPerConnection(t *testing.T) {
 	const calls = 20
 	wg.Add(calls)
 	for i := 0; i < calls; i++ {
-		p.dispatch(transport.ConnID(1), func() {
+		p.dispatch(transport.ConnID(1), func(gls.G) {
 			defer wg.Done()
 			cur := active.Add(1)
 			if cur > maxSameConn.Load() {
@@ -41,7 +42,7 @@ func TestPerConnectionPolicySerializesPerConnection(t *testing.T) {
 	var both sync.WaitGroup
 	both.Add(2)
 	start := make(chan struct{})
-	busyUntil := func() {
+	busyUntil := func(gls.G) {
 		defer both.Done()
 		<-start
 		if active.Add(1) == 2 {
@@ -69,7 +70,7 @@ func TestPoolPolicyBoundsConcurrency(t *testing.T) {
 	const calls = 12
 	wg.Add(calls)
 	for i := 0; i < calls; i++ {
-		p.dispatch(transport.ConnID(uint64(i)), func() {
+		p.dispatch(transport.ConnID(uint64(i)), func(gls.G) {
 			defer wg.Done()
 			cur := active.Add(1)
 			for {
@@ -94,7 +95,7 @@ func TestPoolPolicyDropsAfterShutdown(t *testing.T) {
 	p := newPoolPolicy(1, 4)
 	p.shutdown()
 	ran := false
-	p.dispatch(transport.ConnID(1), func() { ran = true })
+	p.dispatch(transport.ConnID(1), func(gls.G) { ran = true })
 	time.Sleep(10 * time.Millisecond)
 	if ran {
 		t.Fatal("closure ran after shutdown")
@@ -106,7 +107,7 @@ func TestPoolPolicyDropsAfterShutdown(t *testing.T) {
 func TestPerRequestPolicyShutdownWaits(t *testing.T) {
 	p := &perRequestPolicy{}
 	done := atomic.Bool{}
-	p.dispatch(transport.ConnID(1), func() {
+	p.dispatch(transport.ConnID(1), func(gls.G) {
 		time.Sleep(20 * time.Millisecond)
 		done.Store(true)
 	})

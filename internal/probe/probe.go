@@ -16,6 +16,7 @@ package probe
 
 import (
 	"errors"
+	"sync"
 	"time"
 
 	"causeway/internal/cputime"
@@ -167,15 +168,68 @@ type Sink interface {
 	Append(Record)
 }
 
+// SpanSink is the batched fast path: a sink that can accept all records of
+// one probe span — the events a single stub (or skeleton, or collocated)
+// activation pair produces on one goroutine — in a single call. When the
+// configured Sink implements SpanSink, probe contexts accumulate their
+// records locally and emit once at the closing probe, collapsing four lock
+// acquisitions per invocation into two (one per side). Record order within
+// the span and all seq assignment are exactly those of the unbatched path;
+// only the interleaving BETWEEN concurrent spans may differ, which every
+// consumer already tolerates (reconstruction orders by (chain, seq)).
+//
+// Implementations must not retain recs past the call.
+type SpanSink interface {
+	Sink
+	// AppendSpan stores a probe span's records (1–4 of them) atomically
+	// with respect to other appends.
+	AppendSpan(recs []Record)
+}
+
+// spanBuf accumulates one probe span. Max occupancy is 4 records: a
+// collocated span (stub_start, skel_start, skel_end, stub_end) or a oneway
+// stub span (stub_start, link, stub_end).
+type spanBuf struct {
+	recs [4]Record
+	n    int
+}
+
+var spanPool = sync.Pool{New: func() any { return new(spanBuf) }}
+
+// newSpan returns a span accumulator when the sink supports batching, nil
+// otherwise (the immediate-emission path).
+func (p *Probes) newSpan() *spanBuf {
+	if p.spanSink == nil {
+		return nil
+	}
+	return spanPool.Get().(*spanBuf)
+}
+
+// flushSpan emits the accumulated span (if any) and recycles the buffer.
+func (p *Probes) flushSpan(sp *spanBuf) {
+	if sp == nil {
+		return
+	}
+	if sp.n > 0 {
+		p.spanSink.AppendSpan(sp.recs[:sp.n])
+		for i := range sp.recs[:sp.n] {
+			sp.recs[i] = Record{} // drop string references
+		}
+		sp.n = 0
+	}
+	spanPool.Put(sp)
+}
+
 // Probes is the per-process probe set. Generated stubs and skeletons call
 // its methods at the four Figure-1 probe points.
 type Probes struct {
-	cfg     Config
-	clock   vclock.Clock
-	meter   cputime.Meter
-	tunnel  *ftl.Tunnel
-	metrics *metrics.Registry
-	sampler HeadSampler
+	cfg      Config
+	clock    vclock.Clock
+	meter    cputime.Meter
+	tunnel   *ftl.Tunnel
+	metrics  *metrics.Registry
+	sampler  HeadSampler
+	spanSink SpanSink // non-nil when cfg.Sink supports batched span appends
 }
 
 // New validates cfg and builds the process's probe set.
@@ -189,6 +243,9 @@ func New(cfg Config) (*Probes, error) {
 	}
 	if p.meter == nil {
 		p.meter = cputime.NoopMeter{}
+	}
+	if ss, ok := cfg.Sink.(SpanSink); ok {
+		p.spanSink = ss
 	}
 	p.tunnel = ftl.NewTunnel(cfg.Chains)
 	return p, nil
@@ -233,7 +290,10 @@ func (p *Probes) openWindow() window {
 	if p.cfg.Aspects&AspectCPU != 0 {
 		w.cpuStart = p.meter.ThreadCPU()
 	}
-	w.gid = gls.GoroutineID()
+	// Registered dispatch goroutines resolve in ~20ns; everything else
+	// falls back to the runtime.Stack parse (still inside the window, so
+	// the cost is compensated by the latency analysis either way).
+	w.gid = uint64(gls.Self())
 	return w
 }
 
@@ -277,14 +337,15 @@ func (p *Probes) metricEnd(w window) time.Time {
 	return p.clock.Now()
 }
 
-// emit closes the activation window and appends the record. Everything a
-// probe does must happen before its emit call so the window covers it; the
-// only uncompensated cost is the sink append itself.
-func (p *Probes) emit(w window, op OpID, f ftl.FTL, ev ftl.Event, oneway, colloc bool) {
-	p.emitSem(w, op, f, ev, oneway, colloc, "")
+// emit closes the activation window and deposits the record: into the open
+// span accumulator when sp is non-nil (batched path), or straight into the
+// sink otherwise. Everything a probe does must happen before its emit call
+// so the window covers it; the only uncompensated cost is the deposit.
+func (p *Probes) emit(sp *spanBuf, w window, op OpID, f ftl.FTL, ev ftl.Event, oneway, colloc bool) {
+	p.emitSem(sp, w, op, f, ev, oneway, colloc, "")
 }
 
-func (p *Probes) emitSem(w window, op OpID, f ftl.FTL, ev ftl.Event, oneway, colloc bool, sem string) {
+func (p *Probes) emitSem(sp *spanBuf, w window, op OpID, f ftl.FTL, ev ftl.Event, oneway, colloc bool, sem string) {
 	if !f.Sampled() {
 		// Head sampling dropped this chain: the FTL still travels and
 		// numbers events (so a mid-run rate change never de-syncs
@@ -316,6 +377,11 @@ func (p *Probes) emitSem(w window, op OpID, f ftl.FTL, ev ftl.Event, oneway, col
 		r.CPUArmed = true
 		r.CPUEnd = p.meter.ThreadCPU()
 	}
+	if sp != nil {
+		sp.recs[sp.n] = r
+		sp.n++
+		return
+	}
 	p.cfg.Sink.Append(r)
 }
 
@@ -331,6 +397,9 @@ type StubCtx struct {
 	// calls keep numbering their parent chain through stub_end).
 	parent ftl.FTL
 	fresh  bool // chain was begun by this call (top-level)
+	// sp accumulates this stub activation's records for a single batched
+	// span append at StubEnd (nil on the immediate-emission path).
+	sp *spanBuf
 	// Metric sampling state: the op's RED family (nil when metrics are
 	// unarmed) and the stub-start timestamp the round-trip duration is
 	// measured from.
@@ -348,7 +417,7 @@ func (p *Probes) StubStart(op OpID, oneway bool) StubCtx {
 		f.Flags |= ftl.FlagDropped
 	}
 	f.NextSeq()
-	ctx := StubCtx{op: op, oneway: oneway, gid: w.gid, parent: f, fresh: fresh}
+	ctx := StubCtx{op: op, oneway: oneway, gid: w.gid, parent: f, fresh: fresh, sp: p.newSpan()}
 	if ctx.ms, ctx.mStart = p.opStats(op, w); ctx.ms != nil {
 		ctx.ms.Calls.AddAt(w.gid, 1)
 	}
@@ -360,11 +429,11 @@ func (p *Probes) StubStart(op OpID, oneway bool) StubCtx {
 	} else {
 		ctx.Wire = f
 	}
-	p.emit(w, op, f, ftl.StubStart, oneway, false)
+	p.emit(ctx.sp, w, op, f, ftl.StubStart, oneway, false)
 	if oneway && f.Sampled() {
 		// The link ties the (kept) parent to its (kept) child chain; a
 		// dropped chain tree records neither events nor links.
-		p.emitLink(w.gid, link)
+		p.emitLink(ctx.sp, w.gid, link)
 	}
 	return ctx
 }
@@ -390,7 +459,8 @@ func (p *Probes) StubEnd(ctx StubCtx, reply ftl.FTL) {
 		// the online monitor's per-interface digests).
 		ctx.ms.StubTime.Observe(p.metricEnd(w).Sub(ctx.mStart))
 	}
-	p.emit(w, ctx.op, f, ftl.StubEnd, ctx.oneway, false)
+	p.emit(ctx.sp, w, ctx.op, f, ftl.StubEnd, ctx.oneway, false)
+	p.flushSpan(ctx.sp)
 }
 
 // SkelCtx carries state from a skeleton-start probe to the matching
@@ -399,6 +469,9 @@ type SkelCtx struct {
 	op     OpID
 	oneway bool
 	gid    uint64 // dispatch-thread identity resolved once at skeleton start
+	// sp accumulates the skeleton pair's records for one batched span
+	// append at SkelEnd (nil on the immediate-emission path).
+	sp *spanBuf
 	// Metric sampling state (see StubCtx).
 	ms     *metrics.OpStats
 	mStart time.Time
@@ -417,11 +490,11 @@ func (p *Probes) SkelStartSemG(self gls.G, op OpID, wire ftl.FTL, oneway bool, s
 	w := p.openWindowAt(self.ID())
 	wire.NextSeq()
 	p.tunnel.StoreG(w.gid, wire)
-	ctx := SkelCtx{op: op, oneway: oneway, gid: w.gid}
+	ctx := SkelCtx{op: op, oneway: oneway, gid: w.gid, sp: p.newSpan()}
 	if ctx.ms, ctx.mStart = p.opStats(op, w); ctx.ms != nil {
 		ctx.ms.Dispatches.AddAt(w.gid, 1)
 	}
-	p.emitSem(w, op, wire, ftl.SkelStart, oneway, false, sem)
+	p.emitSem(ctx.sp, w, op, wire, ftl.SkelStart, oneway, false, sem)
 	return ctx
 }
 
@@ -440,7 +513,8 @@ func (p *Probes) SkelEndSem(ctx SkelCtx, sem string) ftl.FTL {
 	if ctx.ms != nil {
 		ctx.ms.SkelTime.Observe(p.metricEnd(w).Sub(ctx.mStart))
 	}
-	p.emitSem(w, ctx.op, f, ftl.SkelEnd, ctx.oneway, false, sem)
+	p.emitSem(ctx.sp, w, ctx.op, f, ftl.SkelEnd, ctx.oneway, false, sem)
+	p.flushSpan(ctx.sp)
 	return f
 }
 
@@ -458,11 +532,11 @@ func (p *Probes) SkelStartG(self gls.G, op OpID, wire ftl.FTL, oneway bool) Skel
 	w := p.openWindowAt(self.ID())
 	wire.NextSeq()
 	p.tunnel.StoreG(w.gid, wire)
-	ctx := SkelCtx{op: op, oneway: oneway, gid: w.gid}
+	ctx := SkelCtx{op: op, oneway: oneway, gid: w.gid, sp: p.newSpan()}
 	if ctx.ms, ctx.mStart = p.opStats(op, w); ctx.ms != nil {
 		ctx.ms.Dispatches.AddAt(w.gid, 1)
 	}
-	p.emit(w, op, wire, ftl.SkelStart, oneway, false)
+	p.emit(ctx.sp, w, op, wire, ftl.SkelStart, oneway, false)
 	return ctx
 }
 
@@ -485,7 +559,8 @@ func (p *Probes) SkelEnd(ctx SkelCtx) ftl.FTL {
 	if ctx.ms != nil {
 		ctx.ms.SkelTime.Observe(p.metricEnd(w).Sub(ctx.mStart))
 	}
-	p.emit(w, ctx.op, f, ftl.SkelEnd, ctx.oneway, false)
+	p.emit(ctx.sp, w, ctx.op, f, ftl.SkelEnd, ctx.oneway, false)
+	p.flushSpan(ctx.sp)
 	return f
 }
 
@@ -493,6 +568,9 @@ func (p *Probes) SkelEnd(ctx SkelCtx) ftl.FTL {
 type CollocCtx struct {
 	op  OpID
 	gid uint64 // caller identity resolved once at the degenerated start pair
+	// sp accumulates all four degenerated-pair records for one batched
+	// span append at CollocEnd (nil on the immediate-emission path).
+	sp *spanBuf
 	// Metric sampling state (see StubCtx).
 	ms     *metrics.OpStats
 	mStart time.Time
@@ -509,16 +587,16 @@ func (p *Probes) CollocStart(op OpID) CollocCtx {
 		f.Flags |= ftl.FlagDropped
 	}
 	f.NextSeq()
-	ctx := CollocCtx{op: op, gid: w.gid}
+	ctx := CollocCtx{op: op, gid: w.gid, sp: p.newSpan()}
 	if ctx.ms, ctx.mStart = p.opStats(op, w); ctx.ms != nil {
 		// The degenerated pair is both probe sites at once.
 		ctx.ms.Calls.AddAt(w.gid, 1)
 		ctx.ms.Dispatches.AddAt(w.gid, 1)
 	}
-	p.emit(w, op, f, ftl.StubStart, false, true)
+	p.emit(ctx.sp, w, op, f, ftl.StubStart, false, true)
 	f.NextSeq()
 	p.tunnel.StoreG(w.gid, f)
-	p.emit(w, op, f, ftl.SkelStart, false, true)
+	p.emit(ctx.sp, w, op, f, ftl.SkelStart, false, true)
 	return ctx
 }
 
@@ -537,14 +615,15 @@ func (p *Probes) CollocEnd(ctx CollocCtx) {
 		ctx.ms.SkelTime.Observe(d)
 		ctx.ms.StubTime.Observe(d)
 	}
-	p.emit(w, ctx.op, f, ftl.SkelEnd, false, true)
+	p.emit(ctx.sp, w, ctx.op, f, ftl.SkelEnd, false, true)
 	f.NextSeq()
 	p.tunnel.StoreG(w.gid, f)
-	p.emit(w, ctx.op, f, ftl.StubEnd, false, true)
+	p.emit(ctx.sp, w, ctx.op, f, ftl.StubEnd, false, true)
+	p.flushSpan(ctx.sp)
 }
 
-func (p *Probes) emitLink(gid uint64, link ftl.ChainLink) {
-	p.cfg.Sink.Append(Record{
+func (p *Probes) emitLink(sp *spanBuf, gid uint64, link ftl.ChainLink) {
+	r := Record{
 		Kind:          KindLink,
 		Process:       p.cfg.Process.ID,
 		ProcType:      p.cfg.Process.Processor.Type,
@@ -552,5 +631,11 @@ func (p *Probes) emitLink(gid uint64, link ftl.ChainLink) {
 		LinkParent:    link.Parent,
 		LinkParentSeq: link.ParentSeq,
 		LinkChild:     link.Child,
-	})
+	}
+	if sp != nil {
+		sp.recs[sp.n] = r
+		sp.n++
+		return
+	}
+	p.cfg.Sink.Append(r)
 }

@@ -1,0 +1,287 @@
+package probe
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"causeway/internal/ftl"
+	"causeway/internal/gls"
+	"causeway/internal/topology"
+	"causeway/internal/uuid"
+)
+
+// spanRecorder captures batched appends for assertions.
+type spanRecorder struct {
+	mu      sync.Mutex
+	batches [][]Record
+	flat    []Record
+}
+
+func (s *spanRecorder) Append(r Record) { s.AppendSpan([]Record{r}) }
+
+func (s *spanRecorder) AppendSpan(recs []Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp := make([]Record, len(recs))
+	copy(cp, recs)
+	s.batches = append(s.batches, cp)
+	s.flat = append(s.flat, cp...)
+}
+
+var _ SpanSink = (*spanRecorder)(nil)
+
+func testProc(id string) topology.Process {
+	return topology.Process{ID: id, Processor: topology.Processor{Type: "test"}}
+}
+
+// TestSpanBatching proves a span-capable sink receives each probe pair as
+// one batch whose record order and seq assignment are exactly those of the
+// unbatched path.
+func TestSpanBatching(t *testing.T) {
+	span := &spanRecorder{}
+	mem := &MemorySink{}
+	gen := &uuid.SequentialGenerator{Seed: 7}
+	genB := &uuid.SequentialGenerator{Seed: 7}
+	pb, err := New(Config{Process: testProc("p"), Sink: span, Chains: gen})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := New(Config{Process: testProc("p"), Sink: mem, Chains: genB})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	scenario := func(p *Probes) {
+		// Synchronous remote call: stub pair on this goroutine, skeleton
+		// pair logically on the callee side (same goroutine suffices for
+		// record content).
+		op := OpID{Component: "c", Interface: "I", Operation: "echo"}
+		sctx := p.StubStart(op, false)
+		kctx := p.SkelStart(op, sctx.Wire, false)
+		reply := p.SkelEnd(kctx)
+		p.StubEnd(sctx, reply)
+		p.Tunnel().ClearG(gls.SelfID())
+
+		// Collocated call: all four records in one span.
+		cctx := p.CollocStart(op)
+		p.CollocEnd(cctx)
+		p.Tunnel().ClearG(gls.SelfID())
+
+		// Oneway: stub span carries the chain link.
+		octx := p.StubStart(op, true)
+		p.StubEnd(octx, ftl.FTL{})
+		p.Tunnel().ClearG(gls.SelfID())
+	}
+	scenario(pb)
+	scenario(pm)
+
+	wantBatches := [][]ftl.Event{
+		{ftl.SkelStart, ftl.SkelEnd},                             // skeleton span closes first
+		{ftl.StubStart, ftl.StubEnd},                             // then the stub span
+		{ftl.StubStart, ftl.SkelStart, ftl.SkelEnd, ftl.StubEnd}, // collocated
+		{ftl.StubStart, 0, ftl.StubEnd},                          // oneway stub + link
+	}
+	if len(span.batches) != len(wantBatches) {
+		t.Fatalf("got %d batches, want %d", len(span.batches), len(wantBatches))
+	}
+	for i, want := range wantBatches {
+		got := span.batches[i]
+		if len(got) != len(want) {
+			t.Fatalf("batch %d has %d records, want %d", i, len(got), len(want))
+		}
+		for j, ev := range want {
+			if ev == 0 {
+				if got[j].Kind != KindLink {
+					t.Fatalf("batch %d record %d: want link, got %v", i, j, got[j].Event)
+				}
+				continue
+			}
+			if got[j].Kind != KindEvent || got[j].Event != ev {
+				t.Fatalf("batch %d record %d: got %v, want %v", i, j, got[j].Event, ev)
+			}
+		}
+	}
+
+	// The batched stream, ordered by (chain, seq), must be identical to the
+	// unbatched MemorySink stream ordered the same way (both generators are
+	// seeded identically).
+	key := func(r Record) [3]uint64 {
+		k := uint64(0)
+		if r.Kind == KindLink {
+			k = 1
+		}
+		var c uuid.UUID
+		if r.Kind == KindLink {
+			c = r.LinkParent
+		} else {
+			c = r.Chain
+		}
+		return [3]uint64{k, uint64(c[0])<<8 | uint64(c[15]), r.Seq}
+	}
+	batched := append([]Record(nil), span.flat...)
+	unbatched := mem.Snapshot()
+	if len(batched) != len(unbatched) {
+		t.Fatalf("batched %d records, unbatched %d", len(batched), len(unbatched))
+	}
+	count := map[[3]uint64]int{}
+	for i := range batched {
+		count[key(batched[i])]++
+		count[key(unbatched[i])]--
+	}
+	for k, v := range count {
+		if v != 0 {
+			t.Fatalf("record multiset mismatch at key %v (delta %d)", k, v)
+		}
+	}
+}
+
+// TestRingSinkDelivers checks the combining drainer forwards spans
+// downstream synchronously when uncontended.
+func TestRingSinkDelivers(t *testing.T) {
+	rec := &spanRecorder{}
+	ring := NewRingSink(rec)
+	ring.AppendSpan([]Record{{Kind: KindEvent, Thread: 1, Seq: 1}, {Kind: KindEvent, Thread: 1, Seq: 2}})
+	if len(rec.batches) != 1 || len(rec.batches[0]) != 2 {
+		t.Fatalf("span not delivered inline: %+v", rec.batches)
+	}
+	ring.Append(Record{Kind: KindEvent, Thread: 2, Seq: 3})
+	if len(rec.flat) != 3 {
+		t.Fatalf("single append not delivered: %d records", len(rec.flat))
+	}
+	s := ring.Stats()
+	if s.Batches != 2 || s.Records != 3 || s.Forwarded != 3 || s.Dropped != 0 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+// gateSink blocks deliveries until released, letting a test wedge the
+// combiner inside the downstream sink.
+type gateSink struct {
+	entered chan struct{}
+	release chan struct{}
+	once    sync.Once
+	n       int
+}
+
+func (g *gateSink) Append(Record) {
+	g.once.Do(func() {
+		close(g.entered)
+		<-g.release
+	})
+	g.n++
+}
+
+// TestRingSinkForcedDrop wedges the combiner in a blocked downstream sink,
+// overflows a tiny single-shard ring from a second goroutine, and checks
+// drop-oldest semantics plus counter conservation:
+//
+//	records == forwarded + dropped    (after Flush)
+func TestRingSinkForcedDrop(t *testing.T) {
+	gate := &gateSink{entered: make(chan struct{}), release: make(chan struct{})}
+	ring := NewRingSinkSize(gate, 1, 4)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// Becomes the combiner and blocks inside gate.Append.
+		ring.AppendSpan([]Record{{Kind: KindEvent, Thread: 9, Seq: 0}})
+	}()
+	<-gate.entered
+
+	// The combiner is wedged, so these pile into the 4-cell ring; the
+	// overflow must evict the oldest resident spans.
+	const extra = 12
+	for i := 0; i < extra; i++ {
+		ring.AppendSpan([]Record{
+			{Kind: KindEvent, Thread: 9, Seq: uint64(i)},
+			{Kind: KindEvent, Thread: 9, Seq: uint64(i)},
+		})
+	}
+	s := ring.Stats()
+	if s.Dropped == 0 {
+		t.Fatal("no drops despite a wedged combiner and an overflowing ring")
+	}
+
+	close(gate.release)
+	<-done
+	ring.Flush()
+
+	s = ring.Stats()
+	if s.Records != s.Forwarded+s.Dropped {
+		t.Fatalf("conservation violated: records=%d forwarded=%d dropped=%d",
+			s.Records, s.Forwarded, s.Dropped)
+	}
+	if s.Records != 1+2*extra {
+		t.Fatalf("records=%d, want %d", s.Records, 1+2*extra)
+	}
+	if s.Forwarded == 0 {
+		t.Fatal("nothing forwarded despite release and flush")
+	}
+
+	// The loss must be visible in the exposition the fleet scraper sums.
+	var sb strings.Builder
+	ring.WriteMetrics(&sb)
+	if !strings.Contains(sb.String(), "causeway_probe_ring_dropped_total") ||
+		!strings.Contains(sb.String(), "causeway_probe_span_batches_total") {
+		t.Fatalf("metrics exposition missing ring series:\n%s", sb.String())
+	}
+}
+
+// TestRingSinkConcurrent hammers the ring from many goroutines; under
+// -race this doubles as the memory-safety proof for the combining drain.
+func TestRingSinkConcurrent(t *testing.T) {
+	count := &CountingSink{}
+	ring := NewRingSinkSize(count, 8, 1024)
+	const (
+		goroutines = 24
+		spans      = 200
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < spans; i++ {
+				ring.AppendSpan([]Record{
+					{Kind: KindEvent, Thread: uint64(g), Seq: uint64(i)},
+					{Kind: KindEvent, Thread: uint64(g), Seq: uint64(i)},
+				})
+			}
+		}(g)
+	}
+	wg.Wait()
+	ring.Flush()
+	s := ring.Stats()
+	if s.Records != s.Forwarded+s.Dropped {
+		t.Fatalf("conservation violated: %+v", s)
+	}
+	if got := count.Count(); got != int(s.Forwarded) {
+		t.Fatalf("downstream saw %d records, ring forwarded %d", got, s.Forwarded)
+	}
+	if s.Records != goroutines*spans*2 {
+		t.Fatalf("records=%d, want %d", s.Records, goroutines*spans*2)
+	}
+}
+
+// TestRingSpanAppendAllocFree pins the registered-goroutine span append at
+// zero allocations end to end (ring push + combining drain + counting).
+func TestRingSpanAppendAllocFree(t *testing.T) {
+	if !gls.FastPathEnabled() {
+		t.Skip("gls fast path unavailable")
+	}
+	gls.Register()
+	defer gls.Unregister()
+	count := &CountingSink{}
+	ring := NewRingSink(count)
+	span := []Record{
+		{Kind: KindEvent, Thread: 1, Seq: 1},
+		{Kind: KindEvent, Thread: 1, Seq: 2},
+		{Kind: KindEvent, Thread: 1, Seq: 3},
+		{Kind: KindEvent, Thread: 1, Seq: 4},
+	}
+	allocs := testing.AllocsPerRun(500, func() { ring.AppendSpan(span) })
+	if allocs != 0 {
+		t.Fatalf("span append allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -117,18 +116,21 @@ type ShipperStats struct {
 }
 
 // ShipperSink is a probe.Sink that streams records to a telemetry Server
-// over TCP. The probe hot path (Append) is O(1) and never performs I/O,
-// blocks, or allocates beyond the ring slot: encoding, framing, connection
-// management, and reconnect with exponential backoff + jitter all happen
-// on one background goroutine.
+// over TCP. The probe hot path (Append/AppendSpan) is lock-free: records
+// land in a sharded probe.SpanRing with one CAS and one cell copy, and
+// never perform I/O, block on the sender, or contend on a mutex. Encoding,
+// framing, connection management, and reconnect with exponential backoff +
+// jitter all happen on one background goroutine.
+//
+// BufferSize bounds the ring's span cells; a cell holds one span (up to 4
+// records when spans are batched, exactly 1 for plain Append), so single-
+// record workloads see the historical record bound and span workloads may
+// buffer up to 4x before the drop-oldest policy engages.
 type ShipperSink struct {
 	cfg ShipperConfig
 
-	mu     sync.Mutex
-	ring   []probe.Record
-	head   int // index of oldest buffered record
-	count  int // buffered records
-	closed bool
+	ring   *probe.SpanRing
+	closed atomic.Bool
 
 	wake     chan struct{} // nudges the background loop; capacity 1
 	stop     chan struct{}
@@ -138,6 +140,7 @@ type ShipperSink struct {
 
 	appended  atomic.Uint64
 	dropped   atomic.Uint64
+	inflight  atomic.Int64 // records taken from the ring, not yet acked/dropped
 	shipped   atomic.Uint64
 	batches   atomic.Uint64
 	bytes     atomic.Uint64
@@ -147,7 +150,10 @@ type ShipperSink struct {
 	lastErr   atomic.Value  // string: most recent handshake/protocol error
 }
 
-var _ probe.Sink = (*ShipperSink)(nil)
+var (
+	_ probe.Sink     = (*ShipperSink)(nil)
+	_ probe.SpanSink = (*ShipperSink)(nil)
+)
 
 // NewShipper starts a shipper. It returns immediately even when the server
 // is unreachable: records buffer (and eventually rotate out, oldest first)
@@ -156,9 +162,19 @@ func NewShipper(cfg ShipperConfig) (*ShipperSink, error) {
 	if err := cfg.applyDefaults(); err != nil {
 		return nil, err
 	}
+	// Geometry: one shard — a Vyukov ring is lock-free with any number of
+	// producers, and a single shard preserves both the exact BufferSize
+	// capacity bound and the global FIFO order the mutex ring gave the
+	// shipper (spans of one goroutine must not overtake each other, and
+	// a single-goroutine workload must see the full configured bound).
+	// Preallocate so the one-time cell-array make-and-zero (BufferSize can
+	// be configured into the hundreds of thousands) happens here, not under
+	// the first probe on the hot path.
+	ring := probe.NewSpanRing(1, cfg.BufferSize)
+	ring.Preallocate()
 	s := &ShipperSink{
 		cfg:      cfg,
-		ring:     make([]probe.Record, cfg.BufferSize),
+		ring:     ring,
 		wake:     make(chan struct{}, 1),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
@@ -169,26 +185,28 @@ func NewShipper(cfg ShipperConfig) (*ShipperSink, error) {
 	return s, nil
 }
 
-// Append implements probe.Sink. It is O(1) and never blocks: a full buffer
-// drops the oldest record to admit the new one.
+// Append implements probe.Sink. It is O(1), lock-free, and never blocks: a
+// full buffer drops the oldest span to admit the new one.
 func (s *ShipperSink) Append(r probe.Record) {
-	s.appended.Add(1)
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		s.dropped.Add(1)
+	var tmp [1]probe.Record
+	tmp[0] = r
+	s.AppendSpan(tmp[:])
+}
+
+// AppendSpan implements probe.SpanSink: the records of one invocation span
+// enter the ring as a unit — one shard selection, one CAS — and ship
+// together.
+func (s *ShipperSink) AppendSpan(recs []probe.Record) {
+	if len(recs) == 0 {
 		return
 	}
-	if s.count == len(s.ring) {
-		// Drop-oldest: overwrite the head slot and advance.
-		s.ring[s.head] = r
-		s.head = (s.head + 1) % len(s.ring)
-		s.mu.Unlock()
-		s.dropped.Add(1)
-	} else {
-		s.ring[(s.head+s.count)%len(s.ring)] = r
-		s.count++
-		s.mu.Unlock()
+	s.appended.Add(uint64(len(recs)))
+	if s.closed.Load() {
+		s.dropped.Add(uint64(len(recs)))
+		return
+	}
+	if d := s.ring.Push(recs[0].Thread, recs); d > 0 {
+		s.dropped.Add(uint64(d))
 	}
 	select {
 	case s.wake <- struct{}{}:
@@ -196,30 +214,28 @@ func (s *ShipperSink) Append(r probe.Record) {
 	}
 }
 
-// take moves up to max records from the front of the ring into dst's
-// backing array (truncating dst first, growing only when a batch exceeds
-// its capacity) and returns the result, so steady-state batching reuses
-// one scratch slice instead of allocating per batch.
+// take moves up to max records (rounded up to whole spans) from the ring
+// into dst's backing array (truncating dst first, growing only when a
+// batch exceeds its capacity) and returns the result, so steady-state
+// batching reuses one scratch slice instead of allocating per batch.
+// Taken records are counted in-flight: they stay visible in Buffered until
+// settled — acknowledged, rejected, or handed back by Detach — so no
+// record is ever invisible to the conservation ledger mid-shipment.
 func (s *ShipperSink) take(dst []probe.Record, max int) []probe.Record {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	dst = dst[:0]
-	k := s.count
-	if k > max {
-		k = max
-	}
-	for i := 0; i < k; i++ {
-		dst = append(dst, s.ring[(s.head+i)%len(s.ring)])
-	}
-	s.head = (s.head + k) % len(s.ring)
-	s.count -= k
+	dst = s.ring.PopInto(dst[:0], max)
+	s.inflight.Add(int64(len(dst)))
 	return dst
 }
 
+// settle retires n in-flight records (shipped, dropped, or detached).
+func (s *ShipperSink) settle(n int) {
+	if n != 0 {
+		s.inflight.Add(int64(-n))
+	}
+}
+
 func (s *ShipperSink) buffered() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.count
+	return s.ring.Buffered() + int(s.inflight.Load())
 }
 
 // Stats snapshots the counters.
@@ -268,14 +284,10 @@ func (s *ShipperSink) WriteMetrics(w io.Writer) {
 // background goroutine. Records that could not be delivered in time are
 // counted as dropped. Append after Close drops.
 func (s *ShipperSink) Close() error {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	if !s.closed.CompareAndSwap(false, true) {
 		<-s.done
 		return nil
 	}
-	s.closed = true
-	s.mu.Unlock()
 	close(s.stop)
 	<-s.done
 	return nil
@@ -407,6 +419,7 @@ func (s *ShipperSink) loop() {
 			if err != nil {
 				// Unencodable batch: nothing a retry can fix.
 				s.dropped.Add(uint64(len(pending)))
+				s.settle(len(pending))
 				pending = pending[:0]
 				continue
 			}
@@ -424,12 +437,14 @@ func (s *ShipperSink) loop() {
 				// Protocol rejection: nothing a retry can fix.
 				s.lastErr.Store(fmt.Sprintf("telemetry: ship rejected: %s", rep.Body))
 				s.dropped.Add(uint64(len(pending)))
+				s.settle(len(pending))
 				pending = pending[:0]
 				continue
 			}
 			s.shipped.Add(uint64(len(pending)))
 			s.batches.Add(1)
 			s.bytes.Add(uint64(len(payload)))
+			s.settle(len(pending))
 			pending = pending[:0]
 		}
 	}
@@ -505,20 +520,18 @@ func (s *ShipperSink) loop() {
 // nil. Returned records are NOT counted as dropped — the caller owns
 // them now.
 func (s *ShipperSink) Detach() []probe.Record {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	if !s.closed.CompareAndSwap(false, true) {
 		<-s.done
 		return nil
 	}
-	s.closed = true
-	s.mu.Unlock()
 	close(s.detach)
 	pending := <-s.detached
 	<-s.done
+	// The caller owns the unacked batch now; it is no longer in flight.
+	s.settle(len(pending))
 	// The loop has exited; the ring is quiescent. Take whatever remains.
-	if left := s.buffered(); left > 0 {
-		pending = append(pending, s.take(nil, left)...)
+	if left := s.ring.Buffered(); left > 0 {
+		pending = s.ring.PopInto(pending, left)
 	}
 	return pending
 }
@@ -555,9 +568,10 @@ func (s *ShipperSink) drain(client transport.Client, pending []probe.Record) {
 		s.connected.Store(false)
 		// Whatever is still queued did not make it.
 		s.dropped.Add(uint64(len(pending)))
-		if left := s.buffered(); left > 0 {
-			s.take(nil, left)
-			s.dropped.Add(uint64(left))
+		s.settle(len(pending))
+		if left := s.ring.Buffered(); left > 0 {
+			rest := s.ring.PopInto(nil, left)
+			s.dropped.Add(uint64(len(rest)))
 		}
 	}()
 	if client == nil {
@@ -576,6 +590,7 @@ func (s *ShipperSink) drain(client transport.Client, pending []probe.Record) {
 		payload, err := enc.encode(pending)
 		if err != nil {
 			s.dropped.Add(uint64(len(pending)))
+			s.settle(len(pending))
 			pending = pending[:0]
 			continue
 		}
@@ -586,6 +601,7 @@ func (s *ShipperSink) drain(client transport.Client, pending []probe.Record) {
 		s.shipped.Add(uint64(len(pending)))
 		s.batches.Add(1)
 		s.bytes.Add(uint64(len(payload)))
+		s.settle(len(pending))
 		pending = pending[:0]
 	}
 	// Closing account: everything still queued at this point is about to
@@ -593,7 +609,7 @@ func (s *ShipperSink) drain(client transport.Client, pending []probe.Record) {
 	// must carry the numbers as they will stand after Close returns.
 	final := ShipperFinal{
 		Appended: s.appended.Load(),
-		Dropped:  s.dropped.Load() + uint64(len(pending)) + uint64(s.buffered()),
+		Dropped:  s.dropped.Load() + uint64(len(pending)) + uint64(s.ring.Buffered()),
 		Shipped:  s.shipped.Load(),
 	}
 	if payload, err := encodeFinal(final); err == nil {

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"causeway/internal/gls"
 	"causeway/internal/metrics"
 )
 
@@ -433,6 +434,11 @@ func (s *TCPServer) acceptLoop() {
 
 func (s *TCPServer) connLoop(conn net.Conn, id ConnID) {
 	defer s.wg.Done()
+	// The connection reader owns its goroutine for the connection's
+	// lifetime: pre-register so any identity resolution on this goroutine
+	// (oneway fast paths, inline delivery) is constant-time.
+	gls.Register()
+	defer gls.Unregister()
 	defer func() {
 		s.mu.Lock()
 		delete(s.conns, conn)
@@ -602,6 +608,9 @@ func (c *TCPClient) failPending(err error) {
 
 func (c *TCPClient) readLoop() {
 	defer close(c.done)
+	// Long-lived reply reader: register once at birth (see gls.Register).
+	gls.Register()
+	defer gls.Unregister()
 	// One pooled buffer reused for every reply frame; DecodeReplyFrame
 	// copies the body out, so the next read may overwrite it.
 	readBuf := getFrameBuf()

@@ -1,0 +1,9 @@
+//go:build race
+
+package causeway_test
+
+// raceEnabled reports that this test binary was built with -race. The race
+// detector deliberately degrades sync.Pool (items are randomly dropped to
+// widen interleavings), so strict zero-allocation pins must relax to a
+// small ceiling under race; the exact pin is enforced by the regular build.
+const raceEnabled = true
