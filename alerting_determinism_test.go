@@ -1,0 +1,157 @@
+// Seeded fault-injection acceptance of the alert state machine: the
+// livemonitor topology (one echo server, three clients behind seeded
+// fault injectors) produces a deterministic per-call outcome schedule
+// for a given seed, and replaying that schedule through a fake-clock
+// error-budget evaluator must yield an identical fire/resolve transition
+// sequence every time. Determinism is what makes an alert plane
+// debuggable: the same incident replays to the same alert history.
+package causeway_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"causeway"
+	"causeway/internal/alerting"
+	"causeway/internal/benchgen/instrecho"
+	"causeway/internal/faultinject"
+	"causeway/internal/metrics"
+)
+
+// plainEcho answers instantly; the injected transport faults are the
+// only failure source, so outcomes follow the injector's seeded stream.
+type plainEcho struct{}
+
+func (plainEcho) Echo(payload string) (string, error) { return payload, nil }
+func (plainEcho) Sum([]int32) (int32, error)          { return 0, nil }
+func (plainEcho) Fire(string) error                   { return nil }
+
+// faultOutcomes runs the livemonitor topology under seed-derived
+// injection and returns each call's failure flag, in call order. The
+// injectors draw from private per-client streams and retries consume
+// draws deterministically, so the flags are a pure function of the seed.
+func faultOutcomes(t *testing.T, seed int64) []bool {
+	t.Helper()
+	server, err := causeway.NewProcess(causeway.ProcessConfig{
+		Name: "server", Instrumented: true, Monitor: causeway.MonitorLatency,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+	if err := instrecho.RegisterEcho(server.ORB, "svc", "svc-comp", plainEcho{}); err != nil {
+		t.Fatal(err)
+	}
+	ep, err := server.ORB.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const clients, callsPerClient = 3, 8
+	var outcomes []bool
+	for c := 1; c <= clients; c++ {
+		inj := faultinject.New(faultinject.Plan{
+			Seed: seed + int64(c),
+			// Disconnect-heavy so failures surface fast instead of waiting
+			// out the call deadline.
+			DropProb:       0.15,
+			DisconnectProb: 0.45,
+		})
+		client, err := causeway.NewProcess(causeway.ProcessConfig{
+			Name:         fmt.Sprintf("client-%d", c),
+			Instrumented: true,
+			Monitor:      causeway.MonitorLatency,
+			WrapClient:   inj.WrapClient,
+			CallTimeout:  50 * time.Millisecond,
+			Retry:        causeway.RetryPolicy{Attempts: 2, Backoff: time.Millisecond},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := client.ORB.RefTo(ep, "svc", "Echo", "svc-comp")
+		ref.Idempotent = true
+		stub := instrecho.NewEchoStub(ref)
+		for i := 0; i < callsPerClient; i++ {
+			_, err := stub.Echo(fmt.Sprintf("c%d-%d", c, i))
+			outcomes = append(outcomes, err != nil)
+			client.NewChain()
+		}
+		if err := client.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return outcomes
+}
+
+// transitionsFor replays one outcome schedule through a fake-clock
+// evaluator: each call lands 250ms apart as an error-budget observation,
+// then traffic stops and the clock runs on until the alert can resolve.
+func transitionsFor(outcomes []bool) []string {
+	reg := metrics.NewRegistry()
+	now := time.Unix(0, 0)
+	var seq []string
+	ev, err := alerting.NewEvaluator(alerting.Config{
+		Registry: reg,
+		Clock:    func() time.Time { return now },
+		Rules: []alerting.Rule{{
+			Name:         "echo-errors",
+			Iface:        "Echo",
+			Op:           "echo",
+			Target:       0.9, // any sustained failure rate over 10% burns
+			FastWindow:   time.Second,
+			SlowWindow:   2 * time.Second,
+			Burn:         1,
+			ResolveAfter: time.Second,
+		}},
+		OnTransition: func(tr alerting.Transition) {
+			seq = append(seq, fmt.Sprintf("%s->%s", tr.From, tr.To))
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	s := reg.Op(metrics.OpKey{Interface: "Echo", Operation: "echo"})
+	for _, failed := range outcomes {
+		now = now.Add(250 * time.Millisecond)
+		s.Calls.Add(1)
+		if failed {
+			s.Errors.Add(1)
+		}
+		ev.Eval()
+	}
+	for i := 0; i < 40; i++ {
+		now = now.Add(250 * time.Millisecond)
+		ev.Eval()
+	}
+	return seq
+}
+
+func TestSeededFaultAlertSequencesAreDeterministic(t *testing.T) {
+	for _, seed := range []int64{1, 1234, 987654321} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			first := transitionsFor(faultOutcomes(t, seed))
+			second := transitionsFor(faultOutcomes(t, seed))
+			if fmt.Sprint(first) != fmt.Sprint(second) {
+				t.Fatalf("same seed, different transition sequences:\n  run 1: %v\n  run 2: %v", first, second)
+			}
+			want := []string{"inactive->pending", "pending->firing", "firing->resolved"}
+			got := fmt.Sprint(first)
+			for _, step := range want {
+				if !containsStep(first, step) {
+					t.Fatalf("sequence %s lacks %q; the injected failures never drove the full lifecycle", got, step)
+				}
+			}
+		})
+	}
+}
+
+func containsStep(seq []string, step string) bool {
+	for _, s := range seq {
+		if s == step {
+			return true
+		}
+	}
+	return false
+}

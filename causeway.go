@@ -28,6 +28,7 @@ import (
 	"os"
 	"time"
 
+	"causeway/internal/alerting"
 	"causeway/internal/analysis"
 	"causeway/internal/cluster"
 	"causeway/internal/collector"
@@ -178,7 +179,29 @@ type ProcessConfig struct {
 	// arrives. The collector's AIMD governor (cmd/collectd -adaptive)
 	// closes the loop.
 	AdaptiveSampling bool
+	// SLO, when non-empty, arms the in-process alerting plane: the rules
+	// are evaluated against this process's registry by a background
+	// ticker (multi-window burn rate, pending→firing→resolved), exemplar
+	// capture is armed on every histogram so alerts carry offending
+	// chain UUIDs, and the debug server additionally serves /alertz.
+	// Read the evaluator back with Process.Alerts.
+	SLO []SLORule
+	// SLOInterval is the evaluation period; zero selects 1s. Windows
+	// need several evaluations to fill, so keep it well under the rules'
+	// FastWindow.
+	SLOInterval time.Duration
 }
+
+// SLORule declares one service-level objective for the in-process
+// alerting plane (see internal/alerting.Rule).
+type SLORule = alerting.Rule
+
+// AlertEvaluator re-exports the burn-rate alert evaluator.
+type AlertEvaluator = alerting.Evaluator
+
+// ParseSLORules reads the declarative rules-file format (see
+// alerting.ParseRules).
+func ParseSLORules(r io.Reader) ([]SLORule, error) { return alerting.ParseRules(r) }
 
 // MetricsRegistry is the in-process metrics plane: goroutine-sharded
 // counters and log-linear latency histograms whose bucket scheme matches
@@ -206,6 +229,10 @@ type Process struct {
 	metrics *metrics.Registry
 	debug   *debugserver.Server
 	sampler *sampling.Controlled
+
+	alerts    *alerting.Evaluator
+	alertStop chan struct{}
+	alertDone chan struct{}
 }
 
 // NewProcess builds a monitored process.
@@ -256,6 +283,21 @@ func NewProcess(cfg ProcessConfig) (*Process, error) {
 		sink = probe.TeeSink{sink, cfg.Online}
 	}
 
+	// The alerting evaluator is built before the debug server so /alertz
+	// can mount it; the evaluation ticker only starts once the whole
+	// process has assembled (so fail paths never leak the goroutine).
+	if len(cfg.SLO) > 0 {
+		ev, err := alerting.NewEvaluator(alerting.Config{
+			Registry: p.metrics,
+			Rules:    cfg.SLO,
+		})
+		if err != nil {
+			return fail(fmt.Errorf("causeway: slo: %w", err))
+		}
+		p.alerts = ev
+		p.metrics.RegisterSource("alerting", ev.WriteMetrics)
+	}
+
 	// The debug server starts before the shipper so the handshake can
 	// advertise its resolved address to the collection daemon.
 	if cfg.DebugAddr != "" {
@@ -267,6 +309,7 @@ func NewProcess(cfg ProcessConfig) (*Process, error) {
 			ProcType:     cfg.ProcessorType,
 			Aspects:      cfg.Monitor.aspectString(),
 			Instrumented: cfg.Instrumented,
+			Alerts:       p.alerts,
 		})
 		if err != nil {
 			return fail(fmt.Errorf("causeway: %w", err))
@@ -378,6 +421,28 @@ func NewProcess(cfg ProcessConfig) (*Process, error) {
 		return fail(err)
 	}
 	p.ORB = o
+
+	if p.alerts != nil {
+		interval := cfg.SLOInterval
+		if interval <= 0 {
+			interval = time.Second
+		}
+		p.alertStop = make(chan struct{})
+		p.alertDone = make(chan struct{})
+		go func(ev *alerting.Evaluator) {
+			defer close(p.alertDone)
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					ev.Eval()
+				case <-p.alertStop:
+					return
+				}
+			}
+		}(p.alerts)
+	}
 	return p, nil
 }
 
@@ -454,9 +519,19 @@ func (p *Process) ClusterRing() (ring telemetry.Ring, ok bool) {
 	return p.routed.Stats().Ring, true
 }
 
+// Alerts returns the process's SLO alert evaluator, nil when
+// ProcessConfig.SLO was empty. Callers may drive Eval directly (tests
+// with fake traffic) alongside the background ticker.
+func (p *Process) Alerts() *AlertEvaluator { return p.alerts }
+
 // Close shuts the ORB down, drains the record shipper (bounded), and
 // flushes the log file, if any.
 func (p *Process) Close() error {
+	if p.alertStop != nil {
+		close(p.alertStop)
+		<-p.alertDone
+		p.alertStop = nil
+	}
 	p.ORB.Shutdown()
 	if p.ring != nil {
 		// Every in-flight dispatch has returned; push the last resident

@@ -33,6 +33,11 @@
 //	        trigger or resume segment donation on every collector for the
 //	        ring it currently serves, with per-range progress lines and a
 //	        final tier ledger verdict (donations are idempotent)
+//	alerts -addr dbg1[,dbg2,...] [-since cursor] [-firing]
+//	        list live SLO alert state from running evaluators' /alertz
+//	        endpoints (collectd -alerts, or ProcessConfig.SLO): rule,
+//	        state, burn rates, exemplar chain UUIDs, and the transition
+//	        log after the cursor (no store needed)
 package main
 
 import (
@@ -76,7 +81,7 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 	if fs.NArg() == 0 {
-		return fmt.Errorf("usage: causectl [-store dir | -logs glob] <chains|show|top|export|cluster> [args]")
+		return fmt.Errorf("usage: causectl [-store dir | -logs glob] <chains|show|top|export|cluster|alerts> [args]")
 	}
 	if fs.Arg(0) == "chains" && followRequested(fs.Args()[1:]) {
 		// Follow mode talks to a running collectd, not a store.
@@ -91,6 +96,13 @@ func run(args []string, w io.Writer) error {
 			return fmt.Errorf("cluster reads running collectors' debug servers, not -store/-logs")
 		}
 		return cmdCluster(w, fs.Args()[1:])
+	}
+	if fs.Arg(0) == "alerts" {
+		// Alert state is live: read from running evaluators' /alertz.
+		if *storeDir != "" || *logsGlob != "" {
+			return fmt.Errorf("alerts reads running evaluators' /alertz endpoints, not -store/-logs")
+		}
+		return cmdAlerts(w, fs.Args()[1:])
 	}
 	if (*storeDir == "") == (*logsGlob == "") {
 		return fmt.Errorf("exactly one of -store or -logs is required")
@@ -125,7 +137,7 @@ func run(args []string, w io.Writer) error {
 	case "export":
 		return cmdExport(w, src, *workers, rest)
 	default:
-		return fmt.Errorf("unknown command %q (want chains, show, top, export, or cluster)", cmd)
+		return fmt.Errorf("unknown command %q (want chains, show, top, export, cluster, or alerts)", cmd)
 	}
 }
 

@@ -81,6 +81,12 @@ func mergeExposition(merged map[string]int64, maxes map[string]bool, r io.Reader
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
+		// Exemplar-annotated histogram lines (` # {chain_uuid="..."} v ts`)
+		// merge by their series value; the annotation is per-process
+		// evidence, meaningless to aggregate.
+		if i := strings.Index(line, " # "); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
 		cut := strings.LastIndexByte(line, ' ')
 		if cut <= 0 {
 			continue

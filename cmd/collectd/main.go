@@ -50,6 +50,11 @@
 //	-adaptive       steer the served rate by load (AIMD on drops/backlog signals)
 //	-tail R         with -stream: tail retention rate for normal chains; slow,
 //	                broken, and anomalous chains are always retained
+//	-alerts file    SLO rules file (see internal/alerting.ParseRules): evaluate
+//	                multi-window burn-rate alerts over the daemon's fleet-merged
+//	                series each report tick, print fire/resolve transitions, pin
+//	                firing exemplar chains into streaming retention, and serve
+//	                /alertz on the debug server
 //	-heartbeat dur  automated cluster membership: probe every peer's debug
 //	                plane on this jittered interval; a dead member is evicted
 //	                by an automatic ring-epoch bump and its hash ranges are
@@ -65,11 +70,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"causeway"
+	"causeway/internal/alerting"
 	"causeway/internal/analysis"
 	"causeway/internal/cluster"
 	"causeway/internal/debugserver"
@@ -135,6 +142,7 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 	sampleRate := fs.Float64("rate", 1, "head-sampling rate served to shippers (0 < rate <= 1)")
 	adaptive := fs.Bool("adaptive", false, "steer the served sampling rate by load (AIMD)")
 	tailRate := fs.Float64("tail", 1, "with -stream: tail retention rate for normal chains (0..1)")
+	alertsFile := fs.String("alerts", "", "SLO rules file: evaluate burn-rate alerts over the daemon's series each report tick")
 	peers := fs.String("peers", "", "comma-separated ingest-tier peer addresses: telemetry addresses of every ingest collector (this one included) to compute the ownership ring, or their debug addresses with -aggregate")
 	advertise := fs.String("advertise", "", "this collector's address in -peers (default: the -listen address)")
 	ringEpoch := fs.Uint64("ring-epoch", 1, "ownership-ring epoch to serve; bump when restarting with a changed -peers list so shippers re-route")
@@ -219,14 +227,47 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 		reg.RegisterSource("sampling", sampler.WriteMetrics)
 	}
 
+	// SLO alerting: rules evaluate against this daemon's own registry —
+	// the fleet-merged view, since the online monitor observes every
+	// shipped record's compensated latency into it. Exemplar chains of
+	// pending/firing alerts pin into the streaming tail policy so
+	// retention and shedding keep the evidence an operator will ask for.
+	var alerts *alerting.Evaluator
+	var alertPins *sampling.PinSet
+	if *alertsFile != "" {
+		rules, err := alerting.ParseRulesFile(*alertsFile)
+		if err != nil {
+			return err
+		}
+		alertPins = sampling.NewPinSet()
+		alerts, err = alerting.NewEvaluator(alerting.Config{
+			Registry: reg,
+			Rules:    rules,
+			Pins:     alertPins,
+			OnTransition: func(tr alerting.Transition) {
+				line := fmt.Sprintf("collectd: alert %s [%s]: %s -> %s (fast %.2fx, slow %.2fx burn)",
+					tr.Rule, tr.Family, tr.From, tr.To, tr.FastBurn, tr.SlowBurn)
+				if len(tr.Exemplars) > 0 {
+					line += " exemplars " + strings.Join(tr.Exemplars, ",")
+				}
+				fmt.Fprintln(w, line)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		reg.RegisterSource("alerting", alerts.WriteMetrics)
+		fmt.Fprintf(w, "collectd: alerting on (%d rule(s) from %s)\n", len(rules), *alertsFile)
+	}
+
 	// Streaming assembly: records flow server → assembler → store, with
 	// the assembler evicting each chain the moment it completes instead of
 	// holding everything for the drain.
 	var asm *streamrecon.Assembler
 	if *stream {
 		var tail *sampling.TailPolicy
-		if *tailRate < 1 {
-			tail = &sampling.TailPolicy{NormalRate: *tailRate}
+		if *tailRate < 1 || alertPins != nil {
+			tail = &sampling.TailPolicy{NormalRate: *tailRate, Pins: alertPins}
 		}
 		var err error
 		asm, err = streamrecon.New(streamrecon.Config{
@@ -366,6 +407,7 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 			Process:  "collectd",
 			ProcType: "collector",
 			Aspects:  "collection",
+			Alerts:   alerts,
 			// /exportz serves the store as a gob record stream — the
 			// aggregator tier's pull path — and /ringz the ownership view.
 			Extra: map[string]http.HandlerFunc{"/exportz": exportzHandler(store)},
@@ -474,6 +516,9 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 				}
 				countTornTails()
 				countStoreLoss()
+				if alerts != nil {
+					alerts.Eval()
+				}
 				if fleet != nil {
 					fleet.scrape(peerDebugAddrs(srv))
 				}

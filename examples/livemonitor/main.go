@@ -130,6 +130,10 @@ func main() {
 	rate := flag.Float64("rate", 1, "head-consistent chain sampling rate at the sources, in (0, 1]")
 	clusterN := flag.Int("cluster", 0, "ship through an N-collector ingest tier sharded by chain hash (0/1 = single collector)")
 	killAfter := flag.Int("kill-after", 0, "with -cluster: kill one collector after this many client calls; automated membership must evict it, shippers must re-route, and the final merge must still be lossless (0 = off)")
+	slo := flag.Duration("slo", 0, "arm an over-tight chain-latency SLO (this objective) on the server process, drive traffic until it fires, print the exemplar chain UUID, and prove it resolves after traffic stops (0 = off)")
+	sloLinger := flag.Duration("slo-linger", 0, "with -slo: keep the deployment (and /alertz) up this long after the alert fires, for external pollers")
+	debugAddr := flag.String("debug", "127.0.0.1:0", "server process debug address (/metrics, /statusz, /alertz)")
+	outPath := flag.String("out", "", "write the collected store as a merged .ftlog here at exit")
 	flag.Parse()
 	if *rate <= 0 || *rate > 1 {
 		fmt.Fprintln(os.Stderr, "livemonitor: -rate must be in (0, 1]")
@@ -143,23 +147,49 @@ func main() {
 		fmt.Fprintln(os.Stderr, "livemonitor: -kill-after needs -cluster with at least 2 collectors")
 		os.Exit(1)
 	}
-	if err := run(*faults, *seed, *stream, *rate, *clusterN, *killAfter); err != nil {
+	if err := run(runConfig{
+		faults: *faults, seed: *seed, stream: *stream, rate: *rate,
+		clusterN: *clusterN, killAfter: *killAfter,
+		slo: *slo, sloLinger: *sloLinger, debugAddr: *debugAddr, outPath: *outPath,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "livemonitor:", err)
 		os.Exit(1)
 	}
 }
 
-func run(faults bool, seed int64, stream bool, rate float64, clusterN, killAfter int) error {
+// runConfig carries the flag set into run.
+type runConfig struct {
+	faults    bool
+	seed      int64
+	stream    bool
+	rate      float64
+	clusterN  int
+	killAfter int
+	slo       time.Duration
+	sloLinger time.Duration
+	debugAddr string
+	outPath   string
+}
+
+func run(rc runConfig) error {
+	faults, seed, stream, rate, clusterN, killAfter :=
+		rc.faults, rc.seed, rc.stream, rc.rate, rc.clusterN, rc.killAfter
 	dir, err := os.MkdirTemp("", "livemonitor")
 	if err != nil {
 		return err
 	}
 	defer os.RemoveAll(dir)
 
+	// One metrics registry shared by every in-binary process and the
+	// monitor: the compensated chain latencies the monitor observes into
+	// it are what the server's SLO evaluator (-slo) burns against.
+	reg := causeway.NewMetricsRegistry()
+
 	// The collection daemon: an online monitor rides the ingest path, so
 	// slow calls surface while the application is still running.
 	var slowCount, rootCount atomic.Int64
 	monitor := causeway.NewOnlineMonitor(causeway.OnlineConfig{
+		Metrics: reg,
 		OnRoot: func(ev causeway.RootEvent) {
 			rootCount.Add(1)
 			fmt.Printf("live: %s::%s completed on chain %s (latency %v)\n",
@@ -428,15 +458,30 @@ func run(faults bool, seed int64, stream bool, rate float64, clusterN, killAfter
 	// while also writing its own .ftlog. All four are in one binary, so they
 	// share one metrics registry; the echo server mounts the deployment's
 	// debug endpoint over it.
-	reg := causeway.NewMetricsRegistry()
 	serverCfg := causeway.ProcessConfig{
 		Name:            "server",
 		Instrumented:    true,
 		Monitor:         causeway.MonitorLatency,
 		LogPath:         filepath.Join(dir, "server.ftlog"),
 		Metrics:         reg,
-		DebugAddr:       "127.0.0.1:0",
+		DebugAddr:       rc.debugAddr,
 		ChainSampleRate: rate,
+	}
+	if rc.slo > 0 {
+		// An over-tight objective on the monitor's compensated Echo chain
+		// latency: with small windows the burst below fires it in a couple
+		// of seconds, and /alertz carries the offending chain UUIDs.
+		serverCfg.SLO = []causeway.SLORule{{
+			Name:         "echo-latency",
+			Iface:        "Echo",
+			Objective:    rc.slo,
+			Target:       0.9,
+			FastWindow:   500 * time.Millisecond,
+			SlowWindow:   2 * time.Second,
+			Burn:         1,
+			ResolveAfter: 500 * time.Millisecond,
+		}}
+		serverCfg.SLOInterval = 50 * time.Millisecond
 	}
 	if clusterN > 1 {
 		serverCfg.ShipToCluster = tierAddrs
@@ -534,6 +579,63 @@ func run(faults bool, seed int64, stream bool, rate float64, clusterN, killAfter
 	// empty exposition fails the run outright.
 	if err := selfScrape(server.DebugAddr()); err != nil {
 		return err
+	}
+
+	// SLO demonstration (-slo): keep calling until the burn-rate alert on
+	// the server fires, capture its exemplar chain UUID, optionally linger
+	// for external /alertz pollers, then stop the traffic and require the
+	// alert to resolve. The exemplar chain must survive into the collected
+	// store — that's what lets an operator walk from the alert to the DSCG.
+	var sloChain string
+	if rc.slo > 0 {
+		fmt.Printf("\nslo: chain-latency objective %v armed on Echo (fast 500ms / slow 2s windows); driving traffic until it fires\n", rc.slo)
+		client := procs[1]
+		ref := client.ORB.RefTo(ep, "svc", "Echo", "svc-comp")
+		ref.Idempotent = true
+		stub := instrecho.NewEchoStub(ref)
+		deadline := time.Now().Add(60 * time.Second)
+		for {
+			if _, err := stub.Echo("slo-probe"); err != nil && !faults {
+				return err
+			}
+			client.NewChain()
+			if firing := server.Alerts().Firing(); len(firing) > 0 {
+				al := firing[0]
+				chains := make([]string, 0, len(al.Exemplars))
+				for _, ex := range al.Exemplars {
+					chains = append(chains, ex.Chain)
+				}
+				fmt.Printf("slo: FIRING %s [%s] fast %.2fx slow %.2fx burn, exemplars %s\n",
+					al.Rule, al.Family, al.FastBurn, al.SlowBurn, strings.Join(chains, ","))
+				if len(al.Exemplars) == 0 {
+					return fmt.Errorf("slo alert fired with no exemplar chains")
+				}
+				sloChain = al.Exemplars[0].Chain
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("slo alert never fired against objective %v", rc.slo)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		if rc.sloLinger > 0 {
+			fmt.Printf("slo: lingering %v with /alertz live at http://%s/alertz\n", rc.sloLinger, server.DebugAddr())
+			time.Sleep(rc.sloLinger)
+		}
+		// Traffic has stopped: with no new bad-minute observations both
+		// windows burn to zero and ResolveAfter hysteresis must resolve it.
+		resolveDeadline := time.Now().Add(30 * time.Second)
+		for {
+			st := server.Alerts().Status(0)
+			if len(st.Alerts) > 0 && st.Alerts[0].State == "resolved" {
+				fmt.Printf("slo: RESOLVED %s after traffic stopped\n", st.Alerts[0].Rule)
+				break
+			}
+			if time.Now().After(resolveDeadline) {
+				return fmt.Errorf("slo alert never resolved after traffic stopped")
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
 	}
 
 	// After a kill, wait until every shipper routes by the post-kill ring
@@ -643,6 +745,29 @@ func run(faults bool, seed int64, stream bool, rate float64, clusterN, killAfter
 			fmt.Printf("cluster: kill recovery: %d chain(s) straddle the kill epoch, %d re-shipped record(s) deduplicated\n", splitChains, totalDups)
 		}
 		store = fleet
+	}
+
+	// The alert's exemplar chain must be present in the collected store:
+	// the whole point of exemplar-linked alerting is that the p99 spike
+	// resolves to a causal chain an operator can render.
+	if sloChain != "" {
+		found := false
+		for _, c := range store.Chains() {
+			if c.String() == sloChain {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("slo exemplar chain %s was not retained in the collected store", sloChain)
+		}
+		fmt.Printf("slo: exemplar chain %s retained in the collected store (`causectl show %s` renders it)\n", sloChain, sloChain[:8])
+	}
+	if rc.outPath != "" {
+		if err := store.SaveFile(rc.outPath); err != nil {
+			return err
+		}
+		fmt.Printf("store: merged .ftlog written to %s\n", rc.outPath)
 	}
 
 	// Equivalence proof: the live-merged store characterizes identically to

@@ -30,12 +30,16 @@ const (
 	maxAllocsCollocated = 2 // measured 1: servant result string concat path
 )
 
-// measureHotPath runs with the metrics plane armed: the ceilings assert that
-// per-interface RED metrics cost zero additional allocations per invocation
-// on top of the probe path (sharded counters, preallocated histograms).
+// measureHotPath runs with the metrics plane armed — including exemplar
+// capture: the ceilings assert that per-interface RED metrics plus the
+// per-bucket exemplar slot stamps cost zero additional allocations per
+// invocation on top of the probe path (sharded counters, preallocated
+// histograms, all-atomic seqlock slots).
 func measureHotPath(t *testing.T, transportKind string, collocated bool, oneway bool) float64 {
 	t.Helper()
-	stub, fired, cleanup := hotPathPair(t, transportKind, collocated, metrics.NewRegistry())
+	reg := metrics.NewRegistry()
+	reg.ArmExemplars()
+	stub, fired, cleanup := hotPathPair(t, transportKind, collocated, reg)
 	defer cleanup()
 	call := func() {
 		if _, err := stub.Echo("x"); err != nil {

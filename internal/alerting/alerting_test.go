@@ -1,0 +1,314 @@
+package alerting
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"causeway/internal/metrics"
+	"causeway/internal/sampling"
+	"causeway/internal/uuid"
+)
+
+// fakeClock is a manually advanced clock for deterministic windows.
+type fakeClock struct{ now time.Time }
+
+func (c *fakeClock) Now() time.Time          { return c.now }
+func (c *fakeClock) Advance(d time.Duration) { c.now = c.now.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{now: time.Unix(1_000_000, 0)} }
+func chainN(n byte) metrics.ChainID          { var c metrics.ChainID; c[0] = n; c[15] = n; return c }
+func observeN(r *metrics.Registry, iface string, v time.Duration, n int, chain metrics.ChainID, when time.Time) {
+	for i := 0; i < n; i++ {
+		r.ObserveChainEx(iface, v, chain, when.UnixNano())
+	}
+}
+
+func newEval(t *testing.T, reg *metrics.Registry, clock *fakeClock, pins *sampling.PinSet, rule Rule) *Evaluator {
+	t.Helper()
+	ev, err := NewEvaluator(Config{
+		Registry: reg, Rules: []Rule{rule}, Clock: clock.Now, Pins: pins,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ev
+}
+
+// testRule: 10ms objective, 10% budget, 1s fast / 2s slow windows.
+func testRule() Rule {
+	return Rule{
+		Name: "echo-slo", Iface: "Echo",
+		Objective: 10 * time.Millisecond, Target: 0.9,
+		FastWindow: time.Second, SlowWindow: 2 * time.Second,
+		Burn: 1, ResolveAfter: time.Second,
+	}
+}
+
+func stateOf(ev *Evaluator) string { return ev.Status(0).Alerts[0].State }
+
+func TestAlertLifecyclePendingFiringResolved(t *testing.T) {
+	reg := metrics.NewRegistry()
+	clock := newFakeClock()
+	pins := sampling.NewPinSet()
+	ev := newEval(t, reg, clock, pins, testRule())
+
+	ev.Eval() // baseline sample, no traffic
+	if got := stateOf(ev); got != "inactive" {
+		t.Fatalf("state = %s, want inactive", got)
+	}
+
+	// Healthy traffic only: stays inactive.
+	clock.Advance(500 * time.Millisecond)
+	observeN(reg, "Echo", time.Millisecond, 10, chainN(1), clock.now)
+	ev.Eval()
+	if got := stateOf(ev); got != "inactive" {
+		t.Fatalf("state after healthy traffic = %s, want inactive", got)
+	}
+
+	// Regression: half the observations blow the objective. The fast
+	// window is full at t=1s, so the first bad reading trips pending.
+	clock.Advance(500 * time.Millisecond)
+	observeN(reg, "Echo", 100*time.Millisecond, 10, chainN(7), clock.now)
+	ev.Eval()
+	if got := stateOf(ev); got != "pending" {
+		t.Fatalf("state after regression = %s, want pending", got)
+	}
+	// The offending chain is harvested and pinned while pending.
+	st := ev.Status(0)
+	if len(st.Alerts[0].Exemplars) == 0 {
+		t.Fatal("pending alert carries no exemplars")
+	}
+	if !pins.Pinned(uuid.UUID(chainN(7))) {
+		t.Fatal("exemplar chain not pinned while pending")
+	}
+
+	// The regression sustains; once the slow window (2s) is full and
+	// concurs, the alert fires.
+	clock.Advance(500 * time.Millisecond)
+	observeN(reg, "Echo", 100*time.Millisecond, 5, chainN(8), clock.now)
+	ev.Eval()
+	if got := stateOf(ev); got != "pending" {
+		t.Fatalf("state before slow window fills = %s, want pending", got)
+	}
+	clock.Advance(500 * time.Millisecond)
+	observeN(reg, "Echo", 100*time.Millisecond, 5, chainN(8), clock.now)
+	ev.Eval()
+	if got := stateOf(ev); got != "firing" {
+		t.Fatalf("state = %s, want firing", got)
+	}
+	firing := ev.Firing()
+	if len(firing) != 1 || firing[0].Rule != "echo-slo" {
+		t.Fatalf("Firing() = %+v, want echo-slo", firing)
+	}
+	if firing[0].FastBurn < 1 {
+		t.Fatalf("firing fast burn %v, want >= 1", firing[0].FastBurn)
+	}
+	if !strings.Contains(firing[0].Family, "causeway_chain_latency") {
+		t.Fatalf("family = %s", firing[0].Family)
+	}
+
+	// Recovery: healthy traffic until both windows drain, then hold
+	// ResolveAfter.
+	for i := 0; i < 8; i++ {
+		clock.Advance(500 * time.Millisecond)
+		observeN(reg, "Echo", time.Millisecond, 10, chainN(1), clock.now)
+		ev.Eval()
+	}
+	if got := stateOf(ev); got != "resolved" {
+		t.Fatalf("state after recovery = %s, want resolved", got)
+	}
+
+	// Transition sequence is pending → firing → resolved.
+	var seq []string
+	for _, tr := range ev.Status(0).Transitions {
+		seq = append(seq, tr.To.String())
+	}
+	want := []string{"pending", "firing", "resolved"}
+	if len(seq) != len(want) {
+		t.Fatalf("transitions = %v, want %v", seq, want)
+	}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("transitions = %v, want %v", seq, want)
+		}
+	}
+}
+
+func TestPendingBlipRecoversToInactive(t *testing.T) {
+	reg := metrics.NewRegistry()
+	clock := newFakeClock()
+	// Slow window long enough that one bad burst cannot confirm.
+	rule := testRule()
+	rule.SlowWindow = time.Hour
+	ev := newEval(t, reg, clock, nil, rule)
+
+	ev.Eval()
+	clock.Advance(time.Second)
+	observeN(reg, "Echo", 100*time.Millisecond, 200, chainN(2), clock.now)
+	observeN(reg, "Echo", time.Millisecond, 100, chainN(1), clock.now)
+	ev.Eval()
+	if got := stateOf(ev); got != "pending" {
+		t.Fatalf("state = %s, want pending", got)
+	}
+	// Bad burst leaves the fast window; slow never confirmed.
+	for i := 0; i < 4; i++ {
+		clock.Advance(500 * time.Millisecond)
+		observeN(reg, "Echo", time.Millisecond, 100, chainN(1), clock.now)
+		ev.Eval()
+	}
+	if got := stateOf(ev); got != "inactive" {
+		t.Fatalf("state after blip = %s, want inactive", got)
+	}
+}
+
+func TestNoTrafficBurnsNothing(t *testing.T) {
+	reg := metrics.NewRegistry()
+	clock := newFakeClock()
+	ev := newEval(t, reg, clock, nil, testRule())
+	for i := 0; i < 10; i++ {
+		ev.Eval()
+		clock.Advance(time.Second)
+	}
+	st := ev.Status(0)
+	if st.Alerts[0].State != "inactive" || st.Alerts[0].FastBurn != 0 {
+		t.Fatalf("idle evaluator: %+v", st.Alerts[0])
+	}
+}
+
+func TestErrorBudgetRule(t *testing.T) {
+	reg := metrics.NewRegistry()
+	clock := newFakeClock()
+	rule := Rule{
+		Name: "ship-errors", Iface: "Shipper", Target: 0.9,
+		FastWindow: time.Second, SlowWindow: time.Second, Burn: 1,
+	}
+	ev := newEval(t, reg, clock, nil, rule)
+	if ev.Rules()[0].Kind != KindErrors {
+		t.Fatalf("kind = %v, want KindErrors", ev.Rules()[0].Kind)
+	}
+	ev.Eval()
+	s := reg.Op(metrics.OpKey{Interface: "Shipper", Operation: "send"})
+	s.Calls.Add(100)
+	s.Errors.Add(50) // 50% errors vs a 10% budget: burn 5
+	clock.Advance(time.Second)
+	ev.Eval() // windows full: pending
+	clock.Advance(500 * time.Millisecond)
+	ev.Eval() // burst still inside both windows: firing
+	if got := stateOf(ev); got != "firing" {
+		t.Fatalf("error-budget state = %s, want firing", got)
+	}
+}
+
+func TestOpLatencyRuleFamily(t *testing.T) {
+	rule := Rule{Name: "x", Iface: "I", Op: "m", Objective: time.Millisecond}.withDefaults()
+	if rule.Kind != KindOpLatency {
+		t.Fatalf("kind = %v", rule.Kind)
+	}
+	if want := `causeway_op_skel{iface="I",op="m"}`; rule.Family() != want {
+		t.Fatalf("family = %s, want %s", rule.Family(), want)
+	}
+}
+
+func TestRuleValidation(t *testing.T) {
+	bad := []Rule{
+		{},          // no name
+		{Name: "x"}, // no iface
+		{Name: "x", Iface: "I", Objective: time.Millisecond, Target: 1.5}, // target out of range
+		{Name: "x", Iface: "I", Objective: time.Millisecond, FastWindow: time.Minute, SlowWindow: time.Second},
+	}
+	for i, r := range bad {
+		if _, err := NewEvaluator(Config{Registry: metrics.NewRegistry(), Rules: []Rule{r.withDefaults()}}); err == nil {
+			t.Fatalf("rule %d validated unexpectedly: %+v", i, r)
+		}
+	}
+}
+
+func TestParseRules(t *testing.T) {
+	src := `
+# comment line
+checkout-p99 iface=Checkout objective=250ms target=0.99 fast=1m slow=5m burn=2
+lookup-skel  iface=Directory op=lookup objective=10ms
+ship-errors  iface=Shipper errors target=0.999 resolve=30s exemplars=4
+`
+	rules, err := ParseRules(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 3 {
+		t.Fatalf("got %d rules", len(rules))
+	}
+	if rules[0].Objective != 250*time.Millisecond || rules[0].Burn != 2 || rules[0].SlowWindow != 5*time.Minute {
+		t.Fatalf("rule 0 = %+v", rules[0])
+	}
+	if rules[1].Kind != KindOpLatency || rules[1].Op != "lookup" {
+		t.Fatalf("rule 1 = %+v", rules[1])
+	}
+	if rules[2].Kind != KindErrors || rules[2].Target != 0.999 || rules[2].MaxExemplars != 4 || rules[2].ResolveAfter != 30*time.Second {
+		t.Fatalf("rule 2 = %+v", rules[2])
+	}
+
+	for _, badSrc := range []string{
+		"", "justaname notakv", "r iface=I objective=xyz", "r iface=I objective=1ms zzz=1",
+	} {
+		if _, err := ParseRules(strings.NewReader(badSrc)); err == nil {
+			t.Fatalf("ParseRules(%q) accepted", badSrc)
+		}
+	}
+}
+
+func TestServeAlertzCursor(t *testing.T) {
+	reg := metrics.NewRegistry()
+	clock := newFakeClock()
+	ev := newEval(t, reg, clock, nil, testRule())
+	ev.Eval()
+	clock.Advance(time.Second)
+	observeN(reg, "Echo", 100*time.Millisecond, 20, chainN(3), clock.now)
+	ev.Eval() // fast window full: pending
+	clock.Advance(time.Second)
+	observeN(reg, "Echo", 100*time.Millisecond, 20, chainN(3), clock.now)
+	ev.Eval() // slow window full and concurring: firing
+
+	req := httptest.NewRequest("GET", "/alertz", nil)
+	rec := httptest.NewRecorder()
+	ev.ServeAlertz(rec, req)
+	var st Status
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatalf("bad /alertz JSON: %v\n%s", err, rec.Body.String())
+	}
+	if len(st.Transitions) != 2 || st.Cursor != 2 {
+		t.Fatalf("full page: %d transitions, cursor %d", len(st.Transitions), st.Cursor)
+	}
+	if st.Alerts[0].State != "firing" {
+		t.Fatalf("alert state = %s", st.Alerts[0].State)
+	}
+	if len(st.Alerts[0].Exemplars) == 0 || !strings.Contains(st.Alerts[0].Exemplars[0].Chain, "-") {
+		t.Fatalf("exemplars = %+v", st.Alerts[0].Exemplars)
+	}
+
+	// Cursor resume: only transitions after `since` come back.
+	req = httptest.NewRequest("GET", "/alertz?since="+strings.TrimSpace("1"), nil)
+	rec = httptest.NewRecorder()
+	ev.ServeAlertz(rec, req)
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Transitions) != 1 || st.Transitions[0].To != StateFiring {
+		t.Fatalf("cursor page: %+v", st.Transitions)
+	}
+
+	// FetchStatus round-trips over a real listener.
+	mux := http.NewServeMux()
+	mux.HandleFunc("/alertz", ev.ServeAlertz)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	got, err := FetchStatus(srv.URL, 0, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Alerts) != 1 || got.Alerts[0].State != "firing" {
+		t.Fatalf("FetchStatus = %+v", got.Alerts)
+	}
+}

@@ -1,0 +1,53 @@
+package alerting
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// ServeAlertz is the /alertz handler: a JSON Status snapshot. The
+// `since` query parameter is a transition cursor — pass the Cursor of
+// the previous response to receive only newer transitions, the same
+// contract as streamrecon's /feedz.
+func (e *Evaluator) ServeAlertz(w http.ResponseWriter, r *http.Request) {
+	var since uint64
+	if s := r.URL.Query().Get("since"); s != "" {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			http.Error(w, "bad since cursor", http.StatusBadRequest)
+			return
+		}
+		since = v
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(e.Status(since))
+}
+
+// FetchStatus polls a debug server's /alertz — the causectl client side.
+// addr is a host:port or full http URL.
+func FetchStatus(addr string, since uint64, timeout time.Duration) (Status, error) {
+	base := addr
+	if len(base) < 7 || base[:7] != "http://" {
+		base = "http://" + base
+	}
+	url := fmt.Sprintf("%s/alertz?since=%d", base, since)
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Get(url)
+	if err != nil {
+		return Status{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Status{}, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return Status{}, fmt.Errorf("%s: %v", url, err)
+	}
+	return st, nil
+}

@@ -1,0 +1,101 @@
+package alerting
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseRules reads the declarative rules format: one rule per line,
+// blank lines and #-comments skipped. A line is a rule name followed by
+// key=value fields:
+//
+//	# name       selector + objective            tuning
+//	checkout-p99 iface=Checkout objective=250ms  target=0.99 fast=1m slow=5m burn=2
+//	lookup-skel  iface=Directory op=lookup objective=10ms
+//	ship-errors  iface=Shipper errors target=0.999
+//
+// Fields: iface (required), op, objective (latency rules), the bare word
+// `errors` (error-budget rule over calls/errors counters), target,
+// fast, slow, resolve (durations), burn (threshold multiple), exemplars
+// (pin cap). Defaults are documented on Rule.
+func ParseRules(r io.Reader) ([]Rule, error) {
+	var rules []Rule
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		rule := Rule{Name: fields[0]}
+		for _, f := range fields[1:] {
+			if f == "errors" {
+				rule.Objective = 0 // explicit: error-budget kind
+				continue
+			}
+			k, v, ok := strings.Cut(f, "=")
+			if !ok {
+				return nil, fmt.Errorf("rules line %d: field %q is not key=value", lineNo, f)
+			}
+			var err error
+			switch k {
+			case "iface":
+				rule.Iface = v
+			case "op":
+				rule.Op = v
+			case "objective":
+				rule.Objective, err = time.ParseDuration(v)
+			case "target":
+				rule.Target, err = strconv.ParseFloat(v, 64)
+			case "fast":
+				rule.FastWindow, err = time.ParseDuration(v)
+			case "slow":
+				rule.SlowWindow, err = time.ParseDuration(v)
+			case "resolve":
+				rule.ResolveAfter, err = time.ParseDuration(v)
+			case "burn":
+				rule.Burn, err = strconv.ParseFloat(v, 64)
+			case "exemplars":
+				rule.MaxExemplars, err = strconv.Atoi(v)
+			default:
+				return nil, fmt.Errorf("rules line %d: unknown field %q", lineNo, k)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("rules line %d: %s: %v", lineNo, k, err)
+			}
+		}
+		rule = rule.withDefaults()
+		if err := rule.validate(); err != nil {
+			return nil, fmt.Errorf("rules line %d: %v", lineNo, err)
+		}
+		rules = append(rules, rule)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("no rules found")
+	}
+	return rules, nil
+}
+
+// ParseRulesFile is ParseRules over a file.
+func ParseRulesFile(path string) ([]Rule, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rules, err := ParseRules(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return rules, nil
+}

@@ -68,13 +68,23 @@ func PostRebalance(client *http.Client, debugAddr string) (DonationResult, error
 
 // ParseSeries reads exposition-format metrics into a name -> value
 // map, skipping labelled and non-integer series (the conservation
-// series are all plain integer counters).
+// series are all plain integer counters). OpenMetrics-style exemplar
+// annotations (` # {chain_uuid="..."} value ts` suffixes on histogram
+// lines) and comment lines are tolerated: the annotation is cut before
+// the value parse, so an exemplar-bearing exposition round-trips to the
+// same map as a plain one.
 func ParseSeries(r io.Reader) (map[string]int64, error) {
 	series := make(map[string]int64)
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") || strings.ContainsRune(line, '{') {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if cut := strings.Index(line, " # "); cut >= 0 {
+			line = strings.TrimSpace(line[:cut])
+		}
+		if strings.ContainsRune(line, '{') {
 			continue
 		}
 		cut := strings.LastIndexByte(line, ' ')

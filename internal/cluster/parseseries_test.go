@@ -1,0 +1,60 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"causeway/internal/metrics"
+)
+
+// TestParseSeriesTolerantOfExemplars round-trips a real exemplar-bearing
+// WriteText exposition through ParseSeries: the plain integer series must
+// parse to the same values as an annotation-free exposition, and the
+// annotated histogram lines must be skipped without error, not corrupt
+// the map.
+func TestParseSeriesTolerantOfExemplars(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.ArmExemplars()
+	var chain metrics.ChainID
+	chain[0], chain[15] = 0xde, 0xad
+	// An exemplar-stamped histogram plus the plain counters ParseSeries
+	// actually consumes.
+	reg.ObserveChainEx("Echo", 42*time.Millisecond, chain, 123456789)
+	reg.ORB.Timeouts.Add(3)
+	reg.Named("causeway_assembler_records_appended_total").Add(17)
+
+	var sb strings.Builder
+	reg.WriteText(&sb)
+	exposition := sb.String()
+	if !strings.Contains(exposition, `chain_uuid="`) {
+		t.Fatalf("exposition carries no exemplar annotation:\n%s", exposition)
+	}
+
+	series, err := ParseSeries(strings.NewReader(exposition))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if series["causeway_orb_timeouts_total"] != 3 {
+		t.Fatalf("causeway_orb_timeouts_total = %d, want 3", series["causeway_orb_timeouts_total"])
+	}
+	if series["causeway_assembler_records_appended_total"] != 17 {
+		t.Fatalf("appended = %d, want 17", series["causeway_assembler_records_appended_total"])
+	}
+
+	// An annotated plain (unlabelled) line parses to its value with the
+	// annotation cut — no series named with a trailing fragment.
+	annotated := "some_plain_total 9 # {chain_uuid=\"x\"} 9 1\n"
+	series, err = ParseSeries(strings.NewReader(annotated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if series["some_plain_total"] != 9 {
+		t.Fatalf("annotated plain line parsed to %v", series)
+	}
+	for name := range series {
+		if strings.Contains(name, "#") || strings.Contains(name, "{") {
+			t.Fatalf("annotation leaked into series name %q", name)
+		}
+	}
+}

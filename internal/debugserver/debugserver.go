@@ -5,6 +5,7 @@
 //	/metrics      text exposition of the process's metrics.Registry
 //	/statusz      process identity, armed aspects, uptime, build info
 //	/chainz       recent completed chain roots from the online monitor
+//	/alertz       SLO alert state (JSON, cursor-friendly), when armed
 //	/healthz      liveness ("ok")
 //	/debug/pprof  the standard Go profiling endpoints
 //
@@ -22,6 +23,7 @@ import (
 	"runtime/debug"
 	"time"
 
+	"causeway/internal/alerting"
 	"causeway/internal/metrics"
 	"causeway/internal/online"
 )
@@ -46,6 +48,9 @@ type Config struct {
 	// Instrumented reports whether the instrumented wire format is
 	// deployed.
 	Instrumented bool
+	// Alerts, when set, mounts /alertz serving the evaluator's JSON
+	// status (see alerting.Evaluator.ServeAlertz).
+	Alerts *alerting.Evaluator
 	// Extra mounts additional handlers by path (e.g. cmd/collectd's
 	// /feedz streaming-completion feed). Paths colliding with the
 	// built-in endpoints are ignored.
@@ -67,9 +72,16 @@ func Start(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("debugserver: %w", err)
 	}
 	s := &Server{cfg: cfg, ln: ln, start: time.Now()}
+	// The Go runtime gauges ride the registry as a source so fleet
+	// scrapers see them inside the exposition proper; re-registration is
+	// idempotent when several processes share one registry.
+	if cfg.Registry != nil {
+		cfg.Registry.RegisterSource("go_runtime", metrics.RuntimeSource(s.start))
+	}
 	mux := http.NewServeMux()
 	builtin := map[string]bool{
 		"/healthz": true, "/metrics": true, "/statusz": true, "/chainz": true,
+		"/alertz": true,
 	}
 	for path, h := range cfg.Extra {
 		if !builtin[path] && h != nil {
@@ -80,6 +92,9 @@ func Start(cfg Config) (*Server, error) {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/statusz", s.handleStatusz)
 	mux.HandleFunc("/chainz", s.handleChainz)
+	if cfg.Alerts != nil {
+		mux.HandleFunc("/alertz", cfg.Alerts.ServeAlertz)
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -111,6 +126,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "causeway_uptime_seconds %d\n", int64(time.Since(s.start).Seconds()))
 	fmt.Fprintf(w, "causeway_goroutines %d\n", runtime.NumGoroutine())
 	if s.cfg.Registry != nil {
+		// The causeway_go_* runtime gauges arrive via the registry's
+		// go_runtime source (registered at Start).
 		s.cfg.Registry.WriteText(w)
 	}
 }
@@ -122,10 +139,18 @@ func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "instrumented: %v\n", s.cfg.Instrumented)
 	fmt.Fprintf(w, "aspects:      %s\n", s.cfg.Aspects)
 	fmt.Fprintf(w, "uptime:       %s\n", time.Since(s.start).Round(time.Millisecond))
+	fmt.Fprintf(w, "started:      %s\n", s.start.Format(time.RFC3339))
 	fmt.Fprintf(w, "go:           %s\n", runtime.Version())
 	fmt.Fprintf(w, "goroutines:   %d\n", runtime.NumGoroutine())
+	fmt.Fprintf(w, "alerting:     %v\n", s.cfg.Alerts != nil)
 	if bi, ok := debug.ReadBuildInfo(); ok {
 		fmt.Fprintf(w, "module:       %s\n", bi.Main.Path)
+		for _, kv := range bi.Settings {
+			switch kv.Key {
+			case "vcs.revision", "vcs.time", "vcs.modified":
+				fmt.Fprintf(w, "%-13s %s\n", kv.Key+":", kv.Value)
+			}
+		}
 	}
 }
 

@@ -119,6 +119,11 @@ type Histogram struct {
 	total  atomic.Uint64
 	sum    atomic.Int64
 	max    atomic.Int64
+	// ex, when armed, holds one last-write-wins exemplar slot per bucket
+	// (see exemplar.go); nil until ArmExemplars so unarmed histograms pay
+	// a single atomic load on the chain-carrying observe path and nothing
+	// on Observe.
+	ex atomic.Pointer[exemplarSet]
 }
 
 // Observe records one duration.
@@ -149,26 +154,9 @@ func (h *Histogram) Max() time.Duration { return time.Duration(h.max.Load()) }
 // bucket's upper bound. Concurrent Observes may skew a quantile read by
 // the in-flight observations; scrapes tolerate that.
 func (h *Histogram) Quantile(q float64) time.Duration {
-	total := h.total.Load()
-	if total == 0 {
+	i := h.quantileBucket(q)
+	if i < 0 {
 		return 0
 	}
-	if q < 0 {
-		q = 0
-	}
-	if q > 1 {
-		q = 1
-	}
-	rank := uint64(math.Ceil(q * float64(total)))
-	if rank == 0 {
-		rank = 1
-	}
-	var seen uint64
-	for i := range h.counts {
-		seen += h.counts[i].Load()
-		if seen >= rank {
-			return BucketValue(i)
-		}
-	}
-	return BucketValue(NumBuckets - 1)
+	return BucketValue(i)
 }

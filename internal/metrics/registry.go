@@ -72,6 +72,10 @@ type Registry struct {
 	ifaces atomic.Pointer[map[string]*Histogram]
 	named  atomic.Pointer[map[string]*Counter]
 
+	// exemplars, once set, arms exemplar capture on every existing and
+	// future histogram in the registry (see ArmExemplars).
+	exemplars atomic.Bool
+
 	mu      sync.Mutex // serializes map copies and source registration
 	sources []source
 }
@@ -116,6 +120,10 @@ func (r *Registry) Op(key OpKey) *OpStats {
 		next[k] = v
 	}
 	s := &OpStats{}
+	if r.exemplars.Load() {
+		s.StubTime.ArmExemplars()
+		s.SkelTime.ArmExemplars()
+	}
 	next[key] = s
 	r.ops.Store(&next)
 	return s
@@ -144,6 +152,9 @@ func (r *Registry) Iface(name string) *Histogram {
 		next[k] = v
 	}
 	h := &Histogram{}
+	if r.exemplars.Load() {
+		h.ArmExemplars()
+	}
 	next[name] = h
 	r.ifaces.Store(&next)
 	return h
@@ -152,6 +163,51 @@ func (r *Registry) Iface(name string) *Histogram {
 // ObserveChain records one compensated invocation latency for iface.
 func (r *Registry) ObserveChain(iface string, v time.Duration) {
 	r.Iface(iface).Observe(v)
+}
+
+// ObserveChainEx records one compensated invocation latency for iface
+// and, when exemplars are armed, stamps the observation's chain as the
+// bucket exemplar (when is unix nanoseconds).
+func (r *Registry) ObserveChainEx(iface string, v time.Duration, chain ChainID, when int64) {
+	r.Iface(iface).ObserveEx(v, chain, when)
+}
+
+// ArmExemplars enables exemplar capture on every histogram in the
+// registry, current and future. Idempotent.
+func (r *Registry) ArmExemplars() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.exemplars.Store(true)
+	if m := r.ops.Load(); m != nil {
+		for _, s := range *m {
+			s.StubTime.ArmExemplars()
+			s.SkelTime.ArmExemplars()
+		}
+	}
+	if m := r.ifaces.Load(); m != nil {
+		for _, h := range *m {
+			h.ArmExemplars()
+		}
+	}
+}
+
+// VisitOps calls fn for every registered operation. The snapshot is the
+// copy-on-write map at call time; fn must not call back into Op.
+func (r *Registry) VisitOps(fn func(OpKey, *OpStats)) {
+	if m := r.ops.Load(); m != nil {
+		for k, s := range *m {
+			fn(k, s)
+		}
+	}
+}
+
+// VisitIfaces calls fn for every interface chain-latency histogram.
+func (r *Registry) VisitIfaces(fn func(string, *Histogram)) {
+	if m := r.ifaces.Load(); m != nil {
+		for name, h := range *m {
+			fn(name, h)
+		}
+	}
 }
 
 // Named returns (creating on first use) a free-form counter exposed
@@ -217,6 +273,18 @@ func escapeLabel(v string) string {
 	return r.Replace(v)
 }
 
+// exemplarSuffix renders an OpenMetrics-style exemplar annotation for the
+// given bucket, or "" when none was captured: ` # {chain_uuid="..."}
+// <value_ns> <unix_ns>`. Consumers that only want the series value cut
+// the line at " # " (cluster.ParseSeries does).
+func exemplarSuffix(h *Histogram, bucket int) string {
+	e, ok := h.BucketExemplar(bucket)
+	if !ok {
+		return ""
+	}
+	return fmt.Sprintf(" # {chain_uuid=%q} %d %d", e.Chain.String(), int64(e.Value), e.When)
+}
+
 func writeHistogram(w io.Writer, family, labels string, h *Histogram) {
 	count := h.Count()
 	fmt.Fprintf(w, "%s_count{%s} %d\n", family, labels, count)
@@ -224,9 +292,10 @@ func writeHistogram(w io.Writer, family, labels string, h *Histogram) {
 		return
 	}
 	fmt.Fprintf(w, "%s_sum_ns{%s} %d\n", family, labels, int64(h.Sum()))
-	fmt.Fprintf(w, "%s_max_ns{%s} %d\n", family, labels, int64(h.Max()))
+	fmt.Fprintf(w, "%s_max_ns{%s} %d%s\n", family, labels, int64(h.Max()), exemplarSuffix(h, bucketOf(h.Max())))
 	for _, q := range quantiles {
-		fmt.Fprintf(w, "%s_ns{%s,q=\"%s\"} %d\n", family, labels, q.label, int64(h.Quantile(q.q)))
+		i := h.quantileBucket(q.q)
+		fmt.Fprintf(w, "%s_ns{%s,q=\"%s\"} %d%s\n", family, labels, q.label, int64(BucketValue(i)), exemplarSuffix(h, i))
 	}
 }
 

@@ -1,0 +1,30 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+)
+
+// RuntimeSource returns an exposition source emitting the process's Go
+// runtime gauges under the causeway_go_* family: goroutine count, heap
+// bytes, GC activity, and uptime relative to start. Register it on a
+// Registry via RegisterSource so every scrape carries fresh values:
+//
+//	reg.RegisterSource("go_runtime", metrics.RuntimeSource(time.Now()))
+//
+// ReadMemStats is a stop-the-world read, but it runs only on scrape —
+// never on the probe path.
+func RuntimeSource(start time.Time) func(io.Writer) {
+	return func(w io.Writer) {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		fmt.Fprintf(w, "causeway_go_goroutines %d\n", runtime.NumGoroutine())
+		fmt.Fprintf(w, "causeway_go_heap_alloc_bytes %d\n", ms.HeapAlloc)
+		fmt.Fprintf(w, "causeway_go_heap_sys_bytes %d\n", ms.HeapSys)
+		fmt.Fprintf(w, "causeway_go_gc_cycles_total %d\n", ms.NumGC)
+		fmt.Fprintf(w, "causeway_go_gc_pause_total_ns %d\n", ms.PauseTotalNs)
+		fmt.Fprintf(w, "causeway_go_uptime_seconds %d\n", int64(time.Since(start).Seconds()))
+	}
+}

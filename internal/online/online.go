@@ -257,21 +257,27 @@ func (m *Monitor) complete(root *analysis.Node, chain uuid.UUID) {
 
 	// Feed the in-process metrics plane and the introspection ring. Both
 	// run under m.mu (Append holds it through apply), so plain slice and
-	// counter writes suffice.
+	// counter writes suffice. The chain rides along as the exemplar
+	// identity — when the registry has exemplars armed, a latency bucket
+	// remembers which causal chain last landed in it, stamped with the
+	// root's closing wall time (falling back to observation time when the
+	// latency aspect was off).
+	when := time.Now()
+	if end := rootEnd(root); !end.IsZero() {
+		when = end
+	}
+	whenNanos := when.UnixNano()
 	nodes := 0
 	root.Walk(func(n *analysis.Node) {
 		nodes++
 		if m.cfg.Metrics != nil && n.HasLatency {
-			m.cfg.Metrics.ObserveChain(n.Op.Interface, n.Latency)
+			m.cfg.Metrics.ObserveChainEx(n.Op.Interface, n.Latency, metrics.ChainID(chain), whenNanos)
 		}
 	})
 	sum := RootSummary{
 		Op: root.Op, Chain: chain, Oneway: root.Oneway,
 		Nodes: nodes, Latency: root.Latency, HasLatency: root.HasLatency,
-		When: time.Now(),
-	}
-	if end := rootEnd(root); !end.IsZero() {
-		sum.When = end
+		When: when,
 	}
 	m.recent[m.recentN%uint64(len(m.recent))] = sum
 	m.recentN++

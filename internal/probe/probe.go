@@ -337,6 +337,16 @@ func (p *Probes) metricEnd(w window) time.Time {
 	return p.clock.Now()
 }
 
+// metricChain is the exemplar identity for a metrics observation: the
+// record's chain when head sampling kept it, else zero — the exposition
+// must never name a chain that has no records in any store.
+func metricChain(f ftl.FTL) metrics.ChainID {
+	if !f.Sampled() {
+		return metrics.ChainID{}
+	}
+	return metrics.ChainID(f.Chain)
+}
+
 // emit closes the activation window and deposits the record: into the open
 // span accumulator when sp is non-nil (batched path), or straight into the
 // sink otherwise. Everything a probe does must happen before its emit call
@@ -457,7 +467,8 @@ func (p *Probes) StubEnd(ctx StubCtx, reply ftl.FTL) {
 		// Raw stub round trip: stub_start window open to stub_end window
 		// open (probe overhead included; the compensated number lives in
 		// the online monitor's per-interface digests).
-		ctx.ms.StubTime.Observe(p.metricEnd(w).Sub(ctx.mStart))
+		end := p.metricEnd(w)
+		ctx.ms.StubTime.ObserveEx(end.Sub(ctx.mStart), metricChain(f), end.UnixNano())
 	}
 	p.emit(ctx.sp, w, ctx.op, f, ftl.StubEnd, ctx.oneway, false)
 	p.flushSpan(ctx.sp)
@@ -511,7 +522,8 @@ func (p *Probes) SkelEndSem(ctx SkelCtx, sem string) ftl.FTL {
 	f.NextSeq()
 	p.tunnel.ClearG(w.gid)
 	if ctx.ms != nil {
-		ctx.ms.SkelTime.Observe(p.metricEnd(w).Sub(ctx.mStart))
+		end := p.metricEnd(w)
+		ctx.ms.SkelTime.ObserveEx(end.Sub(ctx.mStart), metricChain(f), end.UnixNano())
 	}
 	p.emitSem(ctx.sp, w, ctx.op, f, ftl.SkelEnd, ctx.oneway, false, sem)
 	p.flushSpan(ctx.sp)
@@ -557,7 +569,8 @@ func (p *Probes) SkelEnd(ctx SkelCtx) ftl.FTL {
 	f.NextSeq()
 	p.tunnel.ClearG(w.gid)
 	if ctx.ms != nil {
-		ctx.ms.SkelTime.Observe(p.metricEnd(w).Sub(ctx.mStart))
+		end := p.metricEnd(w)
+		ctx.ms.SkelTime.ObserveEx(end.Sub(ctx.mStart), metricChain(f), end.UnixNano())
 	}
 	p.emit(ctx.sp, w, ctx.op, f, ftl.SkelEnd, ctx.oneway, false)
 	p.flushSpan(ctx.sp)
@@ -611,9 +624,10 @@ func (p *Probes) CollocEnd(ctx CollocCtx) {
 	}
 	f.NextSeq()
 	if ctx.ms != nil {
-		d := p.metricEnd(w).Sub(ctx.mStart)
-		ctx.ms.SkelTime.Observe(d)
-		ctx.ms.StubTime.Observe(d)
+		end := p.metricEnd(w)
+		d := end.Sub(ctx.mStart)
+		ctx.ms.SkelTime.ObserveEx(d, metricChain(f), end.UnixNano())
+		ctx.ms.StubTime.ObserveEx(d, metricChain(f), end.UnixNano())
 	}
 	p.emit(ctx.sp, w, ctx.op, f, ftl.SkelEnd, false, true)
 	f.NextSeq()

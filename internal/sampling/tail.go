@@ -28,6 +28,11 @@ type TailPolicy struct {
 	// kept, compounding to r rather than filtering the survivors), so
 	// the chain UUID is permuted first.
 	NormalRate float64
+	// Pins, when set, names chains the policy must retain regardless of
+	// verdict or rate — the alerting plane's exemplar evidence. Copies
+	// of the policy share the set (pointer), so pinning after the policy
+	// was handed to an assembler still takes effect.
+	Pins *PinSet
 }
 
 // KeepAll retains every completed chain — the default collector policy.
@@ -36,6 +41,9 @@ var KeepAll = TailPolicy{NormalRate: 1}
 // Retain reports whether a completed chain's records should be
 // persisted.
 func (p TailPolicy) Retain(v ChainVerdict) bool {
+	if p.Pins.Pinned(v.Chain) {
+		return true
+	}
 	if v.Interesting() {
 		return true
 	}

@@ -253,17 +253,36 @@ func (a *Assembler) Append(r probe.Record) {
 }
 
 // shedOldestLocked drops the oldest open chain whole (skipping the one
-// that just grew, unless it is the only one). Called under a.mu.
+// that just grew, unless it is the only one). Chains pinned by the
+// alerting plane (Tail.Pins) are passed over — they are the causal
+// evidence behind an active alert — unless every candidate is pinned, in
+// which case the oldest sheds anyway so the buffer stays bounded.
+// Called under a.mu.
 func (a *Assembler) shedOldestLocked(justGrew uuid.UUID) {
+	var pins *sampling.PinSet
+	if a.cfg.Tail != nil {
+		pins = a.cfg.Tail.Pins
+	}
 	var victim uuid.UUID
 	var victimBuf *chainBuf
+	var oldest uuid.UUID
+	var oldestBuf *chainBuf
 	for c, buf := range a.open {
 		if c == justGrew && len(a.open) > 1 {
+			continue
+		}
+		if oldestBuf == nil || buf.last.Before(oldestBuf.last) {
+			oldest, oldestBuf = c, buf
+		}
+		if pins.Pinned(c) {
 			continue
 		}
 		if victimBuf == nil || buf.last.Before(victimBuf.last) {
 			victim, victimBuf = c, buf
 		}
+	}
+	if victimBuf == nil {
+		victim, victimBuf = oldest, oldestBuf
 	}
 	if victimBuf == nil {
 		return

@@ -15,9 +15,14 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-BENCHES='BenchmarkSyncCallProbePath|BenchmarkHotPath|BenchmarkFigure1ProbeOverhead|BenchmarkFigure2Tunnel|BenchmarkClusterIngest'
+BENCHES='BenchmarkSyncCallProbePath|BenchmarkHotPath|BenchmarkFigure1ProbeOverhead|BenchmarkFigure2Tunnel|BenchmarkClusterIngest|BenchmarkExemplarOverhead'
 
 go test -run '^$' -bench "$BENCHES" -benchtime "${BENCHTIME:-10000x}" -benchmem \
-    . ./internal/cluster \
+    . ./internal/cluster ./internal/metrics \
   | go run ./cmd/benchreport -out BENCH_9.json \
       -against BENCH_4.json,BENCH_7.json -tolerance "${TOLERANCE:-0.30}" "$@"
+
+# Exemplar-armed alloc gate: the observe path must stay allocation-free and
+# the probe-path ceilings must hold with exemplar capture armed (the alloc
+# tests arm the registry themselves).
+go test -run 'AllocCeiling|TestExemplarObserveAllocFree' -count 1 . ./internal/metrics
